@@ -1,0 +1,140 @@
+//! Criterion microbenchmarks for the hot paths of every subsystem.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use sprite_chord::{ChordConfig, ChordNet};
+use sprite_core::{algorithm1, naive_select, SpriteConfig, SpriteSystem};
+use sprite_corpus::{CorpusConfig, SyntheticCorpus};
+use sprite_ir::{CentralizedEngine, Query, TermId};
+use sprite_util::{md5, RingId};
+
+fn bench_md5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md5");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("digest/{size}B"), |b| {
+            b.iter(|| md5(black_box(&data)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_porter(c: &mut Criterion) {
+    let words = [
+        "relational", "conditional", "hopefulness", "generalizations", "oscillators",
+        "troubled", "happiness", "retrieval", "indexing", "queries", "distributed",
+        "networks", "replacement", "effectiveness", "characterization",
+    ];
+    c.bench_function("porter/15-words", |b| {
+        b.iter(|| {
+            for w in words {
+                black_box(sprite_text::stem(black_box(w)));
+            }
+        });
+    });
+}
+
+fn bench_chord_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chord");
+    for n in [64usize, 1024] {
+        let mut net = ChordNet::with_random_nodes(ChordConfig::default(), n, 5);
+        let ids = net.node_ids();
+        let keys: Vec<RingId> = (0..256)
+            .map(|i| RingId::hash_bytes(format!("bench-key-{i}").as_bytes()))
+            .collect();
+        let mut i = 0usize;
+        g.bench_function(format!("lookup/{n}-peers"), |b| {
+            b.iter(|| {
+                let from = ids[i % ids.len()];
+                let key = keys[i % keys.len()];
+                i += 1;
+                black_box(net.lookup(from, key).expect("converged"));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_centralized_search(c: &mut Criterion) {
+    let sc = SyntheticCorpus::generate(&CorpusConfig::small(5));
+    let engine = CentralizedEngine::build(sc.corpus());
+    let seeds = sc.seed_queries();
+    let mut i = 0usize;
+    c.bench_function("centralized/search-top20", |b| {
+        b.iter(|| {
+            let q = &seeds[i % seeds.len()].query;
+            i += 1;
+            black_box(engine.search(black_box(q), 20));
+        });
+    });
+}
+
+fn bench_sprite_query(c: &mut Criterion) {
+    let sc = SyntheticCorpus::generate(&CorpusConfig::small(5));
+    let mut sys = SpriteSystem::build(sc.corpus().clone(), 64, SpriteConfig::default(), 5);
+    sys.publish_all();
+    let seeds = sc.seed_queries();
+    let mut i = 0usize;
+    c.bench_function("sprite/distributed-query-top20", |b| {
+        b.iter(|| {
+            let q = &seeds[i % seeds.len()].query;
+            i += 1;
+            black_box(sys.issue_query(black_box(q), 20));
+        });
+    });
+}
+
+fn bench_learning(c: &mut Criterion) {
+    // A 60-term document and a 500-query history split into 10 batches:
+    // Algorithm 1 (incremental) vs the naive full-history recompute.
+    let doc = sprite_ir::Document::new(
+        sprite_ir::DocId(0),
+        (0u32..60).map(|t| (TermId(t), 60 - t)).collect(),
+    );
+    let history: Vec<Query> = (0..500)
+        .map(|i| {
+            Query::new(vec![
+                TermId(i % 60),
+                TermId((i * 7 + 3) % 60),
+                TermId((i * 13 + 1) % 120), // half the terms miss the doc
+            ])
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("learning");
+    g.bench_function("algorithm1/one-batch-of-50", |b| {
+        // Steady state: stats warm, one incremental batch arrives.
+        let mut stats = std::collections::HashMap::new();
+        let _ = algorithm1(&doc, &mut stats, &history[..450], 20);
+        b.iter(|| {
+            let mut s = stats.clone();
+            black_box(algorithm1(&doc, &mut s, black_box(&history[450..]), 20));
+        });
+    });
+    g.bench_function("naive/full-500-history", |b| {
+        b.iter(|| black_box(naive_select(&doc, black_box(&history), 20)));
+    });
+    g.finish();
+}
+
+/// Short measurement windows: these paths are microsecond-scale and the
+/// suite is run in CI alongside the (much longer) experiment binaries.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_md5,
+        bench_porter,
+        bench_chord_lookup,
+        bench_centralized_search,
+        bench_sprite_query,
+        bench_learning
+}
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Ablations of SPRITE's design choices (DESIGN.md §3):
+//!
+//! 1. the combined `Score = qScore · log QF` vs either factor alone (§5.3);
+//! 2. indexed document frequency vs the true-df oracle (§3/§4);
+//! 3. Lee "second method" similarity vs retrieved-terms cosine (§4).
+//!
+//! Run: `cargo run -p sprite-bench --bin ablation --release`
+
+use sprite_bench::{build_world, print_table, r3};
+use sprite_core::{IdfMode, ScoreMode, SpriteConfig};
+use sprite_corpus::Schedule;
+use sprite_ir::Similarity;
+
+fn main() {
+    let world = build_world(42);
+    let k = 20;
+
+    let run_sched =
+        |label: &str, cfg: SpriteConfig, schedule: Schedule, rows: &mut Vec<Vec<String>>| {
+            let mut sys = world.standard_system(cfg, schedule);
+            let r = world.evaluate(&mut sys, &world.test, k);
+            rows.push(vec![
+                label.to_string(),
+                r3(r.precision_ratio),
+                r3(r.recall_ratio),
+            ]);
+        };
+    let run = |label: &str, cfg: SpriteConfig, rows: &mut Vec<Vec<String>>| {
+        run_sched(label, cfg, Schedule::WithoutRepeats, rows);
+    };
+
+    // 1. Term-score composition. Run under a repeating (Zipf) schedule so
+    // QF carries signal — with single-shot queries every QF is 1 and the
+    // combination degenerates by construction.
+    let zipf = Schedule::Zipf {
+        slope: 0.5,
+        total: world.train.len() * 3,
+    };
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("qScore*logQF (paper)", ScoreMode::Full),
+        ("qScore only", ScoreMode::QScoreOnly),
+        ("logQF only", ScoreMode::QfOnly),
+    ] {
+        run_sched(
+            label,
+            SpriteConfig {
+                score_mode: mode,
+                ..SpriteConfig::default()
+            },
+            zipf,
+            &mut rows,
+        );
+    }
+    print_table(
+        "Ablation 1 — term-score composition (§5.3)",
+        &["score", "precision", "recall"],
+        &rows,
+    );
+
+    // 1b. Same, under a tight 8-term budget: selection pressure forces the
+    // ranking to actually choose among queried terms.
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("qScore*logQF (paper)", ScoreMode::Full),
+        ("qScore only", ScoreMode::QScoreOnly),
+        ("logQF only", ScoreMode::QfOnly),
+    ] {
+        run_sched(
+            label,
+            SpriteConfig {
+                score_mode: mode,
+                max_terms: 8,
+                terms_per_iteration: 1,
+                ..SpriteConfig::default()
+            },
+            zipf,
+            &mut rows,
+        );
+    }
+    print_table(
+        "Ablation 1b — term-score composition under a tight 8-term budget",
+        &["score", "precision", "recall"],
+        &rows,
+    );
+
+    // 2. IDF source.
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("indexed df (paper)", IdfMode::Indexed),
+        ("true df (oracle)", IdfMode::TrueDf),
+    ] {
+        run(
+            label,
+            SpriteConfig {
+                idf_mode: mode,
+                ..SpriteConfig::default()
+            },
+            &mut rows,
+        );
+    }
+    print_table(
+        "Ablation 2 — IDF source (§3: indexed df 'serves the same purpose')",
+        &["idf", "precision", "recall"],
+        &rows,
+    );
+
+    // 3. Similarity formula.
+    let mut rows = Vec::new();
+    for (label, sim) in [
+        ("Lee second method (paper)", Similarity::LeeSecond),
+        ("retrieved-terms cosine", Similarity::CosineTfIdf),
+    ] {
+        run(
+            label,
+            SpriteConfig {
+                similarity: sim,
+                ..SpriteConfig::default()
+            },
+            &mut rows,
+        );
+    }
+    print_table(
+        "Ablation 3 — distributed similarity (§4)",
+        &["similarity", "precision", "recall"],
+        &rows,
+    );
+}

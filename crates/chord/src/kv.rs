@@ -1,0 +1,236 @@
+//! A replicated key-value layer over the Chord ring.
+//!
+//! SPRITE's indexing peers are, at bottom, DHT storage: a term's metadata
+//! lives at the peer owning `md5(term)`, optionally replicated to its
+//! successors (§7: "we can replicate the indexes of a peer in its successor
+//! peers periodically"). [`Dht`] packages that pattern — lookup, store at
+//! the owner, mirror to `replication - 1` successors, and fail over to a
+//! replica on reads when the owner has died.
+
+use std::collections::HashMap;
+
+use sprite_util::RingId;
+
+use crate::ring::{ChordError, ChordNet};
+use crate::stats::MsgKind;
+
+/// Replicated DHT storage of values of type `V`.
+#[derive(Clone, Debug)]
+pub struct Dht<V> {
+    net: ChordNet,
+    /// Replication degree: the owner plus `replication - 1` successors hold
+    /// each key. 1 means no replication.
+    replication: usize,
+    /// node id → (key → value).
+    store: HashMap<u128, HashMap<u128, V>>,
+}
+
+impl<V: Clone> Dht<V> {
+    /// Wrap a network with a replication degree (≥ 1).
+    #[must_use]
+    pub fn new(net: ChordNet, replication: usize) -> Self {
+        Dht {
+            net,
+            replication: replication.max(1),
+            store: HashMap::new(),
+        }
+    }
+
+    /// The underlying network.
+    #[must_use]
+    pub fn net(&self) -> &ChordNet {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network (churn injection).
+    pub fn net_mut(&mut self) -> &mut ChordNet {
+        &mut self.net
+    }
+
+    /// Store `value` under `key`, issued by peer `from`. Routes to the
+    /// owner, writes there, and mirrors to the successor replicas.
+    pub fn put(&mut self, from: RingId, key: RingId, value: V) -> Result<(), ChordError> {
+        let owner = self.net.lookup(from, key)?.owner;
+        let replicas = self.net.oracle_replicas(key, self.replication);
+        debug_assert_eq!(replicas.first(), Some(&owner));
+        for (i, peer) in replicas.into_iter().enumerate() {
+            self.net.charge(if i == 0 {
+                MsgKind::IndexPublish
+            } else {
+                MsgKind::Replication
+            });
+            self.store
+                .entry(peer.0)
+                .or_default()
+                .insert(key.0, value.clone());
+        }
+        Ok(())
+    }
+
+    /// Read the value under `key`, issued by peer `from`. Falls back to any
+    /// replica within the replication span when the routed owner holds no
+    /// copy (e.g. it joined after the write and has not synced).
+    pub fn get(&mut self, from: RingId, key: RingId) -> Result<Option<V>, ChordError> {
+        let owner = self.net.lookup(from, key)?.owner;
+        self.net.charge(MsgKind::QueryFetch);
+        if let Some(v) = self.store.get(&owner.0).and_then(|m| m.get(&key.0)) {
+            return Ok(Some(v.clone()));
+        }
+        // Probe the remaining replicas.
+        for peer in self.net.oracle_replicas(key, self.replication).into_iter().skip(1) {
+            self.net.charge(MsgKind::QueryFetch);
+            if let Some(v) = self.store.get(&peer.0).and_then(|m| m.get(&key.0)) {
+                return Ok(Some(v.clone()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Remove `key` from every replica, issued by peer `from`. Returns true
+    /// if at least one copy existed.
+    pub fn remove(&mut self, from: RingId, key: RingId) -> Result<bool, ChordError> {
+        let _ = self.net.lookup(from, key)?;
+        let mut existed = false;
+        for peer in self.net.oracle_replicas(key, self.replication) {
+            self.net.charge(MsgKind::IndexRemove);
+            if let Some(m) = self.store.get_mut(&peer.0) {
+                existed |= m.remove(&key.0).is_some();
+            }
+        }
+        Ok(existed)
+    }
+
+    /// Drop all values stored at a (failed) peer — models the data loss an
+    /// abrupt failure causes. Graceful leaves should instead call
+    /// [`Dht::rereplicate`] after removing the node from the network.
+    pub fn drop_peer_data(&mut self, peer: RingId) {
+        self.store.remove(&peer.0);
+    }
+
+    /// Re-replicate every stored key to its current replica set (the
+    /// periodic repair of §7). Charges one replication message per copy
+    /// created. Returns the number of copies written.
+    pub fn rereplicate(&mut self) -> usize {
+        // Collect the union of all (key, value) pairs still alive anywhere.
+        let mut all: HashMap<u128, V> = HashMap::new();
+        for (peer, m) in &self.store {
+            if self.net.contains(RingId(*peer)) {
+                for (k, v) in m {
+                    all.entry(*k).or_insert_with(|| v.clone());
+                }
+            }
+        }
+        let mut written = 0;
+        for (k, v) in all {
+            for peer in self.net.oracle_replicas(RingId(k), self.replication) {
+                let slot = self.store.entry(peer.0).or_default();
+                if let std::collections::hash_map::Entry::Vacant(e) = slot.entry(k) {
+                    e.insert(v.clone());
+                    self.net.charge(MsgKind::Replication);
+                    written += 1;
+                }
+            }
+        }
+        written
+    }
+
+    /// Number of (peer, key) copies currently stored.
+    #[must_use]
+    pub fn total_copies(&self) -> usize {
+        self.store.values().map(HashMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::ChordConfig;
+
+    fn dht(n: usize, replication: usize) -> Dht<String> {
+        let net = ChordNet::with_random_nodes(ChordConfig::default(), n, 7);
+        Dht::new(net, replication)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut d = dht(16, 1);
+        let from = d.net().node_ids()[0];
+        let key = RingId::hash_term("alpha");
+        d.put(from, key, "value-a".to_string()).unwrap();
+        assert_eq!(d.get(from, key).unwrap().as_deref(), Some("value-a"));
+        assert_eq!(d.get(from, RingId::hash_term("missing")).unwrap(), None);
+    }
+
+    #[test]
+    fn replication_writes_extra_copies() {
+        let mut d = dht(16, 3);
+        let from = d.net().node_ids()[0];
+        d.put(from, RingId::hash_term("beta"), "v".into()).unwrap();
+        assert_eq!(d.total_copies(), 3);
+        assert_eq!(d.net().stats().count(MsgKind::Replication), 2);
+        assert_eq!(d.net().stats().count(MsgKind::IndexPublish), 1);
+    }
+
+    #[test]
+    fn survives_owner_failure_with_replication() {
+        let mut d = dht(16, 3);
+        let key = RingId::hash_term("gamma");
+        let owner = d.net().oracle_owner(key).unwrap();
+        let from = *d
+            .net()
+            .node_ids()
+            .iter()
+            .find(|&&n| n != owner)
+            .expect("16 nodes, one owner");
+        d.put(from, key, "precious".into()).unwrap();
+        d.net_mut().fail(owner).unwrap();
+        d.drop_peer_data(owner);
+        d.net_mut().converge(40);
+        assert_eq!(d.get(from, key).unwrap().as_deref(), Some("precious"));
+    }
+
+    #[test]
+    fn lost_without_replication() {
+        let mut d = dht(16, 1);
+        let key = RingId::hash_term("delta");
+        let owner = d.net().oracle_owner(key).unwrap();
+        let from = *d
+            .net()
+            .node_ids()
+            .iter()
+            .find(|&&n| n != owner)
+            .expect("16 nodes, one owner");
+        d.put(from, key, "fragile".into()).unwrap();
+        d.net_mut().fail(owner).unwrap();
+        d.drop_peer_data(owner);
+        d.net_mut().converge(40);
+        assert_eq!(d.get(from, key).unwrap(), None);
+    }
+
+    #[test]
+    fn remove_deletes_all_replicas() {
+        let mut d = dht(16, 3);
+        let from = d.net().node_ids()[0];
+        let key = RingId::hash_term("epsilon");
+        d.put(from, key, "v".into()).unwrap();
+        assert!(d.remove(from, key).unwrap());
+        assert_eq!(d.get(from, key).unwrap(), None);
+        assert_eq!(d.total_copies(), 0);
+        assert!(!d.remove(from, key).unwrap());
+    }
+
+    #[test]
+    fn rereplicate_restores_degree_after_failure() {
+        let mut d = dht(16, 3);
+        let from = d.net().node_ids()[0];
+        let key = RingId::hash_term("zeta");
+        d.put(from, key, "v".into()).unwrap();
+        let owner = d.net_mut().lookup(from, key).unwrap().owner;
+        d.net_mut().fail(owner).unwrap();
+        d.drop_peer_data(owner);
+        d.net_mut().converge(40);
+        let written = d.rereplicate();
+        assert!(written >= 1);
+        assert_eq!(d.total_copies(), 3, "replication degree restored");
+    }
+}

@@ -1,0 +1,27 @@
+//! A Chord DHT simulator, as the SPRITE paper uses it.
+//!
+//! "We implemented Chord as designed in [15]. All terms are hashed using
+//! MD5" (§6). This crate provides that substrate as a deterministic
+//! single-process simulation:
+//!
+//! * [`ring`] — the network: finger-table routing with honest O(log N) hop
+//!   accounting, join/leave/abrupt-failure, and the stabilization protocol;
+//! * [`node`] — per-node routing state (predecessor, successor list,
+//!   fingers);
+//! * [`stats`] — message counters classified by purpose, feeding the cost
+//!   studies;
+//! * [`kv`] — a replicated key-value layer demonstrating §7's
+//!   successor-replication scheme.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod kv;
+pub mod node;
+pub mod ring;
+pub mod stats;
+
+pub use kv::Dht;
+pub use node::NodeState;
+pub use ring::{ChordConfig, ChordError, ChordNet, Lookup};
+pub use stats::{MsgKind, NetStats, MSG_KINDS};

@@ -1,0 +1,186 @@
+//! Per-node Chord routing state.
+//!
+//! Each peer keeps exactly what the Chord paper prescribes: a predecessor
+//! pointer, a successor list (for fault tolerance), and a finger table with
+//! one entry per identifier bit. All entries are plain [`RingId`]s — whether
+//! the referenced peer is still alive is a question only the network
+//! ([`crate::ring::ChordNet`]) can answer.
+
+use sprite_util::{RingId, ID_BITS};
+
+/// Routing state of a single Chord node.
+#[derive(Clone, Debug)]
+pub struct NodeState {
+    /// This node's ring identifier.
+    pub(crate) id: RingId,
+    /// Predecessor pointer (None right after an un-stabilized join).
+    pub(crate) pred: Option<RingId>,
+    /// Successor list; entry 0 is the immediate successor. Never empty for
+    /// a node that has joined (a lone node lists itself).
+    pub(crate) succ: Vec<RingId>,
+    /// Finger table: `fingers[k]` ≈ successor(id + 2^k). Length [`ID_BITS`].
+    pub(crate) fingers: Vec<RingId>,
+}
+
+impl NodeState {
+    /// A lone node: every pointer refers to itself.
+    #[must_use]
+    pub fn solitary(id: RingId) -> Self {
+        NodeState {
+            id,
+            pred: Some(id),
+            succ: vec![id],
+            fingers: vec![id; ID_BITS as usize],
+        }
+    }
+
+    /// A freshly joining node that only knows its successor. Fingers start
+    /// at the successor and are refined by `fix_fingers`.
+    #[must_use]
+    pub fn joining(id: RingId, successor: RingId, succ_list_len: usize) -> Self {
+        NodeState {
+            id,
+            pred: None,
+            succ: {
+                let mut s = Vec::with_capacity(succ_list_len);
+                s.push(successor);
+                s
+            },
+            fingers: vec![successor; ID_BITS as usize],
+        }
+    }
+
+    /// This node's identifier.
+    #[must_use]
+    pub fn id(&self) -> RingId {
+        self.id
+    }
+
+    /// Immediate successor as currently believed.
+    #[must_use]
+    pub fn successor(&self) -> RingId {
+        self.succ[0]
+    }
+
+    /// Current predecessor pointer.
+    #[must_use]
+    pub fn predecessor(&self) -> Option<RingId> {
+        self.pred
+    }
+
+    /// The successor list (entry 0 first).
+    #[must_use]
+    pub fn successor_list(&self) -> &[RingId] {
+        &self.succ
+    }
+
+    /// The finger table.
+    #[must_use]
+    pub fn finger_table(&self) -> &[RingId] {
+        &self.fingers
+    }
+
+    /// Best local candidate strictly preceding `key` (closer than this
+    /// node), chosen among fingers and the successor list, subject to
+    /// `is_usable` (the network's aliveness check). Returns `None` when no
+    /// usable entry makes progress.
+    pub(crate) fn closest_preceding<F>(&self, key: RingId, mut is_usable: F) -> Option<RingId>
+    where
+        F: FnMut(RingId) -> bool,
+    {
+        // Fingers, highest (farthest) first — the classic Chord scan.
+        for &f in self.fingers.iter().rev() {
+            if f != self.id && f.in_open(self.id, key) && is_usable(f) {
+                return Some(f);
+            }
+        }
+        // Fall back to the successor list: take the farthest usable entry
+        // that still precedes the key.
+        let mut best: Option<RingId> = None;
+        let mut best_dist = 0u128;
+        for &s in &self.succ {
+            if s != self.id && s.in_open(self.id, key) && is_usable(s) {
+                let d = self.id.distance_cw(s);
+                if d > best_dist {
+                    best_dist = d;
+                    best = Some(s);
+                }
+            }
+        }
+        best
+    }
+
+    /// Number of *distinct* peers this node references (ring-degree metric).
+    #[must_use]
+    pub fn distinct_neighbors(&self) -> usize {
+        let mut set: std::collections::HashSet<RingId> =
+            self.fingers.iter().copied().collect();
+        set.extend(self.succ.iter().copied());
+        if let Some(p) = self.pred {
+            set.insert(p);
+        }
+        set.remove(&self.id);
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solitary_points_to_self() {
+        let n = NodeState::solitary(RingId(42));
+        assert_eq!(n.successor(), RingId(42));
+        assert_eq!(n.predecessor(), Some(RingId(42)));
+        assert!(n.finger_table().iter().all(|&f| f == RingId(42)));
+        assert_eq!(n.distinct_neighbors(), 0);
+    }
+
+    #[test]
+    fn joining_knows_only_successor() {
+        let n = NodeState::joining(RingId(10), RingId(99), 4);
+        assert_eq!(n.successor(), RingId(99));
+        assert_eq!(n.predecessor(), None);
+        assert_eq!(n.successor_list(), [RingId(99)]);
+        assert_eq!(n.distinct_neighbors(), 1);
+    }
+
+    #[test]
+    fn closest_preceding_prefers_far_fingers() {
+        let mut n = NodeState::solitary(RingId(0));
+        n.fingers = vec![RingId(0); 128];
+        n.fingers[3] = RingId(8); // id + 8
+        n.fingers[6] = RingId(64); // id + 64
+        // Key 100: finger 64 precedes it and is farther than 8.
+        assert_eq!(n.closest_preceding(RingId(100), |_| true), Some(RingId(64)));
+        // Key 50: only finger 8 precedes it.
+        assert_eq!(n.closest_preceding(RingId(50), |_| true), Some(RingId(8)));
+    }
+
+    #[test]
+    fn closest_preceding_skips_dead_fingers() {
+        let mut n = NodeState::solitary(RingId(0));
+        n.fingers = vec![RingId(0); 128];
+        n.fingers[3] = RingId(8);
+        n.fingers[6] = RingId(64);
+        let alive = |id: RingId| id != RingId(64);
+        assert_eq!(n.closest_preceding(RingId(100), alive), Some(RingId(8)));
+    }
+
+    #[test]
+    fn closest_preceding_uses_successor_list_as_fallback() {
+        let mut n = NodeState::solitary(RingId(0));
+        n.fingers = vec![RingId(0); 128];
+        n.succ = vec![RingId(5), RingId(9)];
+        assert_eq!(n.closest_preceding(RingId(100), |_| true), Some(RingId(9)));
+        // Key 7: only succ 5 precedes.
+        assert_eq!(n.closest_preceding(RingId(7), |_| true), Some(RingId(5)));
+    }
+
+    #[test]
+    fn closest_preceding_none_when_no_progress() {
+        let n = NodeState::solitary(RingId(0));
+        assert_eq!(n.closest_preceding(RingId(100), |_| true), None);
+    }
+}

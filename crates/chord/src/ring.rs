@@ -1,0 +1,851 @@
+//! The Chord network simulator.
+//!
+//! "We implemented Chord as designed in [15]" (§6 of the SPRITE paper).
+//! This module is that implementation, as a deterministic single-process
+//! simulation: every peer's routing state is explicit ([`NodeState`]), every
+//! inter-peer interaction is charged to [`NetStats`], and lookups route using
+//! **only node-local information** (fingers + successor lists), so hop counts
+//! are honest O(log N) Chord hops, not oracle shortcuts.
+//!
+//! Two construction modes:
+//!
+//! * [`ChordNet::with_nodes`] builds an already-converged ring (free of
+//!   charge) — the steady-state starting point of the retrieval experiments;
+//! * [`ChordNet::create`] / [`ChordNet::join`] / [`ChordNet::leave`] /
+//!   [`ChordNet::fail`] plus [`ChordNet::stabilize_round`] and
+//!   [`ChordNet::fix_fingers_round`] implement the full dynamic protocol for
+//!   the churn studies (§7).
+
+use std::collections::{BTreeSet, HashMap};
+
+use sprite_util::{derive_rng, RingId, ID_BITS};
+
+use crate::node::NodeState;
+use crate::stats::{MsgKind, NetStats};
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct ChordConfig {
+    /// Successor-list length `r` (fault tolerance; Chord suggests
+    /// `r = Θ(log N)`). Default 8.
+    pub succ_list_len: usize,
+    /// Safety bound on routing steps before a lookup aborts. Default 512.
+    pub max_lookup_hops: u32,
+}
+
+impl Default for ChordConfig {
+    fn default() -> Self {
+        ChordConfig {
+            succ_list_len: 8,
+            max_lookup_hops: 512,
+        }
+    }
+}
+
+/// Errors from membership operations and lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChordError {
+    /// The referenced node is not in the network.
+    UnknownNode(RingId),
+    /// Attempt to add a node with an identifier already present.
+    DuplicateNode(RingId),
+    /// Operation requires a non-empty network.
+    EmptyNetwork,
+    /// Routing reached a node with no usable (alive) successor.
+    DeadEnd {
+        /// The node where routing got stuck.
+        at: RingId,
+    },
+    /// Routing exceeded the configured hop bound (ring badly damaged).
+    TooManyHops {
+        /// Origin of the lookup.
+        from: RingId,
+        /// The key being resolved.
+        key: RingId,
+    },
+}
+
+impl std::fmt::Display for ChordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChordError::UnknownNode(id) => write!(f, "unknown node {id:?}"),
+            ChordError::DuplicateNode(id) => write!(f, "node {id:?} already present"),
+            ChordError::EmptyNetwork => write!(f, "network is empty"),
+            ChordError::DeadEnd { at } => write!(f, "routing dead end at {at:?}"),
+            ChordError::TooManyHops { from, key } => {
+                write!(f, "lookup from {from:?} for {key:?} exceeded hop bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChordError {}
+
+/// A resolved lookup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lookup {
+    /// The node responsible for the key.
+    pub owner: RingId,
+    /// Routing steps taken (0 when the origin's successor owns the key).
+    pub hops: u32,
+    /// Nodes visited, origin first, owner *not* included.
+    pub path: Vec<RingId>,
+}
+
+/// The simulated Chord network.
+#[derive(Clone, Debug)]
+pub struct ChordNet {
+    cfg: ChordConfig,
+    nodes: HashMap<u128, NodeState>,
+    /// Sorted alive identifiers (oracle for ideal construction and tests;
+    /// never consulted during routing).
+    sorted: BTreeSet<u128>,
+    stats: NetStats,
+}
+
+impl ChordNet {
+    /// An empty network.
+    #[must_use]
+    pub fn new(cfg: ChordConfig) -> Self {
+        ChordNet {
+            cfg,
+            nodes: HashMap::new(),
+            sorted: BTreeSet::new(),
+            stats: NetStats::new(),
+        }
+    }
+
+    /// Build an already-converged ring over `ids` (duplicates ignored).
+    /// Charges no messages: this is the experiment's steady-state start.
+    #[must_use]
+    pub fn with_nodes(cfg: ChordConfig, ids: &[RingId]) -> Self {
+        let mut net = ChordNet::new(cfg);
+        for &id in ids {
+            if net.sorted.insert(id.0) {
+                net.nodes.insert(id.0, NodeState::solitary(id));
+            }
+        }
+        net.ideal_repair();
+        net
+    }
+
+    /// Build a converged ring of `n` peers with identifiers derived from the
+    /// seed (MD5 of synthetic peer addresses, like a deployment hashing
+    /// `ip:port`).
+    #[must_use]
+    pub fn with_random_nodes(cfg: ChordConfig, n: usize, seed: u64) -> Self {
+        use rand::Rng;
+        let mut rng = derive_rng(seed, "chord-peers");
+        let ids: Vec<RingId> = (0..n)
+            .map(|i| {
+                let addr = format!("peer-{i}-{:08x}:{}", rng.gen::<u32>(), 1024 + (i % 60000));
+                RingId::hash_bytes(addr.as_bytes())
+            })
+            .collect();
+        Self::with_nodes(cfg, &ids)
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ChordConfig {
+        &self.cfg
+    }
+
+    /// Number of alive nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are alive.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Is `id` an alive node?
+    #[must_use]
+    pub fn contains(&self, id: RingId) -> bool {
+        self.nodes.contains_key(&id.0)
+    }
+
+    /// Routing state of a node, if alive.
+    #[must_use]
+    pub fn node(&self, id: RingId) -> Option<&NodeState> {
+        self.nodes.get(&id.0)
+    }
+
+    /// Alive node identifiers in ring order.
+    #[must_use]
+    pub fn node_ids(&self) -> Vec<RingId> {
+        self.sorted.iter().map(|&v| RingId(v)).collect()
+    }
+
+    /// Message counters.
+    #[must_use]
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Zero the message counters (start of a measured phase).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Charge an application-level message (e.g. an index publish after the
+    /// routing already paid its hops).
+    pub fn charge(&mut self, kind: MsgKind) {
+        self.stats.record(kind);
+    }
+
+    /// Charge `n` application-level messages.
+    pub fn charge_n(&mut self, kind: MsgKind, n: u64) {
+        self.stats.record_n(kind, n);
+    }
+
+    // ------------------------------------------------------------------
+    // Oracle (test / setup only — never used in routing)
+    // ------------------------------------------------------------------
+
+    /// The node that *should* own `key`: the first alive identifier
+    /// clockwise at or after it.
+    #[must_use]
+    pub fn oracle_owner(&self, key: RingId) -> Option<RingId> {
+        self.sorted
+            .range(key.0..)
+            .next()
+            .or_else(|| self.sorted.iter().next())
+            .map(|&v| RingId(v))
+    }
+
+    /// The `n` alive nodes clockwise from (and including) the owner of
+    /// `key` — the replica set for that key (§7 successor replication).
+    #[must_use]
+    pub fn oracle_replicas(&self, key: RingId, n: usize) -> Vec<RingId> {
+        let mut out = Vec::with_capacity(n.min(self.nodes.len()));
+        if self.is_empty() || n == 0 {
+            return out;
+        }
+        let mut iter = self
+            .sorted
+            .range(key.0..)
+            .chain(self.sorted.iter())
+            .map(|&v| RingId(v));
+        while out.len() < n.min(self.nodes.len()) {
+            let id = iter.next().expect("cycle over non-empty set");
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// Is every node's successor pointer and finger table exactly what the
+    /// oracle says it should be? (Convergence check for churn tests.)
+    #[must_use]
+    pub fn is_converged(&self) -> bool {
+        for node in self.nodes.values() {
+            let want_succ = self
+                .oracle_owner(RingId(node.id().0.wrapping_add(1)))
+                .expect("non-empty");
+            if node.successor() != want_succ {
+                return false;
+            }
+            for k in 0..ID_BITS {
+                let want = self
+                    .oracle_owner(node.id().finger_start(k))
+                    .expect("non-empty");
+                if node.finger_table()[k as usize] != want {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Rebuild every node's pointers from the oracle, free of charge.
+    /// Used to construct converged rings and to fast-forward repair in
+    /// experiments that are not about the repair protocol itself.
+    pub fn ideal_repair(&mut self) {
+        let ids: Vec<u128> = self.sorted.iter().copied().collect();
+        if ids.is_empty() {
+            return;
+        }
+        let n = ids.len();
+        // A node never lists itself among its successors (except when alone).
+        let r = self.cfg.succ_list_len.min(n.saturating_sub(1)).max(1);
+        for (i, &idv) in ids.iter().enumerate() {
+            let id = RingId(idv);
+            let succ: Vec<RingId> = (1..=r.max(1))
+                .map(|j| RingId(ids[(i + j) % n]))
+                .collect();
+            let pred = RingId(ids[(i + n - 1) % n]);
+            let fingers: Vec<RingId> = (0..ID_BITS)
+                .map(|k| self.oracle_owner(id.finger_start(k)).expect("non-empty"))
+                .collect();
+            let node = self.nodes.get_mut(&idv).expect("id from sorted set");
+            node.succ = succ;
+            node.pred = Some(pred);
+            node.fingers = fingers;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Membership
+    // ------------------------------------------------------------------
+
+    /// Create the first node of the network.
+    pub fn create(&mut self, id: RingId) -> Result<(), ChordError> {
+        if !self.is_empty() {
+            return Err(ChordError::DuplicateNode(id));
+        }
+        self.nodes.insert(id.0, NodeState::solitary(id));
+        self.sorted.insert(id.0);
+        Ok(())
+    }
+
+    /// Join `id` via an alive `bootstrap` node: one lookup to find the
+    /// successor, then immediate successor/predecessor hookup. Finger tables
+    /// of other nodes converge through [`Self::stabilize_round`] /
+    /// [`Self::fix_fingers_round`].
+    pub fn join(&mut self, id: RingId, bootstrap: RingId) -> Result<(), ChordError> {
+        if self.contains(id) {
+            return Err(ChordError::DuplicateNode(id));
+        }
+        if !self.contains(bootstrap) {
+            return Err(ChordError::UnknownNode(bootstrap));
+        }
+        let succ = self.route(bootstrap, id, MsgKind::Maintenance)?.owner;
+        // Copy the successor's list (one message), then hook up pointers
+        // (one notify message).
+        self.stats.record_n(MsgKind::Maintenance, 2);
+        let (succ_list, succ_pred) = {
+            let s = &self.nodes[&succ.0];
+            (s.successor_list().to_vec(), s.predecessor())
+        };
+        let mut node = NodeState::joining(id, succ, self.cfg.succ_list_len);
+        node.succ.extend(
+            succ_list
+                .into_iter()
+                .filter(|&x| x != id)
+                .take(self.cfg.succ_list_len - 1),
+        );
+        // Adopt the successor's old predecessor when it is still plausible.
+        if let Some(p) = succ_pred {
+            if self.contains(p) && id.in_open(p, succ) {
+                node.pred = Some(p);
+            }
+        }
+        self.nodes.insert(id.0, node);
+        self.sorted.insert(id.0);
+        // Notify the successor that we now precede it.
+        let s = self.nodes.get_mut(&succ.0).expect("successor is alive");
+        match s.pred {
+            Some(p) if p != id && self.sorted.contains(&p.0) && !id.in_open(p, succ) => {}
+            _ => s.pred = Some(id),
+        }
+        Ok(())
+    }
+
+    /// Graceful departure: the node hands its position to its neighbors
+    /// before leaving (two messages). Other nodes' fingers remain stale
+    /// until maintenance runs.
+    pub fn leave(&mut self, id: RingId) -> Result<(), ChordError> {
+        let node = self
+            .nodes
+            .remove(&id.0)
+            .ok_or(ChordError::UnknownNode(id))?;
+        self.sorted.remove(&id.0);
+        if self.is_empty() {
+            return Ok(());
+        }
+        self.stats.record_n(MsgKind::Maintenance, 2);
+        // Tell the successor its new predecessor.
+        let succ = node
+            .successor_list()
+            .iter()
+            .copied()
+            .find(|s| self.contains(*s));
+        let pred = node.predecessor().filter(|p| self.contains(*p));
+        if let (Some(sv), Some(pv)) = (succ, pred) {
+            if let Some(s) = self.nodes.get_mut(&sv.0) {
+                if s.pred == Some(id) {
+                    s.pred = Some(pv);
+                }
+            }
+            if let Some(p) = self.nodes.get_mut(&pv.0) {
+                if p.succ[0] == id {
+                    p.succ[0] = sv;
+                }
+                p.succ.retain(|&x| x != id);
+                if p.succ.is_empty() {
+                    p.succ.push(sv);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Abrupt failure: the node vanishes without telling anyone. Stale
+    /// pointers remain everywhere until maintenance repairs them.
+    pub fn fail(&mut self, id: RingId) -> Result<(), ChordError> {
+        self.nodes
+            .remove(&id.0)
+            .ok_or(ChordError::UnknownNode(id))?;
+        self.sorted.remove(&id.0);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Routing
+    // ------------------------------------------------------------------
+
+    /// Resolve the owner of `key` starting from node `from`, charging one
+    /// [`MsgKind::LookupHop`] per routing step and recording the lookup in
+    /// the hop statistics.
+    pub fn lookup(&mut self, from: RingId, key: RingId) -> Result<Lookup, ChordError> {
+        self.route(from, key, MsgKind::LookupHop)
+    }
+
+    /// Resolve the owner of `key` hashing a `term` string first — the
+    /// operation SPRITE performs for every query keyword and index publish.
+    pub fn lookup_term(&mut self, from: RingId, term: &str) -> Result<Lookup, ChordError> {
+        self.lookup(from, RingId::hash_term(term))
+    }
+
+    /// Routing engine shared by lookups and maintenance probes; `kind`
+    /// selects the message class charged per step. Hop statistics are only
+    /// recorded for application lookups ([`MsgKind::LookupHop`]).
+    fn route(&mut self, from: RingId, key: RingId, kind: MsgKind) -> Result<Lookup, ChordError> {
+        if !self.contains(from) {
+            return Err(ChordError::UnknownNode(from));
+        }
+        let mut cur = from;
+        let mut hops: u32 = 0;
+        let mut failed: u64 = 0;
+        let mut path = vec![from];
+        let owner = loop {
+            let node = &self.nodes[&cur.0];
+            // The node's first usable successor (probing a dead entry costs
+            // a timeout message).
+            let mut succ = None;
+            for &s in node.successor_list() {
+                if self.nodes.contains_key(&s.0) {
+                    succ = Some(s);
+                    break;
+                }
+                failed += 1;
+            }
+            let Some(succ) = succ else {
+                self.flush_route_stats(kind, hops, failed, false);
+                return Err(ChordError::DeadEnd { at: cur });
+            };
+            if key.in_open_closed(cur, succ) {
+                break succ;
+            }
+            let nodes = &self.nodes;
+            let next = node
+                .closest_preceding(key, |cand| {
+                    let ok = nodes.contains_key(&cand.0);
+                    if !ok {
+                        failed += 1;
+                    }
+                    ok
+                })
+                .unwrap_or(succ);
+            if next == cur {
+                self.flush_route_stats(kind, hops, failed, false);
+                return Err(ChordError::DeadEnd { at: cur });
+            }
+            cur = next;
+            hops += 1;
+            path.push(cur);
+            if hops > self.cfg.max_lookup_hops {
+                self.flush_route_stats(kind, hops, failed, false);
+                return Err(ChordError::TooManyHops { from, key });
+            }
+        };
+        self.flush_route_stats(kind, hops, failed, true);
+        Ok(Lookup { owner, hops, path })
+    }
+
+    fn flush_route_stats(&mut self, kind: MsgKind, hops: u32, failed: u64, completed: bool) {
+        self.stats.record_n(kind, u64::from(hops));
+        self.stats.record_n(MsgKind::Failed, failed);
+        if completed && kind == MsgKind::LookupHop {
+            self.stats.record_lookup(hops);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance protocol
+    // ------------------------------------------------------------------
+
+    /// One stabilization pass over every node (deterministic ring order):
+    /// reconcile successors, notify, and refresh successor lists. Returns
+    /// the number of pointer changes made (0 ⇒ successor structure stable).
+    pub fn stabilize_round(&mut self) -> usize {
+        let ids: Vec<u128> = self.sorted.iter().copied().collect();
+        let mut changes = 0;
+        for idv in ids {
+            if !self.nodes.contains_key(&idv) {
+                continue; // failed since the snapshot
+            }
+            let id = RingId(idv);
+            // Find the first alive entry of the successor list (or any alive
+            // finger as a last resort).
+            let (s, failed) = {
+                let node = &self.nodes[&idv];
+                let mut failed = 0u64;
+                let mut found = None;
+                // A node may legitimately find itself in its successor list
+                // (lone node, or a ring smaller than the list); `self` is
+                // always reachable.
+                for &cand in node.successor_list() {
+                    if cand == id || self.nodes.contains_key(&cand.0) {
+                        found = Some(cand);
+                        break;
+                    }
+                    failed += 1;
+                }
+                if found.is_none() {
+                    found = node
+                        .finger_table()
+                        .iter()
+                        .copied()
+                        .find(|f| *f != id && self.nodes.contains_key(&f.0));
+                }
+                (found, failed)
+            };
+            self.stats.record_n(MsgKind::Failed, failed);
+            let Some(mut s) = s else {
+                continue; // isolated; nothing to stabilize against
+            };
+            // Ask s for its predecessor (one message); adopt it when closer.
+            // With s == id this asks ourselves — how a lone node discovers a
+            // newly joined predecessor, since (id, id) is the full circle.
+            self.stats.record(MsgKind::Maintenance);
+            if let Some(p) = self.nodes[&s.0].predecessor() {
+                if p != id && self.nodes.contains_key(&p.0) && p.in_open(id, s) {
+                    s = p;
+                }
+            }
+            // Copy s's successor list (one message) and adopt [s] + prefix.
+            self.stats.record(MsgKind::Maintenance);
+            let s_list = self.nodes[&s.0].successor_list().to_vec();
+            {
+                let node = self.nodes.get_mut(&idv).expect("alive in this pass");
+                let mut new_list = Vec::with_capacity(self.cfg.succ_list_len);
+                new_list.push(s);
+                for x in s_list {
+                    if x != id && !new_list.contains(&x) && new_list.len() < self.cfg.succ_list_len
+                    {
+                        new_list.push(x);
+                    }
+                }
+                if node.succ != new_list {
+                    changes += 1;
+                    node.succ = new_list;
+                }
+            }
+            // Notify s (one message): "I might be your predecessor."
+            self.stats.record(MsgKind::Maintenance);
+            if s != id {
+                let s_node = self.nodes.get_mut(&s.0).expect("alive");
+                let adopt = match s_node.pred {
+                    None => true,
+                    Some(p) => p == id || !self.sorted.contains(&p.0) || id.in_open(p, s),
+                };
+                if adopt && s_node.pred != Some(id) {
+                    s_node.pred = Some(id);
+                    changes += 1;
+                }
+            }
+        }
+        changes
+    }
+
+    /// One finger-refresh pass over every node: each finger is re-resolved
+    /// by routing (charged as maintenance traffic). Consecutive fingers that
+    /// provably share an owner reuse the previous answer, the standard Chord
+    /// optimization. Returns the number of finger entries changed.
+    pub fn fix_fingers_round(&mut self) -> usize {
+        let ids: Vec<u128> = self.sorted.iter().copied().collect();
+        let mut changes = 0;
+        for idv in ids {
+            if !self.nodes.contains_key(&idv) {
+                continue;
+            }
+            let id = RingId(idv);
+            let mut prev: Option<RingId> = None;
+            for k in 0..ID_BITS {
+                let start = id.finger_start(k);
+                // Reuse the previous finger when the interval start has not
+                // passed it yet: owner(start) is then the same node.
+                if let Some(pf) = prev {
+                    if pf != id && start.in_open_closed(id, pf) {
+                        let node = self.nodes.get_mut(&idv).expect("alive");
+                        if node.fingers[k as usize] != pf {
+                            node.fingers[k as usize] = pf;
+                            changes += 1;
+                        }
+                        continue;
+                    }
+                }
+                let resolved = self.route(id, start, MsgKind::Maintenance).map(|l| l.owner);
+                if let Ok(owner) = resolved {
+                    let node = self.nodes.get_mut(&idv).expect("alive");
+                    if node.fingers[k as usize] != owner {
+                        node.fingers[k as usize] = owner;
+                        changes += 1;
+                    }
+                    prev = Some(owner);
+                } else {
+                    prev = None;
+                }
+            }
+        }
+        changes
+    }
+
+    /// Run maintenance until quiescent or `max_rounds` exhausted. Returns
+    /// the number of rounds executed.
+    pub fn converge(&mut self, max_rounds: usize) -> usize {
+        for round in 1..=max_rounds {
+            let a = self.stabilize_round();
+            let b = self.fix_fingers_round();
+            if a == 0 && b == 0 {
+                return round;
+            }
+        }
+        max_rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_of(n: usize) -> ChordNet {
+        ChordNet::with_random_nodes(ChordConfig::default(), n, 99)
+    }
+
+    #[test]
+    fn with_nodes_is_converged() {
+        let net = ring_of(32);
+        assert_eq!(net.len(), 32);
+        assert!(net.is_converged());
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let mut net = ChordNet::with_nodes(ChordConfig::default(), &[RingId(7)]);
+        for key in [0u128, 7, 8, u128::MAX] {
+            let l = net.lookup(RingId(7), RingId(key)).expect("lookup");
+            assert_eq!(l.owner, RingId(7));
+            assert_eq!(l.hops, 0);
+        }
+    }
+
+    #[test]
+    fn two_node_ring() {
+        let mut net = ChordNet::with_nodes(ChordConfig::default(), &[RingId(100), RingId(200)]);
+        // Key 150 belongs to 200; key 250 wraps to 100.
+        assert_eq!(net.lookup(RingId(100), RingId(150)).unwrap().owner, RingId(200));
+        assert_eq!(net.lookup(RingId(100), RingId(250)).unwrap().owner, RingId(100));
+        assert_eq!(net.lookup(RingId(200), RingId(150)).unwrap().owner, RingId(200));
+        assert_eq!(net.lookup(RingId(200), RingId(100)).unwrap().owner, RingId(100));
+    }
+
+    #[test]
+    fn lookup_matches_oracle_from_every_node() {
+        let mut net = ring_of(64);
+        let ids = net.node_ids();
+        let keys: Vec<RingId> = (0..50)
+            .map(|i| RingId::hash_bytes(format!("key-{i}").as_bytes()))
+            .collect();
+        for &from in &ids {
+            for &key in &keys {
+                let want = net.oracle_owner(key).unwrap();
+                let got = net.lookup(from, key).expect("lookup");
+                assert_eq!(got.owner, want, "from {from:?} key {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hops_are_logarithmic() {
+        let mut net = ring_of(256);
+        let ids = net.node_ids();
+        net.reset_stats();
+        for i in 0..500 {
+            let from = ids[i % ids.len()];
+            let key = RingId::hash_bytes(format!("probe-{i}").as_bytes());
+            net.lookup(from, key).expect("lookup");
+        }
+        let mean = net.stats().mean_hops();
+        // Chord: ~(1/2) log2 N expected, log2 N worst typical. For N=256,
+        // log2 N = 8; allow generous slack.
+        assert!(mean > 1.0, "mean hops {mean} suspiciously low");
+        assert!(mean < 9.0, "mean hops {mean} too high for N=256");
+        assert!(net.stats().max_hops() <= 20);
+    }
+
+    #[test]
+    fn lookup_from_unknown_node_fails() {
+        let mut net = ring_of(8);
+        let err = net.lookup(RingId(1), RingId(5)).unwrap_err();
+        assert!(matches!(err, ChordError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn join_then_converge_restores_correctness() {
+        let mut net = ring_of(32);
+        let ids = net.node_ids();
+        let newbie = RingId::hash_bytes(b"late-arrival");
+        net.join(newbie, ids[0]).expect("join");
+        assert_eq!(net.len(), 33);
+        net.converge(40);
+        assert!(net.is_converged(), "ring should converge after join");
+        // The new node now owns its arc.
+        let key = RingId(newbie.0); // its own id
+        let l = net.lookup(ids[5], key).expect("lookup");
+        assert_eq!(l.owner, newbie);
+    }
+
+    #[test]
+    fn duplicate_join_rejected() {
+        let mut net = ring_of(4);
+        let ids = net.node_ids();
+        assert_eq!(
+            net.join(ids[1], ids[0]).unwrap_err(),
+            ChordError::DuplicateNode(ids[1])
+        );
+    }
+
+    #[test]
+    fn graceful_leave_keeps_ring_working() {
+        let mut net = ring_of(16);
+        let ids = net.node_ids();
+        net.leave(ids[3]).expect("leave");
+        assert_eq!(net.len(), 15);
+        // Immediately after a graceful leave, the spliced neighbors keep the
+        // ring routable (fingers may be stale but succ pointers are fixed).
+        for i in 0..20 {
+            let key = RingId::hash_bytes(format!("after-leave-{i}").as_bytes());
+            let want = net.oracle_owner(key).unwrap();
+            let from = ids[(i * 5) % ids.len()];
+            if from == ids[3] {
+                continue;
+            }
+            let got = net.lookup(from, key).expect("lookup after leave");
+            assert_eq!(got.owner, want);
+        }
+        net.converge(40);
+        assert!(net.is_converged());
+    }
+
+    #[test]
+    fn abrupt_failure_repaired_by_maintenance() {
+        let mut net = ring_of(32);
+        let ids = net.node_ids();
+        // Kill three scattered nodes without warning.
+        for &victim in [ids[2], ids[10], ids[25]].iter() {
+            net.fail(victim).expect("fail");
+        }
+        assert_eq!(net.len(), 29);
+        net.converge(60);
+        assert!(net.is_converged(), "maintenance should repair the ring");
+        let from = net.node_ids()[0];
+        for i in 0..30 {
+            let key = RingId::hash_bytes(format!("post-churn-{i}").as_bytes());
+            let want = net.oracle_owner(key).unwrap();
+            assert_eq!(net.lookup(from, key).unwrap().owner, want);
+        }
+    }
+
+    #[test]
+    fn lookups_survive_failures_via_successor_lists() {
+        let mut net = ring_of(64);
+        let ids = net.node_ids();
+        // Fail 4 nodes, no repair at all.
+        for &v in &[ids[1], ids[20], ids[40], ids[60]] {
+            net.fail(v).unwrap();
+        }
+        let alive = net.node_ids();
+        let mut ok = 0;
+        let mut total = 0;
+        for i in 0..100 {
+            let key = RingId::hash_bytes(format!("dodgy-{i}").as_bytes());
+            let from = alive[i % alive.len()];
+            total += 1;
+            if let Ok(l) = net.lookup(from, key) {
+                // Owner must at least be alive.
+                assert!(net.contains(l.owner));
+                ok += 1;
+            }
+        }
+        // With r=8 successor lists and 4/64 failures, virtually every lookup
+        // must still complete.
+        assert!(ok >= total - 2, "only {ok}/{total} lookups survived");
+    }
+
+    #[test]
+    fn oracle_replicas_wrap_and_dedup() {
+        let net = ChordNet::with_nodes(
+            ChordConfig::default(),
+            &[RingId(10), RingId(20), RingId(30)],
+        );
+        assert_eq!(
+            net.oracle_replicas(RingId(25), 2),
+            vec![RingId(30), RingId(10)]
+        );
+        // Asking for more replicas than nodes returns each node once.
+        assert_eq!(net.oracle_replicas(RingId(0), 10).len(), 3);
+        assert!(net.oracle_replicas(RingId(0), 0).is_empty());
+    }
+
+    #[test]
+    fn create_and_grow_from_scratch() {
+        let mut net = ChordNet::new(ChordConfig::default());
+        let first = RingId::hash_bytes(b"genesis");
+        net.create(first).expect("create");
+        for i in 0..15 {
+            let id = RingId::hash_bytes(format!("grower-{i}").as_bytes());
+            net.join(id, first).expect("join");
+            net.converge(50);
+        }
+        assert_eq!(net.len(), 16);
+        assert!(net.is_converged());
+        // All lookups correct from everywhere.
+        let ids = net.node_ids();
+        for (i, &from) in ids.iter().enumerate() {
+            let key = RingId::hash_bytes(format!("check-{i}").as_bytes());
+            assert_eq!(
+                net.lookup(from, key).unwrap().owner,
+                net.oracle_owner(key).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn maintenance_traffic_is_charged() {
+        let mut net = ring_of(16);
+        net.reset_stats();
+        net.stabilize_round();
+        assert!(net.stats().count(MsgKind::Maintenance) >= 16 * 3);
+        let before = net.stats().count(MsgKind::Maintenance);
+        net.fix_fingers_round();
+        assert!(net.stats().count(MsgKind::Maintenance) >= before);
+        // Lookup stats untouched by maintenance routing.
+        assert_eq!(net.stats().lookups(), 0);
+    }
+
+    #[test]
+    fn term_lookup_places_by_md5() {
+        let mut net = ring_of(16);
+        let from = net.node_ids()[0];
+        let l = net.lookup_term(from, "retrieval").expect("lookup");
+        assert_eq!(l.owner, net.oracle_owner(RingId::hash_term("retrieval")).unwrap());
+    }
+}

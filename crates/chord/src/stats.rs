@@ -1,0 +1,220 @@
+//! Network cost accounting.
+//!
+//! The motivation for SPRITE is cost: "a single document insertion could
+//! require updates in a large fraction of the network" (§1). The simulator
+//! therefore counts every inter-peer message, classified by purpose, so the
+//! cost studies can report exactly what full-term indexing, eSearch, and
+//! SPRITE each pay.
+
+use serde::{Deserialize, Serialize};
+
+/// Message classes counted by the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MsgKind {
+    /// One routing step of a Chord lookup.
+    LookupHop,
+    /// Publishing or updating an index entry at an indexing peer.
+    IndexPublish,
+    /// Removing an index entry from an indexing peer.
+    IndexRemove,
+    /// Retrieving an inverted list during query processing.
+    QueryFetch,
+    /// An owner peer polling indexing peers for cached queries (learning).
+    LearnPoll,
+    /// An indexing peer returning cached queries to an owner peer.
+    LearnReturn,
+    /// Ring maintenance (stabilize, notify, fix-fingers probes).
+    Maintenance,
+    /// Replicating state to successor peers (§7).
+    Replication,
+    /// A message attempt that hit a dead peer (timeout).
+    Failed,
+}
+
+/// Number of distinct [`MsgKind`] values.
+pub const MSG_KINDS: usize = 9;
+
+impl MsgKind {
+    fn index(self) -> usize {
+        match self {
+            MsgKind::LookupHop => 0,
+            MsgKind::IndexPublish => 1,
+            MsgKind::IndexRemove => 2,
+            MsgKind::QueryFetch => 3,
+            MsgKind::LearnPoll => 4,
+            MsgKind::LearnReturn => 5,
+            MsgKind::Maintenance => 6,
+            MsgKind::Replication => 7,
+            MsgKind::Failed => 8,
+        }
+    }
+
+    /// All kinds, in index order.
+    #[must_use]
+    pub fn all() -> [MsgKind; MSG_KINDS] {
+        [
+            MsgKind::LookupHop,
+            MsgKind::IndexPublish,
+            MsgKind::IndexRemove,
+            MsgKind::QueryFetch,
+            MsgKind::LearnPoll,
+            MsgKind::LearnReturn,
+            MsgKind::Maintenance,
+            MsgKind::Replication,
+            MsgKind::Failed,
+        ]
+    }
+}
+
+/// Aggregate message counters plus lookup hop distribution.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    counts: [u64; MSG_KINDS],
+    /// Number of completed lookups.
+    lookups: u64,
+    /// Total hops across completed lookups.
+    lookup_hops: u64,
+    /// Maximum hops seen on any single lookup.
+    max_hops: u32,
+}
+
+impl NetStats {
+    /// Fresh, zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one message of `kind`.
+    pub fn record(&mut self, kind: MsgKind) {
+        self.counts[kind.index()] += 1;
+    }
+
+    /// Count `n` messages of `kind`.
+    pub fn record_n(&mut self, kind: MsgKind, n: u64) {
+        self.counts[kind.index()] += n;
+    }
+
+    /// Record one completed lookup that took `hops` routing steps.
+    pub fn record_lookup(&mut self, hops: u32) {
+        self.lookups += 1;
+        self.lookup_hops += u64::from(hops);
+        self.max_hops = self.max_hops.max(hops);
+    }
+
+    /// Messages of `kind` so far.
+    #[must_use]
+    pub fn count(&self, kind: MsgKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// All messages of all kinds.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of completed lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Mean hops per completed lookup (0 if none).
+    #[must_use]
+    pub fn mean_hops(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.lookup_hops as f64 / self.lookups as f64
+        }
+    }
+
+    /// Worst-case hops over all completed lookups.
+    #[must_use]
+    pub fn max_hops(&self) -> u32 {
+        self.max_hops
+    }
+
+    /// Zero every counter (start of a measured phase).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Absorb the counters of `other`.
+    pub fn merge(&mut self, other: &NetStats) {
+        for i in 0..MSG_KINDS {
+            self.counts[i] += other.counts[i];
+        }
+        self.lookups += other.lookups;
+        self.lookup_hops += other.lookup_hops;
+        self.max_hops = self.max_hops.max(other.max_hops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_kind() {
+        let mut s = NetStats::new();
+        s.record(MsgKind::LookupHop);
+        s.record(MsgKind::LookupHop);
+        s.record(MsgKind::IndexPublish);
+        s.record_n(MsgKind::QueryFetch, 5);
+        assert_eq!(s.count(MsgKind::LookupHop), 2);
+        assert_eq!(s.count(MsgKind::IndexPublish), 1);
+        assert_eq!(s.count(MsgKind::QueryFetch), 5);
+        assert_eq!(s.count(MsgKind::Failed), 0);
+        assert_eq!(s.total_messages(), 8);
+    }
+
+    #[test]
+    fn lookup_hop_statistics() {
+        let mut s = NetStats::new();
+        s.record_lookup(3);
+        s.record_lookup(5);
+        s.record_lookup(1);
+        assert_eq!(s.lookups(), 3);
+        assert!((s.mean_hops() - 3.0).abs() < 1e-12);
+        assert_eq!(s.max_hops(), 5);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = NetStats::new();
+        s.record(MsgKind::Maintenance);
+        s.record_lookup(7);
+        s.reset();
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.lookups(), 0);
+        assert_eq!(s.mean_hops(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = NetStats::new();
+        a.record(MsgKind::LookupHop);
+        a.record_lookup(2);
+        let mut b = NetStats::new();
+        b.record(MsgKind::LookupHop);
+        b.record(MsgKind::Replication);
+        b.record_lookup(6);
+        a.merge(&b);
+        assert_eq!(a.count(MsgKind::LookupHop), 2);
+        assert_eq!(a.count(MsgKind::Replication), 1);
+        assert_eq!(a.lookups(), 2);
+        assert!((a.mean_hops() - 4.0).abs() < 1e-12);
+        assert_eq!(a.max_hops(), 6);
+    }
+
+    #[test]
+    fn all_kinds_have_distinct_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for k in MsgKind::all() {
+            assert!(seen.insert(k.index()));
+        }
+        assert_eq!(seen.len(), MSG_KINDS);
+    }
+}

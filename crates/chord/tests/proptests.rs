@@ -1,0 +1,113 @@
+//! Property-based tests for the Chord simulator's routing invariants.
+
+use proptest::prelude::*;
+use sprite_chord::{ChordConfig, ChordNet};
+use sprite_util::RingId;
+
+/// Build a ring from arbitrary raw ids (deduplicated inside `with_nodes`).
+fn ring(ids: &[u128]) -> ChordNet {
+    let ids: Vec<RingId> = ids.iter().map(|&v| RingId(v)).collect();
+    ChordNet::with_nodes(ChordConfig::default(), &ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On a converged ring, lookups from any member for any key resolve to
+    /// the oracle owner, within the Chord hop bound.
+    #[test]
+    fn lookup_agrees_with_oracle(
+        ids in proptest::collection::hash_set(any::<u128>(), 1..40),
+        keys in proptest::collection::vec(any::<u128>(), 1..20),
+        from_sel in any::<prop::sample::Index>(),
+    ) {
+        let ids: Vec<u128> = ids.into_iter().collect();
+        let mut net = ring(&ids);
+        let members = net.node_ids();
+        let from = members[from_sel.index(members.len())];
+        for &k in &keys {
+            let key = RingId(k);
+            let want = net.oracle_owner(key).expect("non-empty");
+            let got = net.lookup(from, key).expect("converged ring lookup");
+            prop_assert_eq!(got.owner, want);
+            // Hop bound: fingers halve the remaining distance each step.
+            prop_assert!(got.hops as usize <= 2 * (members.len().ilog2() as usize + 1) + 2,
+                "hops {} too many for {} nodes", got.hops, members.len());
+        }
+    }
+
+    /// The lookup path never revisits a node (progress is strictly
+    /// monotone along the ring).
+    #[test]
+    fn lookup_path_is_simple(
+        ids in proptest::collection::hash_set(any::<u128>(), 2..40),
+        key in any::<u128>(),
+    ) {
+        let ids: Vec<u128> = ids.into_iter().collect();
+        let mut net = ring(&ids);
+        let from = net.node_ids()[0];
+        let l = net.lookup(from, RingId(key)).expect("lookup");
+        let mut seen = std::collections::HashSet::new();
+        for p in &l.path {
+            prop_assert!(seen.insert(*p), "path revisits {p:?}");
+        }
+        prop_assert_eq!(l.path.len() as u32, l.hops + 1);
+    }
+
+    /// Replica sets: correct length, start at the owner, no duplicates.
+    #[test]
+    fn replica_sets_well_formed(
+        ids in proptest::collection::hash_set(any::<u128>(), 1..30),
+        key in any::<u128>(),
+        r in 1usize..6,
+    ) {
+        let ids: Vec<u128> = ids.into_iter().collect();
+        let net = ring(&ids);
+        let reps = net.oracle_replicas(RingId(key), r);
+        prop_assert_eq!(reps.len(), r.min(ids.len()));
+        prop_assert_eq!(reps.first().copied(), net.oracle_owner(RingId(key)));
+        let set: std::collections::HashSet<_> = reps.iter().collect();
+        prop_assert_eq!(set.len(), reps.len());
+    }
+
+    /// After arbitrary graceful leaves, maintenance reconverges the ring and
+    /// lookups still match the oracle.
+    #[test]
+    fn leaves_then_converge(
+        ids in proptest::collection::hash_set(any::<u128>(), 4..24),
+        leaver_sel in proptest::collection::vec(any::<prop::sample::Index>(), 1..3),
+    ) {
+        let ids: Vec<u128> = ids.into_iter().collect();
+        let mut net = ring(&ids);
+        for sel in leaver_sel {
+            if net.len() <= 2 { break; }
+            let members = net.node_ids();
+            let victim = members[sel.index(members.len())];
+            net.leave(victim).expect("leave");
+        }
+        net.converge(80);
+        prop_assert!(net.is_converged());
+        let members = net.node_ids();
+        let from = members[0];
+        let key = RingId(0xdead_beef);
+        prop_assert_eq!(
+            net.lookup(from, key).expect("post-leave lookup").owner,
+            net.oracle_owner(key).expect("non-empty")
+        );
+    }
+
+    /// After abrupt failures (no goodbye), maintenance repairs the ring.
+    #[test]
+    fn failures_then_converge(
+        ids in proptest::collection::hash_set(any::<u128>(), 6..24),
+        victim_sel in any::<prop::sample::Index>(),
+    ) {
+        let ids: Vec<u128> = ids.into_iter().collect();
+        let mut net = ring(&ids);
+        let members = net.node_ids();
+        let victim = members[victim_sel.index(members.len())];
+        net.fail(victim).expect("fail");
+        net.converge(80);
+        prop_assert!(net.is_converged());
+    }
+}

@@ -1,0 +1,191 @@
+//! §7 query expansion by local context analysis.
+//!
+//! "Since cooperation among peers is not as close as in a distributed
+//! system … local context analysis can be employed in SPRITE. In local
+//! context analysis, global information is not required — the co-occurrence
+//! of [terms] in a document is analyzed. Queries are enriched accordingly."
+//!
+//! The querying peer runs the original query, downloads the term vectors of
+//! the top-ranked documents from their owner peers (each fetch is charged),
+//! scores candidate terms by how many of those documents they co-occur in,
+//! and re-issues the query with the best candidates appended.
+
+use std::collections::HashMap;
+
+use sprite_chord::MsgKind;
+use sprite_ir::{Hit, Query, TermId};
+
+use crate::system::SpriteSystem;
+
+/// Expansion parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpansionConfig {
+    /// Top-ranked documents to analyze for co-occurring terms.
+    pub candidate_docs: usize,
+    /// Terms appended to the query.
+    pub expand_terms: usize,
+    /// Candidates occurring in more than this fraction of the analyzed
+    /// documents are considered too general and skipped.
+    pub max_doc_fraction: f64,
+}
+
+impl Default for ExpansionConfig {
+    fn default() -> Self {
+        ExpansionConfig {
+            candidate_docs: 10,
+            expand_terms: 3,
+            max_doc_fraction: 0.9,
+        }
+    }
+}
+
+impl SpriteSystem {
+    /// Run `query` with local-context-analysis expansion and return the top
+    /// `k` results of the enriched query. Falls back to the plain result
+    /// when no expansion terms can be found.
+    pub fn issue_query_expanded(
+        &mut self,
+        query: &Query,
+        k: usize,
+        cfg: &ExpansionConfig,
+    ) -> Vec<Hit> {
+        let initial = self.issue_query(query, cfg.candidate_docs.max(k));
+        if initial.is_empty() {
+            return initial;
+        }
+        let analyzed: Vec<Hit> = initial
+            .iter()
+            .copied()
+            .take(cfg.candidate_docs)
+            .collect();
+
+        // Download each top document's term vector from its owner peer
+        // (alive owners only — a dead owner's document cannot be fetched).
+        let mut doc_count: HashMap<TermId, u32> = HashMap::new();
+        let mut tf_total: HashMap<TermId, u64> = HashMap::new();
+        let mut fetched = 0usize;
+        for h in &analyzed {
+            let owner = self.owner_peer(h.doc);
+            if !self.net().contains(owner) {
+                continue;
+            }
+            self.net_mut().charge(MsgKind::QueryFetch);
+            fetched += 1;
+            for &(t, c) in self.corpus().doc(h.doc).terms() {
+                *doc_count.entry(t).or_insert(0) += 1;
+                *tf_total.entry(t).or_insert(0) += u64::from(c);
+            }
+        }
+        if fetched == 0 {
+            let mut out = initial;
+            out.truncate(k);
+            return out;
+        }
+
+        // Score candidates: prefer terms shared by many of the analyzed
+        // documents, then by total frequency; drop query terms and terms so
+        // common they carry no meaning.
+        let cap = ((fetched as f64) * cfg.max_doc_fraction).ceil() as u32;
+        let extra: Vec<TermId> = sprite_util::top_k(
+            cfg.expand_terms,
+            doc_count.iter().filter_map(|(&t, &dc)| {
+                if query.contains(t) || dc > cap {
+                    None
+                } else {
+                    Some(((dc, tf_total[&t]), t))
+                }
+            }),
+        )
+        .into_iter()
+        .map(|s| s.item)
+        .collect();
+
+        if extra.is_empty() {
+            let mut out = initial;
+            out.truncate(k);
+            return out;
+        }
+        let mut terms = query.terms().to_vec();
+        terms.extend(extra);
+        self.issue_query(&Query::new(terms), k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpriteConfig;
+    use sprite_corpus::{CorpusConfig, SyntheticCorpus};
+    use sprite_ir::DocId;
+
+    fn system() -> (SyntheticCorpus, SpriteSystem) {
+        let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(21));
+        let mut sys = SpriteSystem::build(sc.corpus().clone(), 16, SpriteConfig::default(), 21);
+        sys.publish_all();
+        (sc, sys)
+    }
+
+    #[test]
+    fn expansion_returns_results() {
+        let (_sc, mut sys) = system();
+        let t = sys.published_terms(DocId(0))[0];
+        let q = Query::new(vec![t]);
+        let hits = sys.issue_query_expanded(&q, 10, &ExpansionConfig::default());
+        assert!(!hits.is_empty());
+        assert!(hits.len() <= 10);
+    }
+
+    #[test]
+    fn expansion_charges_document_fetches() {
+        let (_sc, mut sys) = system();
+        let t = sys.published_terms(DocId(0))[0];
+        let q = Query::new(vec![t]);
+        sys.net_mut().reset_stats();
+        let plain_fetches = {
+            sys.issue_query(&q, 10);
+            sys.net().stats().count(MsgKind::QueryFetch)
+        };
+        sys.net_mut().reset_stats();
+        sys.issue_query_expanded(&q, 10, &ExpansionConfig::default());
+        let expanded_fetches = sys.net().stats().count(MsgKind::QueryFetch);
+        assert!(
+            expanded_fetches > plain_fetches,
+            "expansion must pay for document downloads ({expanded_fetches} vs {plain_fetches})"
+        );
+    }
+
+    #[test]
+    fn expansion_can_recall_more_topical_documents() {
+        // Expanding a single topical term should pull in sibling core terms
+        // and therefore rank more same-topic documents.
+        let (sc, mut sys) = system();
+        // Use a topic-core term that is published for at least one doc.
+        let topic = 0usize;
+        let core = sc.topic_core(topic);
+        let published_core = core
+            .iter()
+            .copied()
+            .find(|&t| sys.indexed_df(t) > 0)
+            .expect("some core term is indexed");
+        let q = Query::new(vec![published_core]);
+        let k = 30;
+        let plain = sys.issue_query(&q, k);
+        let expanded = sys.issue_query_expanded(&q, k, &ExpansionConfig::default());
+        let topical = |hits: &[Hit]| {
+            hits.iter()
+                .filter(|h| sc.doc_topics(h.doc).contains(&(topic as u16)))
+                .count()
+        };
+        assert!(
+            topical(&expanded) + 2 >= topical(&plain),
+            "expansion should not collapse topical recall"
+        );
+    }
+
+    #[test]
+    fn empty_query_expansion_is_empty() {
+        let (_sc, mut sys) = system();
+        let hits = sys.issue_query_expanded(&Query::default(), 5, &ExpansionConfig::default());
+        assert!(hits.is_empty());
+    }
+}

@@ -1,0 +1,475 @@
+//! The experiment driver behind every figure of §6.
+//!
+//! A [`World`] packages the full §6.1/§6.2 setup: synthetic corpus,
+//! centralized reference engine, the generated 630-query workload, and the
+//! 50/50 train/test split. The `fig4*` functions reproduce the three panels
+//! of Figure 4; the bench binaries are thin printers over these.
+
+use serde::Serialize;
+use sprite_corpus::{
+    generate_workload, issue_order, split_train_test, CorpusConfig, GenConfig, GeneratedQuery,
+    Schedule, SyntheticCorpus,
+};
+use sprite_ir::{evaluate_hits_at_k, CentralizedEngine, RatioAccumulator, RatioEval};
+
+use crate::config::SpriteConfig;
+use crate::system::SpriteSystem;
+
+/// Full experiment configuration.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Corpus generation parameters.
+    pub corpus: CorpusConfig,
+    /// Query-generator parameters (§6.1).
+    pub gen: GenConfig,
+    /// Network size.
+    pub n_peers: usize,
+    /// Seed for splits, schedules, and system construction.
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            corpus: CorpusConfig::default(),
+            gen: GenConfig::default(),
+            n_peers: 64,
+            seed: 42,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// Integration-test scale (seconds, not minutes).
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        WorldConfig {
+            corpus: CorpusConfig::small(seed),
+            gen: GenConfig {
+                top_e: 400,
+                ..GenConfig::default()
+            },
+            n_peers: 32,
+            seed,
+        }
+    }
+
+    /// Unit-test scale (sub-second).
+    #[must_use]
+    pub fn tiny(seed: u64) -> Self {
+        WorldConfig {
+            corpus: CorpusConfig::tiny(seed),
+            gen: GenConfig {
+                top_e: 150,
+                ..GenConfig::default()
+            },
+            n_peers: 16,
+            seed,
+        }
+    }
+}
+
+/// Everything an experiment needs, built once and shared across systems.
+pub struct World {
+    /// The corpus with its latent topics.
+    pub synthetic: SyntheticCorpus,
+    /// The ideal centralized reference (§6: classic TF·IDF).
+    pub engine: CentralizedEngine,
+    /// The generated workload (originals + derived queries).
+    pub workload: Vec<GeneratedQuery>,
+    /// Workload indices used for training (inserted into the system).
+    pub train: Vec<usize>,
+    /// Workload indices used for testing (evaluated).
+    pub test: Vec<usize>,
+    /// The configuration that built this world.
+    pub config: WorldConfig,
+}
+
+impl World {
+    /// Build the §6.2 setup: generate the corpus, derive the workload, and
+    /// split it 50/50 into train and test.
+    #[must_use]
+    pub fn build(config: WorldConfig) -> Self {
+        let synthetic = SyntheticCorpus::generate(&config.corpus);
+        let engine = CentralizedEngine::build(synthetic.corpus());
+        let seeds = synthetic.seed_queries();
+        let workload = generate_workload(synthetic.corpus(), &engine, &seeds, &config.gen);
+        let (train, test) = split_train_test(workload.len(), config.seed);
+        World {
+            synthetic,
+            engine,
+            workload,
+            train,
+            test,
+            config,
+        }
+    }
+
+    /// A fresh, empty SPRITE deployment over this world's corpus.
+    #[must_use]
+    pub fn new_system(&self, cfg: SpriteConfig) -> SpriteSystem {
+        SpriteSystem::build(
+            self.synthetic.corpus().clone(),
+            self.config.n_peers,
+            cfg,
+            self.config.seed,
+        )
+    }
+
+    /// Issue workload queries into `sys` following `schedule` (restricted
+    /// to the given workload indices).
+    pub fn issue(&self, sys: &mut SpriteSystem, indices: &[usize], schedule: Schedule) {
+        let order = issue_order(indices.len(), schedule, self.config.seed);
+        for oi in order {
+            let q = &self.workload[indices[oi]].query;
+            // Issue for its side effects (caching at indexing peers); the
+            // answers are irrelevant during training.
+            let _ = sys.issue_query(q, 20);
+        }
+    }
+
+    /// Evaluate `sys` on the given workload indices at answer-list size
+    /// `k`, reporting precision/recall **ratios over the centralized
+    /// reference** (§6's metric).
+    pub fn evaluate(&self, sys: &mut SpriteSystem, indices: &[usize], k: usize) -> RatioEval {
+        let mut acc = RatioAccumulator::new();
+        for &qi in indices {
+            let gq = &self.workload[qi];
+            let sys_hits = sys.issue_query(&gq.query, k);
+            let cen_hits = self.engine.search(&gq.query, k);
+            acc.add(
+                evaluate_hits_at_k(&sys_hits, &gq.relevant, k),
+                evaluate_hits_at_k(&cen_hits, &gq.relevant, k),
+            );
+        }
+        acc.finish()
+    }
+
+    /// The §6.2 standard pipeline: insert the training queries, publish all
+    /// documents, then run enough learning iterations to reach
+    /// `cfg.max_terms` (e.g. 5 initial + 3 × 5 = 20). Static (eSearch)
+    /// configurations skip training and learning entirely.
+    #[must_use]
+    pub fn standard_system(&self, cfg: SpriteConfig, schedule: Schedule) -> SpriteSystem {
+        let iterations = if cfg.is_static() {
+            0
+        } else {
+            cfg.max_terms.saturating_sub(cfg.initial_terms).div_ceil(cfg.terms_per_iteration)
+        };
+        let mut sys = self.new_system(cfg);
+        if iterations > 0 {
+            self.issue(&mut sys, &self.train, schedule);
+        }
+        sys.publish_all();
+        sys.learn(iterations);
+        sys
+    }
+}
+
+/// One point of a figure series.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SeriesPoint {
+    /// The x-axis value (answers K, indexed terms, or iteration).
+    pub x: f64,
+    /// Precision ratio over the centralized system.
+    pub precision: f64,
+    /// Recall ratio over the centralized system.
+    pub recall: f64,
+}
+
+/// Figure 4(a): precision & recall ratio vs number of answers, SPRITE
+/// (20 learned terms) vs eSearch (20 static terms).
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig4a {
+    /// SPRITE series, one point per K.
+    pub sprite: Vec<SeriesPoint>,
+    /// eSearch series, one point per K.
+    pub esearch: Vec<SeriesPoint>,
+}
+
+/// Run Figure 4(a): `answers` is the x-axis (paper: 5..30 step 5).
+#[must_use]
+pub fn fig4a(world: &World, answers: &[usize]) -> Fig4a {
+    let mut sprite = world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+    let mut esearch = world.standard_system(SpriteConfig::esearch(20), Schedule::WithoutRepeats);
+    let eval = |sys: &mut SpriteSystem| -> Vec<SeriesPoint> {
+        answers
+            .iter()
+            .map(|&k| {
+                let r = world.evaluate(sys, &world.test, k);
+                SeriesPoint {
+                    x: k as f64,
+                    precision: r.precision_ratio,
+                    recall: r.recall_ratio,
+                }
+            })
+            .collect()
+    };
+    Fig4a {
+        sprite: eval(&mut sprite),
+        esearch: eval(&mut esearch),
+    }
+}
+
+/// Figure 4(b): precision ratio vs number of indexed terms, for the
+/// `w/o-r` and `w-zipf` schedules.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig4b {
+    /// SPRITE under `w/o-r` (every training query once).
+    pub sprite_wor: Vec<SeriesPoint>,
+    /// SPRITE under `w-zipf` (Zipf-0.5 repeats).
+    pub sprite_zipf: Vec<SeriesPoint>,
+    /// eSearch (schedule-independent: it never learns).
+    pub esearch: Vec<SeriesPoint>,
+}
+
+/// Run Figure 4(b): `budgets` is the x-axis (paper: 5..30 step 5);
+/// evaluation at K = 20 answers.
+///
+/// Every (series, budget) pair is an independent deployment, so the sweep
+/// fans out across threads (the simulation itself stays deterministic —
+/// each configuration owns its entire world).
+#[must_use]
+pub fn fig4b(world: &World, budgets: &[usize], k: usize) -> Fig4b {
+    let zipf = Schedule::Zipf {
+        slope: 0.5,
+        total: world.train.len(),
+    };
+    let sprite_cfg = |b: usize| SpriteConfig {
+        max_terms: b,
+        ..SpriteConfig::default()
+    };
+    // (series index, budget, config, schedule) work items.
+    let jobs: Vec<(usize, usize, SpriteConfig, Schedule)> = budgets
+        .iter()
+        .flat_map(|&b| {
+            [
+                (0usize, b, sprite_cfg(b), Schedule::WithoutRepeats),
+                (1, b, sprite_cfg(b), zipf),
+                (2, b, SpriteConfig::esearch(b), Schedule::WithoutRepeats),
+            ]
+        })
+        .collect();
+    let results: Vec<(usize, SeriesPoint)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(series, b, cfg, schedule)| {
+                scope.spawn(move |_| {
+                    let mut sys = world.standard_system(cfg, schedule);
+                    let r = world.evaluate(&mut sys, &world.test, k);
+                    (
+                        series,
+                        SeriesPoint {
+                            x: b as f64,
+                            precision: r.precision_ratio,
+                            recall: r.recall_ratio,
+                        },
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("figure worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    let mut series: [Vec<SeriesPoint>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (s, p) in results {
+        series[s].push(p);
+    }
+    for s in &mut series {
+        s.sort_by(|a, b| a.x.partial_cmp(&b.x).expect("finite budgets"));
+    }
+    let [sprite_wor, sprite_zipf, esearch] = series;
+    Fig4b {
+        sprite_wor,
+        sprite_zipf,
+        esearch,
+    }
+}
+
+/// Figure 4(c): precision & recall ratio per learning iteration with a
+/// query-pattern change halfway.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig4c {
+    /// SPRITE, one point per iteration (x = iteration number, 1-based).
+    pub sprite: Vec<SeriesPoint>,
+    /// eSearch evaluated on the same per-iteration test groups.
+    pub esearch: Vec<SeriesPoint>,
+    /// Iteration (1-based) at which the query population switches.
+    pub switch_at: usize,
+}
+
+/// Run Figure 4(c): `iterations` learning iterations (paper: 10), pattern
+/// change after `iterations / 2`; 30-term cap, K answers.
+///
+/// The workload is split by seed query into two disjoint interest groups
+/// ("all new queries and their corresponding original query are in the same
+/// group"). Each iteration issues a fresh slice of the active group's
+/// training queries, learns, and evaluates on the active group's test set.
+#[must_use]
+pub fn fig4c(world: &World, iterations: usize, k: usize) -> Fig4c {
+    let half = iterations / 2;
+    let n_seeds = world.config.corpus.n_seed_queries;
+    let group_of = |qi: usize| usize::from(world.workload[qi].seed_idx >= n_seeds / 2);
+    let train_g: [Vec<usize>; 2] = [
+        world.train.iter().copied().filter(|&q| group_of(q) == 0).collect(),
+        world.train.iter().copied().filter(|&q| group_of(q) == 1).collect(),
+    ];
+    let test_g: [Vec<usize>; 2] = [
+        world.test.iter().copied().filter(|&q| group_of(q) == 0).collect(),
+        world.test.iter().copied().filter(|&q| group_of(q) == 1).collect(),
+    ];
+
+    let cfg = SpriteConfig {
+        max_terms: 30,
+        ..SpriteConfig::default()
+    };
+    let (initial, per_iter) = (cfg.initial_terms, cfg.terms_per_iteration);
+    let mut sprite = world.new_system(cfg);
+    sprite.publish_all();
+
+    let mut sprite_pts = Vec::with_capacity(iterations);
+    let mut esearch_pts = Vec::with_capacity(iterations);
+    for it in 1..=iterations {
+        let g = usize::from(it > half);
+        // Slice of this group's training queries for this iteration.
+        let within = if g == 0 { it - 1 } else { it - half - 1 };
+        let slice_len = train_g[g].len().div_ceil(half.max(1));
+        let start = (within * slice_len).min(train_g[g].len());
+        let end = ((within + 1) * slice_len).min(train_g[g].len());
+        let slice: Vec<usize> = train_g[g][start..end].to_vec();
+        world.issue(&mut sprite, &slice, Schedule::WithoutRepeats);
+        sprite.learning_iteration();
+
+        let r = world.evaluate(&mut sprite, &test_g[g], k);
+        sprite_pts.push(SeriesPoint {
+            x: it as f64,
+            precision: r.precision_ratio,
+            recall: r.recall_ratio,
+        });
+        // eSearch's term count grows alongside SPRITE's budget during the
+        // first iterations and stays flat once the 30-term cap is reached
+        // ("the performance of eSearch remains unchanged after iteration 6").
+        let e_budget = (initial + it * per_iter).min(30);
+        let mut esearch = world.new_system(SpriteConfig::esearch(e_budget));
+        esearch.publish_all();
+        let re = world.evaluate(&mut esearch, &test_g[g], k);
+        esearch_pts.push(SeriesPoint {
+            x: it as f64,
+            precision: re.precision_ratio,
+            recall: re.recall_ratio,
+        });
+    }
+    Fig4c {
+        sprite: sprite_pts,
+        esearch: esearch_pts,
+        switch_at: half + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_world() -> World {
+        World::build(WorldConfig::tiny(3))
+    }
+
+    #[test]
+    fn world_builds_consistent_split() {
+        let w = tiny_world();
+        assert_eq!(
+            w.workload.len(),
+            w.config.corpus.n_seed_queries * (w.config.gen.k_per_seed + 1)
+        );
+        assert_eq!(w.train.len() + w.test.len(), w.workload.len());
+        assert!(w.train.iter().all(|i| !w.test.contains(i)));
+    }
+
+    #[test]
+    fn standard_system_reaches_term_budget() {
+        let w = tiny_world();
+        let sys = w.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+        // Default: 5 initial + 3 × 5 = 20.
+        let docs = sys.corpus().len();
+        let mut at_budget = 0;
+        for i in 0..docs {
+            let n = sys.published_terms(sprite_ir::DocId(i as u32)).len();
+            assert!(n <= 20);
+            if n == 20 {
+                at_budget += 1;
+            }
+        }
+        // Most tiny-corpus docs have ≥ 20 distinct terms, so most reach 20.
+        assert!(at_budget > docs / 2, "only {at_budget}/{docs} reached budget");
+    }
+
+    #[test]
+    fn esearch_system_is_static_topk() {
+        let w = tiny_world();
+        let sys = w.standard_system(SpriteConfig::esearch(10), Schedule::WithoutRepeats);
+        for (i, d) in sys.corpus().docs().iter().enumerate() {
+            assert_eq!(
+                sys.published_terms(sprite_ir::DocId(i as u32)),
+                d.top_frequent_terms(10)
+            );
+        }
+    }
+
+    #[test]
+    fn evaluation_produces_sane_ratios() {
+        let w = tiny_world();
+        let mut sprite = w.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+        let r = w.evaluate(&mut sprite, &w.test, 20);
+        assert!(r.queries > 0);
+        assert!(r.precision_ratio > 0.0, "SPRITE must find something");
+        // A partial index can occasionally beat the reference on single
+        // queries but the average must stay in a plausible band.
+        assert!(r.precision_ratio < 2.0);
+        assert!(r.recall_ratio > 0.0 && r.recall_ratio < 2.0);
+    }
+
+    #[test]
+    fn sprite_beats_esearch_at_equal_terms() {
+        // The paper's headline claim, at integration scale.
+        let w = World::build(WorldConfig::small(9));
+        let mut sprite = w.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+        let mut esearch = w.standard_system(SpriteConfig::esearch(20), Schedule::WithoutRepeats);
+        let rs = w.evaluate(&mut sprite, &w.test, 20);
+        let re = w.evaluate(&mut esearch, &w.test, 20);
+        assert!(
+            rs.precision_ratio > re.precision_ratio,
+            "SPRITE {:.3} should beat eSearch {:.3}",
+            rs.precision_ratio,
+            re.precision_ratio
+        );
+        assert!(
+            rs.recall_ratio > re.recall_ratio,
+            "recall: SPRITE {:.3} vs eSearch {:.3}",
+            rs.recall_ratio,
+            re.recall_ratio
+        );
+    }
+
+    #[test]
+    fn fig4a_shapes() {
+        let w = tiny_world();
+        let f = fig4a(&w, &[5, 20]);
+        assert_eq!(f.sprite.len(), 2);
+        assert_eq!(f.esearch.len(), 2);
+        for p in f.sprite.iter().chain(&f.esearch) {
+            assert!(p.precision >= 0.0 && p.recall >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fig4c_runs_all_iterations() {
+        let w = tiny_world();
+        let f = fig4c(&w, 4, 10);
+        assert_eq!(f.sprite.len(), 4);
+        assert_eq!(f.esearch.len(), 4);
+        assert_eq!(f.switch_at, 3);
+    }
+}

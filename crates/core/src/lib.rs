@@ -1,0 +1,42 @@
+//! SPRITE — Selective PRogressive Index Tuning by Examples.
+//!
+//! The paper's primary contribution (Li, Jagadish, Tan — ICDE 2007): a
+//! text-retrieval system for DHT networks that publishes only a small,
+//! *learned* set of global index terms per document, progressively refined
+//! from the queries cached at indexing peers.
+//!
+//! * [`config`] — deployment tunables (§6.2 defaults) and the eSearch
+//!   baseline configuration;
+//! * [`peer`] — the two per-peer roles of §3 (indexing state with bounded
+//!   query history; owner state with per-term learning statistics);
+//! * [`learn`] — `qScore`, `QF`, the combined `Score`, and Algorithm 1;
+//! * [`system`] — the deployment itself: publishing, distributed query
+//!   processing, and the periodic learning pass over Chord;
+//! * [`resilience`] — §7: peer failure, successor replication, hot-term
+//!   advisory;
+//! * [`expansion`] — §7: local-context-analysis query expansion;
+//! * [`experiment`] — the shared experiment driver behind every figure.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod experiment;
+pub mod expansion;
+pub mod learn;
+pub mod metrics;
+pub mod peer;
+pub mod resilience;
+pub mod system;
+
+pub use config::{IdfMode, SpriteConfig};
+pub use expansion::ExpansionConfig;
+pub use experiment::{fig4a, fig4b, fig4c, Fig4a, Fig4b, Fig4c, SeriesPoint, World, WorldConfig};
+pub use learn::{
+    algorithm1, naive_select, q_score, select_terms, select_terms_excluding, select_terms_mode,
+    term_score, term_score_with, update_stats, ScoreMode,
+};
+pub use peer::{CachedQuery, IndexEntry, IndexingState, OwnerDoc, TermStat};
+pub use metrics::{gini, LoadReport, PeerLoad};
+pub use resilience::AdvisoryReport;
+pub use system::{LearnReport, SpriteSystem};

@@ -1,0 +1,151 @@
+//! Deployment health metrics: load distribution across indexing peers.
+//!
+//! §7 of the paper discusses two imbalance scenarios — peers stuck with
+//! popular terms and peers responsible for many terms. This module
+//! measures both so operators (and the load-balance study) can see them:
+//! per-peer index/load snapshots and a Gini coefficient summarizing how
+//! unevenly the index is spread.
+
+use sprite_util::RingId;
+
+use crate::system::SpriteSystem;
+
+/// One indexing peer's load snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PeerLoad {
+    /// The peer.
+    pub peer: RingId,
+    /// Distinct terms it indexes.
+    pub terms: usize,
+    /// Inverted-list entries it stores.
+    pub entries: usize,
+    /// Queries in its history cache.
+    pub cached_queries: usize,
+    /// Its hottest term's indexed document frequency.
+    pub max_term_df: usize,
+}
+
+/// Aggregate load report.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Per-peer snapshots, ring order (peers with no state included).
+    pub peers: Vec<PeerLoad>,
+    /// Gini coefficient of entry counts (0 = perfectly even, →1 = all load
+    /// on one peer).
+    pub entry_gini: f64,
+    /// Largest indexed document frequency anywhere (the §7 "hot term").
+    pub hottest_df: usize,
+}
+
+/// Gini coefficient of a non-negative sample (0 for empty/all-zero input).
+#[must_use]
+pub fn gini(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let total: f64 = v.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // Standard formula over sorted values: G = (2·Σ i·xᵢ)/(n·Σx) − (n+1)/n,
+    // with i 1-based.
+    let weighted: f64 = v
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+impl SpriteSystem {
+    /// Snapshot every alive peer's indexing load.
+    #[must_use]
+    pub fn load_report(&self) -> LoadReport {
+        let mut peers = Vec::with_capacity(self.peers().len());
+        let mut hottest = 0usize;
+        for &p in self.peers() {
+            let (terms, entries, cached, max_df) = match self.indexing_state(p) {
+                Some(st) => {
+                    let mut terms = 0;
+                    let mut max_df = 0;
+                    for (_, df) in st.term_dfs() {
+                        terms += 1;
+                        max_df = max_df.max(df);
+                    }
+                    (terms, st.total_entries(), st.cached_queries(), max_df)
+                }
+                None => (0, 0, 0, 0),
+            };
+            hottest = hottest.max(max_df);
+            peers.push(PeerLoad {
+                peer: p,
+                terms,
+                entries,
+                cached_queries: cached,
+                max_term_df: max_df,
+            });
+        }
+        let entry_counts: Vec<f64> = peers.iter().map(|p| p.entries as f64).collect();
+        LoadReport {
+            entry_gini: gini(&entry_counts),
+            hottest_df: hottest,
+            peers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpriteConfig;
+    use sprite_corpus::{CorpusConfig, SyntheticCorpus};
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+        assert!((gini(&[5.0, 5.0, 5.0, 5.0])).abs() < 1e-12, "even load");
+        // All load on one of many peers → close to 1.
+        let mut v = vec![0.0; 100];
+        v[0] = 42.0;
+        assert!(gini(&v) > 0.95);
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = gini(&[1.0, 2.0, 3.0, 4.0]);
+        let b = gini(&[10.0, 20.0, 30.0, 40.0]);
+        assert!((a - b).abs() < 1e-12);
+        assert!(a > 0.0 && a < 1.0);
+    }
+
+    #[test]
+    fn load_report_accounts_every_entry() {
+        let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(3));
+        let mut sys = SpriteSystem::build(sc.corpus().clone(), 16, SpriteConfig::default(), 3);
+        sys.publish_all();
+        let report = sys.load_report();
+        assert_eq!(report.peers.len(), 16);
+        let total: usize = report.peers.iter().map(|p| p.entries).sum();
+        assert_eq!(total, sys.total_index_entries());
+        assert!(report.hottest_df >= 1);
+        assert!(report.entry_gini > 0.0, "hash placement is never perfectly even");
+        assert!(report.entry_gini < 1.0);
+    }
+
+    #[test]
+    fn advisory_reduces_hottest_df() {
+        let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(3));
+        let mut sys = SpriteSystem::build(sc.corpus().clone(), 16, SpriteConfig::default(), 3);
+        sys.publish_all();
+        let before = sys.load_report().hottest_df;
+        if before > 1 {
+            sys.hot_term_advisory(before - 1);
+            let after = sys.load_report().hottest_df;
+            assert!(after < before, "advisory must cool the hottest term");
+        }
+    }
+}

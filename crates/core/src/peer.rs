@@ -1,0 +1,296 @@
+//! Per-peer state: the two roles of §3.
+//!
+//! Every SPRITE peer is simultaneously an **indexing peer** (inverted lists
+//! for the terms the overlay assigns to it, plus a bounded history of recent
+//! queries) and an **owner peer** (per shared document: the published global
+//! index terms and the per-term learning statistics of §5.1).
+
+use std::collections::{HashMap, VecDeque};
+
+use sprite_ir::{DocId, Query, TermId};
+use sprite_util::RingId;
+
+/// One inverted-list entry, carrying exactly the metadata §5.1 lists:
+/// owner address, document id, term frequency, document length — plus the
+/// distinct-term count the §4 similarity normalization needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// The document containing the term.
+    pub doc: DocId,
+    /// The owner peer's address (for retrieval and liveness checks).
+    pub owner: RingId,
+    /// Raw term frequency in the document.
+    pub tf: u32,
+    /// Document length (token count).
+    pub doc_len: u32,
+    /// Distinct-term count ("number of terms in Dᵢ", §4).
+    pub distinct: u32,
+}
+
+/// A query cached at an indexing peer, stamped with a global sequence
+/// number so owners can poll incrementally ("Q′, the query set between the
+/// current iteration and the last iteration", §5.3).
+#[derive(Clone, Debug)]
+pub struct CachedQuery {
+    /// The query keywords.
+    pub query: Query,
+    /// MD5 of the query's canonical form — precomputed, used by the
+    /// closest-hash deduplication of §3.
+    pub qhash: RingId,
+    /// Global issue sequence number.
+    pub seq: u64,
+}
+
+/// Indexing-peer state.
+#[derive(Clone, Debug, Default)]
+pub struct IndexingState {
+    /// Inverted lists for the terms this peer is responsible for.
+    inverted: HashMap<TermId, Vec<IndexEntry>>,
+    /// Recent-query history, oldest first, bounded.
+    cache: VecDeque<CachedQuery>,
+    capacity: usize,
+}
+
+impl IndexingState {
+    /// Fresh state with the given query-history capacity.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        IndexingState {
+            inverted: HashMap::new(),
+            cache: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Insert or update the entry for `(term, doc)`.
+    pub fn publish(&mut self, term: TermId, entry: IndexEntry) {
+        let list = self.inverted.entry(term).or_default();
+        match list.iter_mut().find(|e| e.doc == entry.doc) {
+            Some(e) => *e = entry,
+            None => list.push(entry),
+        }
+    }
+
+    /// Remove the entry for `(term, doc)`; true if it existed.
+    pub fn remove(&mut self, term: TermId, doc: DocId) -> bool {
+        match self.inverted.get_mut(&term) {
+            Some(list) => {
+                let before = list.len();
+                list.retain(|e| e.doc != doc);
+                let removed = list.len() != before;
+                if list.is_empty() {
+                    self.inverted.remove(&term);
+                }
+                removed
+            }
+            None => false,
+        }
+    }
+
+    /// The inverted list of `term` (empty if nothing indexed).
+    #[must_use]
+    pub fn list(&self, term: TermId) -> &[IndexEntry] {
+        self.inverted.get(&term).map_or(&[], Vec::as_slice)
+    }
+
+    /// Indexed document frequency `n′_k` (§3/§4): how many documents chose
+    /// `term` as a global index term.
+    #[must_use]
+    pub fn indexed_df(&self, term: TermId) -> usize {
+        self.list(term).len()
+    }
+
+    /// Terms this peer currently indexes, with their indexed df.
+    pub fn term_dfs(&self) -> impl Iterator<Item = (TermId, usize)> + '_ {
+        self.inverted.iter().map(|(&t, l)| (t, l.len()))
+    }
+
+    /// Total inverted-list entries held.
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.inverted.values().map(Vec::len).sum()
+    }
+
+    /// Record an issued query in the history (evicting the oldest beyond
+    /// capacity).
+    pub fn cache_query(&mut self, query: Query, qhash: RingId, seq: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.cache.len() == self.capacity {
+            self.cache.pop_front();
+        }
+        self.cache.push_back(CachedQuery { query, qhash, seq });
+    }
+
+    /// Cached queries issued after `since` (exclusive).
+    pub fn queries_since(&self, since: u64) -> impl Iterator<Item = &CachedQuery> {
+        // The deque is ordered by seq; skip the old prefix.
+        let start = self.cache.partition_point(|c| c.seq <= since);
+        self.cache.range(start..)
+    }
+
+    /// Number of cached queries.
+    #[must_use]
+    pub fn cached_queries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Copy all state from `other` into `self` (successor replication).
+    /// Returns the number of entries copied.
+    pub fn absorb_replica(&mut self, other: &IndexingState) -> usize {
+        let mut copied = 0;
+        for (&t, list) in &other.inverted {
+            for &e in list {
+                self.publish(t, e);
+                copied += 1;
+            }
+        }
+        copied
+    }
+}
+
+/// Per-term learning statistics an owner keeps for each shared document
+/// (§5.1): the best historical `qScore` and the cumulative query frequency.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TermStat {
+    /// Largest `qScore(Q, D)` over all past queries containing the term.
+    pub qs: f64,
+    /// Number of past queries containing the term (`QF`).
+    pub qf: u64,
+}
+
+/// Owner-peer state for one shared document.
+#[derive(Clone, Debug)]
+pub struct OwnerDoc {
+    /// The document.
+    pub doc: DocId,
+    /// Currently published global index terms, in rank order.
+    pub published: Vec<TermId>,
+    /// Learning statistics per document term ever seen in a query.
+    pub stats: HashMap<TermId, TermStat>,
+    /// Per-term high-water marks of the query sequence already polled
+    /// (enables the incremental Algorithm 1). A term newly added to the
+    /// index starts at 0 and fetches its full cached history on the next
+    /// poll — §5.3: "for each indexing term, the indexing peer is polled
+    /// to retrieve the query metadata of that term".
+    pub term_watermarks: HashMap<TermId, u64>,
+    /// Sequence numbers of queries already folded into `stats`, so a query
+    /// reachable through several published terms is never double-counted
+    /// across iterations (within one iteration the §3 closest-hash rule
+    /// already deduplicates).
+    pub seen: std::collections::HashSet<u64>,
+    /// Terms this owner was advised to stop indexing (§7 hot-term
+    /// advisory); learning never re-selects them.
+    pub excluded: std::collections::HashSet<TermId>,
+}
+
+impl OwnerDoc {
+    /// Fresh owner state for `doc` (nothing published yet).
+    #[must_use]
+    pub fn new(doc: DocId) -> Self {
+        OwnerDoc {
+            doc,
+            published: Vec::new(),
+            stats: HashMap::new(),
+            term_watermarks: HashMap::new(),
+            seen: std::collections::HashSet::new(),
+            excluded: std::collections::HashSet::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(doc: u32, tf: u32) -> IndexEntry {
+        IndexEntry {
+            doc: DocId(doc),
+            owner: RingId(0),
+            tf,
+            doc_len: 100,
+            distinct: 50,
+        }
+    }
+
+    #[test]
+    fn publish_and_indexed_df() {
+        let mut s = IndexingState::new(8);
+        let t = TermId(1);
+        s.publish(t, entry(0, 3));
+        s.publish(t, entry(1, 5));
+        assert_eq!(s.indexed_df(t), 2);
+        assert_eq!(s.list(t).len(), 2);
+        assert_eq!(s.indexed_df(TermId(9)), 0);
+        assert_eq!(s.total_entries(), 2);
+    }
+
+    #[test]
+    fn publish_updates_in_place() {
+        let mut s = IndexingState::new(8);
+        let t = TermId(1);
+        s.publish(t, entry(0, 3));
+        s.publish(t, entry(0, 7));
+        assert_eq!(s.indexed_df(t), 1);
+        assert_eq!(s.list(t)[0].tf, 7);
+    }
+
+    #[test]
+    fn remove_entry() {
+        let mut s = IndexingState::new(8);
+        let t = TermId(1);
+        s.publish(t, entry(0, 3));
+        s.publish(t, entry(1, 5));
+        assert!(s.remove(t, DocId(0)));
+        assert_eq!(s.indexed_df(t), 1);
+        assert!(!s.remove(t, DocId(0)));
+        assert!(s.remove(t, DocId(1)));
+        assert_eq!(s.indexed_df(t), 0);
+        assert!(!s.remove(TermId(42), DocId(0)));
+    }
+
+    #[test]
+    fn query_cache_bounded_and_ordered() {
+        let mut s = IndexingState::new(3);
+        for i in 0..5u64 {
+            s.cache_query(Query::new(vec![TermId(i as u32)]), RingId(i as u128), i + 1);
+        }
+        // Capacity 3: seqs 3, 4, 5 remain.
+        assert_eq!(s.cached_queries(), 3);
+        let since2: Vec<u64> = s.queries_since(2).map(|c| c.seq).collect();
+        assert_eq!(since2, [3, 4, 5]);
+        let since4: Vec<u64> = s.queries_since(4).map(|c| c.seq).collect();
+        assert_eq!(since4, [5]);
+        assert_eq!(s.queries_since(5).count(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_cache_stores_nothing() {
+        let mut s = IndexingState::new(0);
+        s.cache_query(Query::default(), RingId(0), 1);
+        assert_eq!(s.cached_queries(), 0);
+    }
+
+    #[test]
+    fn absorb_replica_copies_entries() {
+        let mut a = IndexingState::new(4);
+        a.publish(TermId(1), entry(0, 2));
+        let mut b = IndexingState::new(4);
+        b.publish(TermId(1), entry(1, 3));
+        b.publish(TermId(2), entry(2, 4));
+        let copied = a.absorb_replica(&b);
+        assert_eq!(copied, 2);
+        assert_eq!(a.indexed_df(TermId(1)), 2);
+        assert_eq!(a.indexed_df(TermId(2)), 1);
+    }
+
+    #[test]
+    fn owner_doc_starts_empty() {
+        let o = OwnerDoc::new(DocId(3));
+        assert!(o.published.is_empty());
+        assert!(o.stats.is_empty());
+        assert!(o.term_watermarks.is_empty());
+        assert!(o.seen.is_empty());
+    }
+}

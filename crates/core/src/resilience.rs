@@ -1,0 +1,313 @@
+//! §7 robustness extensions: peer failure, successor replication of
+//! indexes, and the hot-term advisory for load balancing.
+//!
+//! The paper's argument: with periodic index replication to successors,
+//! "peer failure will have little impact in SPRITE … only a small number of
+//! terms are replicated." The churn experiment (bench `churn`) measures
+//! exactly that: retrieval quality after abrupt indexing-peer failures,
+//! with and without replication.
+
+use sprite_chord::MsgKind;
+use sprite_ir::{DocId, TermId};
+use sprite_util::{derive_rng, RingId};
+
+use crate::peer::IndexingState;
+use crate::system::SpriteSystem;
+
+/// Report of a [`SpriteSystem::hot_term_advisory`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdvisoryReport {
+    /// Hot terms detected across all indexing peers.
+    pub hot_terms: usize,
+    /// (doc, term) pairs retracted from the index.
+    pub retractions: usize,
+    /// Replacement terms published.
+    pub replacements: usize,
+}
+
+impl SpriteSystem {
+    /// Abruptly fail `peer`: it vanishes from the ring and all its indexing
+    /// state (inverted lists *and* cached queries) is lost. The ring is
+    /// repaired afterwards; lost index entries come back only through
+    /// [`Self::replicate_indexes`]-style replication or future re-publishes.
+    pub fn fail_peer(&mut self, peer: RingId) -> bool {
+        if self.net_mut().fail(peer).is_err() {
+            return false;
+        }
+        self.indexing_mut().remove(&peer.0);
+        self.net_mut().converge(64);
+        self.refresh_peers();
+        true
+    }
+
+    /// Fail `n` random indexing peers (deterministic in `seed`). Returns
+    /// the failed peer ids.
+    pub fn fail_random_peers(&mut self, n: usize, seed: u64) -> Vec<RingId> {
+        use rand::seq::SliceRandom;
+        let mut rng = derive_rng(seed, "peer-failures");
+        let mut candidates = self.peers().to_vec();
+        candidates.shuffle(&mut rng);
+        let victims: Vec<RingId> = candidates
+            .into_iter()
+            .take(n.min(self.peers().len().saturating_sub(1)))
+            .collect();
+        for &v in &victims {
+            if self.net_mut().fail(v).is_ok() {
+                self.indexing_mut().remove(&v.0);
+            }
+        }
+        self.net_mut().converge(64);
+        self.refresh_peers();
+        victims
+    }
+
+    /// The periodic successor replication of §7: every responsible indexing
+    /// peer copies each of its inverted lists to the `replication − 1`
+    /// peers succeeding the *term's* ring position. A no-op when
+    /// [`crate::SpriteConfig::replication`] is 1. Returns entries copied.
+    pub fn replicate_indexes(&mut self) -> usize {
+        let degree = self.config().replication;
+        if degree <= 1 {
+            return 0;
+        }
+        // Snapshot which peers hold which terms (borrow hygiene).
+        let holders: Vec<(u128, Vec<TermId>)> = self
+            .indexing_mut()
+            .iter()
+            .map(|(&p, st)| (p, st.term_dfs().map(|(t, _)| t).collect()))
+            .collect();
+        let mut copied = 0;
+        for (holder, terms) in holders {
+            if !self.net().contains(RingId(holder)) {
+                continue;
+            }
+            for term in terms {
+                let key = self.term_ring(term);
+                // Only the current responsible peer fans out; replicas do
+                // not re-replicate.
+                let Some(owner) = self.net().oracle_owner(key) else {
+                    continue;
+                };
+                if owner.0 != holder {
+                    continue;
+                }
+                let entries: Vec<_> = self
+                    .indexing_state(owner)
+                    .map(|st| st.list(term).to_vec())
+                    .unwrap_or_default();
+                if entries.is_empty() {
+                    continue;
+                }
+                let cap = self.config().query_cache_capacity;
+                let replicas: Vec<RingId> = self
+                    .net()
+                    .oracle_replicas(key, degree)
+                    .into_iter()
+                    .skip(1)
+                    .collect();
+                for replica in replicas {
+                    self.net_mut().charge(MsgKind::Replication);
+                    let st = self
+                        .indexing_mut()
+                        .entry(replica.0)
+                        .or_insert_with(|| IndexingState::new(cap));
+                    for &e in &entries {
+                        st.publish(term, e);
+                        copied += 1;
+                    }
+                }
+            }
+        }
+        copied
+    }
+
+    /// §7 load balancing: indexing peers report terms whose indexed
+    /// document frequency exceeds `df_threshold`; every owner indexing such
+    /// a term retracts it (one advisory message each) and publishes its
+    /// next-best term instead. High-df terms "contribute little in the
+    /// similarity calculation" anyway (tiny IDF).
+    pub fn hot_term_advisory(&mut self, df_threshold: usize) -> AdvisoryReport {
+        let mut report = AdvisoryReport::default();
+        // Collect (term, affected docs) across all peers.
+        let hot: Vec<(TermId, Vec<DocId>)> = self
+            .indexing_mut()
+            .values()
+            .flat_map(|st| {
+                st.term_dfs()
+                    .filter(|&(_, df)| df > df_threshold)
+                    .map(|(t, _)| (t, st.list(t).iter().map(|e| e.doc).collect::<Vec<_>>()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        report.hot_terms = hot.len();
+        for (term, docs) in hot {
+            for doc in docs {
+                // One advisory message from the indexing peer to the owner.
+                self.net_mut().charge(MsgKind::Maintenance);
+                if self.apply_advisory(doc, term) {
+                    report.replacements += 1;
+                }
+                report.retractions += 1;
+            }
+        }
+        report
+    }
+
+    /// Apply one advisory: the owner of `doc` drops `term`, excludes it
+    /// from future learning, and republishes its next-best candidate.
+    /// Returns true if a replacement was published.
+    fn apply_advisory(&mut self, doc: DocId, term: TermId) -> bool {
+        if !self.owner_state(doc).published.contains(&term) {
+            // Stale advisory (e.g. the owner already replaced the term).
+            self.owner_mut(doc).excluded.insert(term);
+            return false;
+        }
+        self.remove_term(doc, term);
+        {
+            let owner = self.owner_mut(doc);
+            owner.published.retain(|&t| t != term);
+            owner.excluded.insert(term);
+        }
+        // Next-best candidate under the exclusion.
+        let budget = self.owner_state(doc).published.len() + 1;
+        let candidates = {
+            let d = self.corpus().doc(doc).clone();
+            let owner = self.owner_state(doc);
+            crate::learn::select_terms_excluding(&d, &owner.stats, budget, &owner.excluded)
+        };
+        let published = self.owner_state(doc).published.clone();
+        for t in candidates {
+            if !published.contains(&t) {
+                self.publish_term(doc, t);
+                self.owner_mut(doc).published.push(t);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpriteConfig;
+    use sprite_corpus::{CorpusConfig, SyntheticCorpus};
+    use sprite_ir::Query;
+
+    fn system(replication: usize) -> SpriteSystem {
+        let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(13));
+        let cfg = SpriteConfig {
+            replication,
+            ..SpriteConfig::default()
+        };
+        let mut sys = SpriteSystem::build(sc.corpus().clone(), 24, cfg, 13);
+        sys.publish_all();
+        sys
+    }
+
+    #[test]
+    fn failure_without_replication_loses_entries() {
+        let mut sys = system(1);
+        let before = sys.total_index_entries();
+        let victims = sys.fail_random_peers(4, 1);
+        assert_eq!(victims.len(), 4);
+        assert!(
+            sys.total_index_entries() < before,
+            "some index entries must be lost"
+        );
+        // Queries still run (terms on dead peers are simply discarded, §7).
+        let t = sys.published_terms(DocId(0)).first().copied();
+        if let Some(t) = t {
+            let _ = sys.issue_query(&Query::new(vec![t]), 10);
+        }
+    }
+
+    #[test]
+    fn replication_preserves_retrieval_after_failure() {
+        let mut sys = system(3);
+        sys.replicate_indexes();
+        // Pick a (doc, term) pair and kill its responsible indexing peer.
+        let doc = DocId(0);
+        let term = sys.published_terms(doc)[0];
+        let key = sys.term_ring(term);
+        let victim = sys.net().oracle_owner(key).unwrap();
+        assert!(sys.fail_peer(victim));
+        // The replicas answer: doc 0 is still retrievable by that term.
+        let all = sys.corpus().len();
+        let hits = sys.issue_query(&Query::new(vec![term]), all);
+        assert!(
+            hits.iter().any(|h| h.doc == doc),
+            "replication must keep doc retrievable"
+        );
+    }
+
+    #[test]
+    fn replicate_is_noop_at_degree_one() {
+        let mut sys = system(1);
+        assert_eq!(sys.replicate_indexes(), 0);
+    }
+
+    #[test]
+    fn replicate_copies_every_entry_once_per_replica() {
+        let mut sys = system(2);
+        let copied = sys.replicate_indexes();
+        // Degree 2 ⇒ one extra copy per (doc, term) entry.
+        assert_eq!(copied, sys.corpus().len() * 5);
+        // Re-running re-publishes the same copies (idempotent state).
+        let entries_before = sys.total_index_entries();
+        sys.replicate_indexes();
+        assert_eq!(sys.total_index_entries(), entries_before);
+    }
+
+    #[test]
+    fn fail_unknown_peer_is_false() {
+        let mut sys = system(1);
+        assert!(!sys.fail_peer(RingId(12345)));
+    }
+
+    #[test]
+    fn hot_term_advisory_retracts_and_replaces() {
+        let mut sys = system(1);
+        // Find the hottest indexed df so the advisory flags only the top.
+        let max_df = {
+            let mut m = 0;
+            for p in sys.peers().to_vec() {
+                if let Some(st) = sys.indexing_state(p) {
+                    for (_, df) in st.term_dfs() {
+                        m = m.max(df);
+                    }
+                }
+            }
+            m
+        };
+        assert!(max_df >= 2, "tiny corpus should share some frequent terms");
+        let report = sys.hot_term_advisory(max_df - 1);
+        assert!(report.hot_terms >= 1);
+        assert!(report.retractions >= report.hot_terms);
+        assert!(report.replacements <= report.retractions);
+        for i in 0..sys.corpus().len() {
+            let doc = DocId(i as u32);
+            let owner = sys.owner_state(doc);
+            for t in &owner.excluded {
+                assert!(!owner.published.contains(t), "excluded term still published");
+            }
+        }
+    }
+
+    #[test]
+    fn excluded_terms_stay_out_after_learning() {
+        let mut sys = system(1);
+        sys.hot_term_advisory(10);
+        sys.learn(2);
+        for i in 0..sys.corpus().len() {
+            let doc = DocId(i as u32);
+            let owner = sys.owner_state(doc);
+            for t in &owner.excluded {
+                assert!(
+                    !owner.published.contains(t),
+                    "excluded term republished for doc {i}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! TREC-format interchange.
+//!
+//! The paper evaluates on the TREC9 filtering collection (OHSUMED). That
+//! data is licensed and not shipped here, but users who have it can plug it
+//! in: this module parses the two standard interchange formats —
+//!
+//! * **qrels** (`qid  0  docno  rel`) — relevance judgments;
+//! * **topics** (`<top> <num> ... <title> ...`) — query statements;
+//!
+//! and converts judged topics into the same [`SeedQuery`] representation
+//! the synthetic generator produces, so the entire experiment pipeline
+//! (query generation, SPRITE, the figures) runs unchanged on real data.
+
+use std::collections::{HashMap, HashSet};
+use std::io::BufRead;
+
+use sprite_ir::{Corpus, DocId, Query};
+use sprite_text::Analyzer;
+
+use crate::synthetic::SeedQuery;
+
+/// A parse failure, with the offending line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line where parsing failed.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Relevance judgments: topic id → set of relevant document numbers.
+pub type Qrels = HashMap<String, HashSet<String>>;
+
+/// Parse a qrels stream (`topic  iter  docno  relevance`, whitespace
+/// separated). Documents with relevance > 0 are judged relevant; 0 lines
+/// (judged irrelevant) are skipped. Blank lines and `#` comments allowed.
+pub fn parse_qrels<R: BufRead>(reader: R) -> Result<Qrels, ParseError> {
+    let mut out: Qrels = HashMap::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| ParseError {
+            line: i + 1,
+            message: format!("read error: {e}"),
+        })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(topic), Some(_iter), Some(docno), Some(rel)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(ParseError {
+                line: i + 1,
+                message: format!("expected 4 fields, got {line:?}"),
+            });
+        };
+        let rel: i32 = rel.parse().map_err(|_| ParseError {
+            line: i + 1,
+            message: format!("relevance {rel:?} is not an integer"),
+        })?;
+        if rel > 0 {
+            out.entry(topic.to_string())
+                .or_default()
+                .insert(docno.to_string());
+        }
+    }
+    Ok(out)
+}
+
+/// One parsed topic: identifier plus title text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topic {
+    /// Topic number (as written, e.g. `"OHSU1"` or `"401"`).
+    pub num: String,
+    /// Title — the short query statement.
+    pub title: String,
+}
+
+/// Parse a TREC topics stream: `<top>` blocks containing `<num>` and
+/// `<title>` tags (values either on the tag line or the following lines,
+/// as both conventions appear in TREC data).
+pub fn parse_topics<R: BufRead>(reader: R) -> Result<Vec<Topic>, ParseError> {
+    let mut out = Vec::new();
+    let mut num: Option<String> = None;
+    let mut title: Option<String> = None;
+    let mut collecting_title = false;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| ParseError {
+            line: i + 1,
+            message: format!("read error: {e}"),
+        })?;
+        let t = line.trim();
+        let lower = t.to_ascii_lowercase();
+        if lower.starts_with("<num>") {
+            let v = t[5..].trim().trim_start_matches("Number:").trim();
+            num = Some(v.to_string());
+            collecting_title = false;
+        } else if lower.starts_with("<title>") {
+            let v = t[7..].trim();
+            if v.is_empty() {
+                collecting_title = true;
+                title = Some(String::new());
+            } else {
+                title = Some(v.to_string());
+                collecting_title = false;
+            }
+        } else if lower.starts_with("</top>") {
+            match (num.take(), title.take()) {
+                (Some(n), Some(tt)) if !tt.trim().is_empty() => out.push(Topic {
+                    num: n,
+                    title: tt.trim().to_string(),
+                }),
+                _ => {
+                    return Err(ParseError {
+                        line: i + 1,
+                        message: "topic block without <num> and <title>".into(),
+                    })
+                }
+            }
+            collecting_title = false;
+        } else if lower.starts_with('<') {
+            collecting_title = false;
+        } else if collecting_title && !t.is_empty() {
+            let buf = title.as_mut().expect("collecting implies Some");
+            if !buf.is_empty() {
+                buf.push(' ');
+            }
+            buf.push_str(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Assemble [`SeedQuery`]s from parsed topics and qrels over an analyzed
+/// corpus. `docnos` maps each corpus document to its TREC document number
+/// (parallel to doc ids). Topics without judgments, or whose title
+/// analyzes to nothing, are skipped.
+#[must_use]
+pub fn seed_queries_from_trec(
+    corpus: &Corpus,
+    docnos: &[String],
+    topics: &[Topic],
+    qrels: &Qrels,
+    analyzer: &Analyzer,
+) -> Vec<SeedQuery> {
+    let by_docno: HashMap<&str, DocId> = docnos
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.as_str(), DocId(i as u32)))
+        .collect();
+    let mut out = Vec::new();
+    for (idx, topic) in topics.iter().enumerate() {
+        let Some(rel_docnos) = qrels.get(&topic.num) else {
+            continue;
+        };
+        let relevant: HashSet<DocId> = rel_docnos
+            .iter()
+            .filter_map(|d| by_docno.get(d.as_str()).copied())
+            .collect();
+        if relevant.is_empty() {
+            continue;
+        }
+        let terms: Vec<_> = analyzer
+            .analyze(&topic.title)
+            .iter()
+            .filter_map(|w| corpus.vocab().get(w))
+            .collect();
+        if terms.is_empty() {
+            continue;
+        }
+        out.push(SeedQuery {
+            query: Query::new(terms),
+            relevant,
+            topic: idx,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const QRELS: &str = "\
+# comment line
+OHSU1 0 doc-a 1
+OHSU1 0 doc-b 2
+OHSU1 0 doc-c 0
+OHSU2 0 doc-c 1
+
+OHSU2 0 doc-a 1
+";
+
+    #[test]
+    fn qrels_parse_and_filter() {
+        let q = parse_qrels(Cursor::new(QRELS)).expect("parse");
+        assert_eq!(q.len(), 2);
+        let t1 = &q["OHSU1"];
+        assert!(t1.contains("doc-a") && t1.contains("doc-b"));
+        assert!(!t1.contains("doc-c"), "relevance 0 means judged irrelevant");
+        assert!(q["OHSU2"].contains("doc-c"));
+    }
+
+    #[test]
+    fn qrels_bad_line_is_reported() {
+        let err = parse_qrels(Cursor::new("OHSU1 0 doc-a\n")).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("4 fields"));
+        let err2 = parse_qrels(Cursor::new("t 0 d notanint\n")).unwrap_err();
+        assert!(err2.message.contains("not an integer"));
+    }
+
+    const TOPICS: &str = "\
+<top>
+<num> Number: OHSU1
+<title>
+ 60 year old menopausal woman without hormone replacement
+<desc> Description:
+unused here
+</top>
+<top>
+<num> 402
+<title> behavioral genetics
+</top>
+";
+
+    #[test]
+    fn topics_parse_both_conventions() {
+        let t = parse_topics(Cursor::new(TOPICS)).expect("parse");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].num, "OHSU1");
+        assert_eq!(
+            t[0].title,
+            "60 year old menopausal woman without hormone replacement"
+        );
+        assert_eq!(t[1].num, "402");
+        assert_eq!(t[1].title, "behavioral genetics");
+    }
+
+    #[test]
+    fn topic_without_title_errors() {
+        let err = parse_topics(Cursor::new("<top>\n<num> 1\n</top>\n")).unwrap_err();
+        assert!(err.message.contains("without"));
+    }
+
+    #[test]
+    fn end_to_end_trec_seed_queries() {
+        let analyzer = Analyzer::standard();
+        let texts = [
+            "hormone replacement therapy for menopausal women",
+            "behavioral genetics studies of twins",
+            "distributed hash tables and routing",
+        ];
+        let corpus = Corpus::from_texts(&analyzer, texts);
+        let docnos = vec!["doc-a".to_string(), "doc-b".to_string(), "doc-c".to_string()];
+        let topics = parse_topics(Cursor::new(TOPICS)).unwrap();
+        let qrels = parse_qrels(Cursor::new(
+            "OHSU1 0 doc-a 1\n402 0 doc-b 1\n402 0 doc-x 1\n",
+        ))
+        .unwrap();
+        let seeds = seed_queries_from_trec(&corpus, &docnos, &topics, &qrels, &analyzer);
+        assert_eq!(seeds.len(), 2);
+        // Topic OHSU1: "menopausal", "hormone", "replacement" etc. must map
+        // into the corpus vocabulary after identical analysis.
+        assert!(!seeds[0].query.is_empty());
+        assert_eq!(seeds[0].relevant, [DocId(0)].into_iter().collect());
+        // Unknown docno "doc-x" is ignored.
+        assert_eq!(seeds[1].relevant, [DocId(1)].into_iter().collect());
+    }
+
+    #[test]
+    fn unjudged_topics_are_skipped() {
+        let analyzer = Analyzer::standard();
+        let corpus = Corpus::from_texts(&analyzer, ["some text"]);
+        let topics = vec![Topic {
+            num: "77".into(),
+            title: "text".into(),
+        }];
+        let seeds =
+            seed_queries_from_trec(&corpus, &["d1".to_string()], &topics, &Qrels::new(), &analyzer);
+        assert!(seeds.is_empty());
+    }
+}

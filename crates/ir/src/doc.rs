@@ -1,0 +1,347 @@
+//! Documents, term identifiers, and the corpus container.
+//!
+//! Terms are interned into a [`Vocab`] so that postings, learning state, and
+//! the DHT simulation all work with compact `u32` ids; the string form is
+//! recovered only at protocol boundaries (hashing a term onto the Chord ring
+//! uses its string bytes, exactly as a real deployment would).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use sprite_text::Analyzer;
+
+/// Identifier of a document within a corpus.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The id as a usize index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an interned term.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a usize index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional term interner.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Vocab {
+    map: HashMap<String, TermId>,
+    terms: Vec<String>,
+}
+
+impl Vocab {
+    /// Empty vocabulary.
+    #[must_use]
+    pub fn new() -> Self {
+        Vocab::default()
+    }
+
+    /// Intern `term`, returning its id (existing or fresh).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.map.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("vocabulary exceeds u32"));
+        self.terms.push(term.to_string());
+        self.map.insert(term.to_string(), id);
+        id
+    }
+
+    /// Look up an already-interned term.
+    #[must_use]
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.map.get(term).copied()
+    }
+
+    /// The string form of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this vocabulary.
+    #[must_use]
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id.index()]
+    }
+
+    /// Number of distinct terms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no terms are interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate `(TermId, &str)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t.as_str()))
+    }
+}
+
+/// An analyzed document: distinct terms with frequencies, plus the length.
+///
+/// The paper's inverted-list metadata (§5.1) is exactly this: term frequency
+/// in the document and the document length (token count after stop-word
+/// removal and stemming).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Document {
+    /// Corpus-local identifier.
+    pub id: DocId,
+    /// Distinct terms, sorted by `TermId`, with occurrence counts.
+    terms: Vec<(TermId, u32)>,
+    /// Total token count (the document length used for TF normalization).
+    len: u32,
+}
+
+impl Document {
+    /// Build from unordered `(term, count)` pairs.
+    #[must_use]
+    pub fn new(id: DocId, mut terms: Vec<(TermId, u32)>) -> Self {
+        terms.sort_unstable_by_key(|&(t, _)| t);
+        terms.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 += a.1;
+                true
+            } else {
+                false
+            }
+        });
+        let len = terms.iter().map(|&(_, c)| c).sum();
+        Document { id, terms, len }
+    }
+
+    /// Frequency of `term` in this document (0 if absent).
+    #[must_use]
+    pub fn freq(&self, term: TermId) -> u32 {
+        match self.terms.binary_search_by_key(&term, |&(t, _)| t) {
+            Ok(i) => self.terms[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Does the document contain `term`?
+    #[must_use]
+    pub fn contains(&self, term: TermId) -> bool {
+        self.freq(term) > 0
+    }
+
+    /// Distinct `(term, count)` pairs, ascending by term id.
+    #[must_use]
+    pub fn terms(&self) -> &[(TermId, u32)] {
+        &self.terms
+    }
+
+    /// Total token count.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True for a document with no tokens.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct terms (the denominator of the paper's simplified
+    /// similarity normalization: "number of terms in D_i").
+    #[must_use]
+    pub fn distinct_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Normalized term frequency `t_ik` = freq / document length.
+    #[must_use]
+    pub fn norm_tf(&self, term: TermId) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            f64::from(self.freq(term)) / f64::from(self.len)
+        }
+    }
+
+    /// The `k` most frequent terms, descending by frequency (ties broken by
+    /// smaller term id, deterministically). This is both SPRITE's initial
+    /// selection (§5.2) and eSearch's entire selection policy.
+    #[must_use]
+    pub fn top_frequent_terms(&self, k: usize) -> Vec<TermId> {
+        sprite_util::top_k(k, self.terms.iter().map(|&(t, c)| (c, t)))
+            .into_iter()
+            .map(|s| s.item)
+            .collect()
+    }
+}
+
+/// A set of analyzed documents sharing one vocabulary.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    vocab: Vocab,
+    docs: Vec<Document>,
+}
+
+impl Corpus {
+    /// Empty corpus.
+    #[must_use]
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Analyze raw texts into a corpus using `analyzer`.
+    #[must_use]
+    pub fn from_texts<'a, I>(analyzer: &Analyzer, texts: I) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut corpus = Corpus::new();
+        for text in texts {
+            corpus.add_text(analyzer, text);
+        }
+        corpus
+    }
+
+    /// Analyze and append one text; returns its id.
+    pub fn add_text(&mut self, analyzer: &Analyzer, text: &str) -> DocId {
+        let counts = analyzer.term_counts(text);
+        let terms: Vec<(TermId, u32)> = counts
+            .counts
+            .iter()
+            .map(|(t, &c)| (self.vocab.intern(t), c))
+            .collect();
+        self.add_document(terms)
+    }
+
+    /// Append a pre-analyzed document; returns its id.
+    pub fn add_document(&mut self, terms: Vec<(TermId, u32)>) -> DocId {
+        let id = DocId(u32::try_from(self.docs.len()).expect("corpus exceeds u32"));
+        self.docs.push(Document::new(id, terms));
+        id
+    }
+
+    /// The shared vocabulary.
+    #[must_use]
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Mutable vocabulary access (for generators that intern ahead of time).
+    pub fn vocab_mut(&mut self) -> &mut Vocab {
+        &mut self.vocab
+    }
+
+    /// Number of documents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True if there are no documents.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The document with id `id`.
+    #[must_use]
+    pub fn doc(&self, id: DocId) -> &Document {
+        &self.docs[id.index()]
+    }
+
+    /// All documents, in id order.
+    #[must_use]
+    pub fn docs(&self) -> &[Document] {
+        &self.docs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_interning_roundtrip() {
+        let mut v = Vocab::new();
+        let a = v.intern("alpha");
+        let b = v.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(v.intern("alpha"), a);
+        assert_eq!(v.term(a), "alpha");
+        assert_eq!(v.get("beta"), Some(b));
+        assert_eq!(v.get("gamma"), None);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn document_freq_and_len() {
+        let d = Document::new(DocId(0), vec![(TermId(3), 2), (TermId(1), 5)]);
+        assert_eq!(d.len(), 7);
+        assert_eq!(d.freq(TermId(1)), 5);
+        assert_eq!(d.freq(TermId(3)), 2);
+        assert_eq!(d.freq(TermId(9)), 0);
+        assert!(d.contains(TermId(3)));
+        assert!(!d.contains(TermId(0)));
+        assert_eq!(d.distinct_terms(), 2);
+    }
+
+    #[test]
+    fn document_merges_duplicate_terms() {
+        let d = Document::new(DocId(0), vec![(TermId(1), 2), (TermId(1), 3)]);
+        assert_eq!(d.freq(TermId(1)), 5);
+        assert_eq!(d.distinct_terms(), 1);
+    }
+
+    #[test]
+    fn norm_tf() {
+        let d = Document::new(DocId(0), vec![(TermId(0), 3), (TermId(1), 1)]);
+        assert!((d.norm_tf(TermId(0)) - 0.75).abs() < 1e-12);
+        assert_eq!(d.norm_tf(TermId(7)), 0.0);
+        let empty = Document::new(DocId(1), vec![]);
+        assert_eq!(empty.norm_tf(TermId(0)), 0.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn top_frequent_terms_ordered_and_deterministic() {
+        let d = Document::new(
+            DocId(0),
+            vec![(TermId(5), 10), (TermId(2), 10), (TermId(9), 3), (TermId(1), 7)],
+        );
+        // Frequency desc; tie at 10 broken by smaller TermId.
+        assert_eq!(d.top_frequent_terms(3), [TermId(2), TermId(5), TermId(1)]);
+        assert_eq!(d.top_frequent_terms(0), []);
+        assert_eq!(d.top_frequent_terms(10).len(), 4);
+    }
+
+    #[test]
+    fn corpus_from_texts_shares_vocab() {
+        let analyzer = Analyzer::standard();
+        let corpus = Corpus::from_texts(
+            &analyzer,
+            ["peers share documents", "documents about peers"],
+        );
+        assert_eq!(corpus.len(), 2);
+        let peer = corpus.vocab().get("peer").expect("stemmed 'peers'");
+        assert!(corpus.doc(DocId(0)).contains(peer));
+        assert!(corpus.doc(DocId(1)).contains(peer));
+    }
+}

@@ -1,0 +1,167 @@
+//! The centralized inverted index.
+//!
+//! This is the "ideal distributed system with perfect global knowledge"
+//! of §6: it indexes **every** term of every document and knows the exact
+//! document frequency `n_k` and corpus size `N`. SPRITE and eSearch are
+//! always evaluated as ratios over the ranked lists this index produces.
+
+use crate::doc::{Corpus, DocId, TermId};
+
+/// One inverted-list entry: a document and the term's raw frequency in it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Posting {
+    /// The containing document.
+    pub doc: DocId,
+    /// Raw occurrence count of the term in `doc`.
+    pub tf: u32,
+}
+
+/// Full inverted index over a corpus.
+#[derive(Clone, Debug)]
+pub struct InvertedIndex {
+    /// Postings per term id, each sorted by `DocId`.
+    postings: Vec<Vec<Posting>>,
+    /// Document length (token count) per doc id.
+    doc_len: Vec<u32>,
+    /// Distinct-term count per doc id.
+    doc_distinct: Vec<u32>,
+    /// Number of documents.
+    n_docs: usize,
+}
+
+impl InvertedIndex {
+    /// Build the index over every term of every document in `corpus`.
+    #[must_use]
+    pub fn build(corpus: &Corpus) -> Self {
+        let mut postings: Vec<Vec<Posting>> = vec![Vec::new(); corpus.vocab().len()];
+        let mut doc_len = Vec::with_capacity(corpus.len());
+        let mut doc_distinct = Vec::with_capacity(corpus.len());
+        for doc in corpus.docs() {
+            doc_len.push(doc.len());
+            doc_distinct.push(doc.distinct_terms() as u32);
+            for &(term, tf) in doc.terms() {
+                postings[term.index()].push(Posting { doc: doc.id, tf });
+            }
+        }
+        InvertedIndex {
+            postings,
+            doc_len,
+            doc_distinct,
+            n_docs: corpus.len(),
+        }
+    }
+
+    /// Number of documents indexed (`N`).
+    #[must_use]
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Exact document frequency of `term` (`n_k`).
+    #[must_use]
+    pub fn df(&self, term: TermId) -> usize {
+        self.postings
+            .get(term.index())
+            .map_or(0, std::vec::Vec::len)
+    }
+
+    /// The posting list of `term` (empty slice if the term is unknown).
+    #[must_use]
+    pub fn postings(&self, term: TermId) -> &[Posting] {
+        self.postings
+            .get(term.index())
+            .map_or(&[], std::vec::Vec::as_slice)
+    }
+
+    /// Token count of `doc`.
+    #[must_use]
+    pub fn doc_len(&self, doc: DocId) -> u32 {
+        self.doc_len[doc.index()]
+    }
+
+    /// Distinct-term count of `doc`.
+    #[must_use]
+    pub fn doc_distinct(&self, doc: DocId) -> u32 {
+        self.doc_distinct[doc.index()]
+    }
+
+    /// Total number of postings (index size).
+    #[must_use]
+    pub fn total_postings(&self) -> usize {
+        self.postings.iter().map(std::vec::Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprite_text::Analyzer;
+
+    fn small_corpus() -> Corpus {
+        let analyzer = Analyzer::standard();
+        Corpus::from_texts(
+            &analyzer,
+            [
+                "peer networks share files",       // doc 0
+                "peer learning improves retrieval", // doc 1
+                "files and files of documents",    // doc 2
+            ],
+        )
+    }
+
+    #[test]
+    fn df_counts_documents_not_occurrences() {
+        let corpus = small_corpus();
+        let idx = InvertedIndex::build(&corpus);
+        let file = corpus.vocab().get("file").expect("stem of files");
+        // "file" occurs twice in doc 2 but df counts documents: docs 0 and 2.
+        assert_eq!(idx.df(file), 2);
+        let peer = corpus.vocab().get("peer").unwrap();
+        assert_eq!(idx.df(peer), 2);
+    }
+
+    #[test]
+    fn postings_sorted_by_doc_with_tf() {
+        let corpus = small_corpus();
+        let idx = InvertedIndex::build(&corpus);
+        let file = corpus.vocab().get("file").unwrap();
+        let p = idx.postings(file);
+        assert_eq!(p.len(), 2);
+        assert!(p[0].doc < p[1].doc);
+        assert_eq!(p[1].tf, 2); // "files ... files" in doc 2
+    }
+
+    #[test]
+    fn doc_len_matches_corpus() {
+        let corpus = small_corpus();
+        let idx = InvertedIndex::build(&corpus);
+        for doc in corpus.docs() {
+            assert_eq!(idx.doc_len(doc.id), doc.len());
+            assert_eq!(idx.doc_distinct(doc.id), doc.distinct_terms() as u32);
+        }
+        assert_eq!(idx.n_docs(), 3);
+    }
+
+    #[test]
+    fn unknown_term_is_empty() {
+        let corpus = small_corpus();
+        let idx = InvertedIndex::build(&corpus);
+        assert_eq!(idx.df(TermId(9999)), 0);
+        assert!(idx.postings(TermId(9999)).is_empty());
+    }
+
+    #[test]
+    fn total_postings_is_sum_of_distinct_terms() {
+        let corpus = small_corpus();
+        let idx = InvertedIndex::build(&corpus);
+        let expect: usize = corpus.docs().iter().map(|d| d.distinct_terms()).sum();
+        assert_eq!(idx.total_postings(), expect);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let idx = InvertedIndex::build(&Corpus::new());
+        assert_eq!(idx.n_docs(), 0);
+        assert_eq!(idx.total_postings(), 0);
+    }
+}

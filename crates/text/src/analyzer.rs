@@ -1,0 +1,160 @@
+//! The full analysis pipeline: tokenize → stop-filter → stem.
+//!
+//! This is the "standard way" preprocessing of SPRITE §6 ("removing the
+//! terms in the stop-word-list, and then stemming is applied"), packaged so
+//! every subsystem — the centralized engine, the owner peers, and the query
+//! generator — analyzes text identically. Retrieval quality comparisons are
+//! meaningless unless documents and queries pass through the same analyzer.
+
+use std::collections::HashMap;
+
+use crate::porter;
+use crate::stopwords::StopWords;
+use crate::tokenizer::{Tokenizer, TokenizerConfig};
+
+/// Configurable analysis pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct Analyzer {
+    tokenizer: Tokenizer,
+    stop_words: StopWords,
+    stemming: Stemming,
+}
+
+/// Whether the pipeline stems.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Stemming {
+    /// Apply the Porter stemmer (the paper's configuration).
+    #[default]
+    Porter,
+    /// Leave tokens unstemmed (for ablations and debugging).
+    None,
+}
+
+impl Analyzer {
+    /// The paper's pipeline: letter tokenizer, Lucene English stop words,
+    /// Porter stemmer.
+    #[must_use]
+    pub fn standard() -> Self {
+        Analyzer::default()
+    }
+
+    /// Fully custom pipeline.
+    #[must_use]
+    pub fn new(config: TokenizerConfig, stop_words: StopWords, stemming: Stemming) -> Self {
+        Analyzer {
+            tokenizer: Tokenizer::new(config),
+            stop_words,
+            stemming,
+        }
+    }
+
+    /// Analyze `text` into the term sequence (with duplicates, in order).
+    #[must_use]
+    pub fn analyze(&self, text: &str) -> Vec<String> {
+        self.tokenizer
+            .iter(text)
+            .filter(|t| !self.stop_words.contains(t))
+            .map(|t| match self.stemming {
+                Stemming::Porter => porter::stem(&t),
+                Stemming::None => t,
+            })
+            .collect()
+    }
+
+    /// Analyze `text` into (term → frequency) counts plus the token total.
+    ///
+    /// The token total is the "document length" SPRITE stores in the inverted
+    /// list metadata (§5.1) and uses to normalize term frequency (§4).
+    #[must_use]
+    pub fn term_counts(&self, text: &str) -> TermCounts {
+        let terms = self.analyze(text);
+        let len = terms.len();
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for t in terms {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        TermCounts { counts, len }
+    }
+}
+
+/// Term frequencies of one analyzed text.
+#[derive(Clone, Debug, Default)]
+pub struct TermCounts {
+    /// term → number of occurrences.
+    pub counts: HashMap<String, u32>,
+    /// Total number of tokens after filtering (the document length).
+    pub len: usize,
+}
+
+impl TermCounts {
+    /// Number of distinct terms.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Frequency of `term` (0 if absent).
+    #[must_use]
+    pub fn freq(&self, term: &str) -> u32 {
+        self.counts.get(term).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_pipeline_end_to_end() {
+        let a = Analyzer::standard();
+        let terms = a.analyze("The cats are running in the networks!");
+        // "the", "are", "in" are stop words; rest is stemmed.
+        assert_eq!(terms, ["cat", "run", "network"]);
+    }
+
+    #[test]
+    fn stop_words_removed_before_stemming() {
+        let a = Analyzer::standard();
+        // "this" is a stop word; "these" also.
+        assert!(a.analyze("this these those").iter().all(|t| t != "this"));
+    }
+
+    #[test]
+    fn no_stemming_variant() {
+        let a = Analyzer::new(TokenizerConfig::default(), StopWords::none(), Stemming::None);
+        assert_eq!(a.analyze("running cats"), ["running", "cats"]);
+    }
+
+    #[test]
+    fn term_counts_and_length() {
+        let a = Analyzer::standard();
+        let tc = a.term_counts("peer to peer networks connect peers");
+        // "to" is a stop word → tokens: peer, peer, network, connect, peer
+        assert_eq!(tc.len, 5);
+        assert_eq!(tc.freq("peer"), 3);
+        assert_eq!(tc.freq("network"), 1);
+        assert_eq!(tc.freq("connect"), 1);
+        assert_eq!(tc.freq("absent"), 0);
+        assert_eq!(tc.distinct(), 3);
+    }
+
+    #[test]
+    fn empty_text() {
+        let a = Analyzer::standard();
+        let tc = a.term_counts("");
+        assert_eq!(tc.len, 0);
+        assert_eq!(tc.distinct(), 0);
+    }
+
+    #[test]
+    fn query_and_document_agree() {
+        // The reason the analyzer exists: same surface word forms map to the
+        // same term on both sides.
+        let a = Analyzer::standard();
+        let doc = a.analyze("He was querying the distributed indexes");
+        let query = a.analyze("query distribution index");
+        for t in &query {
+            assert!(doc.contains(t), "query term {t} missing from doc terms {doc:?}");
+        }
+    }
+}

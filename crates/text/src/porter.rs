@@ -1,0 +1,461 @@
+//! The Porter stemming algorithm (M.F. Porter, 1980).
+//!
+//! SPRITE unifies terms "by removing the suffix, such as 'ed' and 'ing'"
+//! (§5.2) — the canonical algorithm for that in the Lucene era is Porter's.
+//! This is a from-scratch transcription of the original 1980 paper
+//! ("An algorithm for suffix stripping", *Program* 14(3)), steps 1a–5b,
+//! operating on lower-case ASCII. Non-ASCII words are returned unchanged;
+//! stemming is only defined for English.
+//!
+//! Validated against the word/stem pairs printed in the paper itself plus a
+//! broader sample of the published `voc.txt`/`output.txt` reference data.
+
+/// Stem `word`, returning the stemmed form.
+///
+/// The input is expected to be lower-case (as produced by the tokenizer);
+/// upper-case letters are treated as non-ASCII and returned unchanged.
+#[must_use]
+pub fn stem(word: &str) -> String {
+    if !word.bytes().all(|b| b.is_ascii_lowercase()) || word.len() <= 2 {
+        // Porter leaves words of length 1-2 alone; we also skip anything
+        // containing digits or non-ASCII, where suffix logic is meaningless.
+        return word.to_string();
+    }
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+    };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5a();
+    s.step5b();
+    String::from_utf8(s.b).expect("stemmer preserves ASCII")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+}
+
+impl Stemmer {
+    /// Is the letter at `i` a consonant? (`y` is a consonant at position 0 or
+    /// after a vowel; after a consonant it acts as a vowel.)
+    fn is_cons(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => i == 0 || !self.is_cons(i - 1),
+            _ => true,
+        }
+    }
+
+    /// Porter's measure `m` of the stem `b[..len]`: the number of VC
+    /// sequences in the form `[C](VC)^m[V]`.
+    fn measure(&self, len: usize) -> usize {
+        let mut m = 0;
+        let mut i = 0;
+        // Skip initial consonants.
+        while i < len && self.is_cons(i) {
+            i += 1;
+        }
+        loop {
+            // Skip vowels.
+            while i < len && !self.is_cons(i) {
+                i += 1;
+            }
+            if i == len {
+                return m;
+            }
+            // Skip consonants: one full VC sequence seen.
+            while i < len && self.is_cons(i) {
+                i += 1;
+            }
+            m += 1;
+        }
+    }
+
+    /// `*v*` — does the stem `b[..len]` contain a vowel?
+    fn has_vowel(&self, len: usize) -> bool {
+        (0..len).any(|i| !self.is_cons(i))
+    }
+
+    /// `*d` — does the stem end with a double consonant?
+    fn ends_double_cons(&self, len: usize) -> bool {
+        len >= 2 && self.b[len - 1] == self.b[len - 2] && self.is_cons(len - 1)
+    }
+
+    /// `*o` — does the stem end consonant-vowel-consonant, where the final
+    /// consonant is not `w`, `x`, or `y`?
+    fn ends_cvc(&self, len: usize) -> bool {
+        if len < 3 {
+            return false;
+        }
+        let c = self.b[len - 1];
+        self.is_cons(len - 3)
+            && !self.is_cons(len - 2)
+            && self.is_cons(len - 1)
+            && c != b'w'
+            && c != b'x'
+            && c != b'y'
+    }
+
+    fn ends_with(&self, suffix: &[u8]) -> bool {
+        self.b.len() >= suffix.len() && &self.b[self.b.len() - suffix.len()..] == suffix
+    }
+
+    /// Length of the stem if `suffix` were removed.
+    fn stem_len(&self, suffix: &[u8]) -> usize {
+        self.b.len() - suffix.len()
+    }
+
+    /// Replace a matched `suffix` with `to`.
+    fn set_suffix(&mut self, suffix: &[u8], to: &[u8]) {
+        let at = self.stem_len(suffix);
+        self.b.truncate(at);
+        self.b.extend_from_slice(to);
+    }
+
+    /// If the word ends with `suffix` and the remaining stem has measure
+    /// exceeding `min_m`, replace the suffix with `to` and return true.
+    /// Also returns true (doing nothing) when the suffix matched but the
+    /// condition failed, so rule lists can stop at the first matching
+    /// suffix as the paper specifies ("the longest match ... is taken").
+    fn rule(&mut self, suffix: &[u8], to: &[u8], min_m: usize) -> bool {
+        if self.ends_with(suffix) {
+            if self.measure(self.stem_len(suffix)) > min_m {
+                self.set_suffix(suffix, to);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Step 1a: plurals. SSES→SS, IES→I, SS→SS, S→ε.
+    fn step1a(&mut self) {
+        if self.ends_with(b"sses") {
+            self.set_suffix(b"sses", b"ss");
+        } else if self.ends_with(b"ies") {
+            self.set_suffix(b"ies", b"i");
+        } else if self.ends_with(b"ss") {
+            // unchanged
+        } else if self.ends_with(b"s") {
+            self.set_suffix(b"s", b"");
+        }
+    }
+
+    /// Step 1b: -ed / -ing, with the cleanup second phase.
+    fn step1b(&mut self) {
+        if self.ends_with(b"eed") {
+            if self.measure(self.stem_len(b"eed")) > 0 {
+                self.set_suffix(b"eed", b"ee");
+            }
+            return;
+        }
+        let stripped = if self.ends_with(b"ed") && self.has_vowel(self.stem_len(b"ed")) {
+            self.set_suffix(b"ed", b"");
+            true
+        } else if self.ends_with(b"ing") && self.has_vowel(self.stem_len(b"ing")) {
+            self.set_suffix(b"ing", b"");
+            true
+        } else {
+            false
+        };
+        if !stripped {
+            return;
+        }
+        // Cleanup: AT→ATE, BL→BLE, IZ→IZE; undouble; or add E after short stem.
+        if self.ends_with(b"at") {
+            self.set_suffix(b"at", b"ate");
+        } else if self.ends_with(b"bl") {
+            self.set_suffix(b"bl", b"ble");
+        } else if self.ends_with(b"iz") {
+            self.set_suffix(b"iz", b"ize");
+        } else if self.ends_double_cons(self.b.len()) {
+            let last = *self.b.last().expect("double consonant implies non-empty");
+            if !matches!(last, b'l' | b's' | b'z') {
+                self.b.pop();
+            }
+        } else if self.measure(self.b.len()) == 1 && self.ends_cvc(self.b.len()) {
+            self.b.push(b'e');
+        }
+    }
+
+    /// Step 1c: (*v*) Y→I.
+    fn step1c(&mut self) {
+        if self.ends_with(b"y") && self.has_vowel(self.stem_len(b"y")) {
+            *self.b.last_mut().expect("ends_with y") = b'i';
+        }
+    }
+
+    /// Step 2: double-suffix reduction (m > 0). Longest match first.
+    fn step2(&mut self) {
+        // Dispatch on the penultimate letter as in Porter's original program
+        // to keep the suffix scan cheap; within a group, longest first.
+        const RULES: &[(&[u8], &[u8])] = &[
+            (b"ational", b"ate"),
+            (b"tional", b"tion"),
+            (b"enci", b"ence"),
+            (b"anci", b"ance"),
+            (b"izer", b"ize"),
+            (b"abli", b"able"),
+            (b"alli", b"al"),
+            (b"entli", b"ent"),
+            (b"eli", b"e"),
+            (b"ousli", b"ous"),
+            (b"ization", b"ize"),
+            (b"ation", b"ate"),
+            (b"ator", b"ate"),
+            (b"alism", b"al"),
+            (b"iveness", b"ive"),
+            (b"fulness", b"ful"),
+            (b"ousness", b"ous"),
+            (b"aliti", b"al"),
+            (b"iviti", b"ive"),
+            (b"biliti", b"ble"),
+        ];
+        for (from, to) in RULES {
+            if self.rule(from, to, 0) {
+                return;
+            }
+        }
+    }
+
+    /// Step 3: -ic-, -full, -ness etc. (m > 0).
+    fn step3(&mut self) {
+        const RULES: &[(&[u8], &[u8])] = &[
+            (b"icate", b"ic"),
+            (b"ative", b""),
+            (b"alize", b"al"),
+            (b"iciti", b"ic"),
+            (b"ical", b"ic"),
+            (b"ful", b""),
+            (b"ness", b""),
+        ];
+        for (from, to) in RULES {
+            if self.rule(from, to, 0) {
+                return;
+            }
+        }
+    }
+
+    /// Step 4: residual suffixes stripped when m > 1.
+    fn step4(&mut self) {
+        const RULES: &[&[u8]] = &[
+            b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
+            b"ent",
+        ];
+        for from in RULES {
+            if self.ends_with(from) {
+                self.rule(from, b"", 1);
+                return;
+            }
+        }
+        // (m>1 and (*S or *T)) ION → ε
+        if self.ends_with(b"ion") {
+            let at = self.stem_len(b"ion");
+            if at >= 1 && matches!(self.b[at - 1], b's' | b't') && self.measure(at) > 1 {
+                self.b.truncate(at);
+            }
+            return;
+        }
+        const RULES2: &[&[u8]] = &[b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize"];
+        for from in RULES2 {
+            if self.ends_with(from) {
+                self.rule(from, b"", 1);
+                return;
+            }
+        }
+    }
+
+    /// Step 5a: drop a final E when m > 1, or m == 1 and not *o.
+    fn step5a(&mut self) {
+        if self.ends_with(b"e") {
+            let at = self.stem_len(b"e");
+            let m = self.measure(at);
+            if m > 1 || (m == 1 && !self.ends_cvc(at)) {
+                self.b.truncate(at);
+            }
+        }
+    }
+
+    /// Step 5b: (m > 1 and *d and *L) undouble the final L.
+    fn step5b(&mut self) {
+        if self.measure(self.b.len()) > 1
+            && self.ends_double_cons(self.b.len())
+            && self.b.last() == Some(&b'l')
+        {
+            self.b.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run a batch of expected (word, stem) pairs.
+    fn check(pairs: &[(&str, &str)]) {
+        for (w, s) in pairs {
+            assert_eq!(stem(w), *s, "stem({w:?})");
+        }
+    }
+
+    #[test]
+    fn step1a_examples() {
+        check(&[
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+        ]);
+    }
+
+    #[test]
+    fn step1b_examples() {
+        check(&[
+            ("feed", "feed"),
+            ("agreed", "agre"), // agreed → agree (1b) → agre (5a)
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+        ]);
+    }
+
+    #[test]
+    fn step1c_examples() {
+        check(&[("happy", "happi"), ("sky", "sky")]);
+    }
+
+    #[test]
+    fn step2_examples() {
+        check(&[
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+        ]);
+    }
+
+    #[test]
+    fn step3_examples() {
+        check(&[
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+        ]);
+    }
+
+    #[test]
+    fn step4_examples() {
+        check(&[
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+        ]);
+    }
+
+    #[test]
+    fn step5_examples() {
+        check(&[
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ]);
+    }
+
+    #[test]
+    fn common_ir_vocabulary() {
+        // Terms a retrieval paper actually indexes.
+        check(&[
+            ("retrieval", "retriev"),
+            ("indexing", "index"),
+            ("queries", "queri"),
+            ("query", "queri"), // query and queries conflate
+            ("documents", "document"),
+            ("learning", "learn"),
+            ("networks", "network"),
+            ("distributed", "distribut"),
+            ("distribution", "distribut"), // conflates with distributed
+        ]);
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        check(&[("a", "a"), ("is", "is"), ("be", "be"), ("ox", "ox")]);
+    }
+
+    #[test]
+    fn non_ascii_and_digit_words_unchanged() {
+        assert_eq!(stem("café"), "café");
+        assert_eq!(stem("mp3"), "mp3");
+        assert_eq!(stem("Upper"), "Upper");
+    }
+
+    #[test]
+    fn idempotent_on_own_output() {
+        // Stemming a stem should usually be a no-op; verify for a sample.
+        for w in [
+            "relational",
+            "hopefulness",
+            "generalizations",
+            "oscillators",
+            "troubled",
+            "happiness",
+        ] {
+            let once = stem(w);
+            let twice = stem(&once);
+            assert_eq!(once, twice, "stem not idempotent for {w}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Stop-word filtering.
+//!
+//! The paper uses "the default stop-word-list in Lucene" (§6). That list —
+//! Lucene's `EnglishAnalyzer.ENGLISH_STOP_WORDS_SET`, 33 words — is
+//! transcribed in [`LUCENE_ENGLISH`]. A [`StopWords`] set can also be built
+//! from any custom list.
+
+use std::collections::HashSet;
+
+/// Lucene's default English stop-word list (33 entries), verbatim.
+pub const LUCENE_ENGLISH: [&str; 33] = [
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is", "it",
+    "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there", "these",
+    "they", "this", "to", "was", "will", "with",
+];
+
+/// A stop-word set.
+#[derive(Clone, Debug)]
+pub struct StopWords {
+    set: HashSet<String>,
+}
+
+impl Default for StopWords {
+    /// The Lucene default English list.
+    fn default() -> Self {
+        Self::lucene_english()
+    }
+}
+
+impl StopWords {
+    /// Lucene's default English stop words.
+    #[must_use]
+    pub fn lucene_english() -> Self {
+        Self::from_words(LUCENE_ENGLISH)
+    }
+
+    /// An empty set (no filtering).
+    #[must_use]
+    pub fn none() -> Self {
+        StopWords { set: HashSet::new() }
+    }
+
+    /// Build from any iterator of words; words are stored lower-cased.
+    pub fn from_words<I, S>(words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        StopWords {
+            set: words
+                .into_iter()
+                .map(|w| w.as_ref().to_lowercase())
+                .collect(),
+        }
+    }
+
+    /// Is `word` (assumed already lower-cased) a stop word?
+    #[must_use]
+    pub fn contains(&self, word: &str) -> bool {
+        self.set.contains(word)
+    }
+
+    /// Number of stop words in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True if the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lucene_list_has_33_words() {
+        let s = StopWords::lucene_english();
+        assert_eq!(s.len(), 33);
+    }
+
+    #[test]
+    fn classic_stop_words_match() {
+        let s = StopWords::default();
+        for w in ["the", "is", "a", "and", "with", "to"] {
+            assert!(s.contains(w), "{w} should be a stop word");
+        }
+        for w in ["dog", "retrieval", "peer", "chord"] {
+            assert!(!s.contains(w), "{w} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn custom_list_is_lowercased() {
+        let s = StopWords::from_words(["FOO", "Bar"]);
+        assert!(s.contains("foo"));
+        assert!(s.contains("bar"));
+        assert!(!s.contains("baz"));
+    }
+
+    #[test]
+    fn none_filters_nothing() {
+        let s = StopWords::none();
+        assert!(s.is_empty());
+        assert!(!s.contains("the"));
+    }
+}

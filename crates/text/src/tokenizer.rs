@@ -1,0 +1,174 @@
+//! Tokenization.
+//!
+//! SPRITE preprocesses documents "in the standard way" (§6): split into
+//! terms, lower-case, drop stop words, stem. This module is the first stage:
+//! a letter-run tokenizer equivalent to Lucene's classic `LetterTokenizer` +
+//! `LowerCaseFilter`, with configurable token length bounds so degenerate
+//! inputs (single letters, base64 blobs) can be excluded.
+
+/// Configuration for [`Tokenizer`].
+#[derive(Clone, Debug)]
+pub struct TokenizerConfig {
+    /// Tokens shorter than this are dropped. Default 2.
+    pub min_len: usize,
+    /// Tokens longer than this are dropped (Lucene truncates at 255; we drop,
+    /// since absurdly long "terms" are noise in every corpus). Default 64.
+    pub max_len: usize,
+    /// Whether digits extend a token (`"mp3"`, `"tcp2"`). Default true.
+    pub keep_digits: bool,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        TokenizerConfig {
+            min_len: 2,
+            max_len: 64,
+            keep_digits: true,
+        }
+    }
+}
+
+/// A lower-casing letter-run tokenizer.
+#[derive(Clone, Debug, Default)]
+pub struct Tokenizer {
+    config: TokenizerConfig,
+}
+
+impl Tokenizer {
+    /// Tokenizer with the given configuration.
+    #[must_use]
+    pub fn new(config: TokenizerConfig) -> Self {
+        Tokenizer { config }
+    }
+
+    /// Split `text` into lower-cased tokens.
+    #[must_use]
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        self.iter(text).collect()
+    }
+
+    /// Iterate tokens without collecting.
+    pub fn iter<'t>(&'t self, text: &'t str) -> impl Iterator<Item = String> + 't {
+        TokenIter {
+            config: &self.config,
+            chars: text.chars(),
+            pending: None,
+        }
+    }
+}
+
+struct TokenIter<'t> {
+    config: &'t TokenizerConfig,
+    chars: std::str::Chars<'t>,
+    pending: Option<char>,
+}
+
+impl Iterator for TokenIter<'_> {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        let is_tok = |c: char| {
+            c.is_alphabetic() || (self.config.keep_digits && c.is_ascii_digit())
+        };
+        loop {
+            let mut tok = String::new();
+            // Resume from a char peeked on the previous round, or scan ahead.
+            let mut c = match self.pending.take() {
+                Some(c) => Some(c),
+                None => self.chars.by_ref().find(|&c| is_tok(c)),
+            };
+            while let Some(ch) = c {
+                if is_tok(ch) {
+                    for lc in ch.to_lowercase() {
+                        tok.push(lc);
+                    }
+                    c = self.chars.next();
+                } else {
+                    break;
+                }
+            }
+            if tok.is_empty() {
+                return None;
+            }
+            let len = tok.chars().count();
+            if len >= self.config.min_len && len <= self.config.max_len {
+                return Some(tok);
+            }
+            // Token filtered; keep scanning. `c` (the delimiter) is consumed.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        Tokenizer::default().tokenize(s)
+    }
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            toks("Hello, world! Foo-bar baz."),
+            ["hello", "world", "foo", "bar", "baz"]
+        );
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(toks("MiXeD CaSe"), ["mixed", "case"]);
+    }
+
+    #[test]
+    fn keeps_digits_inside_tokens() {
+        assert_eq!(toks("mp3 and tcp2ip"), ["mp3", "and", "tcp2ip"]);
+    }
+
+    #[test]
+    fn drops_short_tokens() {
+        // Default min_len = 2: "a" and "I" vanish.
+        assert_eq!(toks("a I am ok"), ["am", "ok"]);
+    }
+
+    #[test]
+    fn drops_over_long_tokens() {
+        let long = "x".repeat(100);
+        let text = format!("good {long} fine");
+        assert_eq!(toks(&text), ["good", "fine"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(toks("").is_empty());
+        assert!(toks("!!! ··· 123---...").len() == 1); // "123" survives
+        let no_digits = Tokenizer::new(TokenizerConfig {
+            keep_digits: false,
+            ..TokenizerConfig::default()
+        });
+        assert!(no_digits.tokenize("123 456").is_empty());
+    }
+
+    #[test]
+    fn digits_disabled_split_tokens() {
+        let t = Tokenizer::new(TokenizerConfig {
+            keep_digits: false,
+            ..TokenizerConfig::default()
+        });
+        assert_eq!(t.tokenize("tcp2ip"), ["tcp", "ip"]);
+    }
+
+    #[test]
+    fn unicode_letters_pass_through() {
+        assert_eq!(toks("Überraschung naïve café"), ["überraschung", "naïve", "café"]);
+    }
+
+    #[test]
+    fn min_len_one_keeps_single_letters() {
+        let t = Tokenizer::new(TokenizerConfig {
+            min_len: 1,
+            ..TokenizerConfig::default()
+        });
+        assert_eq!(t.tokenize("a b"), ["a", "b"]);
+    }
+}

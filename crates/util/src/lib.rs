@@ -1,0 +1,33 @@
+//! Foundations shared by every SPRITE crate.
+//!
+//! This crate holds the paper-mandated primitives that do not belong to any
+//! one subsystem:
+//!
+//! * [`md5`] — the MD5 digest (RFC 1321) used to hash terms, queries, and
+//!   peer addresses onto the Chord ring (SPRITE §6);
+//! * [`id`] — 128-bit ring identifiers with Chord's wrap-around interval
+//!   arithmetic;
+//! * [`zipf`] — exact Zipf sampling for term statistics and the `w-zipf`
+//!   query schedule of Figure 4(b);
+//! * [`topk`] — bounded top-k selection used for term budgets and answer
+//!   lists;
+//! * [`stats`] — one-pass summaries for experiment reporting;
+//! * [`rng`] — labeled, deterministic RNG derivation so every experiment is
+//!   reproducible.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod id;
+pub mod md5;
+pub mod rng;
+pub mod stats;
+pub mod topk;
+pub mod zipf;
+
+pub use id::{RingId, ID_BITS};
+pub use md5::{md5, md5_u128, Digest, Md5};
+pub use rng::derive_rng;
+pub use stats::{percentile, Summary};
+pub use topk::{top_k, F64Ord, Scored, TopK};
+pub use zipf::Zipf;

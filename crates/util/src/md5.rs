@@ -1,0 +1,277 @@
+//! MD5 message digest (RFC 1321), implemented from scratch.
+//!
+//! The SPRITE paper hashes every term (and every cached query) with MD5 to
+//! place it on the Chord identifier circle: *"All terms are hashed using MD5
+//! hash function"* (§6). MD5 is long broken for cryptographic purposes, but
+//! here it is used purely as a uniform hash into the 128-bit ring — exactly
+//! the role it plays in the original Chord paper as well.
+//!
+//! The implementation is a straightforward streaming transcription of
+//! RFC 1321 and is validated against the RFC's appendix A.5 test suite.
+
+/// Per-round left-rotate amounts, RFC 1321 §3.4.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Sine-derived constants `K[i] = floor(2^32 * abs(sin(i + 1)))`, RFC 1321 §3.4.
+const K: [u32; 64] = [
+    0xd76a_a478, 0xe8c7_b756, 0x2420_70db, 0xc1bd_ceee, 0xf57c_0faf, 0x4787_c62a, 0xa830_4613,
+    0xfd46_9501, 0x6980_98d8, 0x8b44_f7af, 0xffff_5bb1, 0x895c_d7be, 0x6b90_1122, 0xfd98_7193,
+    0xa679_438e, 0x49b4_0821, 0xf61e_2562, 0xc040_b340, 0x265e_5a51, 0xe9b6_c7aa, 0xd62f_105d,
+    0x0244_1453, 0xd8a1_e681, 0xe7d3_fbc8, 0x21e1_cde6, 0xc337_07d6, 0xf4d5_0d87, 0x455a_14ed,
+    0xa9e3_e905, 0xfcef_a3f8, 0x676f_02d9, 0x8d2a_4c8a, 0xfffa_3942, 0x8771_f681, 0x6d9d_6122,
+    0xfde5_380c, 0xa4be_ea44, 0x4bde_cfa9, 0xf6bb_4b60, 0xbebf_bc70, 0x289b_7ec6, 0xeaa1_27fa,
+    0xd4ef_3085, 0x0488_1d05, 0xd9d4_d039, 0xe6db_99e5, 0x1fa2_7cf8, 0xc4ac_5665, 0xf429_2244,
+    0x432a_ff97, 0xab94_23a7, 0xfc93_a039, 0x655b_59c3, 0x8f0c_cc92, 0xffef_f47d, 0x8584_5dd1,
+    0x6fa8_7e4f, 0xfe2c_e6e0, 0xa301_4314, 0x4e08_11a1, 0xf753_7e82, 0xbd3a_f235, 0x2ad7_d2bb,
+    0xeb86_d391,
+];
+
+/// Initial chaining values A, B, C, D (RFC 1321 §3.3).
+const INIT: [u32; 4] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476];
+
+/// A 16-byte MD5 digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digest(pub [u8; 16]);
+
+impl Digest {
+    /// The digest interpreted as a big-endian 128-bit integer.
+    ///
+    /// This is the value placed on the Chord identifier circle.
+    #[must_use]
+    pub fn as_u128(&self) -> u128 {
+        u128::from_be_bytes(self.0)
+    }
+
+    /// Lower-case hexadecimal rendering (the conventional MD5 text form).
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in self.0 {
+            use std::fmt::Write as _;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Streaming MD5 hasher.
+///
+/// Accepts input incrementally via [`Md5::update`]; call [`Md5::finalize`]
+/// to obtain the digest. For one-shot hashing use [`md5`].
+#[derive(Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    /// Total message length in bytes (mod 2^64 as the RFC requires).
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    /// Create a hasher in the RFC initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: INIT,
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+
+        // Top up a partially filled block first.
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+
+        // Whole blocks straight from the input.
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut tmp = [0u8; 64];
+            tmp.copy_from_slice(block);
+            self.compress(&tmp);
+            rest = tail;
+        }
+
+        // Stash the tail.
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Apply RFC 1321 padding and produce the digest.
+    #[must_use]
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: a single 0x80 byte, then zeros to 56 mod 64, then the
+        // little-endian 64-bit bit count.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // `update` would keep counting length; write the length block by hand.
+        self.buf[56..64].copy_from_slice(&bit_len.to_le_bytes());
+        let block = self.buf;
+        self.compress(&block);
+
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        Digest(out)
+    }
+
+    /// The RFC 1321 compression function over one 64-byte block.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+
+        let [mut a, mut b, mut c, mut d] = self.state;
+
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            let sum = a
+                .wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g]);
+            b = b.wrapping_add(sum.rotate_left(S[i]));
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+/// One-shot MD5 of `data`.
+#[must_use]
+pub fn md5(data: &[u8]) -> Digest {
+    let mut h = Md5::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// One-shot MD5 of a string, returned as the ring position (big-endian u128).
+#[must_use]
+pub fn md5_u128(data: &str) -> u128 {
+    md5(data.as_bytes()).as_u128()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        let cases: &[(&str, &str)] = &[
+            ("", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("a", "0cc175b9c0f1b6a831c399e269772661"),
+            ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+            ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, expect) in cases {
+            assert_eq!(md5(input.as_bytes()).to_hex(), *expect, "md5({input:?})");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog repeatedly and at length";
+        let oneshot = md5(data);
+        // Feed in awkward chunk sizes crossing block boundaries.
+        for chunk in [1usize, 3, 7, 63, 64, 65] {
+            let mut h = Md5::new();
+            for piece in data.chunks(chunk) {
+                h.update(piece);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn long_input_crosses_many_blocks() {
+        // Known digest for one million 'a' characters (classic MD5 stress vector).
+        let mut h = Md5::new();
+        let block = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&block);
+        }
+        assert_eq!(h.finalize().to_hex(), "7707d6ae4e027c70eea2a935c2296f21");
+    }
+
+    #[test]
+    fn digest_u128_is_big_endian() {
+        let d = Digest([
+            0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e,
+            0x0f, 0x10,
+        ]);
+        assert_eq!(d.as_u128(), 0x0102_0304_0506_0708_090a_0b0c_0d0e_0f10);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let d = md5(b"abc");
+        assert_eq!(format!("{d}"), "900150983cd24fb0d6963f7d28e17f72");
+        assert!(format!("{d:?}").contains("900150983cd24fb0d6963f7d28e17f72"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Bounded top-k selection.
+//!
+//! SPRITE is full of "keep the best k" operations: the top-F most frequent
+//! terms at initial indexing, the top-T terms of the learning rank list
+//! (Algorithm 1 line 17), and the top-K answers of every query. [`TopK`]
+//! implements the standard bounded min-heap: O(log k) per offer, O(k log k)
+//! to extract the sorted result, O(k) memory regardless of stream length.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An ordered score/item pair. Ordering is by score first, then by item, so
+/// results are deterministic even with tied scores (ties break toward the
+/// *smaller* item value — e.g. the lexicographically earlier term).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scored<S, T> {
+    /// The ranking score.
+    pub score: S,
+    /// The ranked item.
+    pub item: T,
+}
+
+impl<S: Ord, T: Ord> PartialOrd for Scored<S, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<S: Ord, T: Ord> Ord for Scored<S, T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Score first; tied scores prefer the smaller item (a *greater*
+        // entry is the one with the smaller item), so ranked output is
+        // deterministic — e.g. the lexicographically earlier term wins.
+        self.score
+            .cmp(&other.score)
+            .then_with(|| other.item.cmp(&self.item))
+    }
+}
+
+/// A bounded selector keeping the `k` greatest entries seen so far.
+#[derive(Clone, Debug)]
+pub struct TopK<S, T>
+where
+    S: Ord,
+    T: Ord,
+{
+    k: usize,
+    heap: BinaryHeap<Reverse<Scored<S, T>>>,
+}
+
+impl<S, T> TopK<S, T>
+where
+    S: Ord,
+    T: Ord,
+{
+    /// Create a selector for the `k` greatest entries. `k == 0` keeps nothing.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            // Capacity is a hint; clamp so pathological k (e.g. "keep
+            // everything" = usize::MAX) doesn't pre-allocate the world.
+            heap: BinaryHeap::with_capacity(k.saturating_add(1).min(4096)),
+        }
+    }
+
+    /// Offer one entry; returns `true` if it was retained (possibly evicting
+    /// the current minimum).
+    pub fn offer(&mut self, score: S, item: T) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        let entry = Scored { score, item };
+        if self.heap.len() < self.k {
+            self.heap.push(Reverse(entry));
+            return true;
+        }
+        // Full: replace the smallest retained entry if the newcomer beats it.
+        let min = self.heap.peek().expect("heap non-empty when full");
+        if entry > min.0 {
+            self.heap.pop();
+            self.heap.push(Reverse(entry));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of currently retained entries (≤ k).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The smallest retained score, if any (the current admission threshold
+    /// once the selector is full).
+    #[must_use]
+    pub fn threshold(&self) -> Option<&S> {
+        self.heap.peek().map(|Reverse(e)| &e.score)
+    }
+
+    /// Consume the selector, returning entries in descending score order.
+    #[must_use]
+    pub fn into_sorted(self) -> Vec<Scored<S, T>> {
+        let mut v: Vec<_> = self.heap.into_iter().map(|Reverse(e)| e).collect();
+        v.sort_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+/// Convenience: top `k` of an iterator of `(score, item)` pairs, descending.
+pub fn top_k<S, T, I>(k: usize, items: I) -> Vec<Scored<S, T>>
+where
+    I: IntoIterator<Item = (S, T)>,
+    S: Ord,
+    T: Ord,
+{
+    let mut sel = TopK::new(k);
+    for (s, t) in items {
+        sel.offer(s, t);
+    }
+    sel.into_sorted()
+}
+
+/// Total ordering wrapper for `f64` scores (NaN sorts lowest). The similarity
+/// scores flowing through SPRITE are finite by construction, but ranked lists
+/// must never panic on a stray NaN.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct F64Ord(pub f64);
+
+impl Eq for F64Ord {}
+
+impl PartialOrd for F64Ord {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Ord {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self.0.is_nan(), other.0.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            (false, false) => self.0.partial_cmp(&other.0).expect("both non-NaN"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_k_greatest() {
+        let got = top_k(3, [(5, "e"), (1, "a"), (4, "d"), (2, "b"), (3, "c")]);
+        let items: Vec<_> = got.iter().map(|s| s.item).collect();
+        assert_eq!(items, ["e", "d", "c"]);
+        assert_eq!(got[0].score, 5);
+    }
+
+    #[test]
+    fn fewer_items_than_k() {
+        let got = top_k(10, [(1, "a"), (2, "b")]);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].item, "b");
+    }
+
+    #[test]
+    fn k_zero_keeps_nothing() {
+        let mut sel: TopK<i32, &str> = TopK::new(0);
+        assert!(!sel.offer(100, "x"));
+        assert!(sel.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_item() {
+        let got = top_k(2, [(1, "zebra"), (1, "apple"), (1, "mango")]);
+        let items: Vec<_> = got.iter().map(|s| s.item).collect();
+        // All scores tie; deterministic preference for earlier strings.
+        assert_eq!(items, ["apple", "mango"]);
+    }
+
+    #[test]
+    fn threshold_tracks_admission_bar() {
+        let mut sel = TopK::new(2);
+        assert_eq!(sel.threshold(), None);
+        sel.offer(5, "a");
+        sel.offer(9, "b");
+        assert_eq!(sel.threshold(), Some(&5));
+        sel.offer(7, "c"); // evicts 5
+        assert_eq!(sel.threshold(), Some(&7));
+        assert!(!sel.offer(6, "d")); // below bar
+    }
+
+    #[test]
+    fn f64ord_handles_nan() {
+        let mut v = [F64Ord(1.0), F64Ord(f64::NAN), F64Ord(-2.0), F64Ord(3.0)];
+        v.sort();
+        assert!(v[0].0.is_nan());
+        assert_eq!(v[1].0, -2.0);
+        assert_eq!(v[3].0, 3.0);
+    }
+
+    #[test]
+    fn float_scores_in_topk() {
+        let got = top_k(
+            2,
+            [
+                (F64Ord(0.1), 1u32),
+                (F64Ord(0.9), 2),
+                (F64Ord(0.5), 3),
+                (F64Ord(f64::NAN), 4),
+            ],
+        );
+        let items: Vec<_> = got.iter().map(|s| s.item).collect();
+        assert_eq!(items, [2, 3]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Zipfian sampling.
+//!
+//! Two places in the SPRITE evaluation need a Zipf distribution:
+//!
+//! * the synthetic corpus draws vocabulary terms with Zipf-distributed
+//!   frequency (natural-language term statistics), and
+//! * the `w-zipf` query schedule of Figure 4(b) issues queries "with Zipfian
+//!   distribution, whose slope is set to 0.5" — query popularity inversely
+//!   proportional to rank^0.5.
+//!
+//! The sampler precomputes the normalized cumulative mass over the `n` ranks
+//! and draws by binary search, so sampling is O(log n) and exact (no
+//! rejection), which keeps experiment runs deterministic given a seeded RNG.
+
+use rand::Rng;
+
+/// Exact inverse-CDF sampler for the Zipf distribution over ranks `1..=n`
+/// with exponent `s`: `P(rank = k) ∝ 1 / k^s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative probability for each rank; last entry is 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/NaN.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Defend against floating point: the last entry must be exactly 1.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks in the domain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the domain is the single rank 0.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false // domain is never empty by construction
+    }
+
+    /// Draw a 0-based rank (0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of 0-based rank `k`.
+    #[must_use]
+    pub fn pmf(&self, k: usize) -> f64 {
+        let lo = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        self.cdf[k] - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mass_sums_to_one() {
+        let z = Zipf::new(1000, 0.5);
+        let total: f64 = (0..1000).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let z = Zipf::new(100, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+        // Classic Zipf: p(1)/p(2) = 2^s.
+        assert!((z.pmf(0) / z.pmf(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_frequencies_track_pmf() {
+        let z = Zipf::new(10, 0.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: empirical {emp} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_domain() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zero_domain_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

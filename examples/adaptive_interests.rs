@@ -1,0 +1,59 @@
+//! Interest drift — the Figure 4(c) scenario as a story.
+//!
+//! A community first queries topic A; SPRITE tunes document indexes toward
+//! A's vocabulary. Then everyone moves on to topic B: the index briefly
+//! underperforms, learns the new vocabulary within an iteration or two, and
+//! replaces obsolete terms (the cap forces real replacement, not growth).
+//!
+//! Run: `cargo run --example adaptive_interests --release`
+
+use sprite::core::{SpriteConfig, SpriteSystem};
+use sprite::corpus::{CorpusConfig, SyntheticCorpus};
+use sprite::ir::{DocId, Query};
+use std::collections::HashSet;
+
+fn precision_for_topic(
+    sys: &mut SpriteSystem,
+    world: &SyntheticCorpus,
+    topic: usize,
+    k: usize,
+) -> f64 {
+    let relevant: HashSet<DocId> = world.topic_docs(topic);
+    let query = Query::new(world.topic_core(topic)[..3].to_vec());
+    let hits = sys.issue_query(&query, k);
+    hits.iter().filter(|h| relevant.contains(&h.doc)).count() as f64 / k as f64
+}
+
+fn main() {
+    let world = SyntheticCorpus::generate(&CorpusConfig::tiny(9));
+    let cfg = SpriteConfig {
+        max_terms: 12, // a tight cap so drift forces term replacement
+        ..SpriteConfig::default()
+    };
+    let mut sys = SpriteSystem::build(world.corpus().clone(), 24, cfg, 9);
+    sys.publish_all();
+
+    let (topic_a, topic_b) = (0usize, 1usize);
+    println!("iter | active | P@10 active topic | terms added/removed");
+    for it in 1..=8 {
+        let active = if it <= 4 { topic_a } else { topic_b };
+        // This iteration's query traffic: the active topic's vocabulary.
+        let q = Query::new(world.topic_core(active)[..3].to_vec());
+        for _ in 0..5 {
+            sys.issue_query(&q, 10);
+        }
+        let report = sys.learning_iteration();
+        let p = precision_for_topic(&mut sys, &world, active, 10);
+        println!(
+            "{it:>4} | {}      | {p:>17.2} | +{} / -{}{}",
+            if active == topic_a { "A" } else { "B" },
+            report.terms_added,
+            report.terms_removed,
+            if it == 5 { "   <- interest shift" } else { "" }
+        );
+    }
+    println!(
+        "\nafter the shift, obsolete topic-A terms are replaced by topic-B \
+         terms under the same 12-term budget"
+    );
+}

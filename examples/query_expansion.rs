@@ -1,0 +1,58 @@
+//! §7 query expansion by local context analysis.
+//!
+//! A one-term query is usually too sparse for a partial index. The
+//! expansion pass downloads the top-ranked documents from their owner
+//! peers, finds terms co-occurring across them, enriches the query, and
+//! re-issues it — no global statistics required.
+//!
+//! Run: `cargo run --example query_expansion --release`
+
+use sprite::core::{ExpansionConfig, SpriteConfig, SpriteSystem};
+use sprite::corpus::{CorpusConfig, SyntheticCorpus};
+use sprite::ir::Query;
+use std::collections::HashSet;
+
+fn main() {
+    let world = SyntheticCorpus::generate(&CorpusConfig::tiny(21));
+    let mut sys = SpriteSystem::build(world.corpus().clone(), 24, SpriteConfig::default(), 21);
+    sys.publish_all();
+
+    // A single characteristic term of topic 0 that is actually indexed.
+    let topic = 0usize;
+    let term = world
+        .topic_core(topic)
+        .iter()
+        .copied()
+        .find(|&t| sys.indexed_df(t) > 0)
+        .expect("an indexed core term");
+    let query = Query::new(vec![term]);
+    let relevant = world.topic_docs(topic);
+
+    let topical = |hits: &[sprite::ir::Hit], relevant: &HashSet<sprite::ir::DocId>| {
+        hits.iter().filter(|h| relevant.contains(&h.doc)).count()
+    };
+
+    let k = 25;
+    let plain = sys.issue_query(&query, k);
+    println!(
+        "plain one-term query:   {} hits, {} from the right topic",
+        plain.len(),
+        topical(&plain, &relevant)
+    );
+
+    let cfg = ExpansionConfig {
+        candidate_docs: 8,
+        expand_terms: 4,
+        ..ExpansionConfig::default()
+    };
+    let expanded = sys.issue_query_expanded(&query, k, &cfg);
+    println!(
+        "with local expansion:   {} hits, {} from the right topic",
+        expanded.len(),
+        topical(&expanded, &relevant)
+    );
+    println!(
+        "\nexpansion analyzed {} documents and appended up to {} co-occurring terms",
+        cfg.candidate_docs, cfg.expand_terms
+    );
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a small SPRITE deployment, share documents, search,
+//! learn from the queries, and watch retrieval improve.
+//!
+//! Run: `cargo run --example quickstart --release`
+
+use sprite::core::{SpriteConfig, SpriteSystem};
+use sprite::corpus::{CorpusConfig, SyntheticCorpus};
+use sprite::ir::Query;
+
+fn main() {
+    // 1. A corpus of 200 synthetic documents over 8 latent topics.
+    let world = SyntheticCorpus::generate(&CorpusConfig::tiny(7));
+    println!(
+        "corpus: {} documents, {} distinct terms",
+        world.corpus().len(),
+        world.corpus().vocab().len()
+    );
+
+    // 2. A SPRITE deployment: 32 peers in a Chord ring; each document
+    //    initially publishes its 5 most frequent terms.
+    let mut system = SpriteSystem::build(world.corpus().clone(), 32, SpriteConfig::default(), 7);
+    system.publish_all();
+    println!(
+        "published {} index entries over {} peers ({} messages so far)",
+        system.total_index_entries(),
+        system.peers().len(),
+        system.net().stats().total_messages()
+    );
+
+    // 3. Users search. Take a topic's characteristic terms as the query —
+    //    some of them are *not* among any document's most frequent terms,
+    //    so the initial frequency-based index misses documents.
+    let topic_terms = world.topic_core(0);
+    let query = Query::new(topic_terms[..4].to_vec());
+    let before = system.issue_query(&query, 20);
+    println!("\ntop-20 before learning: {} hits", before.len());
+
+    // 4. The same interests keep arriving (query locality); each issue is
+    //    cached at the responsible indexing peers.
+    for _ in 0..10 {
+        system.issue_query(&query, 20);
+    }
+
+    // 5. Owners run the periodic learning pass (Algorithm 1): terms that
+    //    users actually query replace merely-frequent ones.
+    let report = system.learning_iteration();
+    println!(
+        "learning: {} documents updated, {} terms added, {} queries returned",
+        report.docs_changed, report.terms_added, report.queries_returned
+    );
+
+    let after = system.issue_query(&query, 20);
+    let before_score: f64 = before.iter().map(|h| h.score).sum();
+    let after_score: f64 = after.iter().map(|h| h.score).sum();
+    println!(
+        "top-20 after learning: {} hits (aggregate score {:.2} -> {:.2})",
+        after.len(),
+        before_score,
+        after_score
+    );
+
+    // 6. Every inter-peer message was accounted.
+    let stats = system.net().stats();
+    println!(
+        "\nnetwork totals: {} messages, {} lookups, {:.1} mean hops",
+        stats.total_messages(),
+        stats.lookups(),
+        stats.mean_hops()
+    );
+}

@@ -1,0 +1,334 @@
+//! The `sprite` command-line tool: inspect generated worlds, run the
+//! paper's figures, search a live deployment, and print load reports —
+//! all from one binary.
+//!
+//! ```text
+//! sprite corpus  [--scale tiny|small|full] [--seed N]
+//! sprite search  [--scale ...] [--seed N] [--learn N] <word>...
+//! sprite figure  <4a|4b|4c> [--scale ...] [--seed N]
+//! sprite load    [--scale ...] [--seed N] [--replication R]
+//! ```
+
+use std::process::ExitCode;
+
+use sprite::core::{fig4a, fig4b, fig4c, SpriteConfig, World, WorldConfig};
+use sprite::corpus::Schedule;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+struct Args {
+    command: Command,
+    scale: Scale,
+    seed: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Corpus,
+    Search { learn: usize, words: Vec<String> },
+    Figure(String),
+    Load { replication: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scale {
+    Tiny,
+    Small,
+    Full,
+}
+
+const USAGE: &str = "\
+sprite — learning-based text retrieval in DHT networks (ICDE 2007 reproduction)
+
+USAGE:
+  sprite corpus  [--scale tiny|small|full] [--seed N]
+  sprite search  [--scale ...] [--seed N] [--learn N] <word>...
+  sprite figure  <4a|4b|4c> [--scale ...] [--seed N]
+  sprite load    [--scale ...] [--seed N] [--replication R]
+
+OPTIONS:
+  --scale        world size (default: tiny for corpus/search/load, small for figure)
+  --seed N       master seed (default 42)
+  --learn N      learning iterations before searching (default 3)
+  --replication  index replication degree for the load report (default 1)
+";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut it = argv.iter().peekable();
+    let Some(cmd) = it.next() else {
+        return Err("missing command".into());
+    };
+    let mut scale: Option<Scale> = None;
+    let mut seed = 42u64;
+    let mut learn = 3usize;
+    let mut replication = 1usize;
+    let mut positional: Vec<String> = Vec::new();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                scale = Some(match v.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale {other:?}")),
+                });
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?;
+            }
+            "--learn" => {
+                learn = it
+                    .next()
+                    .ok_or("--learn needs a value")?
+                    .parse()
+                    .map_err(|_| "--learn must be an integer".to_string())?;
+            }
+            "--replication" => {
+                replication = it
+                    .next()
+                    .ok_or("--replication needs a value")?
+                    .parse()
+                    .map_err(|_| "--replication must be an integer".to_string())?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let command = match cmd.as_str() {
+        "corpus" => Command::Corpus,
+        "search" => {
+            if positional.is_empty() {
+                return Err("search needs at least one word".into());
+            }
+            Command::Search {
+                learn,
+                words: positional,
+            }
+        }
+        "figure" => {
+            let fig = positional
+                .first()
+                .ok_or("figure needs a panel: 4a, 4b, or 4c")?;
+            if !matches!(fig.as_str(), "4a" | "4b" | "4c") {
+                return Err(format!("unknown figure {fig:?} (expected 4a, 4b, or 4c)"));
+            }
+            Command::Figure(fig.clone())
+        }
+        "load" => Command::Load { replication },
+        other => return Err(format!("unknown command {other:?}")),
+    };
+    let default_scale = match command {
+        Command::Figure(_) => Scale::Small,
+        _ => Scale::Tiny,
+    };
+    Ok(Args {
+        command,
+        scale: scale.unwrap_or(default_scale),
+        seed,
+    })
+}
+
+fn world_config(scale: Scale, seed: u64) -> WorldConfig {
+    match scale {
+        Scale::Tiny => WorldConfig::tiny(seed),
+        Scale::Small => WorldConfig::small(seed),
+        Scale::Full => WorldConfig {
+            seed,
+            ..WorldConfig::default()
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    run(args);
+    ExitCode::SUCCESS
+}
+
+fn run(args: Args) {
+    let cfg = world_config(args.scale, args.seed);
+    match args.command {
+        Command::Corpus => {
+            let world = World::build(cfg);
+            let c = world.synthetic.corpus();
+            println!(
+                "documents: {}\nvocabulary: {} terms\ntopics: {} ({} queried)",
+                c.len(),
+                c.vocab().len(),
+                world.config.corpus.n_topics,
+                world.config.corpus.n_seed_queries,
+            );
+            let lens: Vec<f64> = c.docs().iter().map(|d| f64::from(d.len())).collect();
+            let s: sprite::util::Summary = lens.iter().copied().collect();
+            println!(
+                "doc length: mean {:.1}, min {}, max {}",
+                s.mean(),
+                s.min(),
+                s.max()
+            );
+            println!(
+                "workload: {} queries ({} train / {} test)",
+                world.workload.len(),
+                world.train.len(),
+                world.test.len()
+            );
+        }
+        Command::Search { learn, words } => {
+            let world = World::build(cfg);
+            let mut sys = world.new_system(SpriteConfig::default());
+            world.issue(&mut sys, &world.train, Schedule::WithoutRepeats);
+            sys.publish_all();
+            sys.learn(learn);
+            let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+            let hits = sys.search(&refs, 10);
+            if hits.is_empty() {
+                println!("no results for {words:?} (unknown or unindexed terms)");
+            } else {
+                println!("top {} results for {words:?}:", hits.len());
+                for (i, h) in hits.iter().enumerate() {
+                    println!("  {:>2}. doc {:<6} score {:.4}", i + 1, h.doc.0, h.score);
+                }
+            }
+            let st = sys.net().stats();
+            println!(
+                "({} messages total, {:.1} mean lookup hops)",
+                st.total_messages(),
+                st.mean_hops()
+            );
+        }
+        Command::Figure(which) => {
+            let world = World::build(cfg);
+            match which.as_str() {
+                "4a" => {
+                    let f = fig4a(&world, &[5, 10, 15, 20, 25, 30]);
+                    println!("answers  SPRITE-P  eSearch-P  SPRITE-R  eSearch-R");
+                    for (s, e) in f.sprite.iter().zip(&f.esearch) {
+                        println!(
+                            "{:>7}  {:>8.3}  {:>9.3}  {:>8.3}  {:>9.3}",
+                            s.x, s.precision, e.precision, s.recall, e.recall
+                        );
+                    }
+                }
+                "4b" => {
+                    let f = fig4b(&world, &[5, 10, 15, 20, 25, 30], 20);
+                    println!("terms  SPRITE-w/o-r  SPRITE-w-zipf  eSearch");
+                    for i in 0..f.esearch.len() {
+                        println!(
+                            "{:>5}  {:>12.3}  {:>13.3}  {:>7.3}",
+                            f.esearch[i].x,
+                            f.sprite_wor[i].precision,
+                            f.sprite_zipf[i].precision,
+                            f.esearch[i].precision
+                        );
+                    }
+                }
+                "4c" => {
+                    let f = fig4c(&world, 10, 20);
+                    println!("iter  SPRITE-P  eSearch-P   (switch at {})", f.switch_at);
+                    for (s, e) in f.sprite.iter().zip(&f.esearch) {
+                        println!("{:>4}  {:>8.3}  {:>9.3}", s.x, s.precision, e.precision);
+                    }
+                }
+                _ => unreachable!("validated by parse_args"),
+            }
+        }
+        Command::Load { replication } => {
+            let world = World::build(cfg);
+            let mut sys = world.new_system(SpriteConfig {
+                replication,
+                ..SpriteConfig::default()
+            });
+            sys.publish_all();
+            if replication > 1 {
+                sys.replicate_indexes();
+            }
+            let report = sys.load_report();
+            println!("peer                 terms  entries  cached  max-df");
+            for p in &report.peers {
+                println!(
+                    "{:<20} {:>5}  {:>7}  {:>6}  {:>6}",
+                    format!("{:?}", p.peer),
+                    p.terms,
+                    p.entries,
+                    p.cached_queries,
+                    p.max_term_df
+                );
+            }
+            println!(
+                "\nentry Gini: {:.3}   hottest term df: {}",
+                report.entry_gini, report.hottest_df
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_corpus_defaults() {
+        let a = parse_args(&argv("corpus")).unwrap();
+        assert_eq!(a.command, Command::Corpus);
+        assert_eq!(a.scale, Scale::Tiny);
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn parses_search_with_flags() {
+        let a = parse_args(&argv("search --scale small --seed 7 --learn 5 foo bar")).unwrap();
+        assert_eq!(a.scale, Scale::Small);
+        assert_eq!(a.seed, 7);
+        assert_eq!(
+            a.command,
+            Command::Search {
+                learn: 5,
+                words: vec!["foo".into(), "bar".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn figure_defaults_to_small_scale() {
+        let a = parse_args(&argv("figure 4a")).unwrap();
+        assert_eq!(a.command, Command::Figure("4a".into()));
+        assert_eq!(a.scale, Scale::Small);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv("search")).is_err(), "search needs words");
+        assert!(parse_args(&argv("figure 9z")).is_err());
+        assert!(parse_args(&argv("corpus --scale galactic")).is_err());
+        assert!(parse_args(&argv("corpus --seed NaN")).is_err());
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("corpus --unknown")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn load_parses_replication() {
+        let a = parse_args(&argv("load --replication 3")).unwrap();
+        assert_eq!(a.command, Command::Load { replication: 3 });
+    }
+}

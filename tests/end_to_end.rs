@@ -1,0 +1,183 @@
+//! Cross-crate integration tests: the whole stack, from corpus generation
+//! through the Chord ring to ranked answers and the paper's evaluation
+//! pipeline.
+
+use sprite::core::{fig4a, fig4c, SpriteConfig, SpriteSystem, World, WorldConfig};
+use sprite::corpus::{CorpusConfig, Schedule, SyntheticCorpus};
+use sprite::ir::{evaluate_hits_at_k, DocId, Query};
+
+fn tiny_world() -> World {
+    World::build(WorldConfig::tiny(77))
+}
+
+#[test]
+fn full_pipeline_produces_relevant_answers() {
+    let world = tiny_world();
+    let mut sys = world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+    // Every test query must be answerable; most should return relevant docs.
+    let mut answered = 0;
+    let mut relevant_found = 0;
+    for &qi in &world.test {
+        let gq = &world.workload[qi];
+        let hits = sys.issue_query(&gq.query, 20);
+        if !hits.is_empty() {
+            answered += 1;
+        }
+        let e = evaluate_hits_at_k(&hits, &gq.relevant, 20);
+        if e.hits > 0 {
+            relevant_found += 1;
+        }
+    }
+    assert!(answered as f64 >= world.test.len() as f64 * 0.9);
+    assert!(
+        relevant_found as f64 >= world.test.len() as f64 * 0.5,
+        "only {relevant_found}/{} queries found any relevant doc",
+        world.test.len()
+    );
+}
+
+#[test]
+fn sprite_tracks_centralized_within_band() {
+    let world = tiny_world();
+    let mut sys = world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+    let r = world.evaluate(&mut sys, &world.test, 20);
+    // The paper reports ~0.87-0.89 of centralized; at tiny scale we only
+    // require a sane band.
+    assert!(
+        r.precision_ratio > 0.5 && r.precision_ratio <= 1.2,
+        "precision ratio {} out of band",
+        r.precision_ratio
+    );
+    assert!(r.recall_ratio > 0.5 && r.recall_ratio <= 1.2);
+}
+
+#[test]
+fn learning_beats_static_on_equal_budget() {
+    // The headline claim, end to end through the facade.
+    let world = World::build(WorldConfig::small(5));
+    let mut sprite = world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+    let mut esearch = world.standard_system(SpriteConfig::esearch(20), Schedule::WithoutRepeats);
+    let rs = world.evaluate(&mut sprite, &world.test, 20);
+    let re = world.evaluate(&mut esearch, &world.test, 20);
+    assert!(
+        rs.precision_ratio > re.precision_ratio,
+        "SPRITE {} vs eSearch {}",
+        rs.precision_ratio,
+        re.precision_ratio
+    );
+}
+
+#[test]
+fn no_learning_at_minimum_budget_matches_esearch() {
+    // Figure 4(b)'s anchor point: with only the initial 5 terms, SPRITE and
+    // eSearch publish identical indexes, so every answer matches.
+    let world = tiny_world();
+    let cfg5 = SpriteConfig {
+        max_terms: 5,
+        ..SpriteConfig::default()
+    };
+    let mut a = world.standard_system(cfg5, Schedule::WithoutRepeats);
+    let mut b = world.standard_system(SpriteConfig::esearch(5), Schedule::WithoutRepeats);
+    for &qi in world.test.iter().take(20) {
+        let q = &world.workload[qi].query;
+        let ha: Vec<DocId> = a.issue_query(q, 10).iter().map(|h| h.doc).collect();
+        let hb: Vec<DocId> = b.issue_query(q, 10).iter().map(|h| h.doc).collect();
+        assert_eq!(ha, hb, "identical indexes must answer identically");
+    }
+}
+
+#[test]
+fn fig_drivers_are_deterministic() {
+    let w1 = tiny_world();
+    let w2 = tiny_world();
+    let a1 = fig4a(&w1, &[10, 20]);
+    let a2 = fig4a(&w2, &[10, 20]);
+    for (p1, p2) in a1.sprite.iter().zip(&a2.sprite) {
+        assert_eq!(p1.precision, p2.precision);
+        assert_eq!(p1.recall, p2.recall);
+    }
+    let c1 = fig4c(&w1, 4, 10);
+    let c2 = fig4c(&w2, 4, 10);
+    for (p1, p2) in c1.sprite.iter().zip(&c2.sprite) {
+        assert_eq!(p1.precision, p2.precision);
+    }
+}
+
+#[test]
+fn querying_through_churn_and_replication() {
+    let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(31));
+    let cfg = SpriteConfig {
+        replication: 3,
+        ..SpriteConfig::default()
+    };
+    let mut sys = SpriteSystem::build(sc.corpus().clone(), 32, cfg, 31);
+    sys.publish_all();
+    sys.replicate_indexes();
+    let probe = Query::new(sc.topic_core(0)[..3].to_vec());
+    let before = sys.issue_query(&probe, 30).len();
+    sys.fail_random_peers(6, 2);
+    let after = sys.issue_query(&probe, 30).len();
+    assert!(before > 0);
+    assert!(
+        after * 10 >= before * 8,
+        "replication should preserve most answers: {after} vs {before}"
+    );
+}
+
+#[test]
+fn message_accounting_covers_all_activity() {
+    let world = tiny_world();
+    let mut sys = world.new_system(SpriteConfig::default());
+    assert_eq!(sys.net().stats().total_messages(), 0);
+    world.issue(&mut sys, &world.train[..10.min(world.train.len())], Schedule::WithoutRepeats);
+    let after_queries = sys.net().stats().total_messages();
+    assert!(after_queries > 0, "query traffic must be charged");
+    sys.publish_all();
+    let after_publish = sys.net().stats().total_messages();
+    assert!(after_publish > after_queries, "publish traffic must be charged");
+    sys.learning_iteration();
+    assert!(
+        sys.net().stats().total_messages() > after_publish,
+        "learning traffic must be charged"
+    );
+}
+
+#[test]
+fn owner_term_budgets_always_respected() {
+    let world = tiny_world();
+    for max_terms in [5usize, 10, 20] {
+        let cfg = SpriteConfig {
+            max_terms,
+            ..SpriteConfig::default()
+        };
+        let sys = world.standard_system(cfg, Schedule::WithoutRepeats);
+        for i in 0..sys.corpus().len() {
+            let n = sys.published_terms(DocId(i as u32)).len();
+            assert!(n <= max_terms, "doc {i} published {n} > {max_terms}");
+        }
+    }
+}
+
+#[test]
+fn text_pipeline_integrates_with_ir() {
+    // Real text through the analyzer into the centralized engine.
+    let analyzer = sprite::text::Analyzer::standard();
+    let corpus = sprite::ir::Corpus::from_texts(
+        &analyzer,
+        [
+            "Peer-to-peer networks distribute documents across many nodes.",
+            "Text retrieval systems rank documents by term similarity.",
+            "Chord is a distributed hash table with logarithmic lookups.",
+        ],
+    );
+    let engine = sprite::ir::CentralizedEngine::build(&corpus);
+    let q = Query::new(
+        ["retrieval", "documents"]
+            .iter()
+            .filter_map(|w| corpus.vocab().get(&sprite::text::stem(w)))
+            .collect(),
+    );
+    let hits = engine.search(&q, 3);
+    assert!(!hits.is_empty());
+    assert_eq!(hits[0].doc, DocId(1), "the retrieval doc should rank first");
+}

@@ -1,0 +1,156 @@
+//! Property-based tests over the learning pipeline and the workload
+//! generator — the invariants the paper's correctness argument rests on.
+
+use proptest::prelude::*;
+use sprite::core::{algorithm1, naive_select, q_score};
+use sprite::ir::{Document, DocId, Query, TermId};
+
+/// Strategy: a document over a small term universe.
+fn arb_doc() -> impl Strategy<Value = Document> {
+    proptest::collection::btree_map(0u32..50, 1u32..20, 3..30)
+        .prop_map(|m| Document::new(DocId(0), m.into_iter().map(|(t, c)| (TermId(t), c)).collect()))
+}
+
+/// Strategy: a query history over the same universe (plus misses).
+fn arb_history() -> impl Strategy<Value = Vec<Query>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..80, 1..6)
+            .prop_map(|ts| Query::new(ts.into_iter().map(TermId).collect())),
+        0..40,
+    )
+}
+
+proptest! {
+    /// The paper's equivalence claim for Algorithm 1: incremental
+    /// processing over arbitrary batch boundaries equals the naive
+    /// recompute over the full history (max is associative, QF is a sum).
+    #[test]
+    fn algorithm1_incremental_equals_naive(
+        doc in arb_doc(),
+        history in arb_history(),
+        cut1 in 0usize..40,
+        cut2 in 0usize..40,
+        budget in 1usize..12,
+    ) {
+        let c1 = cut1.min(history.len());
+        let c2 = cut2.min(history.len()).max(c1);
+        let whole = naive_select(&doc, &history, budget);
+        let mut stats = std::collections::HashMap::new();
+        let _ = algorithm1(&doc, &mut stats, &history[..c1], budget);
+        let _ = algorithm1(&doc, &mut stats, &history[c1..c2], budget);
+        let inc = algorithm1(&doc, &mut stats, &history[c2..], budget);
+        prop_assert_eq!(whole, inc);
+    }
+
+    /// Selected terms always belong to the document or its frequency
+    /// fallback, never exceed the budget, and contain no duplicates.
+    #[test]
+    fn selection_wellformed(
+        doc in arb_doc(),
+        history in arb_history(),
+        budget in 0usize..15,
+    ) {
+        let mut stats = std::collections::HashMap::new();
+        let chosen = algorithm1(&doc, &mut stats, &history, budget);
+        prop_assert!(chosen.len() <= budget);
+        let set: std::collections::HashSet<_> = chosen.iter().collect();
+        prop_assert_eq!(set.len(), chosen.len(), "duplicates in selection");
+        for t in &chosen {
+            prop_assert!(doc.contains(*t), "selected term not in document");
+        }
+    }
+
+    /// qScore is a fraction in [0, 1], 1 iff the document covers the whole
+    /// query, and monotone under adding matching terms to the document.
+    #[test]
+    fn q_score_bounds(doc in arb_doc(), q in proptest::collection::vec(0u32..80, 1..6)) {
+        let query = Query::new(q.into_iter().map(TermId).collect());
+        let s = q_score(&query, &doc);
+        prop_assert!((0.0..=1.0).contains(&s));
+        let all_in = query.term_counts().iter().all(|(t, _)| doc.contains(*t));
+        prop_assert_eq!(s == 1.0, all_in);
+    }
+
+    /// Adding more queries never decreases any term's QF statistic, and
+    /// never decreases its best qScore.
+    #[test]
+    fn stats_are_monotone(
+        doc in arb_doc(),
+        history in arb_history(),
+        extra in arb_history(),
+    ) {
+        let mut stats = std::collections::HashMap::new();
+        let _ = algorithm1(&doc, &mut stats, &history, 10);
+        let before = stats.clone();
+        let _ = algorithm1(&doc, &mut stats, &extra, 10);
+        for (t, s) in &before {
+            let after = stats[t];
+            prop_assert!(after.qf >= s.qf);
+            prop_assert!(after.qs >= s.qs);
+        }
+    }
+}
+
+mod workload {
+    use super::*;
+    use sprite::corpus::{
+        generate_workload, issue_order, split_train_test, CorpusConfig, GenConfig, Schedule,
+        SyntheticCorpus,
+    };
+    use sprite::ir::CentralizedEngine;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The generated workload always has (k+1) queries per seed, every
+        /// derived query keeps ≥ ⌈O·|Q|⌉ − |Q| of the seed's terms, and no
+        /// derived query is empty.
+        #[test]
+        fn workload_invariants(seed in 0u64..500, k in 1usize..6, overlap in 0.3f64..1.0) {
+            let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(seed));
+            let engine = CentralizedEngine::build(sc.corpus());
+            let seeds = sc.seed_queries();
+            let cfg = GenConfig { k_per_seed: k, overlap, top_e: 60, seed, ..GenConfig::default() };
+            let w = generate_workload(sc.corpus(), &engine, &seeds[..3], &cfg);
+            prop_assert_eq!(w.len(), 3 * (k + 1));
+            for gq in &w {
+                prop_assert!(!gq.query.is_empty());
+                if !gq.is_original {
+                    let orig = &seeds[gq.seed_idx].query;
+                    let keep = (overlap * orig.distinct_len() as f64).round() as usize;
+                    let shared = gq
+                        .query
+                        .term_counts()
+                        .iter()
+                        .filter(|(t, _)| orig.contains(*t))
+                        .count();
+                    prop_assert!(shared >= keep.min(orig.distinct_len()),
+                        "derived query shares {shared} terms, expected >= {keep}");
+                }
+            }
+        }
+
+        /// Train/test splits partition the workload for any size.
+        #[test]
+        fn split_partitions(n in 0usize..500, seed in any::<u64>()) {
+            let (train, test) = split_train_test(n, seed);
+            prop_assert_eq!(train.len() + test.len(), n);
+            let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+            all.sort_unstable();
+            all.dedup();
+            prop_assert_eq!(all.len(), n);
+        }
+
+        /// Issue orders only reference valid queries; w/o-r is a permutation.
+        #[test]
+        fn schedules_valid(n in 1usize..100, seed in any::<u64>(), total in 1usize..300) {
+            let wor = issue_order(n, Schedule::WithoutRepeats, seed);
+            let mut sorted = wor.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+            let z = issue_order(n, Schedule::Zipf { slope: 0.5, total }, seed);
+            prop_assert_eq!(z.len(), total);
+            prop_assert!(z.iter().all(|&i| i < n));
+        }
+    }
+}
