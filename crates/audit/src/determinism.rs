@@ -1,0 +1,216 @@
+//! The determinism auditor.
+//!
+//! The whole workspace is built on one promise: the same seed replays the
+//! same experiment, bit for bit. That promise is easy to break silently —
+//! one `HashMap` iteration leaking into published state, one wall-clock
+//! read — so this module *tests* it end to end: [`run_trace`] executes a
+//! small but complete SPRITE experiment (build, publish, query, learn,
+//! churn, re-query) and fingerprints the state after every stage with MD5;
+//! [`audit_determinism`] runs the trace twice from the same seed and
+//! reports the first stage whose fingerprint diverges, which localizes the
+//! nondeterminism to the subsystem that stage exercised.
+
+use sprite_chord::ChordNet;
+use sprite_core::{SpriteConfig, SpriteSystem};
+use sprite_corpus::{CorpusConfig, SyntheticCorpus};
+use sprite_ir::{Hit, Query, TermId};
+use sprite_util::Md5;
+
+/// A fingerprinted experiment run: `(stage name, MD5)` pairs in execution
+/// order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// Stage fingerprints, chronological.
+    pub stages: Vec<(&'static str, u128)>,
+}
+
+/// Outcome of a two-run determinism audit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeterminismReport {
+    /// True when every stage fingerprint matched.
+    pub passed: bool,
+    /// The first stage whose fingerprints differed, if any.
+    pub first_divergence: Option<&'static str>,
+    /// Number of stages compared.
+    pub stages: usize,
+}
+
+fn feed_u128(h: &mut Md5, v: u128) {
+    h.update(&v.to_be_bytes());
+}
+
+fn feed_u64(h: &mut Md5, v: u64) {
+    h.update(&v.to_be_bytes());
+}
+
+/// MD5 over a network's complete routing state, in ring order.
+#[must_use]
+pub fn fingerprint_ring(net: &ChordNet) -> u128 {
+    let mut h = Md5::new();
+    for id in net.node_ids() {
+        let node = net.node(id).expect("listed node is alive");
+        feed_u128(&mut h, id.0);
+        match node.predecessor() {
+            Some(p) => {
+                h.update(b"P");
+                feed_u128(&mut h, p.0);
+            }
+            None => h.update(b"-"),
+        }
+        feed_u64(&mut h, node.successor_list().len() as u64);
+        for s in node.successor_list() {
+            feed_u128(&mut h, s.0);
+        }
+        for f in node.finger_table() {
+            feed_u128(&mut h, f.0);
+        }
+    }
+    h.finalize().as_u128()
+}
+
+/// MD5 over every inverted list in the deployment, in `(peer, term, doc)`
+/// order.
+#[must_use]
+pub fn fingerprint_index(sys: &SpriteSystem) -> u128 {
+    let mut h = Md5::new();
+    for peer in sys.indexing_peers() {
+        let Some(st) = sys.indexing_state(peer) else {
+            continue;
+        };
+        feed_u128(&mut h, peer.0);
+        let mut terms: Vec<TermId> = st.terms().map(|(t, _)| t).collect();
+        terms.sort_unstable();
+        for t in terms {
+            feed_u64(&mut h, u64::from(t.0));
+            for e in st.list(t) {
+                feed_u64(&mut h, u64::from(e.doc.0));
+                feed_u128(&mut h, e.owner.0);
+                feed_u64(&mut h, u64::from(e.tf));
+                feed_u64(&mut h, u64::from(e.doc_len));
+                feed_u64(&mut h, u64::from(e.distinct));
+            }
+        }
+    }
+    h.finalize().as_u128()
+}
+
+/// MD5 over the owner-side learning state: published terms (rank order)
+/// and per-term statistics (term order, exact float bits).
+#[must_use]
+pub fn fingerprint_owners(sys: &SpriteSystem) -> u128 {
+    let mut h = Md5::new();
+    for i in 0..sys.corpus().len() {
+        let doc = sprite_ir::DocId(i as u32);
+        let owner = sys.owner_state(doc);
+        for &t in &owner.published {
+            feed_u64(&mut h, u64::from(t.0));
+        }
+        h.update(b"|");
+        let mut stat_terms: Vec<TermId> = owner.stats.keys().copied().collect();
+        stat_terms.sort_unstable();
+        for t in stat_terms {
+            let s = owner.stats[&t];
+            feed_u64(&mut h, u64::from(t.0));
+            feed_u64(&mut h, s.qf);
+            feed_u64(&mut h, s.qs.to_bits());
+        }
+        h.update(b";");
+    }
+    h.finalize().as_u128()
+}
+
+/// MD5 over a ranked result list (doc order and exact score bits).
+#[must_use]
+pub fn fingerprint_hits(hits: &[Hit]) -> u128 {
+    let mut h = Md5::new();
+    for hit in hits {
+        feed_u64(&mut h, u64::from(hit.doc.0));
+        feed_u64(&mut h, hit.score.to_bits());
+    }
+    h.finalize().as_u128()
+}
+
+/// Run the reference experiment once, fingerprinting after every stage.
+///
+/// The experiment is deliberately small (a tiny corpus on 24 peers) but
+/// crosses every subsystem whose determinism matters: ring construction,
+/// initial publishing, distributed ranking, a learning iteration, abrupt
+/// peer failure with repair, and post-churn ranking.
+#[must_use]
+pub fn run_trace(seed: u64) -> Trace {
+    let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(seed));
+    let mut sys = SpriteSystem::build(sc.corpus().clone(), 24, SpriteConfig::default(), seed);
+    let mut stages = Vec::new();
+    stages.push(("ring/built", fingerprint_ring(sys.net())));
+
+    sys.publish_all();
+    stages.push(("index/published", fingerprint_index(&sys)));
+
+    let queries: Vec<Query> = sc
+        .seed_queries()
+        .iter()
+        .take(8)
+        .map(|s| s.query.clone())
+        .collect();
+    let run_queries = |sys: &mut SpriteSystem| {
+        let mut h = Md5::new();
+        for q in &queries {
+            feed_u128(&mut h, fingerprint_hits(&sys.issue_query(q, 10)));
+        }
+        h.finalize().as_u128()
+    };
+    stages.push(("results/initial", run_queries(&mut sys)));
+
+    sys.learning_iteration();
+    stages.push(("owners/learned", fingerprint_owners(&sys)));
+    stages.push(("index/learned", fingerprint_index(&sys)));
+    stages.push(("results/learned", run_queries(&mut sys)));
+
+    sys.fail_random_peers(2, seed.wrapping_add(1));
+    stages.push(("ring/churned", fingerprint_ring(sys.net())));
+    stages.push(("results/churned", run_queries(&mut sys)));
+
+    Trace { stages }
+}
+
+/// Run [`run_trace`] twice from the same seed and compare stage by stage.
+#[must_use]
+pub fn audit_determinism(seed: u64) -> DeterminismReport {
+    let a = run_trace(seed);
+    let b = run_trace(seed);
+    debug_assert_eq!(a.stages.len(), b.stages.len(), "traces have fixed shape");
+    let first_divergence = a
+        .stages
+        .iter()
+        .zip(&b.stages)
+        .find(|((_, ha), (_, hb))| ha != hb)
+        .map(|(&(name, _), _)| name);
+    DeterminismReport {
+        passed: first_divergence.is_none(),
+        first_divergence,
+        stages: a.stages.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_runs_from_one_seed_agree() {
+        let report = audit_determinism(2026);
+        assert!(
+            report.passed,
+            "first divergent stage: {:?}",
+            report.first_divergence
+        );
+        assert_eq!(report.stages, 8);
+    }
+
+    #[test]
+    fn different_seeds_diverge_at_the_start() {
+        let a = run_trace(1);
+        let b = run_trace(2);
+        assert_ne!(a.stages[0].1, b.stages[0].1, "ring should differ by seed");
+    }
+}

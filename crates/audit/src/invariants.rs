@@ -1,0 +1,464 @@
+//! Structural invariant checkers.
+//!
+//! Each checker is a pure function from live simulation state to a list of
+//! typed [`Violation`]s — empty means the invariant class holds. They are
+//! meant for *quiescent* states (a converged ring, a churn-free index):
+//! mid-churn a Chord ring legitimately carries stale pointers, and the
+//! checkers would report that staleness faithfully rather than hide it.
+//!
+//! The invariants checked are the ones the source papers' correctness
+//! arguments rest on:
+//!
+//! * Chord (Stoica et al.): every node's successor is its ring-order
+//!   neighbor, predecessors mirror successors, `finger[k] =
+//!   successor(n + 2^k)`, and the successor list is a prefix of the ring
+//!   order — the properties `stabilize`/`fix_fingers` are proven to
+//!   restore.
+//! * SPRITE §7: a key's copies live only on the owner and its
+//!   `replication − 1` successors, and the owner always holds the primary
+//!   copy.
+//! * SPRITE §3–§5: posting lists hold one entry per document in document
+//!   order, entry metadata matches the corpus, a document never publishes
+//!   more than `max_terms` global terms (and never an advisory-excluded
+//!   one), and every §4 ranking weight derived from an entry is finite and
+//!   non-negative.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+use sprite_chord::{ChordNet, Dht};
+use sprite_core::SpriteSystem;
+use sprite_ir::{DocId, TermId};
+use sprite_util::{RingId, ID_BITS};
+
+/// One broken invariant, with enough context to locate the damage.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// A node's successor pointer is not its ring-order neighbor.
+    WrongSuccessor {
+        /// The node holding the bad pointer.
+        node: RingId,
+        /// What it points to.
+        found: RingId,
+        /// The ring-order successor it should point to.
+        expected: RingId,
+    },
+    /// A node's predecessor pointer is not its ring-order neighbor.
+    WrongPredecessor {
+        /// The node holding the bad pointer.
+        node: RingId,
+        /// What it points to (possibly nothing).
+        found: Option<RingId>,
+        /// The ring-order predecessor it should point to.
+        expected: RingId,
+    },
+    /// `finger[k]` is not the successor of `n + 2^k`.
+    WrongFinger {
+        /// The node holding the bad finger.
+        node: RingId,
+        /// The finger index `k`.
+        k: usize,
+        /// The current entry.
+        found: RingId,
+        /// The owner of `finger_start(k)` on the live ring.
+        expected: RingId,
+    },
+    /// A successor-list entry disagrees with the ring order at its position.
+    BrokenSuccessorList {
+        /// The node holding the list.
+        node: RingId,
+        /// The list position (0 = immediate successor).
+        position: usize,
+        /// The current entry.
+        found: RingId,
+        /// The ring-order node for that position.
+        expected: RingId,
+    },
+    /// A stored copy sits on a peer outside the key's replica set.
+    MisplacedKey {
+        /// The peer holding the stray copy.
+        peer: RingId,
+        /// The key.
+        key: RingId,
+    },
+    /// No copy of a stored key lives on its owner (the first replica).
+    MissingPrimaryCopy {
+        /// The key.
+        key: RingId,
+        /// The peer that should hold the primary copy.
+        owner: RingId,
+    },
+    /// A posting list holds two entries for the same document.
+    DuplicatePosting {
+        /// The indexing peer.
+        peer: RingId,
+        /// The term.
+        term: TermId,
+        /// The duplicated document.
+        doc: DocId,
+    },
+    /// A posting list is not sorted by document id.
+    UnsortedPostingList {
+        /// The indexing peer.
+        peer: RingId,
+        /// The term.
+        term: TermId,
+    },
+    /// An index entry's metadata disagrees with the corpus.
+    StaleEntryMetadata {
+        /// The indexing peer.
+        peer: RingId,
+        /// The term.
+        term: TermId,
+        /// The document.
+        doc: DocId,
+    },
+    /// A §4 ranking weight derived from an entry is not finite/non-negative.
+    BadWeight {
+        /// The indexing peer.
+        peer: RingId,
+        /// The term.
+        term: TermId,
+        /// The document.
+        doc: DocId,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A document publishes more global terms than `max_terms` allows.
+    TermCapExceeded {
+        /// The document.
+        doc: DocId,
+        /// How many terms it publishes.
+        published: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// A document's published list contains a term twice.
+    DuplicatePublished {
+        /// The document.
+        doc: DocId,
+        /// The repeated term.
+        term: TermId,
+    },
+    /// A document publishes a term its owner was advised to exclude.
+    ExcludedTermPublished {
+        /// The document.
+        doc: DocId,
+        /// The excluded-but-published term.
+        term: TermId,
+    },
+    /// A published term has no entry at its responsible indexing peer.
+    PublishedButUnindexed {
+        /// The document.
+        doc: DocId,
+        /// The term.
+        term: TermId,
+        /// The peer that should index it.
+        peer: RingId,
+    },
+    /// An index entry exists for a term its document no longer publishes.
+    IndexedButUnpublished {
+        /// The indexing peer.
+        peer: RingId,
+        /// The term.
+        term: TermId,
+        /// The document.
+        doc: DocId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::WrongSuccessor { node, found, expected } => write!(
+                f,
+                "node {node:?}: successor is {found:?}, ring order says {expected:?}"
+            ),
+            Violation::WrongPredecessor { node, found, expected } => write!(
+                f,
+                "node {node:?}: predecessor is {found:?}, ring order says {expected:?}"
+            ),
+            Violation::WrongFinger { node, k, found, expected } => write!(
+                f,
+                "node {node:?}: finger[{k}] is {found:?}, live ring says {expected:?}"
+            ),
+            Violation::BrokenSuccessorList { node, position, found, expected } => write!(
+                f,
+                "node {node:?}: successor list[{position}] is {found:?}, ring order says {expected:?}"
+            ),
+            Violation::MisplacedKey { peer, key } => {
+                write!(f, "peer {peer:?} holds key {key:?} outside its replica set")
+            }
+            Violation::MissingPrimaryCopy { key, owner } => {
+                write!(f, "key {key:?} has no copy at its owner {owner:?}")
+            }
+            Violation::DuplicatePosting { peer, term, doc } => write!(
+                f,
+                "peer {peer:?}: posting list of {term:?} lists {doc:?} twice"
+            ),
+            Violation::UnsortedPostingList { peer, term } => {
+                write!(f, "peer {peer:?}: posting list of {term:?} is unsorted")
+            }
+            Violation::StaleEntryMetadata { peer, term, doc } => write!(
+                f,
+                "peer {peer:?}: entry ({term:?}, {doc:?}) disagrees with the corpus"
+            ),
+            Violation::BadWeight { peer, term, doc, weight } => write!(
+                f,
+                "peer {peer:?}: entry ({term:?}, {doc:?}) yields weight {weight}"
+            ),
+            Violation::TermCapExceeded { doc, published, cap } => {
+                write!(f, "{doc:?} publishes {published} terms, cap is {cap}")
+            }
+            Violation::DuplicatePublished { doc, term } => {
+                write!(f, "{doc:?} publishes {term:?} twice")
+            }
+            Violation::ExcludedTermPublished { doc, term } => {
+                write!(f, "{doc:?} publishes excluded term {term:?}")
+            }
+            Violation::PublishedButUnindexed { doc, term, peer } => write!(
+                f,
+                "{doc:?} publishes {term:?} but peer {peer:?} has no entry"
+            ),
+            Violation::IndexedButUnpublished { peer, term, doc } => write!(
+                f,
+                "peer {peer:?} indexes ({term:?}, {doc:?}) but the document does not publish it"
+            ),
+        }
+    }
+}
+
+/// Check the Chord ring invariants on a (quiescent) network: successor and
+/// predecessor pointers against ring order, successor lists as ring-order
+/// prefixes, and every finger against the live ring. Returns violations in
+/// ring order.
+#[must_use]
+pub fn check_ring(net: &ChordNet) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let ids = net.node_ids();
+    let n = ids.len();
+    for (i, &id) in ids.iter().enumerate() {
+        let node = net.node(id).expect("listed node is alive");
+        let expected_succ = ids[(i + 1) % n];
+        if node.successor() != expected_succ {
+            out.push(Violation::WrongSuccessor {
+                node: id,
+                found: node.successor(),
+                expected: expected_succ,
+            });
+        }
+        let expected_pred = ids[(i + n - 1) % n];
+        if node.predecessor() != Some(expected_pred) {
+            out.push(Violation::WrongPredecessor {
+                node: id,
+                found: node.predecessor(),
+                expected: expected_pred,
+            });
+        }
+        for (j, &s) in node.successor_list().iter().enumerate() {
+            let expected = ids[(i + 1 + j) % n];
+            if s != expected {
+                out.push(Violation::BrokenSuccessorList {
+                    node: id,
+                    position: j,
+                    found: s,
+                    expected,
+                });
+            }
+        }
+        for k in 0..ID_BITS as usize {
+            let expected = net
+                .oracle_owner(id.finger_start(k as u32))
+                .expect("ring is non-empty here");
+            let found = node.finger_table()[k];
+            if found != expected {
+                out.push(Violation::WrongFinger {
+                    node: id,
+                    k,
+                    found,
+                    expected,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Check key placement in a replicated [`Dht`]: every stored copy must live
+/// inside its key's replica set (the owner plus `replication − 1`
+/// successors, §7), and the owner must hold the primary copy.
+#[must_use]
+pub fn check_kv<V: Clone>(dht: &Dht<V>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let net = dht.net();
+    let degree = dht.replication();
+    // key → holders, in deterministic order.
+    let mut holders: BTreeMap<RingId, Vec<RingId>> = BTreeMap::new();
+    for (peer, key) in dht.copies() {
+        holders.entry(key).or_default().push(peer);
+    }
+    for (key, mut peers) in holders {
+        peers.sort_unstable();
+        let replicas = net.oracle_replicas(key, degree);
+        for &peer in &peers {
+            if !replicas.contains(&peer) {
+                out.push(Violation::MisplacedKey { peer, key });
+            }
+        }
+        if let Some(&owner) = replicas.first() {
+            if !peers.contains(&owner) {
+                out.push(Violation::MissingPrimaryCopy { key, owner });
+            }
+        }
+    }
+    out
+}
+
+/// Check the SPRITE index invariants on a (churn-free) deployment: posting
+/// lists sorted and duplicate-free with corpus-consistent metadata and
+/// finite non-negative §4 weights; every document within its global-term
+/// cap, duplicate-free, honoring advisory exclusions; and publish/index
+/// agreement in both directions.
+#[must_use]
+pub fn check_index(sys: &SpriteSystem) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let assumed_n = sys.config().assumed_n;
+
+    // Indexing-peer side, in deterministic (peer, term) order.
+    for peer in sys.indexing_peers() {
+        let Some(st) = sys.indexing_state(peer) else {
+            continue;
+        };
+        let mut terms: Vec<TermId> = st.terms().map(|(t, _)| t).collect();
+        terms.sort_unstable();
+        for term in terms {
+            let list = st.list(term);
+            for pair in list.windows(2) {
+                if pair[1].doc == pair[0].doc {
+                    out.push(Violation::DuplicatePosting {
+                        peer,
+                        term,
+                        doc: pair[1].doc,
+                    });
+                } else if pair[1].doc < pair[0].doc {
+                    out.push(Violation::UnsortedPostingList { peer, term });
+                    break;
+                }
+            }
+            let df = list.len();
+            for e in list {
+                let d = sys.corpus().doc(e.doc);
+                if e.tf != d.freq(term)
+                    || e.doc_len != d.len()
+                    || e.distinct != d.distinct_terms() as u32
+                    || e.owner != sys.owner_peer(e.doc)
+                {
+                    out.push(Violation::StaleEntryMetadata {
+                        peer,
+                        term,
+                        doc: e.doc,
+                    });
+                }
+                // The §4 document-side weight this entry produces at ranking
+                // time: (tf / |D|) · ln(N / n′_k).
+                let weight =
+                    (f64::from(e.tf) / f64::from(e.doc_len)) * (assumed_n / df as f64).ln();
+                if !weight.is_finite() || weight < 0.0 {
+                    out.push(Violation::BadWeight {
+                        peer,
+                        term,
+                        doc: e.doc,
+                        weight,
+                    });
+                }
+                if !sys.published_terms(e.doc).contains(&term) {
+                    out.push(Violation::IndexedButUnpublished {
+                        peer,
+                        term,
+                        doc: e.doc,
+                    });
+                }
+            }
+        }
+    }
+
+    // Owner side, per document.
+    for i in 0..sys.corpus().len() {
+        let doc = DocId(i as u32);
+        let owner = sys.owner_state(doc);
+        let cap = sys.config().max_terms;
+        if owner.published.len() > cap {
+            out.push(Violation::TermCapExceeded {
+                doc,
+                published: owner.published.len(),
+                cap,
+            });
+        }
+        let mut seen: HashSet<TermId> = HashSet::new();
+        for &t in &owner.published {
+            if !seen.insert(t) {
+                out.push(Violation::DuplicatePublished { doc, term: t });
+            }
+            if owner.excluded.contains(&t) {
+                out.push(Violation::ExcludedTermPublished { doc, term: t });
+            }
+            let key = RingId::hash_term(sys.corpus().vocab().term(t));
+            let Some(peer) = sys.net().oracle_owner(key) else {
+                continue;
+            };
+            let indexed = sys
+                .indexing_state(peer)
+                .is_some_and(|st| st.list(t).iter().any(|e| e.doc == doc));
+            if !indexed {
+                out.push(Violation::PublishedButUnindexed { doc, term: t, peer });
+            }
+        }
+    }
+    out
+}
+
+/// Run every checker that applies to a full deployment: the ring plus the
+/// index (the KV layer is a separate substrate with its own storage).
+#[must_use]
+pub fn check_system(sys: &SpriteSystem) -> Vec<Violation> {
+    let mut out = check_ring(sys.net());
+    out.extend(check_index(sys));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprite_chord::{ChordConfig, ChordNet};
+
+    fn ring(n: usize) -> ChordNet {
+        ChordNet::with_random_nodes(ChordConfig::default(), n, 17)
+    }
+
+    #[test]
+    fn healthy_ring_has_no_violations() {
+        for n in [1usize, 2, 3, 16] {
+            let net = ring(n);
+            assert!(net.is_converged());
+            assert_eq!(check_ring(&net), Vec::new(), "ring of {n}");
+        }
+    }
+
+    #[test]
+    fn empty_ring_has_no_violations() {
+        let net = ChordNet::new(ChordConfig::default());
+        assert!(check_ring(&net).is_empty());
+    }
+
+    #[test]
+    fn healthy_kv_has_no_violations() {
+        let net = ring(16);
+        let mut d: Dht<u32> = Dht::new(net, 3);
+        let from = d.net().node_ids()[0];
+        for i in 0..20u32 {
+            d.put(from, RingId::hash_term(&format!("key-{i}")), i)
+                .expect("converged ring routes");
+        }
+        assert!(check_kv(&d).is_empty());
+    }
+}

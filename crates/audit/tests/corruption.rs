@@ -1,0 +1,307 @@
+//! Corruption-injection tests: deliberately break each invariant class the
+//! checkers cover and assert the damage is detected — and that the healthy
+//! state is reported clean. The injection points (`node_mut`, `inject_copy`,
+//! `inject_published`, `inject_raw`) exist for exactly this purpose; the
+//! simulation itself never calls them.
+
+use sprite_audit::{check_index, check_kv, check_ring, check_system, Violation};
+use sprite_chord::{ChordConfig, ChordNet, Dht};
+use sprite_core::{IndexEntry, SpriteConfig, SpriteSystem};
+use sprite_corpus::{CorpusConfig, SyntheticCorpus};
+use sprite_ir::TermId;
+use sprite_util::RingId;
+
+fn ring(n: usize) -> ChordNet {
+    let net = ChordNet::with_random_nodes(ChordConfig::default(), n, 99);
+    assert!(net.is_converged(), "test precondition: converged ring");
+    net
+}
+
+/// A small published deployment shared by the index-corruption tests.
+fn deployment() -> SpriteSystem {
+    let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(7));
+    let mut sys = SpriteSystem::build(sc.corpus().clone(), 16, SpriteConfig::default(), 7);
+    sys.publish_all();
+    assert_eq!(check_system(&sys), Vec::new(), "test precondition: healthy");
+    sys
+}
+
+/// Some (peer, term) whose posting list has at least `min_len` entries.
+fn populated_list(sys: &SpriteSystem, min_len: usize) -> (RingId, TermId, Vec<IndexEntry>) {
+    for peer in sys.indexing_peers() {
+        let st = sys.indexing_state(peer).expect("listed peer indexes");
+        for (term, list) in st.terms() {
+            if list.len() >= min_len {
+                return (peer, term, list.to_vec());
+            }
+        }
+    }
+    panic!("no posting list with >= {min_len} entries in the tiny deployment");
+}
+
+#[test]
+fn healthy_deployment_is_clean() {
+    let mut sys = deployment();
+    sys.learning_iteration();
+    assert_eq!(check_system(&sys), Vec::new(), "post-learning state");
+}
+
+#[test]
+fn mutated_finger_is_detected() {
+    let mut net = ring(16);
+    let ids = net.node_ids();
+    let victim = ids[3];
+    // Point a mid-table finger at the node itself — with 16 random nodes in
+    // a 128-bit space, finger[64]'s true owner is essentially never the
+    // node, and the check compares against the live-ring oracle anyway.
+    net.node_mut(victim)
+        .expect("victim is alive")
+        .set_finger(64, victim);
+    let found = check_ring(&net);
+    assert!(
+        found
+            .iter()
+            .any(|v| matches!(v, Violation::WrongFinger { node, k: 64, .. } if *node == victim)),
+        "expected WrongFinger on {victim:?}, got {found:?}"
+    );
+}
+
+#[test]
+fn dropped_successor_is_detected() {
+    let mut net = ring(16);
+    let ids = net.node_ids();
+    let victim = ids[0];
+    // Drop the real successor: shift the list left by one, as if the node
+    // had (wrongly) given up on a live neighbor.
+    let mut list = net
+        .node(victim)
+        .expect("victim is alive")
+        .successor_list()
+        .to_vec();
+    assert!(list.len() >= 2, "test needs a successor list of >= 2");
+    list.remove(0);
+    net.node_mut(victim)
+        .expect("victim is alive")
+        .set_successor_list(list);
+    let found = check_ring(&net);
+    assert!(
+        found
+            .iter()
+            .any(|v| matches!(v, Violation::WrongSuccessor { node, .. } if *node == victim)),
+        "expected WrongSuccessor on {victim:?}, got {found:?}"
+    );
+    assert!(
+        found.iter().any(
+            |v| matches!(v, Violation::BrokenSuccessorList { node, position: 0, .. } if *node == victim)
+        ),
+        "expected BrokenSuccessorList at position 0, got {found:?}"
+    );
+}
+
+#[test]
+fn corrupt_predecessor_is_detected() {
+    let mut net = ring(8);
+    let victim = net.node_ids()[5];
+    net.node_mut(victim)
+        .expect("victim is alive")
+        .set_predecessor(None);
+    let found = check_ring(&net);
+    assert!(
+        found
+            .iter()
+            .any(|v| matches!(v, Violation::WrongPredecessor { node, found: None, .. } if *node == victim)),
+        "expected WrongPredecessor on {victim:?}, got {found:?}"
+    );
+}
+
+#[test]
+fn misplaced_kv_key_is_detected() {
+    let mut dht: Dht<u32> = Dht::new(ring(16), 3);
+    let from = dht.net().node_ids()[0];
+    let key = RingId::hash_term("misplaced-key");
+    dht.put(from, key, 1).expect("converged ring routes");
+    assert!(check_kv(&dht).is_empty(), "test precondition: healthy KV");
+
+    // Plant a stray copy on a peer outside the key's replica set.
+    let replicas = dht.net().oracle_replicas(key, 3);
+    let outsider = dht
+        .net()
+        .node_ids()
+        .into_iter()
+        .find(|id| !replicas.contains(id))
+        .expect("16 nodes, 3 replicas: an outsider exists");
+    dht.inject_copy(outsider, key, 2);
+    let found = check_kv(&dht);
+    assert_eq!(
+        found,
+        vec![Violation::MisplacedKey {
+            peer: outsider,
+            key
+        }]
+    );
+}
+
+#[test]
+fn missing_primary_copy_is_detected() {
+    let mut dht: Dht<u32> = Dht::new(ring(16), 3);
+    let key = RingId::hash_term("orphan-key");
+    let replicas = dht.net().oracle_replicas(key, 3);
+    // A copy on a secondary replica only: placement is legal, but the owner
+    // never stored the primary copy.
+    dht.inject_copy(replicas[1], key, 1);
+    let found = check_kv(&dht);
+    assert_eq!(
+        found,
+        vec![Violation::MissingPrimaryCopy {
+            key,
+            owner: replicas[0]
+        }]
+    );
+}
+
+#[test]
+fn over_published_terms_are_detected() {
+    let mut sys = deployment();
+    let doc = sprite_ir::DocId(0);
+    let cap = sys.config().max_terms;
+    // Publish cap + 3 distinct vocabulary terms behind the owner's back.
+    let terms: Vec<TermId> = (0..cap as u32 + 3).map(TermId).collect();
+    let published = terms.len();
+    sys.inject_published(doc, terms);
+    let found = check_index(&sys);
+    assert!(
+        found.iter().any(|v| *v
+            == Violation::TermCapExceeded {
+                doc,
+                published,
+                cap
+            }),
+        "expected TermCapExceeded, got {found:?}"
+    );
+    // The injected terms were never routed to indexing peers, so the
+    // publish/index agreement check fires too.
+    assert!(
+        found
+            .iter()
+            .any(|v| matches!(v, Violation::PublishedButUnindexed { doc: d, .. } if *d == doc)),
+        "expected PublishedButUnindexed, got {found:?}"
+    );
+}
+
+#[test]
+fn duplicate_published_term_is_detected() {
+    let mut sys = deployment();
+    let doc = sprite_ir::DocId(1);
+    let first = *sys
+        .published_terms(doc)
+        .first()
+        .expect("published documents have terms");
+    let mut terms = sys.published_terms(doc).to_vec();
+    terms.push(first);
+    sys.inject_published(doc, terms);
+    let found = check_index(&sys);
+    assert!(
+        found
+            .iter()
+            .any(|v| *v == Violation::DuplicatePublished { doc, term: first }),
+        "expected DuplicatePublished, got {found:?}"
+    );
+}
+
+#[test]
+fn unsorted_posting_list_is_detected() {
+    let mut sys = deployment();
+    let (peer, term, mut list) = populated_list(&sys, 2);
+    // Reverse a real list: same valid entries, wrong document order.
+    list.reverse();
+    sys.indexing_state_mut(peer)
+        .expect("peer indexes")
+        .inject_raw(term, list);
+    let found = check_index(&sys);
+    assert!(
+        found
+            .iter()
+            .any(|v| *v == Violation::UnsortedPostingList { peer, term }),
+        "expected UnsortedPostingList, got {found:?}"
+    );
+}
+
+#[test]
+fn duplicate_posting_is_detected() {
+    let mut sys = deployment();
+    let (peer, term, mut list) = populated_list(&sys, 1);
+    let doc = list[0].doc;
+    let dup = list[0].clone();
+    list.insert(1, dup);
+    sys.indexing_state_mut(peer)
+        .expect("peer indexes")
+        .inject_raw(term, list);
+    let found = check_index(&sys);
+    assert!(
+        found
+            .iter()
+            .any(|v| *v == Violation::DuplicatePosting { peer, term, doc }),
+        "expected DuplicatePosting, got {found:?}"
+    );
+}
+
+#[test]
+fn stale_entry_metadata_is_detected() {
+    let mut sys = deployment();
+    let (peer, term, mut list) = populated_list(&sys, 1);
+    let doc = list[0].doc;
+    // Corrupt the replicated term frequency: the corpus disagrees now.
+    list[0].tf += 1;
+    sys.indexing_state_mut(peer)
+        .expect("peer indexes")
+        .inject_raw(term, list);
+    let found = check_index(&sys);
+    assert!(
+        found
+            .iter()
+            .any(|v| *v == Violation::StaleEntryMetadata { peer, term, doc }),
+        "expected StaleEntryMetadata, got {found:?}"
+    );
+}
+
+#[test]
+fn bad_weight_is_detected() {
+    let mut sys = deployment();
+    let (peer, term, mut list) = populated_list(&sys, 1);
+    let doc = list[0].doc;
+    // A zero document length makes the §4 weight tf/|D| · ln(N/n′) infinite.
+    list[0].doc_len = 0;
+    sys.indexing_state_mut(peer)
+        .expect("peer indexes")
+        .inject_raw(term, list);
+    let found = check_index(&sys);
+    assert!(
+        found.iter().any(
+            |v| matches!(v, Violation::BadWeight { peer: p, term: t, doc: d, .. }
+                if *p == peer && *t == term && *d == doc)
+        ),
+        "expected BadWeight, got {found:?}"
+    );
+}
+
+#[test]
+fn indexed_but_unpublished_is_detected() {
+    let mut sys = deployment();
+    let (_, _, donor) = populated_list(&sys, 1);
+    let doc = donor[0].doc;
+    // Retract the document's publications; its index entries are now orphans.
+    sys.inject_published(doc, Vec::new());
+    let found = check_index(&sys);
+    assert!(
+        found
+            .iter()
+            .any(|v| matches!(v, Violation::IndexedButUnpublished { doc: d, .. } if *d == doc)),
+        "expected IndexedButUnpublished, got {found:?}"
+    );
+}
+
+#[test]
+fn determinism_audit_passes_on_the_real_system() {
+    let report = sprite_audit::audit_determinism(41);
+    assert!(report.passed, "diverged at {:?}", report.first_divergence);
+}

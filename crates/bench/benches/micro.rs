@@ -1,6 +1,12 @@
-//! Criterion microbenchmarks for the hot paths of every subsystem.
+//! Harness-free microbenchmarks for the hot paths of every subsystem.
+//!
+//! This used to be a Criterion suite; the workspace now builds with an
+//! empty registry, so timing is done directly with `std::time::Instant`
+//! (acceptable here — benches measure wall time by definition and are not
+//! part of the deterministic simulation). Run with `cargo bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 
 use sprite_chord::{ChordConfig, ChordNet};
 use sprite_core::{algorithm1, naive_select, SpriteConfig, SpriteSystem};
@@ -8,35 +14,66 @@ use sprite_corpus::{CorpusConfig, SyntheticCorpus};
 use sprite_ir::{CentralizedEngine, Query, TermId};
 use sprite_util::{md5, RingId};
 
-fn bench_md5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("md5");
-    for size in [64usize, 1024, 65536] {
-        let data = vec![0xabu8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("digest/{size}B"), |b| {
-            b.iter(|| md5(black_box(&data)));
-        });
+/// Time `f` over enough iterations to fill ~200ms, reporting ns/iter.
+fn bench<F: FnMut()>(name: &str, mut f: F) {
+    // Warm-up and calibration: find an iteration count that takes ≥50ms.
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = t.elapsed();
+        if elapsed.as_millis() >= 50 || iters >= 1 << 24 {
+            break;
+        }
+        iters = (iters * 4).min(1 << 24);
     }
-    g.finish();
+    // Measured pass.
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = t.elapsed();
+    let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<40} {per_iter:>12.1} ns/iter   ({iters} iters)");
 }
 
-fn bench_porter(c: &mut Criterion) {
-    let words = [
-        "relational", "conditional", "hopefulness", "generalizations", "oscillators",
-        "troubled", "happiness", "retrieval", "indexing", "queries", "distributed",
-        "networks", "replacement", "effectiveness", "characterization",
-    ];
-    c.bench_function("porter/15-words", |b| {
-        b.iter(|| {
-            for w in words {
-                black_box(sprite_text::stem(black_box(w)));
-            }
+fn bench_md5() {
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        bench(&format!("md5/digest/{size}B"), || {
+            black_box(md5(black_box(&data)));
         });
+    }
+}
+
+fn bench_porter() {
+    let words = [
+        "relational",
+        "conditional",
+        "hopefulness",
+        "generalizations",
+        "oscillators",
+        "troubled",
+        "happiness",
+        "retrieval",
+        "indexing",
+        "queries",
+        "distributed",
+        "networks",
+        "replacement",
+        "effectiveness",
+        "characterization",
+    ];
+    bench("porter/15-words", || {
+        for w in words {
+            black_box(sprite_text::stem(black_box(w)));
+        }
     });
 }
 
-fn bench_chord_lookup(c: &mut Criterion) {
-    let mut g = c.benchmark_group("chord");
+fn bench_chord_lookup() {
     for n in [64usize, 1024] {
         let mut net = ChordNet::with_random_nodes(ChordConfig::default(), n, 5);
         let ids = net.node_ids();
@@ -44,48 +81,41 @@ fn bench_chord_lookup(c: &mut Criterion) {
             .map(|i| RingId::hash_bytes(format!("bench-key-{i}").as_bytes()))
             .collect();
         let mut i = 0usize;
-        g.bench_function(format!("lookup/{n}-peers"), |b| {
-            b.iter(|| {
-                let from = ids[i % ids.len()];
-                let key = keys[i % keys.len()];
-                i += 1;
-                black_box(net.lookup(from, key).expect("converged"));
-            });
+        bench(&format!("chord/lookup/{n}-peers"), || {
+            let from = ids[i % ids.len()];
+            let key = keys[i % keys.len()];
+            i += 1;
+            black_box(net.lookup(from, key).expect("converged"));
         });
     }
-    g.finish();
 }
 
-fn bench_centralized_search(c: &mut Criterion) {
+fn bench_centralized_search() {
     let sc = SyntheticCorpus::generate(&CorpusConfig::small(5));
     let engine = CentralizedEngine::build(sc.corpus());
     let seeds = sc.seed_queries();
     let mut i = 0usize;
-    c.bench_function("centralized/search-top20", |b| {
-        b.iter(|| {
-            let q = &seeds[i % seeds.len()].query;
-            i += 1;
-            black_box(engine.search(black_box(q), 20));
-        });
+    bench("centralized/search-top20", || {
+        let q = &seeds[i % seeds.len()].query;
+        i += 1;
+        black_box(engine.search(black_box(q), 20));
     });
 }
 
-fn bench_sprite_query(c: &mut Criterion) {
+fn bench_sprite_query() {
     let sc = SyntheticCorpus::generate(&CorpusConfig::small(5));
     let mut sys = SpriteSystem::build(sc.corpus().clone(), 64, SpriteConfig::default(), 5);
     sys.publish_all();
     let seeds = sc.seed_queries();
     let mut i = 0usize;
-    c.bench_function("sprite/distributed-query-top20", |b| {
-        b.iter(|| {
-            let q = &seeds[i % seeds.len()].query;
-            i += 1;
-            black_box(sys.issue_query(black_box(q), 20));
-        });
+    bench("sprite/distributed-query-top20", || {
+        let q = &seeds[i % seeds.len()].query;
+        i += 1;
+        black_box(sys.issue_query(black_box(q), 20));
     });
 }
 
-fn bench_learning(c: &mut Criterion) {
+fn bench_learning() {
     // A 60-term document and a 500-query history split into 10 batches:
     // Algorithm 1 (incremental) vs the naive full-history recompute.
     let doc = sprite_ir::Document::new(
@@ -102,39 +132,23 @@ fn bench_learning(c: &mut Criterion) {
         })
         .collect();
 
-    let mut g = c.benchmark_group("learning");
-    g.bench_function("algorithm1/one-batch-of-50", |b| {
-        // Steady state: stats warm, one incremental batch arrives.
-        let mut stats = std::collections::HashMap::new();
-        let _ = algorithm1(&doc, &mut stats, &history[..450], 20);
-        b.iter(|| {
-            let mut s = stats.clone();
-            black_box(algorithm1(&doc, &mut s, black_box(&history[450..]), 20));
-        });
+    // Steady state: stats warm, one incremental batch arrives.
+    let mut stats = std::collections::HashMap::new();
+    let _ = algorithm1(&doc, &mut stats, &history[..450], 20);
+    bench("learning/algorithm1/one-batch-of-50", || {
+        let mut s = stats.clone();
+        black_box(algorithm1(&doc, &mut s, black_box(&history[450..]), 20));
     });
-    g.bench_function("naive/full-500-history", |b| {
-        b.iter(|| black_box(naive_select(&doc, black_box(&history), 20)));
+    bench("learning/naive/full-500-history", || {
+        black_box(naive_select(&doc, black_box(&history), 20));
     });
-    g.finish();
 }
 
-/// Short measurement windows: these paths are microsecond-scale and the
-/// suite is run in CI alongside the (much longer) experiment binaries.
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(30)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
+fn main() {
+    bench_md5();
+    bench_porter();
+    bench_chord_lookup();
+    bench_centralized_search();
+    bench_sprite_query();
+    bench_learning();
 }
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_md5,
-        bench_porter,
-        bench_chord_lookup,
-        bench_centralized_search,
-        bench_sprite_query,
-        bench_learning
-}
-criterion_main!(benches);

@@ -17,8 +17,7 @@ fn main() {
         let kill = ((n_peers as f64) * frac).round() as usize;
 
         // No replication.
-        let mut plain =
-            world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+        let mut plain = world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
         plain.fail_random_peers(kill, 99);
         let r_plain = world.evaluate(&mut plain, &world.test, 20);
 
@@ -46,12 +45,7 @@ fn main() {
     print_table(
         "Churn: effectiveness ratio after abrupt peer failures (top-20 answers)",
         &[
-            "failed",
-            "peers",
-            "P (r=1)",
-            "R (r=1)",
-            "P (r=3)",
-            "R (r=3)",
+            "failed", "peers", "P (r=1)", "R (r=1)", "P (r=3)", "R (r=3)",
         ],
         &rows,
     );

@@ -29,13 +29,7 @@ fn main() {
         .collect();
     print_table(
         "Figure 4(a) — effectiveness ratio vs number of answers (20 indexed terms)",
-        &[
-            "answers",
-            "SPRITE P",
-            "eSearch P",
-            "SPRITE R",
-            "eSearch R",
-        ],
+        &["answers", "SPRITE P", "eSearch P", "SPRITE R", "eSearch R"],
         &rows,
     );
     println!(

@@ -9,6 +9,9 @@
 //! * `small` — integration-test scale (runs in seconds);
 //! * `tiny` — smoke-test scale (sub-second).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use sprite_core::{World, WorldConfig};
 
 /// Resolve the experiment scale from `SPRITE_SCALE` (default `full`).
@@ -99,7 +102,10 @@ mod tests {
         print_table(
             "demo",
             &["k", "precision"],
-            &[vec!["5".into(), "0.91".into()], vec!["10".into(), "0.88".into()]],
+            &[
+                vec!["5".into(), "0.91".into()],
+                vec!["10".into(), "0.88".into()],
+            ],
         );
         assert_eq!(r3(0.8734), "0.873");
     }

@@ -77,7 +77,12 @@ impl<V: Clone> Dht<V> {
             return Ok(Some(v.clone()));
         }
         // Probe the remaining replicas.
-        for peer in self.net.oracle_replicas(key, self.replication).into_iter().skip(1) {
+        for peer in self
+            .net
+            .oracle_replicas(key, self.replication)
+            .into_iter()
+            .skip(1)
+        {
             self.net.charge(MsgKind::QueryFetch);
             if let Some(v) = self.store.get(&peer.0).and_then(|m| m.get(&key.0)) {
                 return Ok(Some(v.clone()));
@@ -138,6 +143,27 @@ impl<V: Clone> Dht<V> {
     #[must_use]
     pub fn total_copies(&self) -> usize {
         self.store.values().map(HashMap::len).sum()
+    }
+
+    /// Configured replication degree.
+    #[must_use]
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Every stored copy as `(holding peer, key)` — arbitrary order; the
+    /// audit layer sorts before checking placement.
+    pub fn copies(&self) -> impl Iterator<Item = (RingId, RingId)> + '_ {
+        self.store
+            .iter()
+            .flat_map(|(&p, m)| m.keys().map(move |&k| (RingId(p), RingId(k))))
+    }
+
+    /// Write a copy directly at `peer`, bypassing routing and replication —
+    /// **corruption injection** for `sprite-audit` tests only (plants a
+    /// misplaced key so the placement checker can be exercised).
+    pub fn inject_copy(&mut self, peer: RingId, key: RingId, value: V) {
+        self.store.entry(peer.0).or_default().insert(key.0, value);
     }
 }
 

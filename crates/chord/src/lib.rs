@@ -13,6 +13,8 @@
 //! * [`kv`] — a replicated key-value layer demonstrating §7's
 //!   successor-replication scheme.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -80,6 +80,27 @@ impl NodeState {
         &self.fingers
     }
 
+    /// Overwrite finger `k` — **corruption injection** for audits and tests
+    /// only; the simulation itself never calls this. Pairs with
+    /// [`crate::ring::ChordNet::node_mut`] so `sprite-audit`'s checkers can
+    /// be exercised against known-broken routing state.
+    pub fn set_finger(&mut self, k: usize, target: RingId) {
+        self.fingers[k] = target;
+    }
+
+    /// Replace the successor list — corruption injection (see
+    /// [`Self::set_finger`]). The list must stay non-empty.
+    pub fn set_successor_list(&mut self, list: Vec<RingId>) {
+        assert!(!list.is_empty(), "successor list must stay non-empty");
+        self.succ = list;
+    }
+
+    /// Replace the predecessor pointer — corruption injection (see
+    /// [`Self::set_finger`]).
+    pub fn set_predecessor(&mut self, pred: Option<RingId>) {
+        self.pred = pred;
+    }
+
     /// Best local candidate strictly preceding `key` (closer than this
     /// node), chosen among fingers and the successor list, subject to
     /// `is_usable` (the network's aliveness check). Returns `None` when no
@@ -113,8 +134,7 @@ impl NodeState {
     /// Number of *distinct* peers this node references (ring-degree metric).
     #[must_use]
     pub fn distinct_neighbors(&self) -> usize {
-        let mut set: std::collections::HashSet<RingId> =
-            self.fingers.iter().copied().collect();
+        let mut set: std::collections::HashSet<RingId> = self.fingers.iter().copied().collect();
         set.extend(self.succ.iter().copied());
         if let Some(p) = self.pred {
             set.insert(p);
@@ -152,7 +172,7 @@ mod tests {
         n.fingers = vec![RingId(0); 128];
         n.fingers[3] = RingId(8); // id + 8
         n.fingers[6] = RingId(64); // id + 64
-        // Key 100: finger 64 precedes it and is farther than 8.
+                                   // Key 100: finger 64 precedes it and is farther than 8.
         assert_eq!(n.closest_preceding(RingId(100), |_| true), Some(RingId(64)));
         // Key 50: only finger 8 precedes it.
         assert_eq!(n.closest_preceding(RingId(50), |_| true), Some(RingId(8)));

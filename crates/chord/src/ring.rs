@@ -134,11 +134,10 @@ impl ChordNet {
     /// `ip:port`).
     #[must_use]
     pub fn with_random_nodes(cfg: ChordConfig, n: usize, seed: u64) -> Self {
-        use rand::Rng;
         let mut rng = derive_rng(seed, "chord-peers");
         let ids: Vec<RingId> = (0..n)
             .map(|i| {
-                let addr = format!("peer-{i}-{:08x}:{}", rng.gen::<u32>(), 1024 + (i % 60000));
+                let addr = format!("peer-{i}-{:08x}:{}", rng.gen_u32(), 1024 + (i % 60000));
                 RingId::hash_bytes(addr.as_bytes())
             })
             .collect();
@@ -173,6 +172,15 @@ impl ChordNet {
     #[must_use]
     pub fn node(&self, id: RingId) -> Option<&NodeState> {
         self.nodes.get(&id.0)
+    }
+
+    /// Mutable routing state of a node — **corruption injection** for
+    /// `sprite-audit` tests only. The simulation never mutates node state
+    /// through this; it exists so audits can plant known violations
+    /// (a wrong finger, a dropped successor) and assert the checkers
+    /// detect them.
+    pub fn node_mut(&mut self, id: RingId) -> Option<&mut NodeState> {
+        self.nodes.get_mut(&id.0)
     }
 
     /// Alive node identifiers in ring order.
@@ -276,9 +284,7 @@ impl ChordNet {
         let r = self.cfg.succ_list_len.min(n.saturating_sub(1)).max(1);
         for (i, &idv) in ids.iter().enumerate() {
             let id = RingId(idv);
-            let succ: Vec<RingId> = (1..=r.max(1))
-                .map(|j| RingId(ids[(i + j) % n]))
-                .collect();
+            let succ: Vec<RingId> = (1..=r.max(1)).map(|j| RingId(ids[(i + j) % n])).collect();
             let pred = RingId(ids[(i + n - 1) % n]);
             let fingers: Vec<RingId> = (0..ID_BITS)
                 .map(|k| self.oracle_owner(id.finger_start(k)).expect("non-empty"))
@@ -301,6 +307,7 @@ impl ChordNet {
         }
         self.nodes.insert(id.0, NodeState::solitary(id));
         self.sorted.insert(id.0);
+        self.debug_validate();
         Ok(())
     }
 
@@ -344,6 +351,7 @@ impl ChordNet {
             Some(p) if p != id && self.sorted.contains(&p.0) && !id.in_open(p, succ) => {}
             _ => s.pred = Some(id),
         }
+        self.debug_validate();
         Ok(())
     }
 
@@ -383,6 +391,7 @@ impl ChordNet {
                 }
             }
         }
+        self.debug_validate();
         Ok(())
     }
 
@@ -393,6 +402,7 @@ impl ChordNet {
             .remove(&id.0)
             .ok_or(ChordError::UnknownNode(id))?;
         self.sorted.remove(&id.0);
+        self.debug_validate();
         Ok(())
     }
 
@@ -562,6 +572,7 @@ impl ChordNet {
                 }
             }
         }
+        self.debug_validate();
         changes
     }
 
@@ -608,6 +619,40 @@ impl ChordNet {
         changes
     }
 
+    /// Structural self-check run after every mutation in debug builds
+    /// (free in release). These are the invariants that must hold at *all*
+    /// times, even mid-churn — the stronger converged-ring properties
+    /// (finger correctness, successor-list prefixes) belong to
+    /// `sprite-audit`'s `check_ring`, which is only meaningful on a
+    /// quiescent network.
+    fn debug_validate(&self) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert_eq!(
+                self.nodes.len(),
+                self.sorted.len(),
+                "node map and sorted index out of sync"
+            );
+            for (&idv, node) in &self.nodes {
+                debug_assert!(self.sorted.contains(&idv), "node {idv} missing from index");
+                debug_assert_eq!(node.id().0, idv, "node keyed under a foreign id");
+                debug_assert!(
+                    !node.successor_list().is_empty(),
+                    "successor list of {idv} is empty"
+                );
+                debug_assert!(
+                    node.successor_list().len() <= self.cfg.succ_list_len,
+                    "successor list of {idv} exceeds configured length"
+                );
+                debug_assert_eq!(
+                    node.finger_table().len(),
+                    ID_BITS as usize,
+                    "finger table of {idv} has wrong length"
+                );
+            }
+        }
+    }
+
     /// Run maintenance until quiescent or `max_rounds` exhausted. Returns
     /// the number of rounds executed.
     pub fn converge(&mut self, max_rounds: usize) -> usize {
@@ -651,10 +696,22 @@ mod tests {
     fn two_node_ring() {
         let mut net = ChordNet::with_nodes(ChordConfig::default(), &[RingId(100), RingId(200)]);
         // Key 150 belongs to 200; key 250 wraps to 100.
-        assert_eq!(net.lookup(RingId(100), RingId(150)).unwrap().owner, RingId(200));
-        assert_eq!(net.lookup(RingId(100), RingId(250)).unwrap().owner, RingId(100));
-        assert_eq!(net.lookup(RingId(200), RingId(150)).unwrap().owner, RingId(200));
-        assert_eq!(net.lookup(RingId(200), RingId(100)).unwrap().owner, RingId(100));
+        assert_eq!(
+            net.lookup(RingId(100), RingId(150)).unwrap().owner,
+            RingId(200)
+        );
+        assert_eq!(
+            net.lookup(RingId(100), RingId(250)).unwrap().owner,
+            RingId(100)
+        );
+        assert_eq!(
+            net.lookup(RingId(200), RingId(150)).unwrap().owner,
+            RingId(200)
+        );
+        assert_eq!(
+            net.lookup(RingId(200), RingId(100)).unwrap().owner,
+            RingId(100)
+        );
     }
 
     #[test]
@@ -846,6 +903,9 @@ mod tests {
         let mut net = ring_of(16);
         let from = net.node_ids()[0];
         let l = net.lookup_term(from, "retrieval").expect("lookup");
-        assert_eq!(l.owner, net.oracle_owner(RingId::hash_term("retrieval")).unwrap());
+        assert_eq!(
+            l.owner,
+            net.oracle_owner(RingId::hash_term("retrieval")).unwrap()
+        );
     }
 }

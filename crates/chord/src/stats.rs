@@ -6,10 +6,8 @@
 //! cost studies can report exactly what full-term indexing, eSearch, and
 //! SPRITE each pay.
 
-use serde::{Deserialize, Serialize};
-
 /// Message classes counted by the simulator.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MsgKind {
     /// One routing step of a Chord lookup.
     LookupHop,
@@ -67,7 +65,7 @@ impl MsgKind {
 }
 
 /// Aggregate message counters plus lookup hop distribution.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct NetStats {
     counts: [u64; MSG_KINDS],
     /// Number of completed lookups.

@@ -1,8 +1,10 @@
-//! Property-based tests for the Chord simulator's routing invariants.
+//! Property-style tests for the Chord simulator's routing invariants.
+//!
+//! Formerly `proptest` suites; now deterministic seeded loops over
+//! `DetRng`-generated rings so the workspace builds with an empty registry.
 
-use proptest::prelude::*;
 use sprite_chord::{ChordConfig, ChordNet};
-use sprite_util::RingId;
+use sprite_util::{derive_rng, DetRng, RingId};
 
 /// Build a ring from arbitrary raw ids (deduplicated inside `with_nodes`).
 fn ring(ids: &[u128]) -> ChordNet {
@@ -10,104 +12,124 @@ fn ring(ids: &[u128]) -> ChordNet {
     ChordNet::with_nodes(ChordConfig::default(), &ids)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn rng(label: &str) -> DetRng {
+    derive_rng(0xC0DE, label)
+}
 
-    /// On a converged ring, lookups from any member for any key resolve to
-    /// the oracle owner, within the Chord hop bound.
-    #[test]
-    fn lookup_agrees_with_oracle(
-        ids in proptest::collection::hash_set(any::<u128>(), 1..40),
-        keys in proptest::collection::vec(any::<u128>(), 1..20),
-        from_sel in any::<prop::sample::Index>(),
-    ) {
-        let ids: Vec<u128> = ids.into_iter().collect();
+fn gen_u128(rng: &mut DetRng) -> u128 {
+    (u128::from(rng.gen_u64()) << 64) | u128::from(rng.gen_u64())
+}
+
+fn gen_ids(rng: &mut DetRng, lo: usize, hi: usize) -> Vec<u128> {
+    let n = rng.gen_range(lo..hi);
+    let mut ids: Vec<u128> = (0..n).map(|_| gen_u128(rng)).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// On a converged ring, lookups from any member for any key resolve to
+/// the oracle owner, within the Chord hop bound.
+#[test]
+fn lookup_agrees_with_oracle() {
+    let mut r = rng("lookup-oracle");
+    for _ in 0..64 {
+        let ids = gen_ids(&mut r, 1, 40);
         let mut net = ring(&ids);
         let members = net.node_ids();
-        let from = members[from_sel.index(members.len())];
-        for &k in &keys {
-            let key = RingId(k);
+        let from = members[r.gen_range(0..members.len())];
+        let n_keys = r.gen_range(1..20);
+        for _ in 0..n_keys {
+            let key = RingId(gen_u128(&mut r));
             let want = net.oracle_owner(key).expect("non-empty");
             let got = net.lookup(from, key).expect("converged ring lookup");
-            prop_assert_eq!(got.owner, want);
+            assert_eq!(got.owner, want);
             // Hop bound: fingers halve the remaining distance each step.
-            prop_assert!(got.hops as usize <= 2 * (members.len().ilog2() as usize + 1) + 2,
-                "hops {} too many for {} nodes", got.hops, members.len());
+            assert!(
+                got.hops as usize <= 2 * (members.len().ilog2() as usize + 1) + 2,
+                "hops {} too many for {} nodes",
+                got.hops,
+                members.len()
+            );
         }
     }
+}
 
-    /// The lookup path never revisits a node (progress is strictly
-    /// monotone along the ring).
-    #[test]
-    fn lookup_path_is_simple(
-        ids in proptest::collection::hash_set(any::<u128>(), 2..40),
-        key in any::<u128>(),
-    ) {
-        let ids: Vec<u128> = ids.into_iter().collect();
+/// The lookup path never revisits a node (progress is strictly
+/// monotone along the ring).
+#[test]
+fn lookup_path_is_simple() {
+    let mut r = rng("path-simple");
+    for _ in 0..64 {
+        let ids = gen_ids(&mut r, 2, 40);
         let mut net = ring(&ids);
         let from = net.node_ids()[0];
-        let l = net.lookup(from, RingId(key)).expect("lookup");
+        let l = net.lookup(from, RingId(gen_u128(&mut r))).expect("lookup");
         let mut seen = std::collections::HashSet::new();
         for p in &l.path {
-            prop_assert!(seen.insert(*p), "path revisits {p:?}");
+            assert!(seen.insert(*p), "path revisits {p:?}");
         }
-        prop_assert_eq!(l.path.len() as u32, l.hops + 1);
+        assert_eq!(l.path.len() as u32, l.hops + 1);
     }
+}
 
-    /// Replica sets: correct length, start at the owner, no duplicates.
-    #[test]
-    fn replica_sets_well_formed(
-        ids in proptest::collection::hash_set(any::<u128>(), 1..30),
-        key in any::<u128>(),
-        r in 1usize..6,
-    ) {
-        let ids: Vec<u128> = ids.into_iter().collect();
+/// Replica sets: correct length, start at the owner, no duplicates.
+#[test]
+fn replica_sets_well_formed() {
+    let mut r = rng("replica-sets");
+    for _ in 0..64 {
+        let ids = gen_ids(&mut r, 1, 30);
+        let key = RingId(gen_u128(&mut r));
+        let k = r.gen_range(1..6);
         let net = ring(&ids);
-        let reps = net.oracle_replicas(RingId(key), r);
-        prop_assert_eq!(reps.len(), r.min(ids.len()));
-        prop_assert_eq!(reps.first().copied(), net.oracle_owner(RingId(key)));
+        let reps = net.oracle_replicas(key, k);
+        assert_eq!(reps.len(), k.min(ids.len()));
+        assert_eq!(reps.first().copied(), net.oracle_owner(key));
         let set: std::collections::HashSet<_> = reps.iter().collect();
-        prop_assert_eq!(set.len(), reps.len());
+        assert_eq!(set.len(), reps.len());
     }
+}
 
-    /// After arbitrary graceful leaves, maintenance reconverges the ring and
-    /// lookups still match the oracle.
-    #[test]
-    fn leaves_then_converge(
-        ids in proptest::collection::hash_set(any::<u128>(), 4..24),
-        leaver_sel in proptest::collection::vec(any::<prop::sample::Index>(), 1..3),
-    ) {
-        let ids: Vec<u128> = ids.into_iter().collect();
+/// After arbitrary graceful leaves, maintenance reconverges the ring and
+/// lookups still match the oracle.
+#[test]
+fn leaves_then_converge() {
+    let mut r = rng("leaves-converge");
+    for _ in 0..64 {
+        let ids = gen_ids(&mut r, 4, 24);
         let mut net = ring(&ids);
-        for sel in leaver_sel {
-            if net.len() <= 2 { break; }
+        let n_leavers = r.gen_range(1..3);
+        for _ in 0..n_leavers {
+            if net.len() <= 2 {
+                break;
+            }
             let members = net.node_ids();
-            let victim = members[sel.index(members.len())];
+            let victim = members[r.gen_range(0..members.len())];
             net.leave(victim).expect("leave");
         }
         net.converge(80);
-        prop_assert!(net.is_converged());
+        assert!(net.is_converged());
         let members = net.node_ids();
         let from = members[0];
         let key = RingId(0xdead_beef);
-        prop_assert_eq!(
+        assert_eq!(
             net.lookup(from, key).expect("post-leave lookup").owner,
             net.oracle_owner(key).expect("non-empty")
         );
     }
+}
 
-    /// After abrupt failures (no goodbye), maintenance repairs the ring.
-    #[test]
-    fn failures_then_converge(
-        ids in proptest::collection::hash_set(any::<u128>(), 6..24),
-        victim_sel in any::<prop::sample::Index>(),
-    ) {
-        let ids: Vec<u128> = ids.into_iter().collect();
+/// After abrupt failures (no goodbye), maintenance repairs the ring.
+#[test]
+fn failures_then_converge() {
+    let mut r = rng("failures-converge");
+    for _ in 0..64 {
+        let ids = gen_ids(&mut r, 6, 24);
         let mut net = ring(&ids);
         let members = net.node_ids();
-        let victim = members[victim_sel.index(members.len())];
+        let victim = members[r.gen_range(0..members.len())];
         net.fail(victim).expect("fail");
         net.converge(80);
-        prop_assert!(net.is_converged());
+        assert!(net.is_converged());
     }
 }

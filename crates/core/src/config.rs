@@ -1,10 +1,9 @@
 //! SPRITE system configuration.
 
-use serde::{Deserialize, Serialize};
 use sprite_ir::Similarity;
 
 /// Tunables of a SPRITE deployment. Defaults are the paper's §6.2 settings.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SpriteConfig {
     /// Global index terms published when a document is first shared
     /// (`F = 5`, §6.2) — the top-F most frequent terms.
@@ -38,7 +37,7 @@ pub struct SpriteConfig {
 }
 
 /// Which document frequency feeds the IDF during distributed ranking.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum IdfMode {
     /// The paper's surrogate: the *indexed* document frequency `n′_k`
     /// (length of the retrieved inverted list).

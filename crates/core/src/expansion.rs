@@ -53,11 +53,7 @@ impl SpriteSystem {
         if initial.is_empty() {
             return initial;
         }
-        let analyzed: Vec<Hit> = initial
-            .iter()
-            .copied()
-            .take(cfg.candidate_docs)
-            .collect();
+        let analyzed: Vec<Hit> = initial.iter().copied().take(cfg.candidate_docs).collect();
 
         // Download each top document's term vector from its owner peer
         // (alive owners only — a dead owner's document cannot be fetched).

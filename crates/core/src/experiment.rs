@@ -5,7 +5,6 @@
 //! 50/50 train/test split. The `fig4*` functions reproduce the three panels
 //! of Figure 4; the bench binaries are thin printers over these.
 
-use serde::Serialize;
 use sprite_corpus::{
     generate_workload, issue_order, split_train_test, CorpusConfig, GenConfig, GeneratedQuery,
     Schedule, SyntheticCorpus,
@@ -154,7 +153,9 @@ impl World {
         let iterations = if cfg.is_static() {
             0
         } else {
-            cfg.max_terms.saturating_sub(cfg.initial_terms).div_ceil(cfg.terms_per_iteration)
+            cfg.max_terms
+                .saturating_sub(cfg.initial_terms)
+                .div_ceil(cfg.terms_per_iteration)
         };
         let mut sys = self.new_system(cfg);
         if iterations > 0 {
@@ -167,7 +168,7 @@ impl World {
 }
 
 /// One point of a figure series.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SeriesPoint {
     /// The x-axis value (answers K, indexed terms, or iteration).
     pub x: f64,
@@ -179,7 +180,7 @@ pub struct SeriesPoint {
 
 /// Figure 4(a): precision & recall ratio vs number of answers, SPRITE
 /// (20 learned terms) vs eSearch (20 static terms).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig4a {
     /// SPRITE series, one point per K.
     pub sprite: Vec<SeriesPoint>,
@@ -213,7 +214,7 @@ pub fn fig4a(world: &World, answers: &[usize]) -> Fig4a {
 
 /// Figure 4(b): precision ratio vs number of indexed terms, for the
 /// `w/o-r` and `w-zipf` schedules.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig4b {
     /// SPRITE under `w/o-r` (every training query once).
     pub sprite_wor: Vec<SeriesPoint>,
@@ -250,11 +251,11 @@ pub fn fig4b(world: &World, budgets: &[usize], k: usize) -> Fig4b {
             ]
         })
         .collect();
-    let results: Vec<(usize, SeriesPoint)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(usize, SeriesPoint)> = std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .into_iter()
             .map(|(series, b, cfg, schedule)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut sys = world.standard_system(cfg, schedule);
                     let r = world.evaluate(&mut sys, &world.test, k);
                     (
@@ -272,8 +273,7 @@ pub fn fig4b(world: &World, budgets: &[usize], k: usize) -> Fig4b {
             .into_iter()
             .map(|h| h.join().expect("figure worker panicked"))
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
     let mut series: [Vec<SeriesPoint>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for (s, p) in results {
         series[s].push(p);
@@ -291,7 +291,7 @@ pub fn fig4b(world: &World, budgets: &[usize], k: usize) -> Fig4b {
 
 /// Figure 4(c): precision & recall ratio per learning iteration with a
 /// query-pattern change halfway.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig4c {
     /// SPRITE, one point per iteration (x = iteration number, 1-based).
     pub sprite: Vec<SeriesPoint>,
@@ -314,12 +314,32 @@ pub fn fig4c(world: &World, iterations: usize, k: usize) -> Fig4c {
     let n_seeds = world.config.corpus.n_seed_queries;
     let group_of = |qi: usize| usize::from(world.workload[qi].seed_idx >= n_seeds / 2);
     let train_g: [Vec<usize>; 2] = [
-        world.train.iter().copied().filter(|&q| group_of(q) == 0).collect(),
-        world.train.iter().copied().filter(|&q| group_of(q) == 1).collect(),
+        world
+            .train
+            .iter()
+            .copied()
+            .filter(|&q| group_of(q) == 0)
+            .collect(),
+        world
+            .train
+            .iter()
+            .copied()
+            .filter(|&q| group_of(q) == 1)
+            .collect(),
     ];
     let test_g: [Vec<usize>; 2] = [
-        world.test.iter().copied().filter(|&q| group_of(q) == 0).collect(),
-        world.test.iter().copied().filter(|&q| group_of(q) == 1).collect(),
+        world
+            .test
+            .iter()
+            .copied()
+            .filter(|&q| group_of(q) == 0)
+            .collect(),
+        world
+            .test
+            .iter()
+            .copied()
+            .filter(|&q| group_of(q) == 1)
+            .collect(),
     ];
 
     let cfg = SpriteConfig {
@@ -403,7 +423,10 @@ mod tests {
             }
         }
         // Most tiny-corpus docs have ≥ 20 distinct terms, so most reach 20.
-        assert!(at_budget > docs / 2, "only {at_budget}/{docs} reached budget");
+        assert!(
+            at_budget > docs / 2,
+            "only {at_budget}/{docs} reached budget"
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub fn term_score(stat: TermStat) -> f64 {
 /// Term-scoring variants for the ablation study of §5.3's design argument
 /// ("it is insufficient to consider (1) alone … insufficient to consider
 /// (2) alone").
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ScoreMode {
     /// The paper's combination: `qScore_max · log₁₀(QF)`.
     #[default]
@@ -225,7 +225,11 @@ mod tests {
         // Construct queries reproducing the target stats:
         //   t3: qf 3→5 keeping qs 0.75; t5: qf 30→32 keeping qs 0.33.
         // Query {3, x, y, z} with only t3 in doc gives qScore 0.25 ≤ 0.75.
-        let new = vec![q(&[3, 100, 101, 102]), q(&[3, 5, 100, 101, 102, 103]), q(&[5, 100, 101])];
+        let new = vec![
+            q(&[3, 100, 101, 102]),
+            q(&[3, 5, 100, 101, 102, 103]),
+            q(&[5, 100, 101]),
+        ];
         let chosen = algorithm1(&d, &mut stats, &new, 3);
         assert_eq!(stats[&TermId(3)].qf, 5);
         assert_eq!(stats[&TermId(5)].qf, 32);

@@ -17,12 +17,14 @@
 //! * [`expansion`] — §7: local-context-analysis query expansion;
 //! * [`experiment`] — the shared experiment driver behind every figure.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod config;
-pub mod experiment;
 pub mod expansion;
+pub mod experiment;
 pub mod learn;
 pub mod metrics;
 pub mod peer;
@@ -36,7 +38,7 @@ pub use learn::{
     algorithm1, naive_select, q_score, select_terms, select_terms_excluding, select_terms_mode,
     term_score, term_score_with, update_stats, ScoreMode,
 };
-pub use peer::{CachedQuery, IndexEntry, IndexingState, OwnerDoc, TermStat};
 pub use metrics::{gini, LoadReport, PeerLoad};
+pub use peer::{CachedQuery, IndexEntry, IndexingState, OwnerDoc, TermStat};
 pub use resilience::AdvisoryReport;
 pub use system::{LearnReport, SpriteSystem};

@@ -132,7 +132,10 @@ mod tests {
         let total: usize = report.peers.iter().map(|p| p.entries).sum();
         assert_eq!(total, sys.total_index_entries());
         assert!(report.hottest_df >= 1);
-        assert!(report.entry_gini > 0.0, "hash placement is never perfectly even");
+        assert!(
+            report.entry_gini > 0.0,
+            "hash placement is never perfectly even"
+        );
         assert!(report.entry_gini < 1.0);
     }
 

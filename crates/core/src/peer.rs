@@ -63,11 +63,15 @@ impl IndexingState {
     }
 
     /// Insert or update the entry for `(term, doc)`.
+    ///
+    /// Lists stay sorted by document id with one entry per document —
+    /// the structural invariant `sprite-audit`'s `check_index` verifies —
+    /// so scans and merges are deterministic regardless of publish order.
     pub fn publish(&mut self, term: TermId, entry: IndexEntry) {
         let list = self.inverted.entry(term).or_default();
-        match list.iter_mut().find(|e| e.doc == entry.doc) {
-            Some(e) => *e = entry,
-            None => list.push(entry),
+        match list.binary_search_by_key(&entry.doc, |e| e.doc) {
+            Ok(i) => list[i] = entry,
+            Err(i) => list.insert(i, entry),
         }
     }
 
@@ -103,6 +107,23 @@ impl IndexingState {
     /// Terms this peer currently indexes, with their indexed df.
     pub fn term_dfs(&self) -> impl Iterator<Item = (TermId, usize)> + '_ {
         self.inverted.iter().map(|(&t, l)| (t, l.len()))
+    }
+
+    /// Every inverted list held by this peer, keyed by term (arbitrary
+    /// order — callers that need determinism must sort).
+    pub fn terms(&self) -> impl Iterator<Item = (TermId, &[IndexEntry])> {
+        self.inverted.iter().map(|(&t, l)| (t, l.as_slice()))
+    }
+
+    /// Replace the inverted list of `term` verbatim, skipping the
+    /// sorted-insert of [`Self::publish`] — **corruption injection** for
+    /// `sprite-audit` tests only.
+    pub fn inject_raw(&mut self, term: TermId, entries: Vec<IndexEntry>) {
+        if entries.is_empty() {
+            self.inverted.remove(&term);
+        } else {
+            self.inverted.insert(term, entries);
+        }
     }
 
     /// Total inverted-list entries held.

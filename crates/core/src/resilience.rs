@@ -43,7 +43,7 @@ impl SpriteSystem {
     /// Fail `n` random indexing peers (deterministic in `seed`). Returns
     /// the failed peer ids.
     pub fn fail_random_peers(&mut self, n: usize, seed: u64) -> Vec<RingId> {
-        use rand::seq::SliceRandom;
+        use sprite_util::SliceRng;
         let mut rng = derive_rng(seed, "peer-failures");
         let mut candidates = self.peers().to_vec();
         candidates.shuffle(&mut rng);
@@ -128,17 +128,26 @@ impl SpriteSystem {
     /// similarity calculation" anyway (tiny IDF).
     pub fn hot_term_advisory(&mut self, df_threshold: usize) -> AdvisoryReport {
         let mut report = AdvisoryReport::default();
-        // Collect (term, affected docs) across all peers.
-        let hot: Vec<(TermId, Vec<DocId>)> = self
-            .indexing_mut()
-            .values()
-            .flat_map(|st| {
-                st.term_dfs()
-                    .filter(|&(_, df)| df > df_threshold)
-                    .map(|(t, _)| (t, st.list(t).iter().map(|e| e.doc).collect::<Vec<_>>()))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
+        // Collect (term, affected docs) across all peers. Peers and terms
+        // are visited in sorted order: advisory application mutates owner
+        // state (exclusions, replacements), so iteration order would
+        // otherwise leak HashMap randomness into published indexes.
+        let mut hot: Vec<(TermId, Vec<DocId>)> = {
+            let index = self.indexing_mut();
+            let mut peers: Vec<&u128> = index.keys().collect();
+            peers.sort_unstable();
+            peers
+                .into_iter()
+                .map(|p| &index[p])
+                .flat_map(|st| {
+                    st.term_dfs()
+                        .filter(|&(_, df)| df > df_threshold)
+                        .map(|(t, _)| (t, st.list(t).iter().map(|e| e.doc).collect::<Vec<_>>()))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        hot.sort_unstable_by_key(|&(t, _)| t);
         report.hot_terms = hot.len();
         for (term, docs) in hot {
             for doc in docs {
@@ -289,7 +298,10 @@ mod tests {
             let doc = DocId(i as u32);
             let owner = sys.owner_state(doc);
             for t in &owner.excluded {
-                assert!(!owner.published.contains(t), "excluded term still published");
+                assert!(
+                    !owner.published.contains(t),
+                    "excluded term still published"
+                );
             }
         }
     }

@@ -77,11 +77,12 @@ impl SpriteSystem {
         let net = ChordNet::with_random_nodes(ChordConfig::default(), n_peers, seed);
         let peers = net.node_ids();
         let mut rng = derive_rng(seed, "doc-owners");
-        use rand::Rng;
         let doc_owner: Vec<RingId> = (0..corpus.len())
             .map(|_| peers[rng.gen_range(0..peers.len())])
             .collect();
-        let owners = (0..corpus.len()).map(|i| OwnerDoc::new(DocId(i as u32))).collect();
+        let owners = (0..corpus.len())
+            .map(|i| OwnerDoc::new(DocId(i as u32)))
+            .collect();
         let term_pos = vec![None; corpus.vocab().len()];
         SpriteSystem {
             cfg,
@@ -148,7 +149,10 @@ impl SpriteSystem {
     /// Total inverted-list entries across all indexing peers (index size).
     #[must_use]
     pub fn total_index_entries(&self) -> usize {
-        self.indexing.values().map(IndexingState::total_entries).sum()
+        self.indexing
+            .values()
+            .map(IndexingState::total_entries)
+            .sum()
     }
 
     /// Exact corpus document frequency of `term` (the ablation oracle;
@@ -204,11 +208,15 @@ impl SpriteSystem {
             if !self.owners[i].published.is_empty() {
                 continue;
             }
-            let initial = self.corpus.doc(doc).top_frequent_terms(self.cfg.initial_terms);
+            let initial = self
+                .corpus
+                .doc(doc)
+                .top_frequent_terms(self.cfg.initial_terms);
             for &t in &initial {
                 self.publish_term(doc, t);
             }
             self.owners[i].published = initial;
+            self.debug_validate_owner(doc);
         }
     }
 
@@ -452,6 +460,10 @@ impl SpriteSystem {
                 published.iter().map(|&t| (t, self.term_ring(t))).collect();
             let mut incoming: Vec<Query> = Vec::new();
             let mut returned: u64 = 0;
+            // Poll in sorted peer order: the fold below is commutative, but
+            // a fixed order keeps traces and the determinism audit exact.
+            let mut by_peer: Vec<(u128, Vec<TermId>)> = by_peer.into_iter().collect();
+            by_peer.sort_unstable_by_key(|&(p, _)| p);
             for (peer, terms) in &by_peer {
                 self.net.charge(MsgKind::LearnPoll);
                 report.polls += 1;
@@ -465,8 +477,7 @@ impl SpriteSystem {
                         if !cached.query.contains(t) {
                             continue;
                         }
-                        let closest =
-                            closest_global_term(&global_pos, &cached.query, cached.qhash);
+                        let closest = closest_global_term(&global_pos, &cached.query, cached.qhash);
                         if closest != Some(t) {
                             continue;
                         }
@@ -521,6 +532,7 @@ impl SpriteSystem {
                 report.docs_changed += 1;
             }
             self.owners[i].published = new_terms;
+            self.debug_validate_owner(doc);
         }
         report
     }
@@ -546,6 +558,57 @@ impl SpriteSystem {
     #[must_use]
     pub fn indexing_state(&self, peer: RingId) -> Option<&IndexingState> {
         self.indexing.get(&peer.0)
+    }
+
+    /// Mutable access to an indexing peer's state — **corruption injection**
+    /// for `sprite-audit` tests only (plant an unsorted or duplicated
+    /// posting list and assert the checkers flag it).
+    pub fn indexing_state_mut(&mut self, peer: RingId) -> Option<&mut IndexingState> {
+        self.indexing.get_mut(&peer.0)
+    }
+
+    /// Overwrite the published-term list of `doc` without touching the
+    /// distributed index — **corruption injection** for `sprite-audit`
+    /// tests only (plants cap overruns and published-but-unindexed terms).
+    pub fn inject_published(&mut self, doc: DocId, terms: Vec<TermId>) {
+        self.owners[doc.index()].published = terms;
+    }
+
+    /// Peers currently holding any indexing-role state, in ring order
+    /// (diagnostics and the `sprite-audit` checkers).
+    #[must_use]
+    pub fn indexing_peers(&self) -> Vec<RingId> {
+        let mut peers: Vec<RingId> = self.indexing.keys().map(|&p| RingId(p)).collect();
+        peers.sort_unstable();
+        peers
+    }
+
+    /// Owner-side self-check run after every publish/refine pass in debug
+    /// builds: the published set must respect the global-term cap, contain
+    /// no duplicates, and never include an advisory-excluded term. The
+    /// richer cross-layer checks live in `sprite-audit`'s `check_index`.
+    fn debug_validate_owner(&self, doc: DocId) {
+        let _ = doc; // used only when debug_assertions are on
+        #[cfg(debug_assertions)]
+        {
+            let owner = &self.owners[doc.index()];
+            debug_assert!(
+                owner.published.len() <= self.cfg.max_terms,
+                "doc {doc:?} publishes {} terms, cap {}",
+                owner.published.len(),
+                self.cfg.max_terms
+            );
+            let distinct: std::collections::HashSet<_> = owner.published.iter().collect();
+            debug_assert_eq!(
+                distinct.len(),
+                owner.published.len(),
+                "doc {doc:?} publishes duplicate terms"
+            );
+            debug_assert!(
+                owner.published.iter().all(|t| !owner.excluded.contains(t)),
+                "doc {doc:?} publishes an excluded term"
+            );
+        }
     }
 
     pub(crate) fn indexing_mut(&mut self) -> &mut HashMap<u128, IndexingState> {
@@ -769,8 +832,16 @@ mod tests {
         // The owner of doc 0 must have received this query exactly once.
         // (Other docs may legitimately receive it too if they also index
         // one of the two terms; count via doc 0's stats.)
-        let qf0 = sys.owner_state(DocId(0)).stats.get(&published[0]).map_or(0, |s| s.qf);
-        let qf1 = sys.owner_state(DocId(0)).stats.get(&published[1]).map_or(0, |s| s.qf);
+        let qf0 = sys
+            .owner_state(DocId(0))
+            .stats
+            .get(&published[0])
+            .map_or(0, |s| s.qf);
+        let qf1 = sys
+            .owner_state(DocId(0))
+            .stats
+            .get(&published[1])
+            .map_or(0, |s| s.qf);
         assert_eq!(
             qf0 + qf1,
             2,
@@ -788,9 +859,15 @@ mod tests {
         ];
         let q = Query::new(vec![TermId(1), TermId(3)]);
         // qhash at 290: closest of {100, 300} is 300 → TermId(3).
-        assert_eq!(closest_global_term(&global, &q, RingId(290)), Some(TermId(3)));
+        assert_eq!(
+            closest_global_term(&global, &q, RingId(290)),
+            Some(TermId(3))
+        );
         // qhash at 110: closest is 100 → TermId(1).
-        assert_eq!(closest_global_term(&global, &q, RingId(110)), Some(TermId(1)));
+        assert_eq!(
+            closest_global_term(&global, &q, RingId(110)),
+            Some(TermId(1))
+        );
         // Query with no global terms → None.
         let q2 = Query::new(vec![TermId(9)]);
         assert_eq!(closest_global_term(&global, &q2, RingId(0)), None);

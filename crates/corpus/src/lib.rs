@@ -11,6 +11,8 @@
 //!   verbatim: overlap-ratio term selection with `Distribution(t)`
 //!   nearest-neighbor replacement, and rank-aligned relevance transfer.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

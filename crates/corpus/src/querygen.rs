@@ -20,9 +20,7 @@
 
 use std::collections::HashSet;
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use sprite_util::SliceRng;
 
 use sprite_ir::{CentralizedEngine, Corpus, DocId, Query, TermId};
 use sprite_util::derive_rng;
@@ -30,7 +28,7 @@ use sprite_util::derive_rng;
 use crate::synthetic::SeedQuery;
 
 /// Query-generator parameters (paper defaults).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GenConfig {
     /// New queries derived per seed query (`k = 9`, so 63 seeds → 630
     /// queries including the originals).
@@ -127,8 +125,7 @@ impl TermDistribution {
         let pos = self
             .sorted
             .partition_point(|&x| {
-                self.by_term[x.index()] < target
-                    || (self.by_term[x.index()] == target && x < t)
+                self.by_term[x.index()] < target || (self.by_term[x.index()] == target && x < t)
             })
             .min(self.sorted.len().saturating_sub(1));
         // Expand a window around pos, always taking the closer side next.
@@ -212,11 +209,11 @@ pub fn generate_workload(
 
 /// Phase 1: keep `O·|Q|` original terms, replace the rest with
 /// distribution-nearest substitutes.
-fn phase1_terms<R: Rng>(
+fn phase1_terms(
     original: &Query,
     dist: &TermDistribution,
     cfg: &GenConfig,
-    rng: &mut R,
+    rng: &mut sprite_util::DetRng,
 ) -> Query {
     let orig: Vec<TermId> = original.term_counts().iter().map(|&(t, _)| t).collect();
     let keep_n = ((cfg.overlap * orig.len() as f64).round() as usize).min(orig.len());
@@ -382,7 +379,7 @@ mod tests {
             .collect();
         let dist = TermDistribution::compute(&corpus);
         let near = dist.nearest(ids[2], 2, &HashSet::new()); // value 9
-        // Closest to 9 are 4 and 16.
+                                                             // Closest to 9 are 4 and 16.
         assert_eq!(near.len(), 2);
         assert!(near.contains(&ids[1]) && near.contains(&ids[3]));
     }
@@ -407,7 +404,11 @@ mod tests {
     #[test]
     fn workload_size_and_structure() {
         let (sc, engine, seeds) = setup();
-        let cfg = GenConfig { k_per_seed: 9, top_e: 100, ..GenConfig::default() };
+        let cfg = GenConfig {
+            k_per_seed: 9,
+            top_e: 100,
+            ..GenConfig::default()
+        };
         let w = generate_workload(sc.corpus(), &engine, &seeds[..4], &cfg);
         assert_eq!(w.len(), 4 * 10);
         for (i, q) in w.iter().enumerate() {
@@ -420,7 +421,10 @@ mod tests {
     #[test]
     fn generated_queries_overlap_with_original() {
         let (sc, engine, seeds) = setup();
-        let cfg = GenConfig { top_e: 100, ..GenConfig::default() };
+        let cfg = GenConfig {
+            top_e: 100,
+            ..GenConfig::default()
+        };
         let w = generate_workload(sc.corpus(), &engine, &seeds[..3], &cfg);
         for q in w.iter().filter(|q| !q.is_original) {
             let orig = &seeds[q.seed_idx].query;
@@ -441,16 +445,26 @@ mod tests {
     #[test]
     fn generated_relevance_shares_documents_with_original() {
         let (sc, engine, seeds) = setup();
-        let cfg = GenConfig { top_e: 200, ..GenConfig::default() };
+        let cfg = GenConfig {
+            top_e: 200,
+            ..GenConfig::default()
+        };
         let w = generate_workload(sc.corpus(), &engine, &seeds[..3], &cfg);
         let mut any_shared = false;
         for q in w.iter().filter(|q| !q.is_original) {
             assert!(!q.relevant.is_empty(), "derived query with no relevance");
-            if q.relevant.intersection(&seeds[q.seed_idx].relevant).next().is_some() {
+            if q.relevant
+                .intersection(&seeds[q.seed_idx].relevant)
+                .next()
+                .is_some()
+            {
                 any_shared = true;
             }
         }
-        assert!(any_shared, "derived queries should share relevant docs with seeds");
+        assert!(
+            any_shared,
+            "derived queries should share relevant docs with seeds"
+        );
     }
 
     #[test]
@@ -471,7 +485,14 @@ mod tests {
         assert_eq!(order.len(), 10);
         assert_eq!(set.len(), 10);
 
-        let z = issue_order(10, Schedule::Zipf { slope: 0.5, total: 500 }, 3);
+        let z = issue_order(
+            10,
+            Schedule::Zipf {
+                slope: 0.5,
+                total: 500,
+            },
+            3,
+        );
         assert_eq!(z.len(), 500);
         assert!(z.iter().all(|&i| i < 10));
         // Zipf: the most popular query must repeat far more than the least.

@@ -20,15 +20,13 @@
 
 use std::collections::HashSet;
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use sprite_util::SliceRng;
 
 use sprite_ir::{Corpus, DocId, Query, TermId};
 use sprite_util::{derive_rng, Zipf};
 
 /// Configuration of the synthetic corpus.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CorpusConfig {
     /// Master seed; every stream below derives from it.
     pub seed: u64,
@@ -191,8 +189,7 @@ impl SyntheticCorpus {
         let topic_pop = Zipf::new(config.n_topics, 0.5);
         let mut doc_topics = Vec::with_capacity(config.n_docs);
         for _ in 0..config.n_docs {
-            let n_topics =
-                doc_rng.gen_range(config.topics_per_doc.0..=config.topics_per_doc.1);
+            let n_topics = doc_rng.gen_range(config.topics_per_doc.0..=config.topics_per_doc.1);
             let mut mine: Vec<u16> = Vec::with_capacity(n_topics);
             while mine.len() < n_topics {
                 let t = topic_pop.sample(&mut doc_rng) as u16;
@@ -380,7 +377,10 @@ mod tests {
         assert_eq!(sc.corpus().vocab().len(), cfg.vocab_size);
         for d in sc.docs() {
             let len = d.len() as usize;
-            assert!(len >= cfg.doc_len.0 && len <= cfg.doc_len.1, "doc len {len}");
+            assert!(
+                len >= cfg.doc_len.0 && len <= cfg.doc_len.1,
+                "doc len {len}"
+            );
         }
         for i in 0..cfg.n_docs {
             let nt = sc.doc_topics(DocId(i as u32)).len();
@@ -447,9 +447,8 @@ mod tests {
     fn background_terms_follow_rank_order() {
         // Term id 0 (rank 0) must occur much more often than a deep-rank id.
         let sc = SyntheticCorpus::generate(&CorpusConfig::small(3));
-        let count = |term: TermId| -> u64 {
-            sc.docs().iter().map(|d| u64::from(d.freq(term))).sum()
-        };
+        let count =
+            |term: TermId| -> u64 { sc.docs().iter().map(|d| u64::from(d.freq(term))).sum() };
         let head: u64 = (0..5u32).map(|i| count(TermId(i))).sum();
         let tail: u64 = (0..5u32)
             .map(|i| count(TermId(sc.config().vocab_size as u32 - 1 - i)))

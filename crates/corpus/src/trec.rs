@@ -261,7 +261,11 @@ unused here
             "distributed hash tables and routing",
         ];
         let corpus = Corpus::from_texts(&analyzer, texts);
-        let docnos = vec!["doc-a".to_string(), "doc-b".to_string(), "doc-c".to_string()];
+        let docnos = vec![
+            "doc-a".to_string(),
+            "doc-b".to_string(),
+            "doc-c".to_string(),
+        ];
         let topics = parse_topics(Cursor::new(TOPICS)).unwrap();
         let qrels = parse_qrels(Cursor::new(
             "OHSU1 0 doc-a 1\n402 0 doc-b 1\n402 0 doc-x 1\n",
@@ -285,8 +289,13 @@ unused here
             num: "77".into(),
             title: "text".into(),
         }];
-        let seeds =
-            seed_queries_from_trec(&corpus, &["d1".to_string()], &topics, &Qrels::new(), &analyzer);
+        let seeds = seed_queries_from_trec(
+            &corpus,
+            &["d1".to_string()],
+            &topics,
+            &Qrels::new(),
+            &analyzer,
+        );
         assert!(seeds.is_empty());
     }
 }

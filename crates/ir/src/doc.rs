@@ -7,13 +7,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 use sprite_text::Analyzer;
 
 /// Identifier of a document within a corpus.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DocId(pub u32);
 
 impl DocId {
@@ -25,9 +22,7 @@ impl DocId {
 }
 
 /// Identifier of an interned term.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TermId(pub u32);
 
 impl TermId {
@@ -39,7 +34,7 @@ impl TermId {
 }
 
 /// Bidirectional term interner.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Vocab {
     map: HashMap<String, TermId>,
     terms: Vec<String>,
@@ -104,7 +99,7 @@ impl Vocab {
 /// The paper's inverted-list metadata (§5.1) is exactly this: term frequency
 /// in the document and the document length (token count after stop-word
 /// removal and stemming).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Document {
     /// Corpus-local identifier.
     pub id: DocId,
@@ -194,7 +189,7 @@ impl Document {
 }
 
 /// A set of analyzed documents sharing one vocabulary.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Corpus {
     vocab: Vocab,
     docs: Vec<Document>,
@@ -324,7 +319,12 @@ mod tests {
     fn top_frequent_terms_ordered_and_deterministic() {
         let d = Document::new(
             DocId(0),
-            vec![(TermId(5), 10), (TermId(2), 10), (TermId(9), 3), (TermId(1), 7)],
+            vec![
+                (TermId(5), 10),
+                (TermId(2), 10),
+                (TermId(9), 3),
+                (TermId(1), 7),
+            ],
         );
         // Frequency desc; tie at 10 broken by smaller TermId.
         assert_eq!(d.top_frequent_terms(3), [TermId(2), TermId(5), TermId(1)]);

@@ -101,8 +101,16 @@ impl RatioAccumulator {
     #[must_use]
     pub fn finish(&self) -> RatioEval {
         RatioEval {
-            precision_ratio: if self.p_n == 0 { 0.0 } else { self.p_sum / self.p_n as f64 },
-            recall_ratio: if self.r_n == 0 { 0.0 } else { self.r_sum / self.r_n as f64 },
+            precision_ratio: if self.p_n == 0 {
+                0.0
+            } else {
+                self.p_sum / self.p_n as f64
+            },
+            recall_ratio: if self.r_n == 0 {
+                0.0
+            } else {
+                self.r_sum / self.r_n as f64
+            },
             queries: self.p_n.max(self.r_n),
         }
     }
@@ -206,13 +214,29 @@ mod tests {
         let mut acc = RatioAccumulator::new();
         // Query 1: system has half the centralized precision, equal recall.
         acc.add(
-            PrEval { precision: 0.25, recall: 0.5, hits: 1 },
-            PrEval { precision: 0.5, recall: 0.5, hits: 2 },
+            PrEval {
+                precision: 0.25,
+                recall: 0.5,
+                hits: 1,
+            },
+            PrEval {
+                precision: 0.5,
+                recall: 0.5,
+                hits: 2,
+            },
         );
         // Query 2: equal precision, half recall.
         acc.add(
-            PrEval { precision: 0.4, recall: 0.2, hits: 2 },
-            PrEval { precision: 0.4, recall: 0.4, hits: 2 },
+            PrEval {
+                precision: 0.4,
+                recall: 0.2,
+                hits: 2,
+            },
+            PrEval {
+                precision: 0.4,
+                recall: 0.4,
+                hits: 2,
+            },
         );
         let r = acc.finish();
         assert!((r.precision_ratio - 0.75).abs() < 1e-12);
@@ -225,7 +249,11 @@ mod tests {
         let mut acc = RatioAccumulator::new();
         // Centralized finds nothing: ratio undefined, skipped entirely.
         acc.add(
-            PrEval { precision: 0.5, recall: 0.5, hits: 1 },
+            PrEval {
+                precision: 0.5,
+                recall: 0.5,
+                hits: 1,
+            },
             PrEval::default(),
         );
         let r = acc.finish();
@@ -274,8 +302,16 @@ mod tests {
     fn system_better_than_reference_exceeds_one() {
         let mut acc = RatioAccumulator::new();
         acc.add(
-            PrEval { precision: 0.8, recall: 0.8, hits: 4 },
-            PrEval { precision: 0.4, recall: 0.4, hits: 2 },
+            PrEval {
+                precision: 0.8,
+                recall: 0.8,
+                hits: 4,
+            },
+            PrEval {
+                precision: 0.4,
+                recall: 0.4,
+                hits: 2,
+            },
         );
         let r = acc.finish();
         assert!((r.precision_ratio - 2.0).abs() < 1e-12);

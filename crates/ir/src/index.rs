@@ -102,9 +102,9 @@ mod tests {
         Corpus::from_texts(
             &analyzer,
             [
-                "peer networks share files",       // doc 0
+                "peer networks share files",        // doc 0
                 "peer learning improves retrieval", // doc 1
-                "files and files of documents",    // doc 2
+                "files and files of documents",     // doc 2
             ],
         )
     }

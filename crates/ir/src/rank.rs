@@ -41,7 +41,7 @@ pub fn idf(n: f64, df: usize) -> f64 {
 }
 
 /// Similarity formula selection.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Similarity {
     /// Full cosine over TF·IDF vectors (document-side normalization by the
     /// vector norm). The centralized reference configuration.
@@ -229,10 +229,10 @@ mod tests {
         Corpus::from_texts(
             &analyzer,
             [
-                "chord ring lookup protocol with finger tables",      // 0
-                "peer ring maintenance and peer churn in the ring",   // 1
-                "text retrieval quality metrics precision recall",    // 2
-                "retrieval with learning from past queries",          // 3
+                "chord ring lookup protocol with finger tables", // 0
+                "peer ring maintenance and peer churn in the ring", // 1
+                "text retrieval quality metrics precision recall", // 2
+                "retrieval with learning from past queries",     // 3
             ],
         )
     }
@@ -290,7 +290,12 @@ mod tests {
         for w in hits.windows(2) {
             assert!(w[0].score >= w[1].score);
         }
-        assert_eq!(engine.search(&q(&c, &["ring", "retrieval", "peer"]), 1).len(), 1);
+        assert_eq!(
+            engine
+                .search(&q(&c, &["ring", "retrieval", "peer"]), 1)
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -308,7 +313,9 @@ mod tests {
         let c = corpus();
         let engine = CentralizedEngine::build(&c);
         assert!(engine.search(&Query::default(), 10).is_empty());
-        assert!(engine.search(&Query::new(vec![TermId(99_999)]), 10).is_empty());
+        assert!(engine
+            .search(&Query::new(vec![TermId(99_999)]), 10)
+            .is_empty());
     }
 
     #[test]
@@ -337,7 +344,11 @@ mod tests {
         // (A third distinct document keeps df < N so idf > 0.)
         let c = Corpus::from_texts(
             &analyzer,
-            ["same words here", "same words here", "unrelated filler text"],
+            [
+                "same words here",
+                "same words here",
+                "unrelated filler text",
+            ],
         );
         let engine = CentralizedEngine::build(&c);
         let query = q(&c, &["words"]);

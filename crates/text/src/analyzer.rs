@@ -121,7 +121,11 @@ mod tests {
 
     #[test]
     fn no_stemming_variant() {
-        let a = Analyzer::new(TokenizerConfig::default(), StopWords::none(), Stemming::None);
+        let a = Analyzer::new(
+            TokenizerConfig::default(),
+            StopWords::none(),
+            Stemming::None,
+        );
         assert_eq!(a.analyze("running cats"), ["running", "cats"]);
     }
 
@@ -154,7 +158,10 @@ mod tests {
         let doc = a.analyze("He was querying the distributed indexes");
         let query = a.analyze("query distribution index");
         for t in &query {
-            assert!(doc.contains(t), "query term {t} missing from doc terms {doc:?}");
+            assert!(
+                doc.contains(t),
+                "query term {t} missing from doc terms {doc:?}"
+            );
         }
     }
 }

@@ -37,7 +37,9 @@ impl StopWords {
     /// An empty set (no filtering).
     #[must_use]
     pub fn none() -> Self {
-        StopWords { set: HashSet::new() }
+        StopWords {
+            set: HashSet::new(),
+        }
     }
 
     /// Build from any iterator of words; words are stored lower-cased.

@@ -67,9 +67,7 @@ impl Iterator for TokenIter<'_> {
     type Item = String;
 
     fn next(&mut self) -> Option<String> {
-        let is_tok = |c: char| {
-            c.is_alphabetic() || (self.config.keep_digits && c.is_ascii_digit())
-        };
+        let is_tok = |c: char| c.is_alphabetic() || (self.config.keep_digits && c.is_ascii_digit());
         loop {
             let mut tok = String::new();
             // Resume from a char peeked on the previous round, or scan ahead.
@@ -160,7 +158,10 @@ mod tests {
 
     #[test]
     fn unicode_letters_pass_through() {
-        assert_eq!(toks("Überraschung naïve café"), ["überraschung", "naïve", "café"]);
+        assert_eq!(
+            toks("Überraschung naïve café"),
+            ["überraschung", "naïve", "café"]
+        );
     }
 
     #[test]

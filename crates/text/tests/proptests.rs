@@ -1,85 +1,149 @@
-//! Property-based tests for the text pipeline.
+//! Property-style tests for the text pipeline.
+//!
+//! Formerly `proptest` suites; now deterministic seeded loops over
+//! `DetRng`-generated inputs so the workspace builds with an empty registry.
 
-use proptest::prelude::*;
 use sprite_text::{stem, Analyzer, StopWords, Tokenizer, TokenizerConfig};
+use sprite_util::{derive_rng, DetRng};
 
-proptest! {
-    /// The stemmer never panics, never produces a longer word, and its
-    /// output is stable ASCII for ASCII input.
-    #[test]
-    fn stemmer_total_and_shrinking(word in "[a-z]{1,20}") {
+fn rng(label: &str) -> DetRng {
+    derive_rng(0x7E47, label)
+}
+
+fn lowercase_word(rng: &mut DetRng, max_len: usize) -> String {
+    let len = rng.gen_range(1..=max_len);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26) as u8) as char)
+        .collect()
+}
+
+fn string_from(rng: &mut DetRng, pool: &[char], max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| pool[rng.gen_range(0..pool.len())])
+        .collect()
+}
+
+/// Character pool mixing ASCII, punctuation, digits, and multi-byte
+/// letters — stands in for proptest's arbitrary `.{0,n}` strings.
+const MIXED: &[char] = &[
+    'a', 'b', 'z', 'Q', 'X', '0', '7', ' ', '\t', '\n', '-', '_', '.', ',', '!', '#', 'é', 'ß',
+    'λ', '中', '💡', 'Ω', 'ñ', '\'', '"', '/',
+];
+
+/// The stemmer never panics, never produces a longer word (modulo the one
+/// 'e' step 1b can add), and its output is stable ASCII for ASCII input.
+#[test]
+fn stemmer_total_and_shrinking() {
+    let mut r = rng("stem-shrink");
+    for _ in 0..2000 {
+        let word = lowercase_word(&mut r, 20);
         let out = stem(&word);
-        prop_assert!(out.len() <= word.len() + 1, "step 1b can add at most one 'e'");
-        prop_assert!(out.bytes().all(|b| b.is_ascii_lowercase()));
-        prop_assert!(!out.is_empty());
+        assert!(
+            out.len() <= word.len() + 1,
+            "step 1b can add at most one 'e'"
+        );
+        assert!(out.bytes().all(|b| b.is_ascii_lowercase()));
+        assert!(!out.is_empty());
     }
+}
 
-    /// Stemming is idempotent on its own output for the overwhelming
-    /// majority of words; where it is not (known Porter quirk for a few
-    /// suffix chains), a third application must be a fixpoint.
-    #[test]
-    fn stemmer_reaches_fixpoint(word in "[a-z]{1,20}") {
+/// Stemming reaches a fixpoint within three applications.
+#[test]
+fn stemmer_reaches_fixpoint() {
+    let mut r = rng("stem-fixpoint");
+    for _ in 0..2000 {
+        let word = lowercase_word(&mut r, 20);
         let once = stem(&word);
         let twice = stem(&once);
         let thrice = stem(&twice);
-        prop_assert_eq!(&thrice, &stem(&thrice), "no fixpoint after three passes");
-        let _ = twice;
+        assert_eq!(&thrice, &stem(&thrice), "no fixpoint after three passes");
     }
+}
 
-    /// Arbitrary (including non-ASCII) input never panics and non-word
-    /// input is returned unchanged.
-    #[test]
-    fn stemmer_handles_arbitrary_strings(word in ".{0,24}") {
+/// Arbitrary (including non-ASCII) input never panics and non-word
+/// input is returned unchanged.
+#[test]
+fn stemmer_handles_arbitrary_strings() {
+    let mut r = rng("stem-arbitrary");
+    for _ in 0..2000 {
+        let word = string_from(&mut r, MIXED, 24);
         let out = stem(&word);
         if !word.bytes().all(|b| b.is_ascii_lowercase()) {
-            prop_assert_eq!(out, word);
+            assert_eq!(out, word);
         }
     }
+}
 
-    /// Tokenizer output always respects the configured length bounds and
-    /// contains only token characters.
-    #[test]
-    fn tokenizer_respects_bounds(text in ".{0,200}", min_len in 1usize..4, max_len in 4usize..20) {
-        let t = Tokenizer::new(TokenizerConfig { min_len, max_len, keep_digits: true });
+/// Tokenizer output always respects the configured length bounds and
+/// contains only token characters.
+#[test]
+fn tokenizer_respects_bounds() {
+    let mut r = rng("tok-bounds");
+    for _ in 0..500 {
+        let text = string_from(&mut r, MIXED, 200);
+        let min_len = r.gen_range(1..4);
+        let max_len = r.gen_range(4..20);
+        let t = Tokenizer::new(TokenizerConfig {
+            min_len,
+            max_len,
+            keep_digits: true,
+        });
         for tok in t.tokenize(&text) {
             let n = tok.chars().count();
-            prop_assert!(n >= min_len && n <= max_len, "token {tok:?} length {n}");
-            prop_assert!(tok.chars().all(|c| c.is_alphabetic() || c.is_ascii_digit()));
+            assert!(n >= min_len && n <= max_len, "token {tok:?} length {n}");
+            assert!(tok.chars().all(|c| c.is_alphabetic() || c.is_ascii_digit()));
             // Lower-casing is a fixpoint (some uppercase code points, e.g.
             // mathematical letters, simply have no lowercase mapping).
-            prop_assert_eq!(tok.to_lowercase(), tok.clone(), "not lowercase-stable");
+            assert_eq!(tok.to_lowercase(), tok, "not lowercase-stable");
         }
     }
+}
 
-    /// Tokenization is insensitive to surrounding whitespace and
-    /// concatenation with delimiters: tokens(a) ++ tokens(b) == tokens(a + " " + b).
-    #[test]
-    fn tokenizer_concatenation(a in "[a-z ]{0,40}", b in "[a-z ]{0,40}") {
-        let t = Tokenizer::default();
+/// Tokenization is insensitive to surrounding whitespace and
+/// concatenation with delimiters: tokens(a) ++ tokens(b) == tokens(a + " " + b).
+#[test]
+fn tokenizer_concatenation() {
+    const POOL: &[char] = &[
+        'a', 'b', 'c', 'm', 'q', 'x', 'z', ' ', ' ', ' ', // spaces weighted up
+    ];
+    let mut r = rng("tok-concat");
+    let t = Tokenizer::default();
+    for _ in 0..500 {
+        let a = string_from(&mut r, POOL, 40);
+        let b = string_from(&mut r, POOL, 40);
         let mut combined = t.tokenize(&a);
         combined.extend(t.tokenize(&b));
-        prop_assert_eq!(combined, t.tokenize(&format!("{a} {b}")));
+        assert_eq!(combined, t.tokenize(&format!("{a} {b}")));
     }
+}
 
-    /// The analyzer's term counts always sum to the token total, and every
-    /// literal stop word is filtered before stemming (a *stemmed* form may
-    /// coincide with a stop word — "tos" → "to" — which is Lucene's
-    /// behavior too, since the stop filter runs first).
-    #[test]
-    fn analyzer_counts_consistent(text in "[a-zA-Z ,.]{0,200}") {
-        let a = Analyzer::standard();
+/// The analyzer's term counts always sum to the token total, and every
+/// literal stop word is filtered before stemming (a *stemmed* form may
+/// coincide with a stop word — "tos" → "to" — which is Lucene's
+/// behavior too, since the stop filter runs first).
+#[test]
+fn analyzer_counts_consistent() {
+    const POOL: &[char] = &[
+        'a', 'e', 'i', 'n', 'r', 's', 't', 'B', 'T', 'W', ' ', ' ', ',', '.',
+    ];
+    let mut r = rng("analyzer-counts");
+    let a = Analyzer::standard();
+    for _ in 0..500 {
+        let text = string_from(&mut r, POOL, 200);
         let tc = a.term_counts(&text);
         let total: u32 = tc.counts.values().sum();
-        prop_assert_eq!(total as usize, tc.len);
+        assert_eq!(total as usize, tc.len);
     }
+}
 
-    /// Feeding a stop word alone always yields nothing.
-    #[test]
-    fn stop_words_always_filtered(idx in 0usize..33) {
-        let a = Analyzer::standard();
-        let stops = StopWords::lucene_english();
-        let word = sprite_text::LUCENE_ENGLISH[idx];
-        prop_assert!(stops.contains(word));
-        prop_assert!(a.analyze(word).is_empty(), "stop word {word:?} survived");
+/// Feeding a stop word alone always yields nothing.
+#[test]
+fn stop_words_always_filtered() {
+    let a = Analyzer::standard();
+    let stops = StopWords::lucene_english();
+    for word in sprite_text::LUCENE_ENGLISH {
+        assert!(stops.contains(word));
+        assert!(a.analyze(word).is_empty(), "stop word {word:?} survived");
     }
 }

@@ -73,7 +73,6 @@ impl RingId {
             self == to || self.in_open(from, to)
         }
     }
-
 }
 
 impl std::fmt::Debug for RingId {

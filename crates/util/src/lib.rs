@@ -15,6 +15,8 @@
 //! * [`rng`] — labeled, deterministic RNG derivation so every experiment is
 //!   reproducible.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
@@ -27,7 +29,7 @@ pub mod zipf;
 
 pub use id::{RingId, ID_BITS};
 pub use md5::{md5, md5_u128, Digest, Md5};
-pub use rng::derive_rng;
+pub use rng::{derive_rng, DetRng, SliceRng, UniformRange};
 pub use stats::{percentile, Summary};
 pub use topk::{top_k, F64Ord, Scored, TopK};
 pub use zipf::Zipf;

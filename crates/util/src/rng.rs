@@ -4,20 +4,218 @@
 //! the corpus generator, the query generator, the Chord ring layout, and the
 //! query schedules all consume randomness. To keep the streams independent —
 //! so that, say, enlarging the corpus does not perturb the query schedule —
-//! each component derives its own [`StdRng`] from a master seed and a label.
+//! each component derives its own [`DetRng`] from a master seed and a label.
+//!
+//! [`DetRng`] is a self-contained xoshiro256** generator: no external
+//! crates, no process-global state, no OS entropy. Identical seeds produce
+//! identical streams on every platform and every run, which is exactly the
+//! property the determinism auditor in `sprite-audit` verifies end-to-end.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::ops::{Range, RangeInclusive};
 
 use crate::md5::Md5;
+
+/// A deterministic pseudo-random generator (xoshiro256**).
+///
+/// Statistically strong for simulation workloads, 256-bit state, and —
+/// unlike `rand`'s `StdRng` — guaranteed stable across versions because the
+/// implementation lives in this repository. Not cryptographically secure;
+/// nothing in SPRITE needs that.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Construct from a full 256-bit seed.
+    ///
+    /// An all-zero seed (the one degenerate xoshiro state) is remapped to a
+    /// fixed non-zero state, so every input produces a usable stream.
+    #[must_use]
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            s[i] = u64::from_le_bytes(b);
+        }
+        if s == [0; 4] {
+            // xoshiro must not start at the all-zero state.
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        DetRng { s }
+    }
+
+    /// Construct from a single `u64`, expanded with SplitMix64 (the
+    /// seeding procedure recommended by the xoshiro authors).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        DetRng { s }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// A uniform `u64`.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// A uniform `u32` (the high half of one 64-bit output).
+    pub fn gen_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)` with full 53-bit mantissa resolution.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.gen_f64() < p
+        }
+    }
+
+    /// A uniform value from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> usize {
+        range.sample_from(self)
+    }
+
+    /// Unbiased uniform draw from `0..n` (Lemire's multiply–shift method
+    /// with rejection).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn bounded(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "bounded(0) is an empty range");
+        // Widening multiply maps the 64-bit stream onto 0..n; the rejection
+        // zone removes the modulo bias (at most one extra draw on average).
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(n);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(n);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+/// Ranges [`DetRng::gen_range`] can sample from.
+pub trait UniformRange {
+    /// Draw one uniform value from the range.
+    fn sample_from(self, rng: &mut DetRng) -> usize;
+}
+
+impl UniformRange for Range<usize> {
+    fn sample_from(self, rng: &mut DetRng) -> usize {
+        assert!(self.start < self.end, "gen_range over an empty range");
+        self.start + rng.bounded((self.end - self.start) as u64) as usize
+    }
+}
+
+impl UniformRange for RangeInclusive<usize> {
+    fn sample_from(self, rng: &mut DetRng) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range over an empty range");
+        let span = (end - start) as u64;
+        if span == u64::MAX {
+            return rng.next_u64() as usize;
+        }
+        start + rng.bounded(span + 1) as usize
+    }
+}
+
+/// Deterministic slice operations (shuffle / choose / sample), mirroring the
+/// method names of `rand::seq::SliceRandom` so call sites read identically.
+pub trait SliceRng<T> {
+    /// Fisher–Yates shuffle in place.
+    fn shuffle(&mut self, rng: &mut DetRng);
+    /// One uniformly chosen element, or `None` if empty.
+    fn choose(&self, rng: &mut DetRng) -> Option<&T>;
+    /// `amount` distinct elements chosen uniformly without replacement
+    /// (fewer if the slice is shorter). Order is random.
+    fn choose_multiple<'a>(
+        &'a self,
+        rng: &mut DetRng,
+        amount: usize,
+    ) -> impl Iterator<Item = &'a T>
+    where
+        T: 'a;
+}
+
+impl<T> SliceRng<T> for [T] {
+    fn shuffle(&mut self, rng: &mut DetRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.bounded(i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose(&self, rng: &mut DetRng) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.bounded(self.len() as u64) as usize])
+        }
+    }
+
+    fn choose_multiple<'a>(&'a self, rng: &mut DetRng, amount: usize) -> impl Iterator<Item = &'a T>
+    where
+        T: 'a,
+    {
+        // Partial Fisher–Yates over an index table: O(len) setup,
+        // O(amount) draws, no replacement.
+        let k = amount.min(self.len());
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..k {
+            let j = i + rng.bounded((idx.len() - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx.into_iter().map(move |i| &self[i])
+    }
+}
 
 /// Derive an independent RNG from `master` and a component `label`.
 ///
 /// Uses MD5(master || label) to spread the seed over the full 256-bit
-/// `StdRng` seed space (two digests). Same inputs always give the same
-/// stream; different labels give streams with no designed correlation.
+/// [`DetRng`] seed space (two chained digests). Same inputs always give the
+/// same stream; different labels give streams with no designed correlation.
 #[must_use]
-pub fn derive_rng(master: u64, label: &str) -> StdRng {
+pub fn derive_rng(master: u64, label: &str) -> DetRng {
     let mut seed = [0u8; 32];
     let mut h1 = Md5::new();
     h1.update(&master.to_le_bytes());
@@ -29,20 +227,19 @@ pub fn derive_rng(master: u64, label: &str) -> StdRng {
     let d2 = h2.finalize();
     seed[..16].copy_from_slice(&d1.0);
     seed[16..].copy_from_slice(&d2.0);
-    StdRng::from_seed(seed)
+    DetRng::from_seed(seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_inputs_same_stream() {
         let mut a = derive_rng(42, "corpus");
         let mut b = derive_rng(42, "corpus");
         for _ in 0..16 {
-            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+            assert_eq!(a.gen_u64(), b.gen_u64());
         }
     }
 
@@ -50,8 +247,8 @@ mod tests {
     fn different_labels_differ() {
         let mut a = derive_rng(42, "corpus");
         let mut b = derive_rng(42, "queries");
-        let va: Vec<u64> = (0..4).map(|_| a.gen()).collect();
-        let vb: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        let va: Vec<u64> = (0..4).map(|_| a.gen_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.gen_u64()).collect();
         assert_ne!(va, vb);
     }
 
@@ -59,6 +256,100 @@ mod tests {
     fn different_masters_differ() {
         let mut a = derive_rng(1, "x");
         let mut b = derive_rng(2, "x");
-        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+        assert_ne!(a.gen_u64(), b.gen_u64());
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // xoshiro256** from state [1, 2, 3, 4]: first outputs per the
+        // reference implementation (Blackman & Vigna).
+        let mut rng = DetRng { s: [1, 2, 3, 4] };
+        assert_eq!(rng.next_u64(), 11520);
+        assert_eq!(rng.next_u64(), 0);
+        assert_eq!(rng.next_u64(), 1509978240);
+        assert_eq!(rng.next_u64(), 1215971899390074240);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = DetRng::from_seed([0u8; 32]);
+        let draws: Vec<u64> = (0..8).map(|_| rng.gen_u64()).collect();
+        assert!(draws.iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = DetRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = DetRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(10..20);
+            assert!((10..20).contains(&a));
+            let b = rng.gen_range(5..=5);
+            assert_eq!(b, 5);
+            let c = rng.gen_range(0..=3);
+            assert!(c <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = DetRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut rng = DetRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_and_choose_multiple() {
+        let mut rng = DetRng::seed_from_u64(13);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v: Vec<u32> = (0..50).collect();
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).expect("non-empty slice")));
+        }
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 10).copied().collect();
+        assert_eq!(picked.len(), 10);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "sampling without replacement");
+        // Asking for more than available returns everything.
+        assert_eq!(v.choose_multiple(&mut rng, 999).count(), 50);
+    }
+
+    #[test]
+    fn bounded_is_unbiased_enough() {
+        // Coarse chi-square-style sanity check over a small modulus.
+        let mut rng = DetRng::seed_from_u64(17);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.bounded(7) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = n / 7;
+            assert!(c.abs_diff(expected) < expected / 10, "counts {counts:?}");
+        }
     }
 }

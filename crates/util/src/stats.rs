@@ -5,10 +5,8 @@
 //! [`Summary`] is a one-pass accumulator (Welford's algorithm for variance)
 //! and [`percentile`] a nearest-rank percentile over a sorted sample.
 
-use serde::{Deserialize, Serialize};
-
 /// One-pass accumulator for count / mean / variance / min / max.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Summary {
     n: u64,
     mean: f64,
@@ -143,7 +141,9 @@ mod tests {
 
     #[test]
     fn mean_and_variance() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-12);
         // Sample variance of this classic example is 32/7.

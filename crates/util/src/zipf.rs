@@ -12,7 +12,7 @@
 //! and draws by binary search, so sampling is O(log n) and exact (no
 //! rejection), which keeps experiment runs deterministic given a seeded RNG.
 
-use rand::Rng;
+use crate::rng::DetRng;
 
 /// Exact inverse-CDF sampler for the Zipf distribution over ranks `1..=n`
 /// with exponent `s`: `P(rank = k) ∝ 1 / k^s`.
@@ -30,7 +30,10 @@ impl Zipf {
     #[must_use]
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf over an empty domain");
-        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for k in 1..=n {
@@ -59,8 +62,8 @@ impl Zipf {
     }
 
     /// Draw a 0-based rank (0 is the most popular).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u: f64 = rng.gen_f64();
         // partition_point returns the first index with cdf[i] >= u.
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
@@ -76,7 +79,6 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn uniform_when_s_is_zero() {
@@ -105,7 +107,7 @@ mod tests {
     #[test]
     fn empirical_frequencies_track_pmf() {
         let z = Zipf::new(10, 0.5);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = DetRng::seed_from_u64(42);
         let mut counts = [0usize; 10];
         let n = 200_000;
         for _ in 0..n {
@@ -124,7 +126,7 @@ mod tests {
     #[test]
     fn single_rank_domain() {
         let z = Zipf::new(1, 2.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         for _ in 0..10 {
             assert_eq!(z.sample(&mut rng), 0);
         }

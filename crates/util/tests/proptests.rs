@@ -1,15 +1,44 @@
-//! Property-based tests for the util crate's core invariants.
+//! Property-style tests for the util crate's core invariants.
+//!
+//! These were `proptest` suites in an earlier revision; the workspace now
+//! builds with an empty registry, so each property is exercised by a
+//! deterministic seeded loop over `DetRng`-generated inputs instead of a
+//! shrinking framework. Coverage per property is a few hundred cases.
 
-use proptest::prelude::*;
-use sprite_util::{md5, percentile, top_k, F64Ord, Md5, RingId, Summary, TopK, Zipf};
+use sprite_util::{
+    derive_rng, md5, percentile, top_k, DetRng, F64Ord, Md5, RingId, Summary, TopK, Zipf,
+};
 
-proptest! {
-    /// Streaming MD5 over arbitrary chunkings equals one-shot MD5.
-    #[test]
-    fn md5_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512),
-                                    cuts in proptest::collection::vec(0usize..512, 0..8)) {
+fn rng(label: &str) -> DetRng {
+    derive_rng(0xC0FF_EE00, label)
+}
+
+fn gen_u128(rng: &mut DetRng) -> u128 {
+    (u128::from(rng.gen_u64()) << 64) | u128::from(rng.gen_u64())
+}
+
+/// u128 generator biased toward ring edge cases (0, MAX, near-collisions).
+fn gen_ring_point(rng: &mut DetRng, anchor: u128) -> u128 {
+    match rng.gen_range(0..8) {
+        0 => 0,
+        1 => u128::MAX,
+        2 => anchor,
+        3 => anchor.wrapping_add(1),
+        4 => anchor.wrapping_sub(1),
+        _ => gen_u128(rng),
+    }
+}
+
+/// Streaming MD5 over arbitrary chunkings equals one-shot MD5.
+#[test]
+fn md5_streaming_equals_oneshot() {
+    let mut r = rng("md5-chunking");
+    for _ in 0..300 {
+        let len = r.gen_range(0..512);
+        let data: Vec<u8> = (0..len).map(|_| r.gen_u32() as u8).collect();
         let oneshot = md5(&data);
-        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        let n_cuts = r.gen_range(0..8);
+        let mut cuts: Vec<usize> = (0..n_cuts).map(|_| r.gen_range(0..len + 1)).collect();
         cuts.sort_unstable();
         let mut h = Md5::new();
         let mut prev = 0;
@@ -18,117 +47,174 @@ proptest! {
             prev = c;
         }
         h.update(&data[prev..]);
-        prop_assert_eq!(h.finalize(), oneshot);
+        assert_eq!(h.finalize(), oneshot);
     }
+}
 
-    /// `in_open_closed` partitions the ring: for distinct a != b, every id is
-    /// in exactly one of (a, b] and (b, a].
-    #[test]
-    fn ring_intervals_partition(a in any::<u128>(), b in any::<u128>(), x in any::<u128>()) {
-        prop_assume!(a != b);
+/// `in_open_closed` partitions the ring: for distinct a != b, every id is
+/// in exactly one of (a, b] and (b, a].
+#[test]
+fn ring_intervals_partition() {
+    let mut r = rng("ring-partition");
+    for _ in 0..2000 {
+        let a = gen_u128(&mut r);
+        let b = gen_ring_point(&mut r, a);
+        if a == b {
+            continue;
+        }
+        let x = gen_ring_point(&mut r, a);
         let (a, b, x) = (RingId(a), RingId(b), RingId(x));
         let in_ab = x.in_open_closed(a, b);
         let in_ba = x.in_open_closed(b, a);
-        prop_assert!(in_ab ^ in_ba, "x must be in exactly one half: {in_ab} {in_ba}");
+        assert!(
+            in_ab ^ in_ba,
+            "x must be in exactly one half: {in_ab} {in_ba}"
+        );
     }
+}
 
-    /// Open interval membership implies open-closed membership.
-    #[test]
-    fn open_implies_open_closed(a in any::<u128>(), b in any::<u128>(), x in any::<u128>()) {
+/// Open interval membership implies open-closed membership.
+#[test]
+fn open_implies_open_closed() {
+    let mut r = rng("open-implies");
+    for _ in 0..2000 {
+        let a = gen_u128(&mut r);
+        let b = gen_ring_point(&mut r, a);
+        let x = gen_ring_point(&mut r, b);
         let (a, b, x) = (RingId(a), RingId(b), RingId(x));
         if x.in_open(a, b) {
-            prop_assert!(x.in_open_closed(a, b));
+            assert!(x.in_open_closed(a, b));
         }
     }
+}
 
-    /// Top-k returns exactly the k greatest elements, in descending order.
-    #[test]
-    fn topk_matches_sort(xs in proptest::collection::vec(any::<i64>(), 0..200), k in 0usize..20) {
+/// Top-k returns exactly the k greatest elements, in descending order.
+#[test]
+fn topk_matches_sort() {
+    let mut r = rng("topk-sort");
+    for _ in 0..300 {
+        let len = r.gen_range(0..200);
+        let xs: Vec<i64> = (0..len).map(|_| r.gen_u64() as i64).collect();
+        let k = r.gen_range(0..20);
         let got = top_k(k, xs.iter().map(|&x| (x, x)));
         let mut sorted = xs.clone();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
         sorted.truncate(k);
         let got_scores: Vec<i64> = got.iter().map(|s| s.score).collect();
-        prop_assert_eq!(got_scores, sorted);
+        assert_eq!(got_scores, sorted);
     }
+}
 
-    /// TopK never retains more than k entries and its threshold is the
-    /// minimum retained score.
-    #[test]
-    fn topk_threshold_invariant(xs in proptest::collection::vec(any::<i32>(), 1..100), k in 1usize..10) {
+/// TopK never retains more than k entries and yields descending output.
+#[test]
+fn topk_threshold_invariant() {
+    let mut r = rng("topk-threshold");
+    for _ in 0..300 {
+        let len = r.gen_range(1..100);
+        let xs: Vec<i32> = (0..len).map(|_| r.gen_u32() as i32).collect();
+        let k = r.gen_range(1..10);
         let mut sel = TopK::new(k);
         for &x in &xs {
             sel.offer(x, x);
-            prop_assert!(sel.len() <= k);
+            assert!(sel.len() <= k);
         }
         let sorted = sel.into_sorted();
         for w in sorted.windows(2) {
-            prop_assert!(w[0].score >= w[1].score);
+            assert!(w[0].score >= w[1].score);
         }
     }
+}
 
-    /// Zipf pmf is non-increasing in rank and sums to ~1.
-    #[test]
-    fn zipf_pmf_monotone(n in 1usize..500, s in 0.0f64..3.0) {
+/// Zipf pmf is non-increasing in rank and sums to ~1.
+#[test]
+fn zipf_pmf_monotone() {
+    let mut r = rng("zipf-pmf");
+    for _ in 0..60 {
+        let n = r.gen_range(1..500);
+        let s = r.gen_f64() * 3.0;
         let z = Zipf::new(n, s);
         let mut total = 0.0;
         let mut prev = f64::INFINITY;
         for kk in 0..n {
             let p = z.pmf(kk);
-            prop_assert!(p <= prev + 1e-12);
+            assert!(p <= prev + 1e-12);
             prev = p;
             total += p;
         }
-        prop_assert!((total - 1.0).abs() < 1e-6);
+        assert!((total - 1.0).abs() < 1e-6);
     }
+}
 
-    /// Zipf samples always land in the domain.
-    #[test]
-    fn zipf_sample_in_domain(n in 1usize..100, s in 0.0f64..2.0, seed in any::<u64>()) {
+/// Zipf samples always land in the domain.
+#[test]
+fn zipf_sample_in_domain() {
+    let mut r = rng("zipf-domain");
+    for _ in 0..60 {
+        let n = r.gen_range(1..100);
+        let s = r.gen_f64() * 2.0;
         let z = Zipf::new(n, s);
-        let mut rng = sprite_util::derive_rng(seed, "prop");
+        let mut sample_rng = derive_rng(r.gen_u64(), "prop");
         for _ in 0..50 {
-            prop_assert!(z.sample(&mut rng) < n);
+            assert!(z.sample(&mut sample_rng) < n);
         }
     }
+}
 
-    /// Summary merge is equivalent to sequential accumulation.
-    #[test]
-    fn summary_merge_associative(xs in proptest::collection::vec(-1e6f64..1e6, 0..100),
-                                 split in 0usize..100) {
-        let split = split.min(xs.len());
+/// Summary merge is equivalent to sequential accumulation.
+#[test]
+fn summary_merge_associative() {
+    let mut r = rng("summary-merge");
+    for _ in 0..300 {
+        let len = r.gen_range(0..100);
+        let xs: Vec<f64> = (0..len).map(|_| (r.gen_f64() - 0.5) * 2e6).collect();
+        let split = r.gen_range(0..=len);
         let whole: Summary = xs.iter().copied().collect();
         let mut left: Summary = xs[..split].iter().copied().collect();
         let right: Summary = xs[split..].iter().copied().collect();
         left.merge(&right);
-        prop_assert_eq!(left.count(), whole.count());
+        assert_eq!(left.count(), whole.count());
         if whole.count() > 0 {
-            prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
-            prop_assert!((left.variance() - whole.variance()).abs() < 1e-3);
+            assert!((left.mean() - whole.mean()).abs() < 1e-6);
+            assert!((left.variance() - whole.variance()).abs() < 1e-3);
         }
     }
+}
 
-    /// Percentile is always an element of the sample, and monotone in p.
-    #[test]
-    fn percentile_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+/// Percentile is always an element of the sample, and monotone in p.
+#[test]
+fn percentile_monotone() {
+    let mut r = rng("percentile");
+    for _ in 0..300 {
+        let len = r.gen_range(1..50);
+        let xs: Vec<f64> = (0..len).map(|_| (r.gen_f64() - 0.5) * 2e3).collect();
         let p50 = percentile(&xs, 50.0);
         let p90 = percentile(&xs, 90.0);
-        prop_assert!(xs.contains(&p50));
-        prop_assert!(p50 <= p90);
+        assert!(xs.contains(&p50));
+        assert!(p50 <= p90);
     }
+}
 
-    /// F64Ord ordering is total and consistent with f64 ordering on non-NaN.
-    #[test]
-    fn f64ord_total(a in any::<f64>(), b in any::<f64>()) {
-        use std::cmp::Ordering;
+/// F64Ord ordering is total and consistent with f64 ordering on non-NaN.
+#[test]
+fn f64ord_total() {
+    use std::cmp::Ordering;
+    let mut r = rng("f64ord");
+    // Raw bit patterns hit NaNs, infinities, and subnormals too.
+    for _ in 0..2000 {
+        let a = f64::from_bits(r.gen_u64());
+        let b = match r.gen_range(0..4) {
+            0 => a,
+            1 => f64::NAN,
+            _ => f64::from_bits(r.gen_u64()),
+        };
         let ord = F64Ord(a).cmp(&F64Ord(b));
         if !a.is_nan() && !b.is_nan() {
-            prop_assert_eq!(ord, a.partial_cmp(&b).unwrap());
+            assert_eq!(ord, a.partial_cmp(&b).expect("both non-NaN"));
         }
         // Antisymmetry.
-        prop_assert_eq!(F64Ord(b).cmp(&F64Ord(a)), ord.reverse(), "antisymmetry");
+        assert_eq!(F64Ord(b).cmp(&F64Ord(a)), ord.reverse(), "antisymmetry");
         if ord == Ordering::Equal {
-            prop_assert_eq!(F64Ord(a).cmp(&F64Ord(b)), Ordering::Equal);
+            assert_eq!(F64Ord(a).cmp(&F64Ord(b)), Ordering::Equal);
         }
     }
 }

@@ -12,6 +12,7 @@
 //! * [`chord`] — the Chord DHT simulator.
 //! * [`corpus`] — synthetic corpus and the paper's query generator.
 //! * [`core`] — the SPRITE system itself plus the eSearch baseline.
+//! * [`audit`] — structural invariant checkers and the determinism auditor.
 //!
 //! # Quickstart
 //!
@@ -32,6 +33,10 @@
 //! assert!(!hits.is_empty() && hits.len() <= 10);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub use sprite_audit as audit;
 pub use sprite_chord as chord;
 pub use sprite_core as core;
 pub use sprite_corpus as corpus;

@@ -129,12 +129,19 @@ fn message_accounting_covers_all_activity() {
     let world = tiny_world();
     let mut sys = world.new_system(SpriteConfig::default());
     assert_eq!(sys.net().stats().total_messages(), 0);
-    world.issue(&mut sys, &world.train[..10.min(world.train.len())], Schedule::WithoutRepeats);
+    world.issue(
+        &mut sys,
+        &world.train[..10.min(world.train.len())],
+        Schedule::WithoutRepeats,
+    );
     let after_queries = sys.net().stats().total_messages();
     assert!(after_queries > 0, "query traffic must be charged");
     sys.publish_all();
     let after_publish = sys.net().stats().total_messages();
-    assert!(after_publish > after_queries, "publish traffic must be charged");
+    assert!(
+        after_publish > after_queries,
+        "publish traffic must be charged"
+    );
     sys.learning_iteration();
     assert!(
         sys.net().stats().total_messages() > after_publish,

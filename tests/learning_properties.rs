@@ -1,120 +1,155 @@
-//! Property-based tests over the learning pipeline and the workload
+//! Property-style tests over the learning pipeline and the workload
 //! generator — the invariants the paper's correctness argument rests on.
+//!
+//! Formerly `proptest` suites; now deterministic seeded loops over
+//! `DetRng`-generated inputs so the workspace builds with an empty registry.
 
-use proptest::prelude::*;
 use sprite::core::{algorithm1, naive_select, q_score};
-use sprite::ir::{Document, DocId, Query, TermId};
+use sprite::ir::{DocId, Document, Query, TermId};
+use sprite::util::{derive_rng, DetRng};
 
-/// Strategy: a document over a small term universe.
-fn arb_doc() -> impl Strategy<Value = Document> {
-    proptest::collection::btree_map(0u32..50, 1u32..20, 3..30)
-        .prop_map(|m| Document::new(DocId(0), m.into_iter().map(|(t, c)| (TermId(t), c)).collect()))
+fn rng(label: &str) -> DetRng {
+    derive_rng(0x5EED, label)
 }
 
-/// Strategy: a query history over the same universe (plus misses).
-fn arb_history() -> impl Strategy<Value = Vec<Query>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0u32..80, 1..6)
-            .prop_map(|ts| Query::new(ts.into_iter().map(TermId).collect())),
-        0..40,
+/// A document over a small term universe (3..30 distinct terms from 0..50).
+fn gen_doc(rng: &mut DetRng) -> Document {
+    let n = rng.gen_range(3..30);
+    let mut m = std::collections::BTreeMap::new();
+    while m.len() < n {
+        m.insert(rng.gen_range(0..50) as u32, rng.gen_range(1..20) as u32);
+    }
+    Document::new(
+        DocId(0),
+        m.into_iter().map(|(t, c)| (TermId(t), c)).collect(),
     )
 }
 
-proptest! {
-    /// The paper's equivalence claim for Algorithm 1: incremental
-    /// processing over arbitrary batch boundaries equals the naive
-    /// recompute over the full history (max is associative, QF is a sum).
-    #[test]
-    fn algorithm1_incremental_equals_naive(
-        doc in arb_doc(),
-        history in arb_history(),
-        cut1 in 0usize..40,
-        cut2 in 0usize..40,
-        budget in 1usize..12,
-    ) {
-        let c1 = cut1.min(history.len());
-        let c2 = cut2.min(history.len()).max(c1);
+/// A query over the same universe (plus misses from 50..80).
+fn gen_query(rng: &mut DetRng) -> Query {
+    let len = rng.gen_range(1..6);
+    Query::new(
+        (0..len)
+            .map(|_| TermId(rng.gen_range(0..80) as u32))
+            .collect(),
+    )
+}
+
+/// A query history of 0..40 queries.
+fn gen_history(rng: &mut DetRng) -> Vec<Query> {
+    let n = rng.gen_range(0..40);
+    (0..n).map(|_| gen_query(rng)).collect()
+}
+
+/// The paper's equivalence claim for Algorithm 1: incremental
+/// processing over arbitrary batch boundaries equals the naive
+/// recompute over the full history (max is associative, QF is a sum).
+#[test]
+fn algorithm1_incremental_equals_naive() {
+    let mut r = rng("alg1-incremental");
+    for _ in 0..200 {
+        let doc = gen_doc(&mut r);
+        let history = gen_history(&mut r);
+        let c1 = r.gen_range(0..40).min(history.len());
+        let c2 = r.gen_range(0..40).min(history.len()).max(c1);
+        let budget = r.gen_range(1..12);
         let whole = naive_select(&doc, &history, budget);
         let mut stats = std::collections::HashMap::new();
         let _ = algorithm1(&doc, &mut stats, &history[..c1], budget);
         let _ = algorithm1(&doc, &mut stats, &history[c1..c2], budget);
         let inc = algorithm1(&doc, &mut stats, &history[c2..], budget);
-        prop_assert_eq!(whole, inc);
+        assert_eq!(whole, inc);
     }
+}
 
-    /// Selected terms always belong to the document or its frequency
-    /// fallback, never exceed the budget, and contain no duplicates.
-    #[test]
-    fn selection_wellformed(
-        doc in arb_doc(),
-        history in arb_history(),
-        budget in 0usize..15,
-    ) {
+/// Selected terms always belong to the document or its frequency
+/// fallback, never exceed the budget, and contain no duplicates.
+#[test]
+fn selection_wellformed() {
+    let mut r = rng("selection");
+    for _ in 0..200 {
+        let doc = gen_doc(&mut r);
+        let history = gen_history(&mut r);
+        let budget = r.gen_range(0..15);
         let mut stats = std::collections::HashMap::new();
         let chosen = algorithm1(&doc, &mut stats, &history, budget);
-        prop_assert!(chosen.len() <= budget);
+        assert!(chosen.len() <= budget);
         let set: std::collections::HashSet<_> = chosen.iter().collect();
-        prop_assert_eq!(set.len(), chosen.len(), "duplicates in selection");
+        assert_eq!(set.len(), chosen.len(), "duplicates in selection");
         for t in &chosen {
-            prop_assert!(doc.contains(*t), "selected term not in document");
+            assert!(doc.contains(*t), "selected term not in document");
         }
     }
+}
 
-    /// qScore is a fraction in [0, 1], 1 iff the document covers the whole
-    /// query, and monotone under adding matching terms to the document.
-    #[test]
-    fn q_score_bounds(doc in arb_doc(), q in proptest::collection::vec(0u32..80, 1..6)) {
-        let query = Query::new(q.into_iter().map(TermId).collect());
+/// qScore is a fraction in [0, 1], 1 iff the document covers the whole
+/// query.
+#[test]
+fn q_score_bounds() {
+    let mut r = rng("qscore");
+    for _ in 0..500 {
+        let doc = gen_doc(&mut r);
+        let query = gen_query(&mut r);
         let s = q_score(&query, &doc);
-        prop_assert!((0.0..=1.0).contains(&s));
+        assert!((0.0..=1.0).contains(&s));
         let all_in = query.term_counts().iter().all(|(t, _)| doc.contains(*t));
-        prop_assert_eq!(s == 1.0, all_in);
+        assert_eq!(s == 1.0, all_in);
     }
+}
 
-    /// Adding more queries never decreases any term's QF statistic, and
-    /// never decreases its best qScore.
-    #[test]
-    fn stats_are_monotone(
-        doc in arb_doc(),
-        history in arb_history(),
-        extra in arb_history(),
-    ) {
+/// Adding more queries never decreases any term's QF statistic, and
+/// never decreases its best qScore.
+#[test]
+fn stats_are_monotone() {
+    let mut r = rng("stats-monotone");
+    for _ in 0..200 {
+        let doc = gen_doc(&mut r);
+        let history = gen_history(&mut r);
+        let extra = gen_history(&mut r);
         let mut stats = std::collections::HashMap::new();
         let _ = algorithm1(&doc, &mut stats, &history, 10);
         let before = stats.clone();
         let _ = algorithm1(&doc, &mut stats, &extra, 10);
         for (t, s) in &before {
             let after = stats[t];
-            prop_assert!(after.qf >= s.qf);
-            prop_assert!(after.qs >= s.qs);
+            assert!(after.qf >= s.qf);
+            assert!(after.qs >= s.qs);
         }
     }
 }
 
 mod workload {
-    use super::*;
+    use super::{rng, DetRng};
     use sprite::corpus::{
         generate_workload, issue_order, split_train_test, CorpusConfig, GenConfig, Schedule,
         SyntheticCorpus,
     };
     use sprite::ir::CentralizedEngine;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(8))]
-
-        /// The generated workload always has (k+1) queries per seed, every
-        /// derived query keeps ≥ ⌈O·|Q|⌉ − |Q| of the seed's terms, and no
-        /// derived query is empty.
-        #[test]
-        fn workload_invariants(seed in 0u64..500, k in 1usize..6, overlap in 0.3f64..1.0) {
+    /// The generated workload always has (k+1) queries per seed, every
+    /// derived query keeps ≥ ⌈O·|Q|⌉ − |Q| of the seed's terms, and no
+    /// derived query is empty.
+    #[test]
+    fn workload_invariants() {
+        let mut r = rng("workload");
+        for _ in 0..8 {
+            let seed = r.gen_range(0..500) as u64;
+            let k = r.gen_range(1..6);
+            let overlap = 0.3 + r.gen_f64() * 0.7;
             let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(seed));
             let engine = CentralizedEngine::build(sc.corpus());
             let seeds = sc.seed_queries();
-            let cfg = GenConfig { k_per_seed: k, overlap, top_e: 60, seed, ..GenConfig::default() };
+            let cfg = GenConfig {
+                k_per_seed: k,
+                overlap,
+                top_e: 60,
+                seed,
+                ..GenConfig::default()
+            };
             let w = generate_workload(sc.corpus(), &engine, &seeds[..3], &cfg);
-            prop_assert_eq!(w.len(), 3 * (k + 1));
+            assert_eq!(w.len(), 3 * (k + 1));
             for gq in &w {
-                prop_assert!(!gq.query.is_empty());
+                assert!(!gq.query.is_empty());
                 if !gq.is_original {
                     let orig = &seeds[gq.seed_idx].query;
                     let keep = (overlap * orig.distinct_len() as f64).round() as usize;
@@ -124,33 +159,46 @@ mod workload {
                         .iter()
                         .filter(|(t, _)| orig.contains(*t))
                         .count();
-                    prop_assert!(shared >= keep.min(orig.distinct_len()),
-                        "derived query shares {shared} terms, expected >= {keep}");
+                    assert!(
+                        shared >= keep.min(orig.distinct_len()),
+                        "derived query shares {shared} terms, expected >= {keep}"
+                    );
                 }
             }
         }
+    }
 
-        /// Train/test splits partition the workload for any size.
-        #[test]
-        fn split_partitions(n in 0usize..500, seed in any::<u64>()) {
+    /// Train/test splits partition the workload for any size.
+    #[test]
+    fn split_partitions() {
+        let mut r = rng("split");
+        for _ in 0..50 {
+            let n = r.gen_range(0..500);
+            let seed = r.gen_u64();
             let (train, test) = split_train_test(n, seed);
-            prop_assert_eq!(train.len() + test.len(), n);
+            assert_eq!(train.len() + test.len(), n);
             let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
             all.sort_unstable();
             all.dedup();
-            prop_assert_eq!(all.len(), n);
+            assert_eq!(all.len(), n);
         }
+    }
 
-        /// Issue orders only reference valid queries; w/o-r is a permutation.
-        #[test]
-        fn schedules_valid(n in 1usize..100, seed in any::<u64>(), total in 1usize..300) {
+    /// Issue orders only reference valid queries; w/o-r is a permutation.
+    #[test]
+    fn schedules_valid() {
+        let mut r = rng("schedules");
+        for _ in 0..50 {
+            let n = r.gen_range(1..100);
+            let seed = r.gen_u64();
+            let total = r.gen_range(1..300);
             let wor = issue_order(n, Schedule::WithoutRepeats, seed);
             let mut sorted = wor.clone();
             sorted.sort_unstable();
-            prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+            assert_eq!(sorted, (0..n).collect::<Vec<_>>());
             let z = issue_order(n, Schedule::Zipf { slope: 0.5, total }, seed);
-            prop_assert_eq!(z.len(), total);
-            prop_assert!(z.iter().all(|&i| i < n));
+            assert_eq!(z.len(), total);
+            assert!(z.iter().all(|&i| i < n));
         }
     }
 }
