@@ -19,6 +19,10 @@
 //!   is flagged unless a sort/top-k appears nearby or the line reduces
 //!   commutatively (`sum`/`count`/`max`/`min`): iteration order is
 //!   per-process random and must never leak into ranked results.
+//! * **no-raw-spawn** — `thread::spawn` / `thread::scope` are banned
+//!   everywhere except `sprite-util`'s pool module: every parallel
+//!   construct must go through the deterministic order-preserving
+//!   `par_map`, or the bit-identical-replay guarantee dies quietly.
 //!
 //! Test modules (everything from the first `#[cfg(test)]` down), `tests/`,
 //! `benches/`, and `examples/` directories are exempt from content rules.
@@ -46,6 +50,9 @@ const SIM_PREFIXES: &[&str] = &[
 
 /// Files whose output is ranked and must not inherit `HashMap` order.
 const RANKED_MODULES: &[&str] = &["rank.rs", "topk.rs", "learn.rs", "system.rs"];
+
+/// The one module allowed to touch raw threading primitives.
+const POOL_MODULE: &str = "crates/util/src/pool.rs";
 
 /// How many lines around a `HashMap` iteration to search for a sort.
 const SORT_WINDOW: usize = 15;
@@ -75,6 +82,14 @@ fn pat_ambient_rng() -> String {
 
 fn pat_rand_crate() -> String {
     ["rand", "::"].concat()
+}
+
+fn pat_thread_spawn() -> String {
+    ["thread::", "spawn"].concat()
+}
+
+fn pat_thread_scope() -> String {
+    ["thread::", "scope"].concat()
 }
 
 fn pat_cfg_test() -> String {
@@ -247,6 +262,21 @@ fn scan_source(rel: &str, content: &str) -> Vec<Diagnostic> {
                 ));
             }
             from = at + expect.len();
+        }
+
+        if rel != POOL_MODULE {
+            for pat in [pat_thread_spawn(), pat_thread_scope()] {
+                if s.contains(&pat) {
+                    out.push(diag(
+                        n,
+                        "no-raw-spawn",
+                        format!(
+                            "{pat} outside {POOL_MODULE}; use sprite_util's \
+                             order-preserving par_map"
+                        ),
+                    ));
+                }
+            }
         }
 
         if sim && !rel.starts_with("crates/bench/") {
@@ -487,6 +517,26 @@ mod tests {
             allow_marker()
         );
         assert!(scan_source("crates/chord/src/ring.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn raw_spawn_flagged_outside_pool_module() {
+        let spawn = format!("fn f() {{ std::{}(|| {{}}); }}\n", pat_thread_spawn());
+        let diags = scan_source("crates/core/src/experiment.rs", &spawn);
+        assert_eq!(rules(&diags), ["no-raw-spawn"]);
+        let scope = format!("fn f() {{ std::{}(|_| {{}}); }}\n", pat_thread_scope());
+        let diags = scan_source("crates/bench/src/bin/fig4b.rs", &scope);
+        assert_eq!(rules(&diags), ["no-raw-spawn"], "bench crate is not exempt");
+    }
+
+    #[test]
+    fn pool_module_may_spawn() {
+        let src = format!(
+            "fn go() {{ std::{}(|scope| {{ scope.{}(|| {{}}); }}); }}\n",
+            pat_thread_scope(),
+            ["spa", "wn"].concat()
+        );
+        assert!(scan_source(POOL_MODULE, &src).is_empty());
     }
 
     #[test]

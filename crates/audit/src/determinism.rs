@@ -10,11 +10,11 @@
 //! reports the first stage whose fingerprint diverges, which localizes the
 //! nondeterminism to the subsystem that stage exercised.
 
-use sprite_chord::ChordNet;
-use sprite_core::{SpriteConfig, SpriteSystem};
+use sprite_chord::{ChordNet, MsgKind, NetStats};
+use sprite_core::{RankScratch, SpriteConfig, SpriteSystem};
 use sprite_corpus::{CorpusConfig, SyntheticCorpus};
 use sprite_ir::{Hit, Query, TermId};
-use sprite_util::Md5;
+use sprite_util::{override_threads, par_map_init, Md5};
 
 /// A fingerprinted experiment run: `(stage name, MD5)` pairs in execution
 /// order.
@@ -130,6 +130,55 @@ pub fn fingerprint_hits(hits: &[Hit]) -> u128 {
     h.finalize().as_u128()
 }
 
+/// MD5 over every [`NetStats`] counter (message counts per kind in index
+/// order, completed lookups, exact mean-hops bits, max hops).
+#[must_use]
+pub fn fingerprint_stats(stats: &NetStats) -> u128 {
+    let mut h = Md5::new();
+    for kind in MsgKind::all() {
+        feed_u64(&mut h, stats.count(kind));
+    }
+    feed_u64(&mut h, stats.lookups());
+    feed_u64(&mut h, stats.mean_hops().to_bits());
+    feed_u64(&mut h, u64::from(stats.max_hops()));
+    h.finalize().as_u128()
+}
+
+/// Fingerprint of a **parallel** read-only evaluation: `queries` fan out
+/// over `threads` pool workers against a frozen [`sprite_core::QueryView`],
+/// each charging a private [`NetStats`] delta; the hash covers every
+/// ranked list (exact float bits) plus the in-input-order merge of the
+/// deltas. Bit-identical across thread counts by the engine's contract —
+/// the companion test pins `threads = 1` against `threads = 4`.
+#[must_use]
+pub fn parallel_results_fingerprint(
+    sys: &mut SpriteSystem,
+    queries: &[Query],
+    threads: usize,
+) -> u128 {
+    let prev = override_threads(threads);
+    let fp = {
+        let view = sys.query_view();
+        let peers = view.peers();
+        let per: Vec<(u128, NetStats)> =
+            par_map_init(queries, RankScratch::new, |scratch, i, q| {
+                let mut delta = NetStats::new();
+                let hits = view.query(peers[i % peers.len()], q, 10, &mut delta, scratch);
+                (fingerprint_hits(&hits), delta)
+            });
+        let mut h = Md5::new();
+        let mut total = NetStats::new();
+        for (hits_fp, delta) in &per {
+            feed_u128(&mut h, *hits_fp);
+            total.merge(delta);
+        }
+        feed_u128(&mut h, fingerprint_stats(&total));
+        h.finalize().as_u128()
+    };
+    override_threads(prev);
+    fp
+}
+
 /// Run the reference experiment once, fingerprinting after every stage.
 ///
 /// The experiment is deliberately small (a tiny corpus on 24 peers) but
@@ -170,6 +219,14 @@ pub fn run_trace(seed: u64) -> Trace {
     stages.push(("ring/churned", fingerprint_ring(sys.net())));
     stages.push(("results/churned", run_queries(&mut sys)));
 
+    // Ninth stage: the parallel experiment engine. Four pool workers rank
+    // the same queries against a frozen view; any scheduling leak into
+    // results or merged stats diverges here.
+    stages.push((
+        "results/parallel",
+        parallel_results_fingerprint(&mut sys, &queries, 4),
+    ));
+
     Trace { stages }
 }
 
@@ -204,7 +261,25 @@ mod tests {
             "first divergent stage: {:?}",
             report.first_divergence
         );
-        assert_eq!(report.stages, 8);
+        assert_eq!(report.stages, 9);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential_bit_for_bit() {
+        // threads = 1 is the plain sequential loop (no threads spawned);
+        // threads = 4 must reproduce its results and merged stats exactly.
+        let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(77));
+        let mut sys = SpriteSystem::build(sc.corpus().clone(), 24, SpriteConfig::default(), 77);
+        sys.publish_all();
+        let queries: Vec<Query> = sc
+            .seed_queries()
+            .iter()
+            .take(12)
+            .map(|s| s.query.clone())
+            .collect();
+        let seq = parallel_results_fingerprint(&mut sys, &queries, 1);
+        let par = parallel_results_fingerprint(&mut sys, &queries, 4);
+        assert_eq!(seq, par, "worker count leaked into results or stats");
     }
 
     #[test]

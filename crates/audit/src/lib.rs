@@ -31,5 +31,7 @@
 pub mod determinism;
 pub mod invariants;
 
-pub use determinism::{audit_determinism, run_trace, DeterminismReport, Trace};
+pub use determinism::{
+    audit_determinism, parallel_results_fingerprint, run_trace, DeterminismReport, Trace,
+};
 pub use invariants::{check_index, check_kv, check_ring, check_system, Violation};

@@ -10,119 +10,121 @@ use sprite_bench::{build_world, print_table, r3};
 use sprite_core::{IdfMode, ScoreMode, SpriteConfig};
 use sprite_corpus::Schedule;
 use sprite_ir::Similarity;
+use sprite_util::par_map;
+
+/// The four ablation tables, in print order.
+const TABLES: [(&str, &[&str; 3]); 4] = [
+    (
+        "Ablation 1 — term-score composition (§5.3)",
+        &["score", "precision", "recall"],
+    ),
+    (
+        "Ablation 1b — term-score composition under a tight 8-term budget",
+        &["score", "precision", "recall"],
+    ),
+    (
+        "Ablation 2 — IDF source (§3: indexed df 'serves the same purpose')",
+        &["idf", "precision", "recall"],
+    ),
+    (
+        "Ablation 3 — distributed similarity (§4)",
+        &["similarity", "precision", "recall"],
+    ),
+];
 
 fn main() {
     let world = build_world(42);
     let k = 20;
 
-    let run_sched =
-        |label: &str, cfg: SpriteConfig, schedule: Schedule, rows: &mut Vec<Vec<String>>| {
-            let mut sys = world.standard_system(cfg, schedule);
-            let r = world.evaluate(&mut sys, &world.test, k);
-            rows.push(vec![
-                label.to_string(),
-                r3(r.precision_ratio),
-                r3(r.recall_ratio),
-            ]);
-        };
-    let run = |label: &str, cfg: SpriteConfig, rows: &mut Vec<Vec<String>>| {
-        run_sched(label, cfg, Schedule::WithoutRepeats, rows);
-    };
-
-    // 1. Term-score composition. Run under a repeating (Zipf) schedule so
-    // QF carries signal — with single-shot queries every QF is 1 and the
-    // combination degenerates by construction.
+    // Every (config, schedule) cell is an independent deployment, so the
+    // whole sweep fans out over the sprite-util pool at once; results come
+    // back in input order, so tables print deterministically.
     let zipf = Schedule::Zipf {
         slope: 0.5,
         total: world.train.len() * 3,
     };
-    let mut rows = Vec::new();
-    for (label, mode) in [
-        ("qScore*logQF (paper)", ScoreMode::Full),
-        ("qScore only", ScoreMode::QScoreOnly),
-        ("logQF only", ScoreMode::QfOnly),
-    ] {
-        run_sched(
-            label,
+    let score_cfg = |mode: ScoreMode| SpriteConfig {
+        score_mode: mode,
+        ..SpriteConfig::default()
+    };
+    let tight_cfg = |mode: ScoreMode| SpriteConfig {
+        score_mode: mode,
+        max_terms: 8,
+        terms_per_iteration: 1,
+        ..SpriteConfig::default()
+    };
+    // (table index, row label, config, schedule).
+    let jobs: Vec<(usize, &str, SpriteConfig, Schedule)> = vec![
+        // 1. Term-score composition. Run under a repeating (Zipf) schedule
+        // so QF carries signal — with single-shot queries every QF is 1 and
+        // the combination degenerates by construction.
+        (0, "qScore*logQF (paper)", score_cfg(ScoreMode::Full), zipf),
+        (0, "qScore only", score_cfg(ScoreMode::QScoreOnly), zipf),
+        (0, "logQF only", score_cfg(ScoreMode::QfOnly), zipf),
+        // 1b. Same, under a tight 8-term budget: selection pressure forces
+        // the ranking to actually choose among queried terms.
+        (1, "qScore*logQF (paper)", tight_cfg(ScoreMode::Full), zipf),
+        (1, "qScore only", tight_cfg(ScoreMode::QScoreOnly), zipf),
+        (1, "logQF only", tight_cfg(ScoreMode::QfOnly), zipf),
+        // 2. IDF source.
+        (
+            2,
+            "indexed df (paper)",
             SpriteConfig {
-                score_mode: mode,
+                idf_mode: IdfMode::Indexed,
                 ..SpriteConfig::default()
             },
-            zipf,
-            &mut rows,
-        );
-    }
-    print_table(
-        "Ablation 1 — term-score composition (§5.3)",
-        &["score", "precision", "recall"],
-        &rows,
-    );
+            Schedule::WithoutRepeats,
+        ),
+        (
+            2,
+            "true df (oracle)",
+            SpriteConfig {
+                idf_mode: IdfMode::TrueDf,
+                ..SpriteConfig::default()
+            },
+            Schedule::WithoutRepeats,
+        ),
+        // 3. Similarity formula.
+        (
+            3,
+            "Lee second method (paper)",
+            SpriteConfig {
+                similarity: Similarity::LeeSecond,
+                ..SpriteConfig::default()
+            },
+            Schedule::WithoutRepeats,
+        ),
+        (
+            3,
+            "retrieved-terms cosine",
+            SpriteConfig {
+                similarity: Similarity::CosineTfIdf,
+                ..SpriteConfig::default()
+            },
+            Schedule::WithoutRepeats,
+        ),
+    ];
 
-    // 1b. Same, under a tight 8-term budget: selection pressure forces the
-    // ranking to actually choose among queried terms.
-    let mut rows = Vec::new();
-    for (label, mode) in [
-        ("qScore*logQF (paper)", ScoreMode::Full),
-        ("qScore only", ScoreMode::QScoreOnly),
-        ("logQF only", ScoreMode::QfOnly),
-    ] {
-        run_sched(
-            label,
-            SpriteConfig {
-                score_mode: mode,
-                max_terms: 8,
-                terms_per_iteration: 1,
-                ..SpriteConfig::default()
-            },
-            zipf,
-            &mut rows,
-        );
-    }
-    print_table(
-        "Ablation 1b — term-score composition under a tight 8-term budget",
-        &["score", "precision", "recall"],
-        &rows,
-    );
+    let results: Vec<(usize, Vec<String>)> = par_map(&jobs, |_, (table, label, cfg, schedule)| {
+        let mut sys = world.standard_system(cfg.clone(), *schedule);
+        let r = world.evaluate(&mut sys, &world.test, k);
+        (
+            *table,
+            vec![
+                (*label).to_string(),
+                r3(r.precision_ratio),
+                r3(r.recall_ratio),
+            ],
+        )
+    });
 
-    // 2. IDF source.
-    let mut rows = Vec::new();
-    for (label, mode) in [
-        ("indexed df (paper)", IdfMode::Indexed),
-        ("true df (oracle)", IdfMode::TrueDf),
-    ] {
-        run(
-            label,
-            SpriteConfig {
-                idf_mode: mode,
-                ..SpriteConfig::default()
-            },
-            &mut rows,
-        );
+    for (t, (title, headers)) in TABLES.iter().enumerate() {
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .filter(|(table, _)| *table == t)
+            .map(|(_, row)| row.clone())
+            .collect();
+        print_table(title, *headers, &rows);
     }
-    print_table(
-        "Ablation 2 — IDF source (§3: indexed df 'serves the same purpose')",
-        &["idf", "precision", "recall"],
-        &rows,
-    );
-
-    // 3. Similarity formula.
-    let mut rows = Vec::new();
-    for (label, sim) in [
-        ("Lee second method (paper)", Similarity::LeeSecond),
-        ("retrieved-terms cosine", Similarity::CosineTfIdf),
-    ] {
-        run(
-            label,
-            SpriteConfig {
-                similarity: sim,
-                ..SpriteConfig::default()
-            },
-            &mut rows,
-        );
-    }
-    print_table(
-        "Ablation 3 — distributed similarity (§4)",
-        &["similarity", "precision", "recall"],
-        &rows,
-    );
 }

@@ -1,0 +1,248 @@
+//! The benchmark baseline runner.
+//!
+//! Times every figure of the paper at `SPRITE_SCALE=small` (the CI scale;
+//! override with the usual `SPRITE_SCALE` variable), a handful of
+//! microbenchmarks (MD5, one Chord lookup, one distributed query, one
+//! centralized search), and the headline sequential-vs-parallel
+//! `World::evaluate` comparison, then writes the whole report as
+//! `BENCH_experiments.json` at the repository root so later PRs can be
+//! measured against this baseline.
+//!
+//! Run: `cargo run -p sprite-bench --bin bench --release [output.json]`
+//!
+//! The parallel comparison also *verifies* the engine's contract: the
+//! report records whether the 1-thread and N-thread evaluations produced
+//! bit-identical ratios and merged stats (`"bit_identical": true`), and
+//! the process exits nonzero if they did not.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sprite_chord::{ChordConfig, ChordNet};
+use sprite_core::{fig4a, fig4b, fig4c, SpriteConfig, SpriteSystem};
+use sprite_corpus::{CorpusConfig, Schedule, SyntheticCorpus};
+use sprite_ir::CentralizedEngine;
+use sprite_util::{configured_threads, md5, override_threads, RingId};
+
+/// Milliseconds, one decimal.
+fn ms(from: Instant) -> f64 {
+    (from.elapsed().as_secs_f64() * 10_000.0).round() / 10.0
+}
+
+/// Time one closure invocation in milliseconds.
+fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, ms(t0))
+}
+
+/// Nanoseconds per iteration over a self-calibrating ~100ms loop.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed().as_millis() >= 40 || iters >= 1 << 22 {
+            break;
+        }
+        iters = (iters * 4).min(1 << 22);
+    }
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (t.elapsed().as_nanos() as f64 / iters as f64 * 10.0).round() / 10.0
+}
+
+struct Json(String);
+
+impl Json {
+    fn new() -> Self {
+        Json(String::from("{\n"))
+    }
+    fn field(&mut self, indent: usize, key: &str, value: &str, last: bool) {
+        let pad = "  ".repeat(indent);
+        let comma = if last { "" } else { "," };
+        let _ = writeln!(self.0, "{pad}\"{key}\": {value}{comma}");
+    }
+    fn open(&mut self, indent: usize, key: &str) {
+        let pad = "  ".repeat(indent);
+        let _ = writeln!(self.0, "{pad}\"{key}\": {{");
+    }
+    fn close(&mut self, indent: usize, last: bool) {
+        let pad = "  ".repeat(indent);
+        let comma = if last { "" } else { "," };
+        let _ = writeln!(self.0, "{pad}}}{comma}");
+    }
+    fn finish(mut self) -> String {
+        self.0.push_str("}\n");
+        self.0
+    }
+}
+
+fn main() {
+    // This runner *is* the small-scale baseline; default the scale rather
+    // than inheriting `full` and taking minutes on CI.
+    if std::env::var("SPRITE_SCALE").is_err() {
+        std::env::set_var("SPRITE_SCALE", "small");
+    }
+    let scale = std::env::var("SPRITE_SCALE").unwrap_or_default();
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        // crates/bench → workspace root, two levels up.
+        format!(
+            "{}/../../BENCH_experiments.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+
+    eprintln!("# bench: scale={scale}, {} threads", configured_threads());
+    let (world, world_ms) = time_ms(|| sprite_bench::build_world(42));
+
+    // ------------------------------------------------------------------
+    // Figures (each internally parallel via the sprite-util pool).
+    // ------------------------------------------------------------------
+    let answers = [5usize, 10, 15, 20, 25, 30];
+    let budgets = [5usize, 10, 15, 20, 25, 30];
+    let (_, fig4a_ms) = time_ms(|| fig4a(&world, &answers));
+    eprintln!("# fig4a: {fig4a_ms} ms");
+    let (_, fig4b_ms) = time_ms(|| fig4b(&world, &budgets, 20));
+    eprintln!("# fig4b: {fig4b_ms} ms");
+    let (_, fig4c_ms) = time_ms(|| fig4c(&world, 10, 20));
+    eprintln!("# fig4c: {fig4c_ms} ms");
+
+    // ------------------------------------------------------------------
+    // The headline comparison: sequential vs parallel evaluation of the
+    // full test set on one trained deployment — plus the bit-identity
+    // check the determinism auditor enforces.
+    // ------------------------------------------------------------------
+    let (mut sys, train_ms) =
+        time_ms(|| world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats));
+    eprintln!("# standard system (train+learn): {train_ms} ms");
+
+    // 4 vs 1 threads per the engine's contract; an explicit SPRITE_THREADS
+    // still wins so the comparison can be re-run at other widths.
+    let threads = std::env::var("SPRITE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(4);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let prev = override_threads(1);
+    sys.net_mut().reset_stats();
+    let (r_seq, first_ms) = time_ms(|| world.evaluate(&mut sys, &world.test, 20));
+    let stats_seq = sys.net().stats().clone();
+    // A single small-scale evaluation is ~1ms; repeat until the timing is
+    // dominated by the work, not the clock.
+    let reps = ((250.0 / first_ms.max(0.1)).ceil() as usize).clamp(1, 500);
+    let time_eval = |world: &sprite_core::World, sys: &mut SpriteSystem| {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(world.evaluate(sys, &world.test, 20));
+        }
+        (t0.elapsed().as_secs_f64() * 1000.0 / reps as f64 * 1000.0).round() / 1000.0
+    };
+    let seq_ms = time_eval(&world, &mut sys);
+    override_threads(threads);
+    sys.net_mut().reset_stats();
+    let (r_par, _) = time_ms(|| world.evaluate(&mut sys, &world.test, 20));
+    let stats_par = sys.net().stats().clone();
+    let par_ms = time_eval(&world, &mut sys);
+    override_threads(prev);
+    let bit_identical = r_seq.precision_ratio.to_bits() == r_par.precision_ratio.to_bits()
+        && r_seq.recall_ratio.to_bits() == r_par.recall_ratio.to_bits()
+        && r_seq.queries == r_par.queries
+        && stats_seq == stats_par;
+    let speedup = if par_ms > 0.0 { seq_ms / par_ms } else { 0.0 };
+    eprintln!(
+        "# evaluate ({reps} reps): seq {seq_ms} ms, par({threads} threads, {cores} cores) \
+         {par_ms} ms — {speedup:.2}x, bit-identical: {bit_identical}"
+    );
+
+    // ------------------------------------------------------------------
+    // Micro timings.
+    // ------------------------------------------------------------------
+    let payload = vec![0xabu8; 65536];
+    let md5_ns = time_ns(|| {
+        std::hint::black_box(md5(std::hint::black_box(&payload)));
+    });
+    let mut net = ChordNet::with_random_nodes(ChordConfig::default(), 1024, 5);
+    let ids = net.node_ids();
+    let keys: Vec<RingId> = (0..256)
+        .map(|i| RingId::hash_bytes(format!("bench-key-{i}").as_bytes()))
+        .collect();
+    let mut i = 0usize;
+    let lookup_ns = time_ns(|| {
+        let from = ids[i % ids.len()];
+        let key = keys[i % keys.len()];
+        i += 1;
+        std::hint::black_box(net.lookup_fast(from, key).expect("converged ring"));
+    });
+    let sc = SyntheticCorpus::generate(&CorpusConfig::small(5));
+    let mut qsys = SpriteSystem::build(sc.corpus().clone(), 64, SpriteConfig::default(), 5);
+    qsys.publish_all();
+    let seeds = sc.seed_queries();
+    let mut i = 0usize;
+    let query_ns = time_ns(|| {
+        let q = &seeds[i % seeds.len()].query;
+        i += 1;
+        std::hint::black_box(qsys.issue_query(std::hint::black_box(q), 20));
+    });
+    let engine = CentralizedEngine::build(sc.corpus());
+    let mut i = 0usize;
+    let central_ns = time_ns(|| {
+        let q = &seeds[i % seeds.len()].query;
+        i += 1;
+        std::hint::black_box(engine.search(std::hint::black_box(q), 20));
+    });
+    eprintln!(
+        "# micro: md5/64KiB {md5_ns} ns, lookup/1024p {lookup_ns} ns, \
+         query {query_ns} ns, centralized {central_ns} ns"
+    );
+
+    // ------------------------------------------------------------------
+    // Report.
+    // ------------------------------------------------------------------
+    let mut j = Json::new();
+    j.field(1, "schema", "\"sprite-bench/v1\"", false);
+    j.field(1, "scale", &format!("\"{scale}\""), false);
+    j.field(1, "cores", &cores.to_string(), false);
+    j.open(1, "figures_ms");
+    j.field(2, "world_build", &world_ms.to_string(), false);
+    j.field(2, "fig4a", &fig4a_ms.to_string(), false);
+    j.field(2, "fig4b", &fig4b_ms.to_string(), false);
+    j.field(2, "fig4c", &fig4c_ms.to_string(), false);
+    j.field(2, "standard_system", &train_ms.to_string(), true);
+    j.close(1, false);
+    j.open(1, "evaluate");
+    j.field(2, "queries", &world.test.len().to_string(), false);
+    j.field(2, "k", "20", false);
+    j.field(2, "repetitions", &reps.to_string(), false);
+    j.field(2, "sequential_ms", &seq_ms.to_string(), false);
+    j.field(2, "parallel_ms", &par_ms.to_string(), false);
+    j.field(2, "parallel_threads", &threads.to_string(), false);
+    j.field(2, "speedup", &format!("{speedup:.2}"), false);
+    j.field(2, "bit_identical", &bit_identical.to_string(), true);
+    j.close(1, false);
+    j.open(1, "micro_ns");
+    j.field(2, "md5_64kib", &md5_ns.to_string(), false);
+    j.field(2, "chord_lookup_1024_peers", &lookup_ns.to_string(), false);
+    j.field(2, "distributed_query_top20", &query_ns.to_string(), false);
+    j.field(2, "centralized_search_top20", &central_ns.to_string(), true);
+    j.close(1, true);
+    let body = j.finish();
+
+    match std::fs::write(&out_path, &body) {
+        Ok(()) => eprintln!("# wrote {out_path}"),
+        Err(e) => {
+            eprintln!("# FAILED writing {out_path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    print!("{body}");
+    assert!(
+        bit_identical,
+        "parallel evaluation diverged from the sequential reference"
+    );
+}

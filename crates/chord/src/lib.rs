@@ -25,5 +25,5 @@ pub mod stats;
 
 pub use kv::Dht;
 pub use node::NodeState;
-pub use ring::{ChordConfig, ChordError, ChordNet, Lookup};
+pub use ring::{ChordConfig, ChordError, ChordNet, Lookup, LookupLite};
 pub use stats::{MsgKind, NetStats, MSG_KINDS};

@@ -92,6 +92,18 @@ pub struct Lookup {
     pub path: Vec<RingId>,
 }
 
+/// A resolved lookup without the visited-path allocation — the hot-path
+/// result of [`ChordNet::lookup_fast`] and [`ChordNet::probe`]. The path is
+/// only needed by audits and diagnostics; the retrieval loops resolve
+/// millions of keys and should not pay a `Vec` per lookup for it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LookupLite {
+    /// The node responsible for the key.
+    pub owner: RingId,
+    /// Routing steps taken (0 when the origin's successor owns the key).
+    pub hops: u32,
+}
+
 /// The simulated Chord network.
 #[derive(Clone, Debug)]
 pub struct ChordNet {
@@ -412,9 +424,43 @@ impl ChordNet {
 
     /// Resolve the owner of `key` starting from node `from`, charging one
     /// [`MsgKind::LookupHop`] per routing step and recording the lookup in
-    /// the hop statistics.
+    /// the hop statistics. Returns the full visited path; hot callers that
+    /// do not need it should use [`Self::lookup_fast`].
     pub fn lookup(&mut self, from: RingId, key: RingId) -> Result<Lookup, ChordError> {
         self.route(from, key, MsgKind::LookupHop)
+    }
+
+    /// [`Self::lookup`] without the visited-path allocation. Identical
+    /// routing decisions and identical stats charging — only the `path`
+    /// bookkeeping is skipped. The retrieval hot paths (publish, query,
+    /// learning) use this; audit and diagnostic callers keep `lookup`.
+    pub fn lookup_fast(&mut self, from: RingId, key: RingId) -> Result<LookupLite, ChordError> {
+        let (result, hops, failed) = self.walk(from, key, None);
+        self.stats
+            .charge_route(MsgKind::LookupHop, hops, failed, result.is_ok());
+        result
+    }
+
+    /// Read-only lookup for the parallel query engine: routes exactly like
+    /// [`Self::lookup_fast`] but charges into a caller-owned [`NetStats`]
+    /// delta instead of the network's own counters, so concurrent queries
+    /// can each accumulate their share and merge deterministically
+    /// afterwards (see [`Self::absorb_stats`]).
+    pub fn probe(
+        &self,
+        from: RingId,
+        key: RingId,
+        stats: &mut NetStats,
+    ) -> Result<LookupLite, ChordError> {
+        let (result, hops, failed) = self.walk(from, key, None);
+        stats.charge_route(MsgKind::LookupHop, hops, failed, result.is_ok());
+        result
+    }
+
+    /// Merge a [`NetStats`] delta produced by [`Self::probe`] (or any
+    /// off-to-the-side accounting) back into the network's counters.
+    pub fn absorb_stats(&mut self, delta: &NetStats) {
+        self.stats.merge(delta);
     }
 
     /// Resolve the owner of `key` hashing a `term` string first — the
@@ -427,14 +473,36 @@ impl ChordNet {
     /// selects the message class charged per step. Hop statistics are only
     /// recorded for application lookups ([`MsgKind::LookupHop`]).
     fn route(&mut self, from: RingId, key: RingId, kind: MsgKind) -> Result<Lookup, ChordError> {
+        let mut path = Vec::new();
+        let (result, hops, failed) = self.walk(from, key, Some(&mut path));
+        self.stats.charge_route(kind, hops, failed, result.is_ok());
+        result.map(|lite| Lookup {
+            owner: lite.owner,
+            hops: lite.hops,
+            path,
+        })
+    }
+
+    /// The routing walk itself, shared by every lookup flavor: immutable
+    /// over the network, optional path recording, returns the outcome plus
+    /// the (hops, failed-probe) tally for the caller to charge. Keeping this
+    /// `&self` is what lets [`Self::probe`] serve concurrent readers.
+    fn walk(
+        &self,
+        from: RingId,
+        key: RingId,
+        mut path: Option<&mut Vec<RingId>>,
+    ) -> (Result<LookupLite, ChordError>, u32, u64) {
         if !self.contains(from) {
-            return Err(ChordError::UnknownNode(from));
+            return (Err(ChordError::UnknownNode(from)), 0, 0);
         }
         let mut cur = from;
         let mut hops: u32 = 0;
         let mut failed: u64 = 0;
-        let mut path = vec![from];
-        let owner = loop {
+        if let Some(p) = path.as_deref_mut() {
+            p.push(from);
+        }
+        loop {
             let node = &self.nodes[&cur.0];
             // The node's first usable successor (probing a dead entry costs
             // a timeout message).
@@ -447,11 +515,10 @@ impl ChordNet {
                 failed += 1;
             }
             let Some(succ) = succ else {
-                self.flush_route_stats(kind, hops, failed, false);
-                return Err(ChordError::DeadEnd { at: cur });
+                return (Err(ChordError::DeadEnd { at: cur }), hops, failed);
             };
             if key.in_open_closed(cur, succ) {
-                break succ;
+                return (Ok(LookupLite { owner: succ, hops }), hops, failed);
             }
             let nodes = &self.nodes;
             let next = node
@@ -464,26 +531,16 @@ impl ChordNet {
                 })
                 .unwrap_or(succ);
             if next == cur {
-                self.flush_route_stats(kind, hops, failed, false);
-                return Err(ChordError::DeadEnd { at: cur });
+                return (Err(ChordError::DeadEnd { at: cur }), hops, failed);
             }
             cur = next;
             hops += 1;
-            path.push(cur);
-            if hops > self.cfg.max_lookup_hops {
-                self.flush_route_stats(kind, hops, failed, false);
-                return Err(ChordError::TooManyHops { from, key });
+            if let Some(p) = path.as_deref_mut() {
+                p.push(cur);
             }
-        };
-        self.flush_route_stats(kind, hops, failed, true);
-        Ok(Lookup { owner, hops, path })
-    }
-
-    fn flush_route_stats(&mut self, kind: MsgKind, hops: u32, failed: u64, completed: bool) {
-        self.stats.record_n(kind, u64::from(hops));
-        self.stats.record_n(MsgKind::Failed, failed);
-        if completed && kind == MsgKind::LookupHop {
-            self.stats.record_lookup(hops);
+            if hops > self.cfg.max_lookup_hops {
+                return (Err(ChordError::TooManyHops { from, key }), hops, failed);
+            }
         }
     }
 
@@ -896,6 +953,60 @@ mod tests {
         assert!(net.stats().count(MsgKind::Maintenance) >= before);
         // Lookup stats untouched by maintenance routing.
         assert_eq!(net.stats().lookups(), 0);
+    }
+
+    #[test]
+    fn fast_and_probe_lookups_match_full_lookup() {
+        // Same owners, same hops, same charged stats — on a healthy ring and
+        // on a damaged one (dead successors make `failed` counting matter).
+        for kill in [0usize, 5] {
+            let mut reference = ring_of(64);
+            let ids = reference.node_ids();
+            for &v in ids.iter().skip(1).take(kill) {
+                reference.fail(v).unwrap();
+            }
+            let mut fast = reference.clone();
+            let frozen = reference.clone();
+            let mut delta = NetStats::new();
+            reference.reset_stats();
+            fast.reset_stats();
+            let alive = reference.node_ids();
+            for i in 0..200 {
+                let from = alive[i % alive.len()];
+                let key = RingId::hash_bytes(format!("variant-{i}").as_bytes());
+                let full = reference.lookup(from, key);
+                let lite = fast.lookup_fast(from, key);
+                let probed = frozen.probe(from, key, &mut delta);
+                match (full, lite, probed) {
+                    (Ok(f), Ok(l), Ok(p)) => {
+                        assert_eq!((f.owner, f.hops), (l.owner, l.hops));
+                        assert_eq!(l, p);
+                        assert_eq!(f.path.len() as u32, f.hops + 1);
+                    }
+                    (Err(ef), Err(el), Err(ep)) => {
+                        assert_eq!(ef, el);
+                        assert_eq!(el, ep);
+                    }
+                    other => panic!("variants disagree on outcome: {other:?}"),
+                }
+            }
+            assert_eq!(reference.stats(), fast.stats(), "kill={kill}");
+            assert_eq!(reference.stats(), &delta, "kill={kill}");
+        }
+    }
+
+    #[test]
+    fn absorb_stats_merges_probe_deltas() {
+        let mut net = ring_of(16);
+        net.reset_stats();
+        let from = net.node_ids()[0];
+        let mut delta = NetStats::new();
+        net.probe(from, RingId::hash_bytes(b"absorbed"), &mut delta)
+            .expect("probe");
+        assert_eq!(net.stats().lookups(), 0, "probe must not touch the net");
+        net.absorb_stats(&delta);
+        assert_eq!(net.stats().lookups(), 1);
+        assert_eq!(net.stats(), &delta);
     }
 
     #[test]

@@ -65,7 +65,12 @@ impl MsgKind {
 }
 
 /// Aggregate message counters plus lookup hop distribution.
-#[derive(Clone, Debug, Default)]
+///
+/// Every field is a sum or a max, so [`NetStats::merge`] is commutative and
+/// associative: per-thread deltas merged in input order reproduce the exact
+/// totals a sequential run would have produced, which is what makes the
+/// parallel experiment engine bit-identical to the sequential one.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     counts: [u64; MSG_KINDS],
     /// Number of completed lookups.
@@ -98,6 +103,18 @@ impl NetStats {
         self.lookups += 1;
         self.lookup_hops += u64::from(hops);
         self.max_hops = self.max_hops.max(hops);
+    }
+
+    /// Charge one routing walk: `hops` messages of `kind`, `failed` timeout
+    /// probes, and — for completed application lookups — the hop-distribution
+    /// entry. Shared by the in-place router and the read-only query path so
+    /// both charge identically.
+    pub fn charge_route(&mut self, kind: MsgKind, hops: u32, failed: u64, completed: bool) {
+        self.record_n(kind, u64::from(hops));
+        self.record_n(MsgKind::Failed, failed);
+        if completed && kind == MsgKind::LookupHop {
+            self.record_lookup(hops);
+        }
     }
 
     /// Messages of `kind` so far.

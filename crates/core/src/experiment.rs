@@ -5,14 +5,17 @@
 //! 50/50 train/test split. The `fig4*` functions reproduce the three panels
 //! of Figure 4; the bench binaries are thin printers over these.
 
+use sprite_chord::NetStats;
 use sprite_corpus::{
     generate_workload, issue_order, split_train_test, CorpusConfig, GenConfig, GeneratedQuery,
     Schedule, SyntheticCorpus,
 };
-use sprite_ir::{evaluate_hits_at_k, CentralizedEngine, RatioAccumulator, RatioEval};
+use sprite_ir::{evaluate_hits_at_k, CentralizedEngine, PrEval, RatioAccumulator, RatioEval};
+use sprite_util::{par_map, par_map_init};
 
 use crate::config::SpriteConfig;
 use crate::system::SpriteSystem;
+use crate::view::RankScratch;
 
 /// Full experiment configuration.
 #[derive(Clone, Debug)]
@@ -117,6 +120,12 @@ impl World {
 
     /// Issue workload queries into `sys` following `schedule` (restricted
     /// to the given workload indices).
+    ///
+    /// Deliberately **sequential**: training queries mutate learning state
+    /// (the bounded query caches at indexing peers, the global query
+    /// sequence) and those side effects are order-dependent by design —
+    /// SPRITE learns from the *stream* of queries, so the stream must
+    /// replay in schedule order. Only evaluation parallelizes.
     pub fn issue(&self, sys: &mut SpriteSystem, indices: &[usize], schedule: Schedule) {
         let order = issue_order(indices.len(), schedule, self.config.seed);
         for oi in order {
@@ -130,17 +139,41 @@ impl World {
     /// Evaluate `sys` on the given workload indices at answer-list size
     /// `k`, reporting precision/recall **ratios over the centralized
     /// reference** (§6's metric).
+    ///
+    /// Evaluation is a *measurement*, not training: it runs on a frozen
+    /// [`crate::QueryView`] snapshot, fanned out over the `sprite-util`
+    /// pool (worker count from `SPRITE_THREADS`). Each query is issued
+    /// from the peer its position selects (`peers[i % peers.len()]`),
+    /// charges its message bill into a private [`NetStats`] delta, and the
+    /// deltas are merged into the network **in input order**, so ratios
+    /// and stats are bit-identical at any thread count. Evaluation queries
+    /// are *not* cached at indexing peers — caching them would leak the
+    /// test set into the next learning iteration.
     pub fn evaluate(&self, sys: &mut SpriteSystem, indices: &[usize], k: usize) -> RatioEval {
+        sys.warm_query_terms(indices.iter().map(|&qi| &self.workload[qi].query));
+        let per_query: Vec<(PrEval, PrEval, NetStats)> = {
+            let view = sys.query_view();
+            let peers = view.peers();
+            par_map_init(indices, RankScratch::new, |scratch, i, &qi| {
+                let gq = &self.workload[qi];
+                let from = peers[i % peers.len()];
+                let mut delta = NetStats::new();
+                let sys_hits = view.query(from, &gq.query, k, &mut delta, scratch);
+                let cen_hits = self.engine.search(&gq.query, k);
+                (
+                    evaluate_hits_at_k(&sys_hits, &gq.relevant, k),
+                    evaluate_hits_at_k(&cen_hits, &gq.relevant, k),
+                    delta,
+                )
+            })
+        };
         let mut acc = RatioAccumulator::new();
-        for &qi in indices {
-            let gq = &self.workload[qi];
-            let sys_hits = sys.issue_query(&gq.query, k);
-            let cen_hits = self.engine.search(&gq.query, k);
-            acc.add(
-                evaluate_hits_at_k(&sys_hits, &gq.relevant, k),
-                evaluate_hits_at_k(&cen_hits, &gq.relevant, k),
-            );
+        let mut total = NetStats::new();
+        for (sys_pr, cen_pr, delta) in &per_query {
+            acc.add(*sys_pr, *cen_pr);
+            total.merge(delta);
         }
+        sys.net_mut().absorb_stats(&total);
         acc.finish()
     }
 
@@ -189,15 +222,22 @@ pub struct Fig4a {
 }
 
 /// Run Figure 4(a): `answers` is the x-axis (paper: 5..30 step 5).
+///
+/// The two deployments (SPRITE learned, eSearch static) are independent
+/// worlds, so they build in parallel; each evaluation then fans out over
+/// the pool internally (nested maps run inline, so the machine is never
+/// oversubscribed).
 #[must_use]
 pub fn fig4a(world: &World, answers: &[usize]) -> Fig4a {
-    let mut sprite = world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
-    let mut esearch = world.standard_system(SpriteConfig::esearch(20), Schedule::WithoutRepeats);
-    let eval = |sys: &mut SpriteSystem| -> Vec<SeriesPoint> {
+    let configs = [SpriteConfig::default(), SpriteConfig::esearch(20)];
+    let mut systems = par_map(&configs, |_, cfg| {
+        world.standard_system(cfg.clone(), Schedule::WithoutRepeats)
+    });
+    let mut eval = |i: usize| -> Vec<SeriesPoint> {
         answers
             .iter()
             .map(|&k| {
-                let r = world.evaluate(sys, &world.test, k);
+                let r = world.evaluate(&mut systems[i], &world.test, k);
                 SeriesPoint {
                     x: k as f64,
                     precision: r.precision_ratio,
@@ -207,8 +247,8 @@ pub fn fig4a(world: &World, answers: &[usize]) -> Fig4a {
             .collect()
     };
     Fig4a {
-        sprite: eval(&mut sprite),
-        esearch: eval(&mut esearch),
+        sprite: eval(0),
+        esearch: eval(1),
     }
 }
 
@@ -240,7 +280,9 @@ pub fn fig4b(world: &World, budgets: &[usize], k: usize) -> Fig4b {
         max_terms: b,
         ..SpriteConfig::default()
     };
-    // (series index, budget, config, schedule) work items.
+    // (series index, budget, config, schedule) work items, fanned out over
+    // the sprite-util pool (each deployment owns its entire world, so items
+    // are pure; results come back in input order).
     let jobs: Vec<(usize, usize, SpriteConfig, Schedule)> = budgets
         .iter()
         .flat_map(|&b| {
@@ -251,36 +293,24 @@ pub fn fig4b(world: &World, budgets: &[usize], k: usize) -> Fig4b {
             ]
         })
         .collect();
-    let results: Vec<(usize, SeriesPoint)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|(series, b, cfg, schedule)| {
-                scope.spawn(move || {
-                    let mut sys = world.standard_system(cfg, schedule);
-                    let r = world.evaluate(&mut sys, &world.test, k);
-                    (
-                        series,
-                        SeriesPoint {
-                            x: b as f64,
-                            precision: r.precision_ratio,
-                            recall: r.recall_ratio,
-                        },
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("figure worker panicked"))
-            .collect()
+    let results: Vec<(usize, SeriesPoint)> = par_map(&jobs, |_, (series, b, cfg, schedule)| {
+        let mut sys = world.standard_system(cfg.clone(), *schedule);
+        let r = world.evaluate(&mut sys, &world.test, k);
+        (
+            *series,
+            SeriesPoint {
+                x: *b as f64,
+                precision: r.precision_ratio,
+                recall: r.recall_ratio,
+            },
+        )
     });
     let mut series: [Vec<SeriesPoint>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for (s, p) in results {
         series[s].push(p);
     }
-    for s in &mut series {
-        s.sort_by(|a, b| a.x.partial_cmp(&b.x).expect("finite budgets"));
-    }
+    // Jobs were generated budget-major, so each series is already in
+    // ascending-budget order after the stable input-order fan-in.
     let [sprite_wor, sprite_zipf, esearch] = series;
     Fig4b {
         sprite_wor,
@@ -474,6 +504,53 @@ mod tests {
             rs.recall_ratio,
             re.recall_ratio
         );
+    }
+
+    #[test]
+    fn parallel_evaluate_is_bit_identical_to_sequential() {
+        // The acceptance bar of the parallel engine: same RatioEval (exact
+        // float bits), same merged NetStats, at any worker count.
+        let w = tiny_world();
+        let run = |threads: usize| {
+            let prev = sprite_util::override_threads(threads);
+            let mut sys = w.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+            sys.net_mut().reset_stats();
+            let r = w.evaluate(&mut sys, &w.test, 20);
+            let stats = sys.net().stats().clone();
+            sprite_util::override_threads(prev);
+            (r, stats)
+        };
+        let (r1, s1) = run(1);
+        let (r4, s4) = run(4);
+        assert_eq!(
+            r1.precision_ratio.to_bits(),
+            r4.precision_ratio.to_bits(),
+            "precision ratio must not depend on the worker count"
+        );
+        assert_eq!(r1.recall_ratio.to_bits(), r4.recall_ratio.to_bits());
+        assert_eq!(r1.queries, r4.queries);
+        assert_eq!(s1, s4, "merged NetStats must be bit-identical");
+    }
+
+    #[test]
+    fn evaluate_does_not_pollute_query_caches() {
+        // Train/test hygiene: measurement must leave no learning state.
+        let w = tiny_world();
+        let mut sys = w.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+        let cached_before: usize = sys
+            .indexing_peers()
+            .iter()
+            .filter_map(|&p| sys.indexing_state(p))
+            .map(crate::peer::IndexingState::cached_queries)
+            .sum();
+        let _ = w.evaluate(&mut sys, &w.test, 20);
+        let cached_after: usize = sys
+            .indexing_peers()
+            .iter()
+            .filter_map(|&p| sys.indexing_state(p))
+            .map(crate::peer::IndexingState::cached_queries)
+            .sum();
+        assert_eq!(cached_before, cached_after);
     }
 
     #[test]

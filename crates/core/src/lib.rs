@@ -12,6 +12,8 @@
 //! * [`learn`] — `qScore`, `QF`, the combined `Score`, and Algorithm 1;
 //! * [`system`] — the deployment itself: publishing, distributed query
 //!   processing, and the periodic learning pass over Chord;
+//! * [`view`] — the frozen read-only query snapshot behind the parallel
+//!   experiment engine (any number of threads rank against one system);
 //! * [`resilience`] — §7: peer failure, successor replication, hot-term
 //!   advisory;
 //! * [`expansion`] — §7: local-context-analysis query expansion;
@@ -30,6 +32,7 @@ pub mod metrics;
 pub mod peer;
 pub mod resilience;
 pub mod system;
+pub mod view;
 
 pub use config::{IdfMode, SpriteConfig};
 pub use expansion::ExpansionConfig;
@@ -42,3 +45,4 @@ pub use metrics::{gini, LoadReport, PeerLoad};
 pub use peer::{CachedQuery, IndexEntry, IndexingState, OwnerDoc, TermStat};
 pub use resilience::AdvisoryReport;
 pub use system::{LearnReport, SpriteSystem};
+pub use view::{QueryView, RankScratch};

@@ -25,9 +25,10 @@ use sprite_chord::{ChordConfig, ChordNet, MsgKind};
 use sprite_ir::{Corpus, DocId, Hit, Query, Similarity, TermId};
 use sprite_util::{derive_rng, Md5, RingId};
 
-use crate::config::SpriteConfig;
+use crate::config::{IdfMode, SpriteConfig};
 use crate::learn;
 use crate::peer::{IndexEntry, IndexingState, OwnerDoc};
+use crate::view::QueryView;
 
 /// Outcome counters of one learning iteration.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -65,6 +66,10 @@ pub struct SpriteSystem {
     issue_cursor: usize,
     /// Lazily computed exact document frequencies (ablation oracle).
     true_dfs: Option<Vec<u32>>,
+    /// Per-key replica sets resolved during publishing (`oracle_replicas`
+    /// re-walks the ring per call; many documents publish the same term).
+    /// Invalidated whenever the membership can change.
+    replica_cache: HashMap<u128, Vec<RingId>>,
 }
 
 impl SpriteSystem {
@@ -96,6 +101,7 @@ impl SpriteSystem {
             query_seq: 0,
             issue_cursor: 0,
             true_dfs: None,
+            replica_cache: HashMap::new(),
         }
     }
 
@@ -117,8 +123,10 @@ impl SpriteSystem {
         &self.net
     }
 
-    /// Mutable network access (churn injection in experiments).
+    /// Mutable network access (churn injection in experiments). Any caller
+    /// may change the membership, so the replica cache is dropped.
     pub fn net_mut(&mut self) -> &mut ChordNet {
+        self.replica_cache.clear();
         &mut self.net
     }
 
@@ -155,9 +163,10 @@ impl SpriteSystem {
             .sum()
     }
 
-    /// Exact corpus document frequency of `term` (the ablation oracle;
-    /// computed once on first use).
-    pub fn true_df(&mut self, term: TermId) -> usize {
+    /// Compute the exact per-term document frequencies once (the ablation
+    /// oracle). Idempotent; also called before freezing a [`QueryView`] in
+    /// true-df mode so the snapshot never needs lazy mutation.
+    pub fn ensure_true_dfs(&mut self) {
         if self.true_dfs.is_none() {
             let mut dfs = vec![0u32; self.corpus.vocab().len()];
             for d in self.corpus.docs() {
@@ -167,6 +176,12 @@ impl SpriteSystem {
             }
             self.true_dfs = Some(dfs);
         }
+    }
+
+    /// Exact corpus document frequency of `term` (the ablation oracle;
+    /// computed once on first use).
+    pub fn true_df(&mut self, term: TermId) -> usize {
+        self.ensure_true_dfs();
         self.true_dfs.as_ref().expect("just filled")[term.index()] as usize
     }
 
@@ -178,6 +193,52 @@ impl SpriteSystem {
         let p = RingId::hash_term(self.corpus.vocab().term(term));
         self.term_pos[term.index()] = Some(p);
         p
+    }
+
+    /// Pre-hash the ring positions of every term in `queries` so a
+    /// subsequent [`Self::query_view`] fan-out finds them all memoized
+    /// (the view's fallback re-hashes per query per thread otherwise).
+    pub fn warm_query_terms<'q, I>(&mut self, queries: I)
+    where
+        I: IntoIterator<Item = &'q Query>,
+    {
+        for q in queries {
+            for (t, _) in q.term_counts() {
+                let _ = self.term_ring(t);
+            }
+        }
+    }
+
+    /// Freeze the deployment into a read-only [`QueryView`] for concurrent
+    /// ranking. Takes `&mut self` only to finish lazy bookkeeping first
+    /// (the true-df oracle in [`IdfMode::TrueDf`] mode); the returned view
+    /// holds shared borrows, so any number of threads may rank against it,
+    /// and the borrow checker keeps learning and churn out until it drops.
+    pub fn query_view(&mut self) -> QueryView<'_> {
+        if self.cfg.idf_mode == IdfMode::TrueDf {
+            self.ensure_true_dfs();
+        }
+        QueryView::new(
+            &self.cfg,
+            &self.net,
+            &self.indexing,
+            &self.corpus,
+            &self.peers,
+            &self.term_pos,
+            self.true_dfs.as_deref(),
+        )
+    }
+
+    /// The §7 replica set of `key` (owner first), memoized per key: many
+    /// documents publish the same term, and the successor walk behind
+    /// `oracle_replicas` is identical for all of them until churn.
+    fn replicas_of(&mut self, key: RingId) -> Vec<RingId> {
+        if let Some(r) = self.replica_cache.get(&key.0) {
+            return r.clone();
+        }
+        let r = self.net.oracle_replicas(key, self.cfg.replication);
+        self.replica_cache.insert(key.0, r.clone());
+        r
     }
 
     /// MD5 of a query's canonical form (sorted term strings joined by a
@@ -225,7 +286,7 @@ impl SpriteSystem {
     pub(crate) fn publish_term(&mut self, doc: DocId, term: TermId) {
         let owner_peer = self.doc_owner[doc.index()];
         let key = self.term_ring(term);
-        let Ok(lookup) = self.net.lookup(owner_peer, key) else {
+        let Ok(lookup) = self.net.lookup_fast(owner_peer, key) else {
             return; // unroutable during heavy churn; retried on next iteration
         };
         let d = self.corpus.doc(doc);
@@ -243,12 +304,7 @@ impl SpriteSystem {
             .or_insert_with(|| IndexingState::new(cap))
             .publish(term, entry);
         if self.cfg.replication > 1 {
-            for peer in self
-                .net
-                .oracle_replicas(key, self.cfg.replication)
-                .into_iter()
-                .skip(1)
-            {
+            for peer in self.replicas_of(key).into_iter().skip(1) {
                 self.net.charge(MsgKind::Replication);
                 self.indexing
                     .entry(peer.0)
@@ -263,7 +319,7 @@ impl SpriteSystem {
     pub(crate) fn remove_term(&mut self, doc: DocId, term: TermId) {
         let owner_peer = self.doc_owner[doc.index()];
         let key = self.term_ring(term);
-        let Ok(lookup) = self.net.lookup(owner_peer, key) else {
+        let Ok(lookup) = self.net.lookup_fast(owner_peer, key) else {
             return;
         };
         self.net.charge(MsgKind::IndexRemove);
@@ -271,12 +327,7 @@ impl SpriteSystem {
             st.remove(term, doc);
         }
         if self.cfg.replication > 1 {
-            for peer in self
-                .net
-                .oracle_replicas(key, self.cfg.replication)
-                .into_iter()
-                .skip(1)
-            {
+            for peer in self.replicas_of(key).into_iter().skip(1) {
                 self.net.charge(MsgKind::IndexRemove);
                 if let Some(st) = self.indexing.get_mut(&peer.0) {
                     st.remove(term, doc);
@@ -316,7 +367,7 @@ impl SpriteSystem {
         let mut fetches: Vec<TermFetch> = Vec::with_capacity(query.distinct_len());
         for (term, qtf) in query.term_counts() {
             let key = self.term_ring(term);
-            let Ok(lookup) = self.net.lookup(from, key) else {
+            let Ok(lookup) = self.net.lookup_fast(from, key) else {
                 continue; // §7: an unreachable term is discarded from ranking
             };
             self.net.charge(MsgKind::QueryFetch);
@@ -444,7 +495,7 @@ impl SpriteSystem {
             let mut by_peer: HashMap<u128, Vec<TermId>> = HashMap::new();
             for &t in &published {
                 let key = self.term_ring(t);
-                if let Ok(l) = self.net.lookup(owner_peer, key) {
+                if let Ok(l) = self.net.lookup_fast(owner_peer, key) {
                     by_peer.entry(l.owner.0).or_default().push(t);
                 }
             }
@@ -619,9 +670,11 @@ impl SpriteSystem {
         &mut self.owners[doc.index()]
     }
 
-    /// Refresh the cached peer list after churn (drops dead issuing peers).
+    /// Refresh the cached peer list after churn (drops dead issuing peers
+    /// and the now-stale replica cache).
     pub fn refresh_peers(&mut self) {
         self.peers = self.net.node_ids();
+        self.replica_cache.clear();
     }
 }
 

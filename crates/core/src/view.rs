@@ -1,0 +1,301 @@
+//! The read-only query fast path.
+//!
+//! [`QueryView`] is a frozen snapshot of a [`crate::SpriteSystem`]: it
+//! borrows the ring, the indexing-peer states, and the precomputed
+//! term→ring positions immutably, so any number of threads can rank
+//! queries against it concurrently. It exists because evaluation is
+//! logically read-only, yet `issue_query` takes `&mut self` for three
+//! pieces of bookkeeping the *measurement* phase does not want anyway:
+//!
+//! * **query caching / `query_seq`** — evaluation queries are probes of
+//!   current quality, not training examples; caching them would leak the
+//!   test set into the next learning iteration (train/test hygiene);
+//! * **the round-robin issue cursor** — the view takes an explicit `from`
+//!   peer per query instead, so the issuing peer depends only on the
+//!   query's position in the workload, not on global mutable state;
+//! * **`NetStats` charging** — the view charges an identical message bill
+//!   into a caller-owned [`NetStats`] delta; per-query deltas merged in
+//!   input order reproduce the sequential totals bit-for-bit because every
+//!   `NetStats` field is a sum or a max.
+//!
+//! Ranking matches [`crate::SpriteSystem::issue_query_from`] exactly —
+//! same routing walk, same per-keyword fetch charges, same replica
+//! failover, same floating-point accumulation order — so hit lists and
+//! scores are bit-identical to the sequential path. [`RankScratch`] keeps
+//! the per-thread accumulation maps alive across queries so the hot loop
+//! stops reallocating them.
+
+use std::collections::HashMap;
+
+use sprite_chord::{ChordNet, MsgKind, NetStats};
+use sprite_ir::{Corpus, DocId, Hit, Query, Similarity, TermId};
+use sprite_util::RingId;
+
+use crate::config::{IdfMode, SpriteConfig};
+use crate::peer::{IndexEntry, IndexingState};
+
+/// Reusable per-thread ranking buffers (see module docs). The contents
+/// never survive a query — only the allocations do.
+#[derive(Debug, Default)]
+pub struct RankScratch {
+    dot: HashMap<DocId, f64>,
+    norm_sq: HashMap<DocId, f64>,
+    meta: HashMap<DocId, u32>,
+    hits: Vec<Hit>,
+}
+
+impl RankScratch {
+    /// Fresh buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn clear(&mut self) {
+        self.dot.clear();
+        self.norm_sq.clear();
+        self.meta.clear();
+        self.hits.clear();
+    }
+}
+
+/// An immutable snapshot of a SPRITE deployment for concurrent querying.
+/// Obtain one with [`crate::SpriteSystem::query_view`]; it freezes the
+/// system for its lifetime (the borrow checker enforces that no learning
+/// or churn interleaves with a fan-out).
+#[derive(Clone, Copy, Debug)]
+pub struct QueryView<'a> {
+    cfg: &'a SpriteConfig,
+    net: &'a ChordNet,
+    indexing: &'a HashMap<u128, IndexingState>,
+    corpus: &'a Corpus,
+    peers: &'a [RingId],
+    term_pos: &'a [Option<RingId>],
+    true_dfs: Option<&'a [u32]>,
+}
+
+impl<'a> QueryView<'a> {
+    pub(crate) fn new(
+        cfg: &'a SpriteConfig,
+        net: &'a ChordNet,
+        indexing: &'a HashMap<u128, IndexingState>,
+        corpus: &'a Corpus,
+        peers: &'a [RingId],
+        term_pos: &'a [Option<RingId>],
+        true_dfs: Option<&'a [u32]>,
+    ) -> Self {
+        QueryView {
+            cfg,
+            net,
+            indexing,
+            corpus,
+            peers,
+            term_pos,
+            true_dfs,
+        }
+    }
+
+    /// Alive peers in ring order — the pool callers pick an explicit
+    /// issuing peer per query from this list.
+    #[must_use]
+    pub fn peers(&self) -> &'a [RingId] {
+        self.peers
+    }
+
+    /// Ring position of a term: the snapshot's precomputed position when
+    /// warmed, else hashed on the fly (pure, so still deterministic).
+    #[must_use]
+    pub fn term_ring(&self, term: TermId) -> RingId {
+        self.term_pos[term.index()]
+            .unwrap_or_else(|| RingId::hash_term(self.corpus.vocab().term(term)))
+    }
+
+    /// Rank `query` issued from peer `from`, charging the message bill into
+    /// `stats`. Identical results and charges to
+    /// [`crate::SpriteSystem::issue_query_from`], minus the query-caching
+    /// side effects (see the module docs for why those are dropped here).
+    #[must_use]
+    pub fn query(
+        &self,
+        from: RingId,
+        query: &Query,
+        k: usize,
+        stats: &mut NetStats,
+        scratch: &mut RankScratch,
+    ) -> Vec<Hit> {
+        if query.is_empty() || !self.net.contains(from) {
+            return Vec::new();
+        }
+        scratch.clear();
+        let n = self.cfg.assumed_n;
+        for (term, qtf) in query.term_counts() {
+            let key = self.term_ring(term);
+            let Ok(lookup) = self.net.probe(from, key, stats) else {
+                continue; // §7: an unreachable term is discarded from ranking
+            };
+            stats.record(MsgKind::QueryFetch);
+            let mut entries: &[IndexEntry] = self
+                .indexing
+                .get(&lookup.owner.0)
+                .map_or(&[], |st| st.list(term));
+            // Failover to replicas when the routed peer holds no list (it
+            // may have taken over an arc after a failure, §7).
+            if entries.is_empty() && self.cfg.replication > 1 {
+                for peer in self
+                    .net
+                    .oracle_replicas(key, self.cfg.replication)
+                    .into_iter()
+                    .skip(1)
+                {
+                    stats.record(MsgKind::QueryFetch);
+                    if let Some(rep) = self.indexing.get(&peer.0) {
+                        let list = rep.list(term);
+                        if !list.is_empty() {
+                            entries = list;
+                            break;
+                        }
+                    }
+                }
+            }
+            // Accumulate immediately (§4 ranking). Terms arrive in the same
+            // sorted order as the sequential path's fetch list, so the
+            // floating-point addition order per document is identical.
+            let df = match self.cfg.idf_mode {
+                IdfMode::Indexed => entries.len(),
+                IdfMode::TrueDf => self.true_dfs.map_or(0, |d| d[term.index()] as usize),
+            };
+            if df == 0 || entries.is_empty() {
+                continue;
+            }
+            let idf = (n / df as f64).ln();
+            if idf <= 0.0 {
+                continue;
+            }
+            let w_q = f64::from(qtf) * idf;
+            for e in entries {
+                let w_d = if e.doc_len == 0 {
+                    0.0
+                } else {
+                    (f64::from(e.tf) / f64::from(e.doc_len)) * idf
+                };
+                *scratch.dot.entry(e.doc).or_insert(0.0) += w_q * w_d;
+                *scratch.norm_sq.entry(e.doc).or_insert(0.0) += w_d * w_d;
+                scratch.meta.insert(e.doc, e.distinct);
+            }
+        }
+        scratch.hits.extend(scratch.dot.iter().map(|(&doc, &num)| {
+            let denom = match self.cfg.similarity {
+                Similarity::LeeSecond => f64::from(scratch.meta[&doc]).sqrt(),
+                Similarity::CosineTfIdf => scratch.norm_sq[&doc].sqrt(),
+            };
+            let score = if denom > 0.0 { num / denom } else { 0.0 };
+            Hit { doc, score }
+        }));
+        scratch.hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.doc.cmp(&b.doc))
+        });
+        scratch.hits.truncate(k);
+        scratch.hits.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SpriteConfig;
+    use crate::system::SpriteSystem;
+    use sprite_corpus::{CorpusConfig, SyntheticCorpus};
+
+    fn tiny_system(cfg: SpriteConfig) -> SpriteSystem {
+        let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(17));
+        let mut sys = SpriteSystem::build(sc.corpus().clone(), 16, cfg, 17);
+        sys.publish_all();
+        sys
+    }
+
+    fn probe_queries(sys: &SpriteSystem) -> Vec<Query> {
+        // A mix of single-term, multi-term, and unknown-term queries over
+        // published and unpublished vocabulary.
+        let p0 = sys.published_terms(DocId(0)).to_vec();
+        let p3 = sys.published_terms(DocId(3)).to_vec();
+        vec![
+            Query::new(vec![p0[0]]),
+            Query::new(vec![p0[0], p0[1], p3[0]]),
+            Query::new(vec![p3[1], p3[1], p0[2]]),
+            Query::new(vec![TermId(0), TermId(1), TermId(2)]),
+        ]
+    }
+
+    #[test]
+    fn view_matches_issue_query_from_exactly() {
+        for cfg in [
+            SpriteConfig::default(),
+            SpriteConfig {
+                replication: 3,
+                ..SpriteConfig::default()
+            },
+            SpriteConfig {
+                similarity: Similarity::CosineTfIdf,
+                idf_mode: IdfMode::TrueDf,
+                ..SpriteConfig::default()
+            },
+        ] {
+            let mut sys = tiny_system(cfg);
+            let queries = probe_queries(&sys);
+            let peers = sys.peers().to_vec();
+            for (i, q) in queries.iter().enumerate() {
+                let from = peers[(i * 3) % peers.len()];
+                // View first (read-only), then the mutating reference path.
+                let mut delta = NetStats::new();
+                let mut scratch = RankScratch::new();
+                let view_hits = {
+                    let view = sys.query_view();
+                    view.query(from, q, 20, &mut delta, &mut scratch)
+                };
+                sys.net_mut().reset_stats();
+                let seq_hits = sys.issue_query_from(from, q, 20);
+                assert_eq!(view_hits.len(), seq_hits.len(), "query {i}");
+                for (a, b) in view_hits.iter().zip(&seq_hits) {
+                    assert_eq!(a.doc, b.doc, "query {i}");
+                    assert_eq!(a.score.to_bits(), b.score.to_bits(), "query {i}");
+                }
+                assert_eq!(&delta, sys.net().stats(), "charges differ, query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn view_does_not_cache_queries() {
+        let mut sys = tiny_system(SpriteConfig::default());
+        let t = sys.published_terms(DocId(0))[0];
+        let key = sys.term_ring(t);
+        let peer = sys.net().oracle_owner(key).expect("non-empty ring");
+        let from = sys.peers()[0];
+        let before = sys
+            .indexing_state(peer)
+            .map_or(0, IndexingState::cached_queries);
+        let mut delta = NetStats::new();
+        let mut scratch = RankScratch::new();
+        let view = sys.query_view();
+        let hits = view.query(from, &Query::new(vec![t]), 10, &mut delta, &mut scratch);
+        assert!(!hits.is_empty());
+        let after = sys
+            .indexing_state(peer)
+            .map_or(0, IndexingState::cached_queries);
+        assert_eq!(before, after, "evaluation must not pollute query caches");
+    }
+
+    #[test]
+    fn unwarmed_terms_hash_to_the_same_position() {
+        let mut sys = tiny_system(SpriteConfig::default());
+        let t = sys.published_terms(DocId(2))[0];
+        let fresh = {
+            let view = sys.query_view();
+            view.term_ring(t) // not warmed: computed via the pure fallback
+        };
+        assert_eq!(fresh, sys.term_ring(t));
+    }
+}

@@ -13,7 +13,9 @@
 //!   lists;
 //! * [`stats`] — one-pass summaries for experiment reporting;
 //! * [`rng`] — labeled, deterministic RNG derivation so every experiment is
-//!   reproducible.
+//!   reproducible;
+//! * [`pool`] — the deterministic scoped-thread pool behind every parallel
+//!   construct in the workspace (order-preserving `par_map`).
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -22,6 +24,7 @@
 
 pub mod id;
 pub mod md5;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod topk;
@@ -29,6 +32,7 @@ pub mod zipf;
 
 pub use id::{RingId, ID_BITS};
 pub use md5::{md5, md5_u128, Digest, Md5};
+pub use pool::{configured_threads, override_threads, par_map, par_map_init};
 pub use rng::{derive_rng, DetRng, SliceRng, UniformRange};
 pub use stats::{percentile, Summary};
 pub use topk::{top_k, F64Ord, Scored, TopK};

@@ -1,0 +1,208 @@
+//! Deterministic scoped-thread pool for the experiment engine.
+//!
+//! Every parallel construct in this workspace goes through [`par_map`] /
+//! [`par_map_init`]: an order-preserving map over a slice, fanned out over
+//! scoped worker threads that pull items from a shared atomic cursor. The
+//! contract that makes parallelism safe in a bit-for-bit deterministic
+//! simulation:
+//!
+//! * the worker function must be **pure per item** (no shared mutable
+//!   state; anything it needs to report is part of its return value);
+//! * results are reassembled **in input order**, so the output is
+//!   byte-identical no matter how the items were scheduled across threads;
+//! * with one worker (`SPRITE_THREADS=1`) no threads are spawned at all —
+//!   the map degenerates to a plain sequential loop, which is the reference
+//!   the determinism audit compares the parallel runs against.
+//!
+//! Worker count: [`override_threads`] (thread-local, used by benches and
+//! tests — local so concurrent `cargo test` threads flipping thread counts
+//! never race each other) beats the `SPRITE_THREADS` environment variable,
+//! which beats [`std::thread::available_parallelism`]. Nested calls from
+//! inside a worker run sequentially instead of spawning threads
+//! recursively, so a parallel outer sweep (e.g. one deployment per budget)
+//! composes with the parallel inner evaluation without oversubscribing the
+//! machine.
+//!
+//! This module is the only place in the workspace allowed to touch
+//! `std::thread::spawn` / `std::thread::scope` (enforced by `sprite-lint`'s
+//! `no-raw-spawn` rule).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Worker-count override for [`par_map`] calls made from this thread
+    /// (0 = none). Thread-local so parallel test threads cannot race.
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+
+    /// Set inside pool workers so nested maps stay sequential.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Force the worker count for subsequent [`par_map`] calls made from the
+/// current thread (`0` clears the override). Returns the previous override
+/// so callers can restore it. Benches and determinism tests use this to
+/// compare thread counts without re-spawning the process.
+pub fn override_threads(n: usize) -> usize {
+    OVERRIDE.with(|o| o.replace(n))
+}
+
+/// The worker count the next [`par_map`] will use: the
+/// [`override_threads`] value if set, else `SPRITE_THREADS` if set and
+/// positive, else [`std::thread::available_parallelism`].
+#[must_use]
+pub fn configured_threads() -> usize {
+    let forced = OVERRIDE.with(Cell::get);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("SPRITE_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// True when called from inside a pool worker (nested maps run inline).
+#[must_use]
+pub fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Order-preserving parallel map: `f(index, &item)` for every item, results
+/// in input order. See the module docs for the purity contract.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_init(items, || (), |(), i, t| f(i, t))
+}
+
+/// [`par_map`] with per-worker scratch state: `init()` runs once per worker
+/// thread (once total in the sequential fallback) and the resulting state is
+/// threaded through every item that worker processes. The state must not
+/// influence results — it exists to reuse allocations (ranking scratch
+/// buffers), not to carry information between items.
+pub fn par_map_init<S, T, U, I, F>(items: &[T], init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
+    let threads = configured_threads().min(items.len());
+    if threads <= 1 || in_worker() {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                IN_WORKER.with(|w| w.set(true));
+                let mut state = init();
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(&mut state, i, &items[i])));
+                }
+                results
+                    .lock()
+                    .expect("a pool worker panicked while publishing results")
+                    .extend(local);
+            });
+        }
+    });
+    let mut pairs = results
+        .into_inner()
+        .expect("a pool worker panicked while publishing results");
+    debug_assert_eq!(pairs.len(), items.len(), "every item maps to one result");
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_input_order() {
+        let prev = override_threads(4);
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * x
+        });
+        override_threads(prev);
+        let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let items: Vec<u64> = (0..100).collect();
+        let f = |_: usize, &x: &u64| (x as f64).sqrt().to_bits();
+        let prev = override_threads(1);
+        let seq = par_map(&items, f);
+        override_threads(3);
+        let par = par_map(&items, f);
+        override_threads(prev);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let prev = override_threads(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+        override_threads(prev);
+    }
+
+    #[test]
+    fn nested_maps_run_inline() {
+        let prev = override_threads(4);
+        let out = par_map(&[10u32, 20, 30], |_, &x| {
+            assert!(!in_worker() || configured_threads() >= 1);
+            let inner: Vec<u32> = (0..x).collect();
+            // Inside a worker this must not spawn another layer of threads.
+            par_map(&inner, |_, &y| y).into_iter().sum::<u32>()
+        });
+        override_threads(prev);
+        assert_eq!(out, vec![45, 190, 435]);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_not_shared() {
+        let prev = override_threads(2);
+        let items: Vec<usize> = (0..50).collect();
+        // The scratch buffer grows per worker; results must not depend on it.
+        let out = par_map_init(&items, Vec::<usize>::new, |scratch, _, &x| {
+            scratch.push(x);
+            x * 2
+        });
+        override_threads(prev);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn override_beats_env_and_restores() {
+        let prev = override_threads(5);
+        assert_eq!(configured_threads(), 5);
+        override_threads(prev);
+    }
+}
