@@ -23,6 +23,12 @@
 //!   everywhere except `sprite-util`'s pool module: every parallel
 //!   construct must go through the deterministic order-preserving
 //!   `par_map`, or the bit-identical-replay guarantee dies quietly.
+//! * **no-oracle-hot-path** — the query/failover files (`kv.rs`,
+//!   `system.rs`, `view.rs`, `resilience.rs`) must not call the ring's
+//!   global-knowledge oracle helpers: every replica set and owner on the
+//!   retrieval path is resolved by routed lookups and successor-chain
+//!   walks, with the message bill charged honestly. The oracle is for
+//!   setup, audits, and tests only.
 //!
 //! Test modules (everything from the first `#[cfg(test)]` down), `tests/`,
 //! `benches/`, and `examples/` directories are exempt from content rules.
@@ -53,6 +59,15 @@ const RANKED_MODULES: &[&str] = &["rank.rs", "topk.rs", "learn.rs", "system.rs"]
 
 /// The one module allowed to touch raw threading primitives.
 const POOL_MODULE: &str = "crates/util/src/pool.rs";
+
+/// Query- and failover-path files where the ring's global-knowledge oracle
+/// helpers are banned (routed resolution only).
+const ORACLE_FREE_FILES: &[&str] = &[
+    "crates/chord/src/kv.rs",
+    "crates/core/src/system.rs",
+    "crates/core/src/view.rs",
+    "crates/core/src/resilience.rs",
+];
 
 /// How many lines around a `HashMap` iteration to search for a sort.
 const SORT_WINDOW: usize = 15;
@@ -94,6 +109,10 @@ fn pat_thread_scope() -> String {
 
 fn pat_cfg_test() -> String {
     ["#[cfg(", "test)]"].concat()
+}
+
+fn pat_oracle() -> String {
+    ["oracle", "_"].concat()
 }
 
 /// The opt-out marker looked for in a line's trailing comment.
@@ -277,6 +296,16 @@ fn scan_source(rel: &str, content: &str) -> Vec<Diagnostic> {
                     ));
                 }
             }
+        }
+
+        if ORACLE_FREE_FILES.contains(&rel) && s.contains(&pat_oracle()) {
+            out.push(diag(
+                n,
+                "no-oracle-hot-path",
+                "global-knowledge oracle helper on the query/failover path; \
+                 resolve owners and replicas with routed lookups"
+                    .to_string(),
+            ));
         }
 
         if sim && !rel.starts_with("crates/bench/") {
@@ -537,6 +566,31 @@ mod tests {
             ["spa", "wn"].concat()
         );
         assert!(scan_source(POOL_MODULE, &src).is_empty());
+    }
+
+    #[test]
+    fn oracle_banned_on_the_query_path() {
+        let src = format!(
+            "fn f(net: &ChordNet, k: RingId) {{ let _ = net.{}owner(k); }}\n",
+            pat_oracle()
+        );
+        assert_eq!(
+            rules(&scan_source("crates/core/src/view.rs", &src)),
+            ["no-oracle-hot-path"]
+        );
+        assert_eq!(
+            rules(&scan_source("crates/chord/src/kv.rs", &src)),
+            ["no-oracle-hot-path"]
+        );
+        // Setup/audit code may use the oracle freely.
+        assert!(scan_source("crates/chord/src/ring.rs", &src).is_empty());
+        assert!(scan_source("crates/audit/src/invariants.rs", &src).is_empty());
+        // Test modules inside a listed file are exempt like everywhere else.
+        let in_tests = format!(
+            "pub fn f() {{}}\n{}\nmod tests {{\n    {src}}}\n",
+            pat_cfg_test()
+        );
+        assert!(scan_source("crates/core/src/system.rs", &in_tests).is_empty());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! reports the first stage whose fingerprint diverges, which localizes the
 //! nondeterminism to the subsystem that stage exercised.
 
-use sprite_chord::{ChordNet, MsgKind, NetStats};
+use sprite_chord::{ChordNet, ChurnConfig, ChurnEngine, MsgKind, NetStats};
 use sprite_core::{RankScratch, SpriteConfig, SpriteSystem};
 use sprite_corpus::{CorpusConfig, SyntheticCorpus};
 use sprite_ir::{Hit, Query, TermId};
@@ -227,6 +227,20 @@ pub fn run_trace(seed: u64) -> Trace {
         parallel_results_fingerprint(&mut sys, &queries, 4),
     ));
 
+    // Tenth stage: continuous churn with bounded stabilization and routed
+    // failover. Three engine ticks interleaved with maintenance rounds
+    // leave the ring deliberately unconverged; a parallel evaluation over
+    // that damaged state must still be bit-reproducible.
+    let mut engine = ChurnEngine::new(ChurnConfig::default(), seed.wrapping_add(2));
+    for _ in 0..3 {
+        sys.churn_tick(&mut engine);
+        sys.maintenance_round();
+    }
+    stages.push((
+        "results/churn-routed",
+        parallel_results_fingerprint(&mut sys, &queries, 4),
+    ));
+
     Trace { stages }
 }
 
@@ -261,7 +275,7 @@ mod tests {
             "first divergent stage: {:?}",
             report.first_divergence
         );
-        assert_eq!(report.stages, 9);
+        assert_eq!(report.stages, 10);
     }
 
     #[test]
@@ -280,6 +294,35 @@ mod tests {
         let seq = parallel_results_fingerprint(&mut sys, &queries, 1);
         let par = parallel_results_fingerprint(&mut sys, &queries, 4);
         assert_eq!(seq, par, "worker count leaked into results or stats");
+    }
+
+    #[test]
+    fn churned_parallel_evaluation_matches_sequential_bit_for_bit() {
+        // The churn acceptance bar: after continuous churn with bounded
+        // stabilization (stale fingers, dead successor entries) and routed
+        // failover, evaluation is still bit-identical at 1 vs 4 workers.
+        let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(91));
+        let cfg = SpriteConfig {
+            replication: 3,
+            ..SpriteConfig::default()
+        };
+        let mut sys = SpriteSystem::build(sc.corpus().clone(), 24, cfg, 91);
+        sys.publish_all();
+        sys.replicate_indexes();
+        let mut engine = ChurnEngine::new(ChurnConfig::default(), 92);
+        for _ in 0..4 {
+            sys.churn_tick(&mut engine);
+            sys.maintenance_round();
+        }
+        let queries: Vec<Query> = sc
+            .seed_queries()
+            .iter()
+            .take(12)
+            .map(|s| s.query.clone())
+            .collect();
+        let seq = parallel_results_fingerprint(&mut sys, &queries, 1);
+        let par = parallel_results_fingerprint(&mut sys, &queries, 4);
+        assert_eq!(seq, par, "churned evaluation depends on worker count");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use sprite_chord::{ChordConfig, ChordNet};
-use sprite_core::{fig4a, fig4b, fig4c, SpriteConfig, SpriteSystem};
+use sprite_core::{churn_figure, fig4a, fig4b, fig4c, SpriteConfig, SpriteSystem};
 use sprite_corpus::{CorpusConfig, Schedule, SyntheticCorpus};
 use sprite_ir::CentralizedEngine;
 use sprite_util::{configured_threads, md5, override_threads, RingId};
@@ -111,6 +111,16 @@ fn main() {
     eprintln!("# fig4b: {fig4b_ms} ms");
     let (_, fig4c_ms) = time_ms(|| fig4c(&world, 10, 20));
     eprintln!("# fig4c: {fig4c_ms} ms");
+
+    // The §7 churn sweep: continuous engine-driven churn at two
+    // replication degrees, reported as ratio-to-ideal plus retention
+    // against the same-replication zero-churn baseline.
+    let churn_rates = [0.0f64, 0.02, 0.05];
+    let churn_repls = [1usize, 3];
+    let churn_ticks = 6usize;
+    let (churn, churn_ms) =
+        time_ms(|| churn_figure(&world, &churn_rates, &churn_repls, churn_ticks));
+    eprintln!("# churn figure: {churn_ms} ms");
 
     // ------------------------------------------------------------------
     // The headline comparison: sequential vs parallel evaluation of the
@@ -213,7 +223,31 @@ fn main() {
     j.field(2, "fig4a", &fig4a_ms.to_string(), false);
     j.field(2, "fig4b", &fig4b_ms.to_string(), false);
     j.field(2, "fig4c", &fig4c_ms.to_string(), false);
+    j.field(2, "churn", &churn_ms.to_string(), false);
     j.field(2, "standard_system", &train_ms.to_string(), true);
+    j.close(1, false);
+    j.open(1, "churn");
+    j.field(2, "ticks", &churn_ticks.to_string(), false);
+    let n_points = churn.points.len();
+    for (i, p) in churn.points.iter().enumerate() {
+        let key = format!(
+            "r{}_rate{}",
+            p.replication,
+            (p.churn_rate * 100.0).round() as i64
+        );
+        j.open(2, &key);
+        j.field(3, "precision", &format!("{:.4}", p.precision), false);
+        j.field(3, "recall", &format!("{:.4}", p.recall), false);
+        j.field(3, "retention", &format!("{:.4}", p.retention), false);
+        j.field(
+            3,
+            "messages_per_query",
+            &format!("{:.1}", p.messages_per_query),
+            false,
+        );
+        j.field(3, "peers_after", &p.peers_after.to_string(), true);
+        j.close(2, i + 1 == n_points);
+    }
     j.close(1, false);
     j.open(1, "evaluate");
     j.field(2, "queries", &world.test.len().to_string(), false);

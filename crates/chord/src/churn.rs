@@ -1,0 +1,341 @@
+//! The continuous-churn engine (§7 under realistic maintenance).
+//!
+//! The churn studies need something stronger than "fail k peers, then
+//! `converge(64)`": real deployments see a *stream* of joins, graceful
+//! leaves, and abrupt failures, with only a bounded amount of
+//! stabilization between events — fingers stay stale, successor lists
+//! carry dead entries, and lookups must survive anyway. [`ChurnEngine`]
+//! produces exactly that regime, deterministically: a seeded schedule of
+//! [`ChurnEvent`]s per tick, applied with a configured budget of
+//! [`ChordNet::stabilize_round`] / [`ChordNet::fix_fingers_round`] passes
+//! — never `converge`, never `ideal_repair`.
+//!
+//! [`ChurnEngine::plan`] and [`ChurnEngine::apply`] are split so layers
+//! above the ring (SPRITE's indexing state) can react to planned events
+//! before the membership actually changes — e.g. hand a leaving peer's
+//! inverted lists to its successor while its routing state still exists.
+
+use sprite_util::{derive_rng, DetRng, RingId};
+
+use crate::ring::ChordNet;
+
+/// Churn intensity and the per-tick maintenance budget.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Expected joins per tick (fractional rates are sampled).
+    pub join_rate: f64,
+    /// Expected graceful leaves per tick.
+    pub leave_rate: f64,
+    /// Expected abrupt failures per tick.
+    pub fail_rate: f64,
+    /// `stabilize_round` passes run after the tick's events.
+    pub stabilize_rounds: usize,
+    /// `fix_fingers_round` passes run after stabilization.
+    pub fix_finger_rounds: usize,
+    /// Departures are suppressed once the network would shrink below this.
+    pub min_peers: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            join_rate: 1.0,
+            leave_rate: 0.5,
+            fail_rate: 0.5,
+            stabilize_rounds: 2,
+            fix_finger_rounds: 1,
+            min_peers: 4,
+        }
+    }
+}
+
+/// One membership event of a churn tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// A new peer joins via an alive bootstrap peer.
+    Join {
+        /// The joining peer's identifier.
+        id: RingId,
+        /// The alive peer it bootstraps through.
+        bootstrap: RingId,
+    },
+    /// A peer departs gracefully (hands off to its neighbors).
+    Leave {
+        /// The departing peer.
+        id: RingId,
+    },
+    /// A peer vanishes without warning.
+    Fail {
+        /// The failing peer.
+        id: RingId,
+    },
+}
+
+/// What one [`ChurnEngine::apply`] actually did to the ring.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TickReport {
+    /// Joins that completed.
+    pub joins: usize,
+    /// Graceful leaves that completed.
+    pub leaves: usize,
+    /// Abrupt failures that completed.
+    pub fails: usize,
+    /// Events rejected by the ring (e.g. a join whose bootstrap lookup
+    /// dead-ended mid-damage).
+    pub rejected: usize,
+    /// Pointer changes made by the bounded stabilization passes.
+    pub stabilize_changes: usize,
+    /// Finger entries changed by the bounded fix-fingers passes.
+    pub finger_changes: usize,
+}
+
+/// Deterministic continuous-churn driver over a [`ChordNet`].
+#[derive(Clone, Debug)]
+pub struct ChurnEngine {
+    cfg: ChurnConfig,
+    rng: DetRng,
+    /// Monotonic counter naming spawned peers (ids must never collide with
+    /// a replay of the same seed elsewhere in the experiment).
+    spawned: u64,
+}
+
+impl ChurnEngine {
+    /// An engine with its own derived RNG stream; the same `(cfg, seed)`
+    /// replays the same event schedule against the same ring history.
+    #[must_use]
+    pub fn new(cfg: ChurnConfig, seed: u64) -> Self {
+        ChurnEngine {
+            cfg,
+            rng: derive_rng(seed, "churn-engine"),
+            spawned: 0,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ChurnConfig {
+        &self.cfg
+    }
+
+    /// Sample an event count with expectation `rate` (integer part plus a
+    /// Bernoulli trial on the fraction).
+    fn sample_count(&mut self, rate: f64) -> usize {
+        if rate <= 0.0 {
+            return 0;
+        }
+        let whole = rate.floor();
+        let mut n = whole as usize;
+        if self.rng.gen_bool(rate - whole) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Plan one tick's events against the current membership: abrupt
+    /// failures first, then graceful leaves, then joins. Victims are
+    /// distinct, drawn in ring order via the seeded RNG, and capped so the
+    /// network never shrinks below `min_peers`; join bootstraps are drawn
+    /// from the planned survivors. The plan does not mutate the ring —
+    /// pass it to [`Self::apply`].
+    pub fn plan(&mut self, net: &ChordNet) -> Vec<ChurnEvent> {
+        let mut events = Vec::new();
+        let alive = net.node_ids();
+        let n_fails = self.sample_count(self.cfg.fail_rate);
+        let n_leaves = self.sample_count(self.cfg.leave_rate);
+        let n_joins = self.sample_count(self.cfg.join_rate);
+
+        let departures_allowed = alive.len().saturating_sub(self.cfg.min_peers);
+        let mut victims: Vec<RingId> = Vec::new();
+        let pick_victim = |rng: &mut DetRng, victims: &mut Vec<RingId>| -> Option<RingId> {
+            if victims.len() >= departures_allowed {
+                return None;
+            }
+            // Rejection-sample a not-yet-picked peer; bounded retries keep
+            // the schedule finite even when most peers are already victims.
+            for _ in 0..8 {
+                let cand = alive[rng.gen_range(0..alive.len())];
+                if !victims.contains(&cand) {
+                    victims.push(cand);
+                    return Some(cand);
+                }
+            }
+            None
+        };
+        for _ in 0..n_fails {
+            if let Some(id) = pick_victim(&mut self.rng, &mut victims) {
+                events.push(ChurnEvent::Fail { id });
+            }
+        }
+        for _ in 0..n_leaves {
+            if let Some(id) = pick_victim(&mut self.rng, &mut victims) {
+                events.push(ChurnEvent::Leave { id });
+            }
+        }
+
+        let survivors: Vec<RingId> = alive
+            .iter()
+            .copied()
+            .filter(|p| !victims.contains(p))
+            .collect();
+        if !survivors.is_empty() {
+            for _ in 0..n_joins {
+                let addr = format!("churn-join-{}-{:08x}", self.spawned, self.rng.gen_u32());
+                self.spawned += 1;
+                let id = RingId::hash_bytes(addr.as_bytes());
+                let bootstrap = survivors[self.rng.gen_range(0..survivors.len())];
+                events.push(ChurnEvent::Join { id, bootstrap });
+            }
+        }
+        events
+    }
+
+    /// Apply planned events to the ring, then run the bounded maintenance
+    /// budget (`stabilize_rounds` stabilization passes, `fix_finger_rounds`
+    /// finger refreshes). Deliberately **never** calls
+    /// [`ChordNet::converge`] or [`ChordNet::ideal_repair`]: whatever
+    /// staleness the budget leaves behind is the point of the experiment.
+    pub fn apply(&mut self, net: &mut ChordNet, events: &[ChurnEvent]) -> TickReport {
+        let mut report = TickReport::default();
+        for ev in events {
+            let outcome = match *ev {
+                ChurnEvent::Fail { id } => net.fail(id).map(|()| &mut report.fails),
+                ChurnEvent::Leave { id } => net.leave(id).map(|()| &mut report.leaves),
+                ChurnEvent::Join { id, bootstrap } => {
+                    net.join(id, bootstrap).map(|()| &mut report.joins)
+                }
+            };
+            match outcome {
+                Ok(slot) => *slot += 1,
+                Err(_) => report.rejected += 1,
+            }
+        }
+        for _ in 0..self.cfg.stabilize_rounds {
+            report.stabilize_changes += net.stabilize_round();
+        }
+        for _ in 0..self.cfg.fix_finger_rounds {
+            report.finger_changes += net.fix_fingers_round();
+        }
+        report
+    }
+
+    /// Plan and apply one tick. Returns the events alongside the report so
+    /// callers can audit what happened.
+    pub fn tick(&mut self, net: &mut ChordNet) -> (Vec<ChurnEvent>, TickReport) {
+        let events = self.plan(net);
+        let report = self.apply(net, &events);
+        (events, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::ChordConfig;
+
+    fn ring_of(n: usize) -> ChordNet {
+        ChordNet::with_random_nodes(ChordConfig::default(), n, 4242)
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_schedule() {
+        let run = || {
+            let mut net = ring_of(48);
+            let mut engine = ChurnEngine::new(ChurnConfig::default(), 7);
+            let mut all = Vec::new();
+            for _ in 0..6 {
+                let (events, _) = engine.tick(&mut net);
+                all.push(events);
+            }
+            (all, net.node_ids())
+        };
+        let (a_events, a_ids) = run();
+        let (b_events, b_ids) = run();
+        assert_eq!(a_events, b_events);
+        assert_eq!(a_ids, b_ids);
+    }
+
+    #[test]
+    fn ring_stays_routable_under_bounded_maintenance() {
+        let mut net = ring_of(64);
+        let mut engine = ChurnEngine::new(
+            ChurnConfig {
+                join_rate: 2.0,
+                leave_rate: 1.0,
+                fail_rate: 1.0,
+                ..ChurnConfig::default()
+            },
+            11,
+        );
+        for _ in 0..10 {
+            engine.tick(&mut net);
+        }
+        let alive = net.node_ids();
+        let mut ok = 0;
+        let total = 100;
+        for i in 0..total {
+            let from = alive[i % alive.len()];
+            let key = RingId::hash_bytes(format!("mid-churn-{i}").as_bytes());
+            if let Ok(l) = net.lookup_fast(from, key) {
+                assert!(net.contains(l.owner));
+                ok += 1;
+            }
+        }
+        // Bounded stabilization is not convergence, but r=8 successor
+        // lists should keep nearly every lookup alive at this churn rate.
+        assert!(ok * 10 >= total * 9, "only {ok}/{total} lookups survived");
+    }
+
+    #[test]
+    fn min_peers_floor_suppresses_departures() {
+        let mut net = ring_of(6);
+        let mut engine = ChurnEngine::new(
+            ChurnConfig {
+                join_rate: 0.0,
+                leave_rate: 4.0,
+                fail_rate: 4.0,
+                min_peers: 4,
+                ..ChurnConfig::default()
+            },
+            3,
+        );
+        for _ in 0..10 {
+            engine.tick(&mut net);
+        }
+        assert!(
+            net.len() >= 4,
+            "network shrank below min_peers: {}",
+            net.len()
+        );
+    }
+
+    #[test]
+    fn rates_scale_event_volume() {
+        let mut net = ring_of(64);
+        let mut engine = ChurnEngine::new(
+            ChurnConfig {
+                join_rate: 3.0,
+                leave_rate: 0.0,
+                fail_rate: 0.0,
+                ..ChurnConfig::default()
+            },
+            5,
+        );
+        let before = net.len();
+        let (events, report) = engine.tick(&mut net);
+        assert_eq!(events.len(), 3);
+        assert_eq!(report.joins + report.rejected, 3);
+        assert_eq!(net.len(), before + report.joins);
+    }
+
+    #[test]
+    fn apply_charges_maintenance_traffic() {
+        let mut net = ring_of(32);
+        net.reset_stats();
+        let mut engine = ChurnEngine::new(ChurnConfig::default(), 9);
+        engine.tick(&mut net);
+        assert!(
+            net.stats().count(crate::stats::MsgKind::Maintenance) > 0,
+            "stabilization and joins must be charged"
+        );
+    }
+}

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use sprite_util::RingId;
 
 use crate::ring::{ChordError, ChordNet};
-use crate::stats::MsgKind;
+use crate::stats::{MsgKind, NetStats};
 
 /// Replicated DHT storage of values of type `V`.
 #[derive(Clone, Debug)]
@@ -48,10 +48,15 @@ impl<V: Clone> Dht<V> {
     }
 
     /// Store `value` under `key`, issued by peer `from`. Routes to the
-    /// owner, writes there, and mirrors to the successor replicas.
+    /// owner, writes there, and mirrors to the replicas resolved by walking
+    /// the owner's successor chain — no global knowledge involved.
     pub fn put(&mut self, from: RingId, key: RingId, value: V) -> Result<(), ChordError> {
         let owner = self.net.lookup(from, key)?.owner;
-        let replicas = self.net.oracle_replicas(key, self.replication);
+        let mut delta = NetStats::new();
+        let replicas = self
+            .net
+            .replicas_from_owner(owner, self.replication, &mut delta);
+        self.net.absorb_stats(&delta);
         debug_assert_eq!(replicas.first(), Some(&owner));
         for (i, peer) in replicas.into_iter().enumerate() {
             self.net.charge(if i == 0 {
@@ -76,16 +81,19 @@ impl<V: Clone> Dht<V> {
         if let Some(v) = self.store.get(&owner.0).and_then(|m| m.get(&key.0)) {
             return Ok(Some(v.clone()));
         }
-        // Probe the remaining replicas.
-        for peer in self
-            .net
-            .oracle_replicas(key, self.replication)
-            .into_iter()
-            .skip(1)
-        {
-            self.net.charge(MsgKind::QueryFetch);
-            if let Some(v) = self.store.get(&peer.0).and_then(|m| m.get(&key.0)) {
-                return Ok(Some(v.clone()));
+        // Probe the remaining replicas, resolved by walking the owner's
+        // successor chain (the routed failover of §7).
+        if self.replication > 1 {
+            let mut delta = NetStats::new();
+            let replicas = self
+                .net
+                .replicas_from_owner(owner, self.replication, &mut delta);
+            self.net.absorb_stats(&delta);
+            for peer in replicas.into_iter().skip(1) {
+                self.net.charge(MsgKind::QueryFetch);
+                if let Some(v) = self.store.get(&peer.0).and_then(|m| m.get(&key.0)) {
+                    return Ok(Some(v.clone()));
+                }
             }
         }
         Ok(None)
@@ -94,9 +102,14 @@ impl<V: Clone> Dht<V> {
     /// Remove `key` from every replica, issued by peer `from`. Returns true
     /// if at least one copy existed.
     pub fn remove(&mut self, from: RingId, key: RingId) -> Result<bool, ChordError> {
-        let _ = self.net.lookup(from, key)?;
+        let owner = self.net.lookup(from, key)?.owner;
+        let mut delta = NetStats::new();
+        let replicas = self
+            .net
+            .replicas_from_owner(owner, self.replication, &mut delta);
+        self.net.absorb_stats(&delta);
         let mut existed = false;
-        for peer in self.net.oracle_replicas(key, self.replication) {
+        for peer in replicas {
             self.net.charge(MsgKind::IndexRemove);
             if let Some(m) = self.store.get_mut(&peer.0) {
                 existed |= m.remove(&key.0).is_some();
@@ -113,21 +126,40 @@ impl<V: Clone> Dht<V> {
     }
 
     /// Re-replicate every stored key to its current replica set (the
-    /// periodic repair of §7). Charges one replication message per copy
-    /// created. Returns the number of copies written.
+    /// periodic repair of §7). Each key's replica set is resolved by a
+    /// routed lookup from an alive holder followed by a successor-chain
+    /// walk; one replication message is charged per copy created. Returns
+    /// the number of copies written.
     pub fn rereplicate(&mut self) -> usize {
-        // Collect the union of all (key, value) pairs still alive anywhere.
-        let mut all: HashMap<u128, V> = HashMap::new();
-        for (peer, m) in &self.store {
-            if self.net.contains(RingId(*peer)) {
+        // Union of all (key, value) pairs still alive anywhere, each with
+        // the smallest-id alive holder to route the repair from. Keys are
+        // then repaired in sorted order so the schedule — and its message
+        // bill — is deterministic.
+        let mut all: HashMap<u128, (V, u128)> = HashMap::new();
+        for (&peer, m) in &self.store {
+            if self.net.contains(RingId(peer)) {
                 for (k, v) in m {
-                    all.entry(*k).or_insert_with(|| v.clone());
+                    let slot = all.entry(*k).or_insert_with(|| (v.clone(), peer));
+                    slot.1 = slot.1.min(peer);
                 }
             }
         }
+        let mut keys: Vec<u128> = all.keys().copied().collect();
+        keys.sort_unstable();
         let mut written = 0;
-        for (k, v) in all {
-            for peer in self.net.oracle_replicas(RingId(k), self.replication) {
+        for k in keys {
+            let Some((v, holder)) = all.remove(&k) else {
+                continue;
+            };
+            // A dead-end here means the key is unroutable under the current
+            // damage; leave it for the next repair round.
+            let Ok(replicas) = self
+                .net
+                .route_replicas(RingId(holder), RingId(k), self.replication)
+            else {
+                continue;
+            };
+            for peer in replicas {
                 let slot = self.store.entry(peer.0).or_default();
                 if let std::collections::hash_map::Entry::Vacant(e) = slot.entry(k) {
                     e.insert(v.clone());

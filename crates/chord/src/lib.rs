@@ -18,11 +18,13 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod churn;
 pub mod kv;
 pub mod node;
 pub mod ring;
 pub mod stats;
 
+pub use churn::{ChurnConfig, ChurnEngine, ChurnEvent, TickReport};
 pub use kv::Dht;
 pub use node::NodeState;
 pub use ring::{ChordConfig, ChordError, ChordNet, Lookup, LookupLite};

@@ -55,6 +55,11 @@ pub enum ChordError {
     DeadEnd {
         /// The node where routing got stuck.
         at: RingId,
+        /// Dead peers probed over the whole walk before giving up — the
+        /// retry layer uses this to back off instead of silently dropping
+        /// the key (a walk that burned many timeouts is evidence the ring
+        /// is badly damaged, not just that one entry was stale).
+        failed_probes: u64,
     },
     /// Routing exceeded the configured hop bound (ring badly damaged).
     TooManyHops {
@@ -71,7 +76,12 @@ impl std::fmt::Display for ChordError {
             ChordError::UnknownNode(id) => write!(f, "unknown node {id:?}"),
             ChordError::DuplicateNode(id) => write!(f, "node {id:?} already present"),
             ChordError::EmptyNetwork => write!(f, "network is empty"),
-            ChordError::DeadEnd { at } => write!(f, "routing dead end at {at:?}"),
+            ChordError::DeadEnd { at, failed_probes } => {
+                write!(
+                    f,
+                    "routing dead end at {at:?} after {failed_probes} failed probes"
+                )
+            }
             ChordError::TooManyHops { from, key } => {
                 write!(f, "lookup from {from:?} for {key:?} exceeded hop bound")
             }
@@ -463,6 +473,77 @@ impl ChordNet {
         self.stats.merge(delta);
     }
 
+    /// Resolve the §7 replica set of a key **by routing**, not the oracle:
+    /// starting from the already-routed `owner`, walk successor lists
+    /// (node-local state only) and collect the first `n` distinct alive
+    /// peers clockwise, owner first. Each alive peer contacted beyond the
+    /// owner costs one [`MsgKind::Maintenance`] message (the probe that
+    /// confirms it and fetches its successor list); each dead successor
+    /// entry probed costs one [`MsgKind::Timeout`]. Charges go to a
+    /// caller-owned delta so the read-only query path can resolve replicas
+    /// concurrently and merge later via [`Self::absorb_stats`].
+    ///
+    /// On a converged ring this returns exactly [`Self::oracle_replicas`]
+    /// of the owner's key; mid-churn it returns whatever the successor
+    /// chain can actually reach, which may be shorter than `n`.
+    #[must_use]
+    pub fn replicas_from_owner(
+        &self,
+        owner: RingId,
+        n: usize,
+        stats: &mut NetStats,
+    ) -> Vec<RingId> {
+        let mut out = Vec::with_capacity(n.min(self.nodes.len()));
+        if n == 0 || !self.contains(owner) {
+            return out;
+        }
+        out.push(owner);
+        let mut cur = owner;
+        while out.len() < n.min(self.nodes.len()) {
+            let node = &self.nodes[&cur.0];
+            let mut next = None;
+            for &s in node.successor_list() {
+                if s == cur {
+                    continue; // a lone node (or tiny ring) listing itself
+                }
+                if !self.nodes.contains_key(&s.0) {
+                    stats.record(MsgKind::Timeout);
+                    continue;
+                }
+                if !out.contains(&s) {
+                    next = Some(s);
+                    break;
+                }
+                // Already collected (wrap-around on a small ring): keep
+                // scanning this list for a fresh peer, free of charge.
+            }
+            let Some(next) = next else {
+                break; // chain exhausted; degrade to the replicas we have
+            };
+            stats.record(MsgKind::Maintenance);
+            out.push(next);
+            cur = next;
+        }
+        out
+    }
+
+    /// Mutating-caller convenience over [`Self::replicas_from_owner`]:
+    /// route `key` to its owner ([`Self::lookup_fast`] charging), then
+    /// extend along the successor chain to `n` replicas, charging the
+    /// network's own counters.
+    pub fn route_replicas(
+        &mut self,
+        from: RingId,
+        key: RingId,
+        n: usize,
+    ) -> Result<Vec<RingId>, ChordError> {
+        let lookup = self.lookup_fast(from, key)?;
+        let mut delta = NetStats::new();
+        let replicas = self.replicas_from_owner(lookup.owner, n, &mut delta);
+        self.stats.merge(&delta);
+        Ok(replicas)
+    }
+
     /// Resolve the owner of `key` hashing a `term` string first — the
     /// operation SPRITE performs for every query keyword and index publish.
     pub fn lookup_term(&mut self, from: RingId, term: &str) -> Result<Lookup, ChordError> {
@@ -515,7 +596,14 @@ impl ChordNet {
                 failed += 1;
             }
             let Some(succ) = succ else {
-                return (Err(ChordError::DeadEnd { at: cur }), hops, failed);
+                return (
+                    Err(ChordError::DeadEnd {
+                        at: cur,
+                        failed_probes: failed,
+                    }),
+                    hops,
+                    failed,
+                );
             };
             if key.in_open_closed(cur, succ) {
                 return (Ok(LookupLite { owner: succ, hops }), hops, failed);
@@ -531,7 +619,14 @@ impl ChordNet {
                 })
                 .unwrap_or(succ);
             if next == cur {
-                return (Err(ChordError::DeadEnd { at: cur }), hops, failed);
+                return (
+                    Err(ChordError::DeadEnd {
+                        at: cur,
+                        failed_probes: failed,
+                    }),
+                    hops,
+                    failed,
+                );
             }
             cur = next;
             hops += 1;
@@ -1007,6 +1102,84 @@ mod tests {
         net.absorb_stats(&delta);
         assert_eq!(net.stats().lookups(), 1);
         assert_eq!(net.stats(), &delta);
+    }
+
+    #[test]
+    fn routed_replicas_match_oracle_on_converged_ring() {
+        let net = ring_of(64);
+        for i in 0..40 {
+            let key = RingId::hash_bytes(format!("replica-key-{i}").as_bytes());
+            let owner = net.oracle_owner(key).unwrap();
+            let mut delta = NetStats::new();
+            for n in [1usize, 3, 8] {
+                let routed = net.replicas_from_owner(owner, n, &mut delta);
+                assert_eq!(routed, net.oracle_replicas(key, n), "key {i}, n {n}");
+            }
+            // A healthy chain never times out.
+            assert_eq!(delta.count(MsgKind::Timeout), 0);
+        }
+    }
+
+    #[test]
+    fn routed_replicas_charge_per_contact_and_timeout() {
+        let mut net = ring_of(32);
+        let key = RingId::hash_bytes(b"charged-key");
+        let owner = net.oracle_owner(key).unwrap();
+        // Kill the owner's immediate successor so the chain walk must probe
+        // a dead entry.
+        let victim = net.oracle_replicas(key, 2)[1];
+        net.fail(victim).unwrap();
+        let mut delta = NetStats::new();
+        let routed = net.replicas_from_owner(owner, 3, &mut delta);
+        assert_eq!(routed.len(), 3);
+        assert!(!routed.contains(&victim));
+        assert!(routed.iter().all(|&p| net.contains(p)));
+        assert_eq!(
+            delta.count(MsgKind::Maintenance),
+            2,
+            "one contact per replica beyond the owner"
+        );
+        assert!(
+            delta.count(MsgKind::Timeout) >= 1,
+            "the dead successor entry must be charged as a timeout"
+        );
+    }
+
+    #[test]
+    fn route_replicas_resolves_via_lookup() {
+        let mut net = ring_of(32);
+        net.reset_stats();
+        let from = net.node_ids()[0];
+        let key = RingId::hash_bytes(b"routed-end-to-end");
+        let replicas = net.route_replicas(from, key, 3).expect("converged ring");
+        assert_eq!(replicas, net.oracle_replicas(key, 3));
+        assert_eq!(net.stats().lookups(), 1, "owner resolution is a lookup");
+        assert_eq!(net.stats().count(MsgKind::Maintenance), 2);
+    }
+
+    #[test]
+    fn dead_end_reports_failed_probe_count() {
+        // A two-node ring where the survivor's every pointer is dead ends
+        // immediately; the error must carry the probes burned.
+        let mut net = ChordNet::with_nodes(ChordConfig::default(), &[RingId(10), RingId(900)]);
+        net.fail(RingId(900)).unwrap();
+        // Re-plant a stale successor so routing has something dead to probe.
+        net.node_mut(RingId(10))
+            .unwrap()
+            .set_successor_list(vec![RingId(900)]);
+        let err = net.lookup(RingId(10), RingId(500)).unwrap_err();
+        match err {
+            ChordError::DeadEnd { at, failed_probes } => {
+                assert_eq!(at, RingId(10));
+                assert_eq!(failed_probes, 1, "one dead successor entry probed");
+            }
+            other => panic!("expected DeadEnd, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(
+            msg.contains("1 failed probe"),
+            "display surfaces count: {msg}"
+        );
     }
 
     #[test]

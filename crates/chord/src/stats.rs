@@ -27,10 +27,15 @@ pub enum MsgKind {
     Replication,
     /// A message attempt that hit a dead peer (timeout).
     Failed,
+    /// An application-level failover probe that timed out: the routed
+    /// recovery layer (§7) tried a successor-list replica entry that turned
+    /// out to be dead. Distinct from [`MsgKind::Failed`], which counts
+    /// timeouts *inside* a routing walk.
+    Timeout,
 }
 
 /// Number of distinct [`MsgKind`] values.
-pub const MSG_KINDS: usize = 9;
+pub const MSG_KINDS: usize = 10;
 
 impl MsgKind {
     fn index(self) -> usize {
@@ -44,6 +49,7 @@ impl MsgKind {
             MsgKind::Maintenance => 6,
             MsgKind::Replication => 7,
             MsgKind::Failed => 8,
+            MsgKind::Timeout => 9,
         }
     }
 
@@ -60,6 +66,7 @@ impl MsgKind {
             MsgKind::Maintenance,
             MsgKind::Replication,
             MsgKind::Failed,
+            MsgKind::Timeout,
         ]
     }
 }

@@ -252,6 +252,112 @@ pub fn fig4a(world: &World, answers: &[usize]) -> Fig4a {
     }
 }
 
+/// One point of the churn study (§7): a deployment evaluated after a run
+/// of continuous churn at a given rate and replication degree.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnPoint {
+    /// Per-tick churn intensity as a fraction of the network size.
+    pub churn_rate: f64,
+    /// Replication degree of the deployment.
+    pub replication: usize,
+    /// Precision ratio over the centralized reference, post-churn.
+    pub precision: f64,
+    /// Recall ratio over the centralized reference, post-churn.
+    pub recall: f64,
+    /// Precision relative to the same-replication zero-churn baseline.
+    pub retention: f64,
+    /// Mean messages per evaluation query (the §6 cost axis).
+    pub messages_per_query: f64,
+    /// Network size after the churn run.
+    pub peers_after: usize,
+}
+
+/// The churn figure: one [`ChurnPoint`] per (replication, rate) pair,
+/// replication-major in the order the inputs were given.
+#[derive(Clone, Debug)]
+pub struct ChurnFigure {
+    /// All sweep points.
+    pub points: Vec<ChurnPoint>,
+}
+
+/// Run the churn study: for every replication degree × churn rate, build a
+/// standard deployment, replicate its indexes, subject it to `ticks` ticks
+/// of continuous churn (bounded stabilization only — no `converge`, no
+/// oracle repair) with a maintenance round every second tick, then evaluate
+/// on the test split at K = 20.
+///
+/// `rates` are per-tick event volumes as a fraction of the network size: a
+/// rate `c` yields an expected `c·n/2` joins, `c·n/4` graceful leaves, and
+/// `c·n/4` abrupt failures per tick, so the expected membership is stable.
+/// Include 0.0 to anchor each replication's retention baseline.
+#[must_use]
+pub fn churn_figure(
+    world: &World,
+    rates: &[f64],
+    replications: &[usize],
+    ticks: usize,
+) -> ChurnFigure {
+    use sprite_chord::{ChurnConfig, ChurnEngine};
+    let jobs: Vec<(usize, f64)> = replications
+        .iter()
+        .flat_map(|&r| rates.iter().map(move |&c| (r, c)))
+        .collect();
+    let mut points: Vec<ChurnPoint> = par_map(&jobs, |j, &(replication, rate)| {
+        let cfg = SpriteConfig {
+            replication,
+            ..SpriteConfig::default()
+        };
+        let mut sys = world.standard_system(cfg, Schedule::WithoutRepeats);
+        if replication > 1 {
+            sys.replicate_indexes();
+        }
+        let n = world.config.n_peers as f64;
+        let mut engine = ChurnEngine::new(
+            ChurnConfig {
+                join_rate: rate * n / 2.0,
+                leave_rate: rate * n / 4.0,
+                fail_rate: rate * n / 4.0,
+                ..ChurnConfig::default()
+            },
+            world.config.seed.wrapping_add(j as u64 + 1),
+        );
+        for tick in 0..ticks {
+            sys.churn_tick(&mut engine);
+            if tick % 2 == 1 {
+                sys.maintenance_round();
+            }
+        }
+        sys.net_mut().reset_stats();
+        let r = world.evaluate(&mut sys, &world.test, 20);
+        let msgs = sys.net().stats().total_messages() as f64 / world.test.len().max(1) as f64;
+        ChurnPoint {
+            churn_rate: rate,
+            replication,
+            precision: r.precision_ratio,
+            recall: r.recall_ratio,
+            retention: 1.0, // filled below against the zero-churn baseline
+            messages_per_query: msgs,
+            peers_after: sys.peers().len(),
+        }
+    });
+    // Retention: precision relative to the same-replication point with the
+    // lowest churn rate (the sweep's baseline, normally 0.0).
+    for &replication in replications {
+        let base = points
+            .iter()
+            .filter(|p| p.replication == replication)
+            .fold(None::<(f64, f64)>, |acc, p| match acc {
+                Some(b) if b.0 <= p.churn_rate => Some(b),
+                _ => Some((p.churn_rate, p.precision)),
+            })
+            .map_or(0.0, |(_, prec)| prec);
+        for p in points.iter_mut().filter(|p| p.replication == replication) {
+            p.retention = if base > 0.0 { p.precision / base } else { 0.0 };
+        }
+    }
+    ChurnFigure { points }
+}
+
 /// Figure 4(b): precision ratio vs number of indexed terms, for the
 /// `w/o-r` and `w-zipf` schedules.
 #[derive(Clone, Debug)]
@@ -562,6 +668,41 @@ mod tests {
         for p in f.sprite.iter().chain(&f.esearch) {
             assert!(p.precision >= 0.0 && p.recall >= 0.0);
         }
+    }
+
+    #[test]
+    fn churn_figure_shapes_and_baselines() {
+        let w = tiny_world();
+        let f = churn_figure(&w, &[0.0, 0.05], &[1, 3], 4);
+        assert_eq!(f.points.len(), 4);
+        for p in &f.points {
+            assert!(p.precision >= 0.0);
+            assert!(p.messages_per_query > 0.0);
+            assert!(p.peers_after >= 4);
+        }
+        // Zero-churn points are their own baseline.
+        for p in f.points.iter().filter(|p| p.churn_rate == 0.0) {
+            assert!((p.retention - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn churned_retrieval_retains_most_quality_with_replication() {
+        // Acceptance bar: at replication 3, a churned run keeps ≥ 80% of
+        // the no-churn ratio-to-ideal (§7's "little impact" claim) with
+        // every failover routed — the oracle never serves the query path.
+        let w = tiny_world();
+        let f = churn_figure(&w, &[0.0, 0.05], &[3], 6);
+        let churned = f
+            .points
+            .iter()
+            .find(|p| p.churn_rate > 0.0)
+            .expect("sweep has a churned point");
+        assert!(
+            churned.retention >= 0.8,
+            "churned retention {:.3} below the 80% bar",
+            churned.retention
+        );
     }
 
     #[test]

@@ -36,13 +36,16 @@ pub mod view;
 
 pub use config::{IdfMode, SpriteConfig};
 pub use expansion::ExpansionConfig;
-pub use experiment::{fig4a, fig4b, fig4c, Fig4a, Fig4b, Fig4c, SeriesPoint, World, WorldConfig};
+pub use experiment::{
+    churn_figure, fig4a, fig4b, fig4c, ChurnFigure, ChurnPoint, Fig4a, Fig4b, Fig4c, SeriesPoint,
+    World, WorldConfig,
+};
 pub use learn::{
     algorithm1, naive_select, q_score, select_terms, select_terms_excluding, select_terms_mode,
     term_score, term_score_with, update_stats, ScoreMode,
 };
 pub use metrics::{gini, LoadReport, PeerLoad};
 pub use peer::{CachedQuery, IndexEntry, IndexingState, OwnerDoc, TermStat};
-pub use resilience::AdvisoryReport;
+pub use resilience::{AdvisoryReport, ChurnReport, MaintenanceReport};
 pub use system::{LearnReport, SpriteSystem};
 pub use view::{QueryView, RankScratch};

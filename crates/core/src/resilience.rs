@@ -7,7 +7,7 @@
 //! exactly that: retrieval quality after abrupt indexing-peer failures,
 //! with and without replication.
 
-use sprite_chord::MsgKind;
+use sprite_chord::{ChurnEngine, ChurnEvent, MsgKind, NetStats, TickReport};
 use sprite_ir::{DocId, TermId};
 use sprite_util::{derive_rng, RingId};
 
@@ -23,6 +23,26 @@ pub struct AdvisoryReport {
     pub retractions: usize,
     /// Replacement terms published.
     pub replacements: usize,
+}
+
+/// Report of one [`SpriteSystem::churn_tick`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChurnReport {
+    /// The ring-level outcome (events applied, bounded-maintenance changes).
+    pub tick: TickReport,
+    /// Inverted-list entries handed over by gracefully leaving peers.
+    pub handed_over: usize,
+    /// Indexing states dropped with abruptly failing peers.
+    pub states_lost: usize,
+}
+
+/// Report of one [`SpriteSystem::maintenance_round`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Entries re-homed from peers that are no longer responsible.
+    pub orphans_moved: usize,
+    /// Entries copied by the replication pass.
+    pub replicated: usize,
 }
 
 impl SpriteSystem {
@@ -41,19 +61,24 @@ impl SpriteSystem {
     }
 
     /// Fail `n` random indexing peers (deterministic in `seed`). Returns
-    /// the failed peer ids.
+    /// only the peers the network actually removed: the cached peer list
+    /// can be stale after direct ring churn, and a peer that was already
+    /// dead must not be reported as a fresh casualty to callers doing
+    /// failure accounting.
     pub fn fail_random_peers(&mut self, n: usize, seed: u64) -> Vec<RingId> {
         use sprite_util::SliceRng;
         let mut rng = derive_rng(seed, "peer-failures");
         let mut candidates = self.peers().to_vec();
         candidates.shuffle(&mut rng);
-        let victims: Vec<RingId> = candidates
-            .into_iter()
-            .take(n.min(self.peers().len().saturating_sub(1)))
-            .collect();
-        for &v in &victims {
+        let limit = n.min(self.peers().len().saturating_sub(1));
+        let mut victims: Vec<RingId> = Vec::with_capacity(limit);
+        for v in candidates {
+            if victims.len() >= limit || self.net().len() <= 1 {
+                break;
+            }
             if self.net_mut().fail(v).is_ok() {
                 self.indexing_mut().remove(&v.0);
+                victims.push(v);
             }
         }
         self.net_mut().converge(64);
@@ -61,21 +86,151 @@ impl SpriteSystem {
         victims
     }
 
+    /// One tick of continuous churn (§7 under realistic maintenance): plan
+    /// the tick's events, let gracefully leaving peers hand their inverted
+    /// lists to a live successor *before* departing (their routing state is
+    /// still intact), drop the state of abrupt failures, then apply the
+    /// membership changes with the engine's bounded stabilization budget.
+    /// No `converge`, no oracle — staleness the budget leaves behind is
+    /// what the churn experiments measure.
+    pub fn churn_tick(&mut self, engine: &mut ChurnEngine) -> ChurnReport {
+        let mut report = ChurnReport::default();
+        let events = engine.plan(self.net());
+        for ev in &events {
+            match *ev {
+                ChurnEvent::Leave { id } => {
+                    report.handed_over += self.hand_over_indexing(id);
+                }
+                ChurnEvent::Fail { id } => {
+                    if self.indexing_mut().remove(&id.0).is_some() {
+                        report.states_lost += 1;
+                    }
+                }
+                ChurnEvent::Join { .. } => {}
+            }
+        }
+        report.tick = engine.apply(self.net_mut(), &events);
+        self.refresh_peers();
+        report
+    }
+
+    /// A gracefully leaving peer ships its inverted lists to its first
+    /// alive successor before departing (§7's handover). Returns entries
+    /// copied; 0 when the peer held no state or has no live successor (the
+    /// state is then lost with the departure).
+    fn hand_over_indexing(&mut self, leaving: RingId) -> usize {
+        if self.indexing_state(leaving).is_none() {
+            return 0;
+        }
+        let mut delta = NetStats::new();
+        let chain = self.net().replicas_from_owner(leaving, 2, &mut delta);
+        self.net_mut().absorb_stats(&delta);
+        let Some(&heir) = chain.get(1) else {
+            self.indexing_mut().remove(&leaving.0);
+            return 0;
+        };
+        let state = self
+            .indexing_mut()
+            .remove(&leaving.0)
+            .expect("checked above");
+        let cap = self.config().query_cache_capacity;
+        let copied = self
+            .indexing_mut()
+            .entry(heir.0)
+            .or_insert_with(|| IndexingState::new(cap))
+            .absorb_replica(&state);
+        self.net_mut().charge_n(MsgKind::Replication, copied as u64);
+        copied
+    }
+
+    /// The periodic maintenance hook run between churn ticks: re-home
+    /// entries orphaned by ownership transfer, then refresh successor
+    /// replicas. Intended cadence: every few [`Self::churn_tick`]s.
+    pub fn maintenance_round(&mut self) -> MaintenanceReport {
+        MaintenanceReport {
+            orphans_moved: self.republish_orphans(),
+            replicated: self.replicate_indexes(),
+        }
+    }
+
+    /// Re-home entries orphaned by ownership transfer: after joins, a peer
+    /// may hold a term whose arc now belongs to a newcomer. Each holder
+    /// verifies responsibility with a routed lookup; when the owner
+    /// differs, one digest probe compares holdings and the term's entries
+    /// are shipped over (the old holder keeps its copy, which now acts as
+    /// a replica). Returns entries newly added at their proper owners.
+    fn republish_orphans(&mut self) -> usize {
+        let holders = self.holder_snapshot();
+        let mut moved = 0;
+        for (holder, terms) in holders {
+            if !self.net().contains(RingId(holder)) {
+                continue;
+            }
+            for term in terms {
+                let key = self.term_ring(term);
+                let Ok(lookup) = self.net_mut().lookup_fast(RingId(holder), key) else {
+                    continue;
+                };
+                if lookup.owner.0 == holder {
+                    continue;
+                }
+                self.net_mut().charge(MsgKind::Maintenance);
+                let entries: Vec<_> = self
+                    .indexing_state(RingId(holder))
+                    .map(|st| st.list(term).to_vec())
+                    .unwrap_or_default();
+                if entries.is_empty() {
+                    continue;
+                }
+                self.net_mut()
+                    .charge_n(MsgKind::Replication, entries.len() as u64);
+                let cap = self.config().query_cache_capacity;
+                let st = self
+                    .indexing_mut()
+                    .entry(lookup.owner.0)
+                    .or_insert_with(|| IndexingState::new(cap));
+                let before = st.list(term).len();
+                for &e in &entries {
+                    st.publish(term, e);
+                }
+                moved += st.list(term).len() - before;
+            }
+        }
+        moved
+    }
+
+    /// Snapshot which peers hold which terms, both levels sorted so every
+    /// maintenance pass walks the index in a reproducible order.
+    fn holder_snapshot(&mut self) -> Vec<(u128, Vec<TermId>)> {
+        let mut holders: Vec<(u128, Vec<TermId>)> = self
+            .indexing_mut()
+            .iter()
+            .map(|(&p, st)| {
+                let mut terms: Vec<TermId> = st.term_dfs().map(|(t, _)| t).collect();
+                terms.sort_unstable();
+                (p, terms)
+            })
+            .collect();
+        holders.sort_unstable_by_key(|&(p, _)| p);
+        holders
+    }
+
     /// The periodic successor replication of §7: every responsible indexing
     /// peer copies each of its inverted lists to the `replication − 1`
     /// peers succeeding the *term's* ring position. A no-op when
     /// [`crate::SpriteConfig::replication`] is 1. Returns entries copied.
+    ///
+    /// Responsibility and the replica set are both resolved by routed
+    /// walks (a `lookup_fast` from the holder, then the owner's successor
+    /// chain), and replication is charged per entry shipped, not per peer
+    /// contacted — the bill scales with the data moved, matching the
+    /// paper's per-message cost model.
     pub fn replicate_indexes(&mut self) -> usize {
         let degree = self.config().replication;
         if degree <= 1 {
             return 0;
         }
-        // Snapshot which peers hold which terms (borrow hygiene).
-        let holders: Vec<(u128, Vec<TermId>)> = self
-            .indexing_mut()
-            .iter()
-            .map(|(&p, st)| (p, st.term_dfs().map(|(t, _)| t).collect()))
-            .collect();
+        let holders = self.holder_snapshot();
         let mut copied = 0;
         for (holder, terms) in holders {
             if !self.net().contains(RingId(holder)) {
@@ -84,29 +239,33 @@ impl SpriteSystem {
             for term in terms {
                 let key = self.term_ring(term);
                 // Only the current responsible peer fans out; replicas do
-                // not re-replicate.
-                let Some(owner) = self.net().oracle_owner(key) else {
+                // not re-replicate. Responsibility is established by a
+                // routed lookup from the holder itself.
+                let Ok(lookup) = self.net_mut().lookup_fast(RingId(holder), key) else {
                     continue;
                 };
-                if owner.0 != holder {
+                if lookup.owner.0 != holder {
                     continue;
                 }
                 let entries: Vec<_> = self
-                    .indexing_state(owner)
+                    .indexing_state(lookup.owner)
                     .map(|st| st.list(term).to_vec())
                     .unwrap_or_default();
                 if entries.is_empty() {
                     continue;
                 }
                 let cap = self.config().query_cache_capacity;
+                let mut delta = NetStats::new();
                 let replicas: Vec<RingId> = self
                     .net()
-                    .oracle_replicas(key, degree)
+                    .replicas_from_owner(lookup.owner, degree, &mut delta)
                     .into_iter()
                     .skip(1)
                     .collect();
+                self.net_mut().absorb_stats(&delta);
                 for replica in replicas {
-                    self.net_mut().charge(MsgKind::Replication);
+                    self.net_mut()
+                        .charge_n(MsgKind::Replication, entries.len() as u64);
                     let st = self
                         .indexing_mut()
                         .entry(replica.0)
@@ -272,6 +431,112 @@ mod tests {
     fn fail_unknown_peer_is_false() {
         let mut sys = system(1);
         assert!(!sys.fail_peer(RingId(12345)));
+    }
+
+    #[test]
+    fn fail_random_peers_reports_only_actual_removals() {
+        let mut sys = system(1);
+        // Make the cached peer list stale: kill six peers directly at the
+        // ring, bypassing refresh_peers, so peers() still lists them.
+        let stale: Vec<RingId> = sys.peers().iter().copied().take(6).collect();
+        for &v in &stale {
+            sys.net_mut().fail(v).unwrap();
+        }
+        // Ask for more failures than there are live peers: the stale six
+        // must not be double-counted, and the ring must keep one survivor.
+        let victims = sys.fail_random_peers(20, 99);
+        assert!(
+            victims.iter().all(|v| !stale.contains(v)),
+            "already-dead peer reported as a fresh casualty"
+        );
+        assert!(victims.iter().all(|v| !sys.net().contains(*v)));
+        let mut dedup = victims.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), victims.len(), "victims must be distinct");
+        // 24 peers − 6 stale = 18 alive; the guard keeps the last one.
+        assert_eq!(victims.len(), 17);
+        assert_eq!(sys.net().len(), 1);
+    }
+
+    #[test]
+    fn graceful_leave_hands_indexes_to_a_successor() {
+        // Degree 1 so the heir holds no mirrored copies: the handover's
+        // entry conservation is then exact.
+        let mut sys = system(1);
+        let holder = sys.indexing_peers()[0];
+        let entries = sys.indexing_state(holder).unwrap().total_entries();
+        assert!(entries > 0);
+        let before_total = sys.total_index_entries();
+        let copied = sys.hand_over_indexing(holder);
+        assert_eq!(copied, entries, "every entry reaches the heir");
+        assert!(sys.indexing_state(holder).is_none());
+        assert_eq!(
+            sys.total_index_entries(),
+            before_total,
+            "handover may merge lists but never lose entries"
+        );
+        assert_eq!(
+            sys.net().stats().count(MsgKind::Replication) as usize,
+            copied,
+            "one replication message per entry shipped"
+        );
+    }
+
+    #[test]
+    fn maintenance_rehomes_entries_after_ownership_transfer() {
+        let mut sys = system(1);
+        // Join a newcomer exactly at a held term's ring position so
+        // ownership of that term transfers away from its current holder.
+        let holder = sys.indexing_peers()[0];
+        let term = {
+            let mut ts: Vec<TermId> = sys
+                .indexing_state(holder)
+                .unwrap()
+                .term_dfs()
+                .map(|(t, _)| t)
+                .collect();
+            ts.sort_unstable();
+            ts[0]
+        };
+        let key = sys.term_ring(term);
+        let bootstrap = sys.peers()[0];
+        sys.net_mut().join(RingId(key.0), bootstrap).unwrap();
+        sys.net_mut().converge(64);
+        sys.refresh_peers();
+        let report = sys.maintenance_round();
+        assert!(report.orphans_moved >= 1, "orphaned entries must move");
+        assert!(
+            sys.indexed_df(term) >= 1,
+            "the newcomer answers for the transferred term"
+        );
+    }
+
+    #[test]
+    fn churn_tick_is_deterministic_and_keeps_the_system_queryable() {
+        use sprite_chord::ChurnConfig;
+        let run = || {
+            let mut sys = system(3);
+            sys.replicate_indexes();
+            let mut engine = ChurnEngine::new(ChurnConfig::default(), 21);
+            let mut reports = Vec::new();
+            for _ in 0..4 {
+                reports.push(sys.churn_tick(&mut engine));
+                sys.maintenance_round();
+            }
+            let t = sys.published_terms(DocId(0))[0];
+            let hits = sys.issue_query(&Query::new(vec![t]), sys.corpus().len());
+            (reports, sys.peers().to_vec(), hits)
+        };
+        let (ra, pa, ha) = run();
+        let (rb, pb, hb) = run();
+        assert_eq!(ra, rb);
+        assert_eq!(pa, pb);
+        assert_eq!(ha.len(), hb.len());
+        for (a, b) in ha.iter().zip(&hb) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
     }
 
     #[test]

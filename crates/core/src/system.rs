@@ -21,7 +21,7 @@
 
 use std::collections::HashMap;
 
-use sprite_chord::{ChordConfig, ChordNet, MsgKind};
+use sprite_chord::{ChordConfig, ChordNet, MsgKind, NetStats};
 use sprite_ir::{Corpus, DocId, Hit, Query, Similarity, TermId};
 use sprite_util::{derive_rng, Md5, RingId};
 
@@ -229,14 +229,21 @@ impl SpriteSystem {
         )
     }
 
-    /// The §7 replica set of `key` (owner first), memoized per key: many
-    /// documents publish the same term, and the successor walk behind
-    /// `oracle_replicas` is identical for all of them until churn.
-    fn replicas_of(&mut self, key: RingId) -> Vec<RingId> {
+    /// The §7 replica set of `key` (owner first), resolved by walking the
+    /// routed owner's successor chain and memoized per key: many documents
+    /// publish the same term, and the walk is identical for all of them
+    /// until churn. The walk's Maintenance/Timeout probes are charged on
+    /// first resolution only — a peer remembering the replica set it just
+    /// learned, exactly like a real cache.
+    fn replicas_of(&mut self, key: RingId, owner: RingId) -> Vec<RingId> {
         if let Some(r) = self.replica_cache.get(&key.0) {
             return r.clone();
         }
-        let r = self.net.oracle_replicas(key, self.cfg.replication);
+        let mut delta = NetStats::new();
+        let r = self
+            .net
+            .replicas_from_owner(owner, self.cfg.replication, &mut delta);
+        self.net.absorb_stats(&delta);
         self.replica_cache.insert(key.0, r.clone());
         r
     }
@@ -304,7 +311,7 @@ impl SpriteSystem {
             .or_insert_with(|| IndexingState::new(cap))
             .publish(term, entry);
         if self.cfg.replication > 1 {
-            for peer in self.replicas_of(key).into_iter().skip(1) {
+            for peer in self.replicas_of(key, lookup.owner).into_iter().skip(1) {
                 self.net.charge(MsgKind::Replication);
                 self.indexing
                     .entry(peer.0)
@@ -327,7 +334,7 @@ impl SpriteSystem {
             st.remove(term, doc);
         }
         if self.cfg.replication > 1 {
-            for peer in self.replicas_of(key).into_iter().skip(1) {
+            for peer in self.replicas_of(key, lookup.owner).into_iter().skip(1) {
                 self.net.charge(MsgKind::IndexRemove);
                 if let Some(st) = self.indexing.get_mut(&peer.0) {
                     st.remove(term, doc);
@@ -367,8 +374,16 @@ impl SpriteSystem {
         let mut fetches: Vec<TermFetch> = Vec::with_capacity(query.distinct_len());
         for (term, qtf) in query.term_counts() {
             let key = self.term_ring(term);
-            let Ok(lookup) = self.net.lookup_fast(from, key) else {
-                continue; // §7: an unreachable term is discarded from ranking
+            let lookup = match self.net.lookup_fast(from, key) {
+                Ok(l) => l,
+                Err(_) => {
+                    // §7 degradation: the routed walk dead-ended (every
+                    // successor-list entry probed was dead). Charge the
+                    // abandoned retry and drop the keyword — ranking
+                    // proceeds on the terms that are still reachable.
+                    self.net.charge(MsgKind::Timeout);
+                    continue;
+                }
             };
             self.net.charge(MsgKind::QueryFetch);
             let cap = self.cfg.query_cache_capacity;
@@ -378,15 +393,18 @@ impl SpriteSystem {
                 .or_insert_with(|| IndexingState::new(cap));
             st.cache_query(query.clone(), qhash, seq);
             let mut entries = st.list(term).to_vec();
-            // Failover to replicas when the routed peer holds no list (it
-            // may have taken over an arc after a failure, §7).
+            // Failover when the routed peer holds no list (it may have
+            // taken over an arc after a failure, §7): walk the owner's
+            // successor chain — never the oracle — and retry each live
+            // replica in turn. A fully-dead replica set leaves the term
+            // with no entries; ranking degrades to partial results.
             if entries.is_empty() && self.cfg.replication > 1 {
-                for peer in self
-                    .net
-                    .oracle_replicas(key, self.cfg.replication)
-                    .into_iter()
-                    .skip(1)
-                {
+                let mut delta = NetStats::new();
+                let replicas =
+                    self.net
+                        .replicas_from_owner(lookup.owner, self.cfg.replication, &mut delta);
+                self.net.absorb_stats(&delta);
+                for peer in replicas.into_iter().skip(1) {
                     self.net.charge(MsgKind::QueryFetch);
                     if let Some(rep) = self.indexing.get(&peer.0) {
                         let list = rep.list(term);
@@ -594,14 +612,20 @@ impl SpriteSystem {
     }
 
     /// Indexed document frequency of `term` as seen by its responsible
-    /// peer (0 when unreachable or never indexed).
+    /// peer (0 when unreachable or never indexed). Resolves the peer with a
+    /// routed lookup whose cost is discarded: this is a free diagnostic for
+    /// tests and reports, not a network operation of the protocol.
     pub fn indexed_df(&mut self, term: TermId) -> usize {
         let key = self.term_ring(term);
-        let Some(owner) = self.net.oracle_owner(key) else {
+        let mut scratch = NetStats::new();
+        let Some(&from) = self.peers.first() else {
+            return 0;
+        };
+        let Ok(lookup) = self.net.probe(from, key, &mut scratch) else {
             return 0;
         };
         self.indexing
-            .get(&owner.0)
+            .get(&lookup.owner.0)
             .map_or(0, |st| st.indexed_df(term))
     }
 
@@ -942,5 +966,70 @@ mod tests {
         let (_sc, mut sys) = tiny_system(SpriteConfig::default());
         sys.publish_all();
         assert!(sys.issue_query(&Query::default(), 10).is_empty());
+    }
+
+    #[test]
+    fn fail_peer_and_join_clear_the_replica_cache() {
+        let cfg = SpriteConfig {
+            replication: 3,
+            ..SpriteConfig::default()
+        };
+        let (_sc, mut sys) = tiny_system(cfg);
+        sys.publish_all();
+        assert!(
+            !sys.replica_cache.is_empty(),
+            "publishing at degree 3 warms the cache"
+        );
+        let victim = *sys.peers().last().unwrap();
+        assert!(sys.fail_peer(victim));
+        assert!(
+            sys.replica_cache.is_empty(),
+            "fail_peer must drop the replica cache"
+        );
+        // Re-warm, then join: any membership change through net_mut
+        // invalidates again.
+        let t = sys.published_terms(DocId(0))[0];
+        sys.publish_term(DocId(0), t);
+        assert!(!sys.replica_cache.is_empty());
+        let bootstrap = sys.peers()[0];
+        let newcomer = RingId::hash_bytes(b"staleness-joiner");
+        sys.net_mut().join(newcomer, bootstrap).unwrap();
+        assert!(
+            sys.replica_cache.is_empty(),
+            "join must drop the replica cache"
+        );
+    }
+
+    #[test]
+    fn churned_query_never_reads_a_dead_replica_from_cache() {
+        let cfg = SpriteConfig {
+            replication: 3,
+            ..SpriteConfig::default()
+        };
+        let (_sc, mut sys) = tiny_system(cfg);
+        sys.publish_all();
+        sys.replicate_indexes();
+        let t = sys.published_terms(DocId(0))[0];
+        let key = sys.term_ring(t);
+        // Kill the term's responsible peer; the query path must fail over
+        // to a replica through a *fresh* routed walk, never a cached set.
+        let victim = sys.net().oracle_owner(key).unwrap();
+        assert!(sys.fail_peer(victim));
+        let hits = sys.issue_query(&Query::new(vec![t]), sys.corpus().len());
+        assert!(
+            hits.iter().any(|h| h.doc == DocId(0)),
+            "failover must still retrieve doc 0"
+        );
+        // Re-publishing after the failure repopulates the cache; every set
+        // resolved post-churn may only list live peers.
+        sys.publish_term(DocId(0), t);
+        for (k, replicas) in &sys.replica_cache {
+            for r in replicas {
+                assert!(
+                    sys.net().contains(*r),
+                    "cached replica set for key {k:#x} lists dead peer {r:?}"
+                );
+            }
+        }
     }
 }

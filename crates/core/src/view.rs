@@ -130,23 +130,29 @@ impl<'a> QueryView<'a> {
         let n = self.cfg.assumed_n;
         for (term, qtf) in query.term_counts() {
             let key = self.term_ring(term);
-            let Ok(lookup) = self.net.probe(from, key, stats) else {
-                continue; // §7: an unreachable term is discarded from ranking
+            let lookup = match self.net.probe(from, key, stats) {
+                Ok(l) => l,
+                Err(_) => {
+                    // §7 degradation, mirroring `issue_query_from`: charge
+                    // the abandoned retry and drop the keyword.
+                    stats.record(MsgKind::Timeout);
+                    continue;
+                }
             };
             stats.record(MsgKind::QueryFetch);
             let mut entries: &[IndexEntry] = self
                 .indexing
                 .get(&lookup.owner.0)
                 .map_or(&[], |st| st.list(term));
-            // Failover to replicas when the routed peer holds no list (it
-            // may have taken over an arc after a failure, §7).
+            // Failover when the routed peer holds no list (it may have
+            // taken over an arc after a failure, §7): same routed
+            // successor-chain walk as the sequential path, charged into
+            // the caller's delta.
             if entries.is_empty() && self.cfg.replication > 1 {
-                for peer in self
-                    .net
-                    .oracle_replicas(key, self.cfg.replication)
-                    .into_iter()
-                    .skip(1)
-                {
+                let replicas =
+                    self.net
+                        .replicas_from_owner(lookup.owner, self.cfg.replication, stats);
+                for peer in replicas.into_iter().skip(1) {
                     stats.record(MsgKind::QueryFetch);
                     if let Some(rep) = self.indexing.get(&peer.0) {
                         let list = rep.list(term);
