@@ -29,6 +29,11 @@
 //!   retrieval path is resolved by routed lookups and successor-chain
 //!   walks, with the message bill charged honestly. The oracle is for
 //!   setup, audits, and tests only.
+//! * **no-untraced-record** — in the query-path files (`kv.rs`,
+//!   `system.rs`, `view.rs`) the raw `NetStats` mutators (`record`,
+//!   `record_n`, `charge`, `charge_n`) are banned: every message must be
+//!   billed through `charge_route` or the traced `charge*` helpers, or the
+//!   observability layer silently under-counts while the stats stay right.
 //!
 //! Test modules (everything from the first `#[cfg(test)]` down), `tests/`,
 //! `benches/`, and `examples/` directories are exempt from content rules.
@@ -67,6 +72,17 @@ const ORACLE_FREE_FILES: &[&str] = &[
     "crates/core/src/system.rs",
     "crates/core/src/view.rs",
     "crates/core/src/resilience.rs",
+];
+
+/// Query-path files where the raw stats mutators are banned: every message
+/// must be billed through `charge_route` or the traced `charge*` helpers so
+/// the observability layer sees exactly what the accounting sees.
+/// (`resilience.rs` is deliberately absent: its repair spans are traced
+/// coarsely via stats-snapshot diffs, so direct charging stays legal.)
+const TRACED_CHARGE_FILES: &[&str] = &[
+    "crates/chord/src/kv.rs",
+    "crates/core/src/system.rs",
+    "crates/core/src/view.rs",
 ];
 
 /// How many lines around a `HashMap` iteration to search for a sort.
@@ -113,6 +129,25 @@ fn pat_cfg_test() -> String {
 
 fn pat_oracle() -> String {
     ["oracle", "_"].concat()
+}
+
+// The raw stats mutators. The trailing `(` keeps the traced/routed
+// spellings (`…_traced(`, `…_route(`) from matching.
+
+fn pat_raw_record() -> String {
+    [".rec", "ord("].concat()
+}
+
+fn pat_raw_record_n() -> String {
+    [".rec", "ord_n("].concat()
+}
+
+fn pat_raw_charge() -> String {
+    [".cha", "rge("].concat()
+}
+
+fn pat_raw_charge_n() -> String {
+    [".cha", "rge_n("].concat()
 }
 
 /// The opt-out marker looked for in a line's trailing comment.
@@ -306,6 +341,26 @@ fn scan_source(rel: &str, content: &str) -> Vec<Diagnostic> {
                  resolve owners and replicas with routed lookups"
                     .to_string(),
             ));
+        }
+
+        if TRACED_CHARGE_FILES.contains(&rel) {
+            for pat in [
+                pat_raw_record(),
+                pat_raw_record_n(),
+                pat_raw_charge(),
+                pat_raw_charge_n(),
+            ] {
+                if s.contains(&pat) {
+                    out.push(diag(
+                        n,
+                        "no-untraced-record",
+                        format!(
+                            "raw stats mutator (`{pat}..)`) on the query path; bill \
+                             through charge_route or the traced charge helpers"
+                        ),
+                    ));
+                }
+            }
         }
 
         if sim && !rel.starts_with("crates/bench/") {
@@ -591,6 +646,40 @@ mod tests {
             pat_cfg_test()
         );
         assert!(scan_source("crates/core/src/system.rs", &in_tests).is_empty());
+    }
+
+    #[test]
+    fn raw_stats_mutators_banned_on_the_query_path() {
+        let record = format!(
+            "fn f(stats: &mut NetStats) {{ stats{}kind); }}\n",
+            pat_raw_record()
+        );
+        let charge = format!(
+            "fn f(net: &mut ChordNet) {{ net{}MsgKind::QueryFetch); }}\n",
+            pat_raw_charge()
+        );
+        let charge_n = format!(
+            "fn f(net: &mut ChordNet) {{ net{}MsgKind::LearnReturn, 3); }}\n",
+            pat_raw_charge_n()
+        );
+        for src in [&record, &charge, &charge_n] {
+            for file in TRACED_CHARGE_FILES {
+                assert_eq!(
+                    rules(&scan_source(file, src)),
+                    ["no-untraced-record"],
+                    "{file} must flag {src:?}"
+                );
+            }
+        }
+        // The traced and routed spellings never match (the paren differs).
+        let traced = "fn f(net: &mut ChordNet) { net.charge_traced(kind, phase, 0, p, sink); }\n";
+        let routed = "fn f(stats: &mut NetStats) { stats.charge_route(kind, 2, 0, true); }\n";
+        assert!(scan_source("crates/chord/src/kv.rs", traced).is_empty());
+        assert!(scan_source("crates/core/src/view.rs", routed).is_empty());
+        // Outside the query-path files the raw mutators stay legal:
+        // resilience.rs repair spans are traced via snapshot diffs.
+        assert!(scan_source("crates/core/src/resilience.rs", &charge).is_empty());
+        assert!(scan_source("crates/chord/src/stats.rs", &record).is_empty());
     }
 
     #[test]

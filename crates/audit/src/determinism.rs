@@ -10,7 +10,7 @@
 //! reports the first stage whose fingerprint diverges, which localizes the
 //! nondeterminism to the subsystem that stage exercised.
 
-use sprite_chord::{ChordNet, ChurnConfig, ChurnEngine, MsgKind, NetStats};
+use sprite_chord::{ChordNet, ChurnConfig, ChurnEngine, MsgKind, NetStats, Phase, TraceRecorder};
 use sprite_core::{RankScratch, SpriteConfig, SpriteSystem};
 use sprite_corpus::{CorpusConfig, SyntheticCorpus};
 use sprite_ir::{Hit, Query, TermId};
@@ -179,6 +179,86 @@ pub fn parallel_results_fingerprint(
     fp
 }
 
+/// MD5 over a merged [`TraceRecorder`]: per-phase and per-kind event
+/// counts, query totals, and all three cost histograms (bucket layout,
+/// every bucket, count/sum/max — exact integers, no summarization).
+#[must_use]
+pub fn fingerprint_recorder(rec: &TraceRecorder) -> u128 {
+    let mut h = Md5::new();
+    for phase in Phase::all() {
+        feed_u64(&mut h, rec.phase_count(phase));
+    }
+    for kind in MsgKind::all() {
+        feed_u64(&mut h, rec.kind_count(kind));
+    }
+    feed_u64(&mut h, rec.events());
+    feed_u64(&mut h, rec.queries());
+    for hist in [
+        rec.hops_per_lookup(),
+        rec.messages_per_query(),
+        rec.replicas_probed(),
+    ] {
+        feed_u64(&mut h, hist.len() as u64);
+        for &b in hist.buckets() {
+            feed_u64(&mut h, b);
+        }
+        feed_u64(&mut h, hist.count());
+        feed_u64(&mut h, hist.sum());
+        feed_u64(&mut h, hist.max());
+    }
+    h.finalize().as_u128()
+}
+
+/// The traced twin of [`parallel_results_fingerprint`]: the same
+/// frozen-view fan-out with a private [`TraceRecorder`] per query, merged
+/// in input order alongside the stats deltas. Returns
+/// `(results fingerprint, recorder fingerprint)`.
+///
+/// The observability contract this function audits: the first element must
+/// equal the *untraced* fingerprint exactly (tracing only observes — every
+/// traced helper charges through the same code path as its untraced twin),
+/// and both elements must be bit-identical at any worker count (the
+/// recorder's merge is commutative and the fold order is fixed).
+#[must_use]
+pub fn traced_parallel_fingerprints(
+    sys: &mut SpriteSystem,
+    queries: &[Query],
+    threads: usize,
+) -> (u128, u128) {
+    let prev = override_threads(threads);
+    let out = {
+        let view = sys.query_view();
+        let peers = view.peers();
+        let per: Vec<(u128, NetStats, TraceRecorder)> =
+            par_map_init(queries, RankScratch::new, |scratch, i, q| {
+                let mut delta = NetStats::new();
+                let mut rec = TraceRecorder::new();
+                let hits = view.query_traced(
+                    peers[i % peers.len()],
+                    q,
+                    10,
+                    &mut delta,
+                    scratch,
+                    i as u64,
+                    &mut rec,
+                );
+                (fingerprint_hits(&hits), delta, rec)
+            });
+        let mut h = Md5::new();
+        let mut total = NetStats::new();
+        let mut trace = TraceRecorder::new();
+        for (hits_fp, delta, rec) in &per {
+            feed_u128(&mut h, *hits_fp);
+            total.merge(delta);
+            trace.merge(rec);
+        }
+        feed_u128(&mut h, fingerprint_stats(&total));
+        (h.finalize().as_u128(), fingerprint_recorder(&trace))
+    };
+    override_threads(prev);
+    out
+}
+
 /// Run the reference experiment once, fingerprinting after every stage.
 ///
 /// The experiment is deliberately small (a tiny corpus on 24 peers) but
@@ -227,7 +307,18 @@ pub fn run_trace(seed: u64) -> Trace {
         parallel_results_fingerprint(&mut sys, &queries, 4),
     ));
 
-    // Tenth stage: continuous churn with bounded stabilization and routed
+    // Tenth and eleventh stages: the same parallel evaluation with the
+    // observability layer switched on. Tracing is observation only, so
+    // `results/traced` must equal `results/parallel` exactly — a
+    // divergence means a traced helper charged differently from its
+    // untraced twin. `trace/histograms` fingerprints the merged recorder
+    // itself (phase/kind counts and all three cost histograms) at four
+    // workers; the companion tests pin it against a one-thread run.
+    let (traced_fp, recorder_fp) = traced_parallel_fingerprints(&mut sys, &queries, 4);
+    stages.push(("results/traced", traced_fp));
+    stages.push(("trace/histograms", recorder_fp));
+
+    // Twelfth stage: continuous churn with bounded stabilization and routed
     // failover. Three engine ticks interleaved with maintenance rounds
     // leave the ring deliberately unconverged; a parallel evaluation over
     // that damaged state must still be bit-reproducible.
@@ -245,17 +336,33 @@ pub fn run_trace(seed: u64) -> Trace {
 }
 
 /// Run [`run_trace`] twice from the same seed and compare stage by stage.
+///
+/// Besides the replay check, the auditor enforces the observability
+/// contract *within* each trace: the `results/traced` fingerprint must
+/// equal `results/parallel` (tracing on vs off changes nothing), else the
+/// report fails with `results/traced` as the divergent stage.
 #[must_use]
 pub fn audit_determinism(seed: u64) -> DeterminismReport {
     let a = run_trace(seed);
     let b = run_trace(seed);
     debug_assert_eq!(a.stages.len(), b.stages.len(), "traces have fixed shape");
-    let first_divergence = a
+    let replay_divergence = a
         .stages
         .iter()
         .zip(&b.stages)
         .find(|((_, ha), (_, hb))| ha != hb)
         .map(|(&(name, _), _)| name);
+    let stage = |name: &str| {
+        a.stages
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, fp)| fp)
+    };
+    let tracing_divergence = match (stage("results/parallel"), stage("results/traced")) {
+        (Some(plain), Some(traced)) if plain != traced => Some("results/traced"),
+        _ => None,
+    };
+    let first_divergence = replay_divergence.or(tracing_divergence);
     DeterminismReport {
         passed: first_divergence.is_none(),
         first_divergence,
@@ -275,7 +382,48 @@ mod tests {
             "first divergent stage: {:?}",
             report.first_divergence
         );
-        assert_eq!(report.stages, 10);
+        assert_eq!(report.stages, 12);
+    }
+
+    #[test]
+    fn tracing_on_matches_tracing_off_fingerprints() {
+        // The observability contract, stated directly: within one trace,
+        // the traced parallel evaluation fingerprints exactly like the
+        // untraced one — same ranked lists, same merged stats.
+        let trace = run_trace(2026);
+        let get = |name: &str| {
+            trace
+                .stages
+                .iter()
+                .find(|&&(n, _)| n == name)
+                .map(|&(_, fp)| fp)
+                .expect("stage present")
+        };
+        assert_eq!(
+            get("results/parallel"),
+            get("results/traced"),
+            "enabling tracing changed results or stats"
+        );
+    }
+
+    #[test]
+    fn tracing_histograms_are_thread_count_invariant() {
+        // One pool worker vs four: the merged recorder (phase/kind counts
+        // and every histogram bucket) must be bit-identical, and so must
+        // the traced results fingerprint.
+        let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(55));
+        let mut sys = SpriteSystem::build(sc.corpus().clone(), 24, SpriteConfig::default(), 55);
+        sys.publish_all();
+        let queries: Vec<Query> = sc
+            .seed_queries()
+            .iter()
+            .take(12)
+            .map(|s| s.query.clone())
+            .collect();
+        let (res1, rec1) = traced_parallel_fingerprints(&mut sys, &queries, 1);
+        let (res4, rec4) = traced_parallel_fingerprints(&mut sys, &queries, 4);
+        assert_eq!(res1, res4, "worker count leaked into traced results");
+        assert_eq!(rec1, rec4, "worker count leaked into the recorder");
     }
 
     #[test]

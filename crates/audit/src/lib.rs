@@ -32,6 +32,7 @@ pub mod determinism;
 pub mod invariants;
 
 pub use determinism::{
-    audit_determinism, parallel_results_fingerprint, run_trace, DeterminismReport, Trace,
+    audit_determinism, fingerprint_recorder, parallel_results_fingerprint, run_trace,
+    traced_parallel_fingerprints, DeterminismReport, Trace,
 };
 pub use invariants::{check_index, check_kv, check_ring, check_system, Violation};

@@ -170,12 +170,11 @@ fn over_published_terms_are_detected() {
     sys.inject_published(doc, terms);
     let found = check_index(&sys);
     assert!(
-        found.iter().any(|v| *v
-            == Violation::TermCapExceeded {
-                doc,
-                published,
-                cap
-            }),
+        found.contains(&Violation::TermCapExceeded {
+            doc,
+            published,
+            cap
+        }),
         "expected TermCapExceeded, got {found:?}"
     );
     // The injected terms were never routed to indexing peers, so the
@@ -201,9 +200,7 @@ fn duplicate_published_term_is_detected() {
     sys.inject_published(doc, terms);
     let found = check_index(&sys);
     assert!(
-        found
-            .iter()
-            .any(|v| *v == Violation::DuplicatePublished { doc, term: first }),
+        found.contains(&Violation::DuplicatePublished { doc, term: first }),
         "expected DuplicatePublished, got {found:?}"
     );
 }
@@ -219,9 +216,7 @@ fn unsorted_posting_list_is_detected() {
         .inject_raw(term, list);
     let found = check_index(&sys);
     assert!(
-        found
-            .iter()
-            .any(|v| *v == Violation::UnsortedPostingList { peer, term }),
+        found.contains(&Violation::UnsortedPostingList { peer, term }),
         "expected UnsortedPostingList, got {found:?}"
     );
 }
@@ -231,16 +226,14 @@ fn duplicate_posting_is_detected() {
     let mut sys = deployment();
     let (peer, term, mut list) = populated_list(&sys, 1);
     let doc = list[0].doc;
-    let dup = list[0].clone();
+    let dup = list[0];
     list.insert(1, dup);
     sys.indexing_state_mut(peer)
         .expect("peer indexes")
         .inject_raw(term, list);
     let found = check_index(&sys);
     assert!(
-        found
-            .iter()
-            .any(|v| *v == Violation::DuplicatePosting { peer, term, doc }),
+        found.contains(&Violation::DuplicatePosting { peer, term, doc }),
         "expected DuplicatePosting, got {found:?}"
     );
 }
@@ -257,9 +250,7 @@ fn stale_entry_metadata_is_detected() {
         .inject_raw(term, list);
     let found = check_index(&sys);
     assert!(
-        found
-            .iter()
-            .any(|v| *v == Violation::StaleEntryMetadata { peer, term, doc }),
+        found.contains(&Violation::StaleEntryMetadata { peer, term, doc }),
         "expected StaleEntryMetadata, got {found:?}"
     );
 }

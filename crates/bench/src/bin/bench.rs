@@ -171,6 +171,18 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
+    // The deterministic `metrics` object the regression gate replays: a
+    // traced evaluation of the standard deployment (same code path as
+    // `--bin gate`), packaging ratios, the per-kind message bill, and the
+    // cost histograms. Everything in it is exact at equal seed and scale.
+    // ------------------------------------------------------------------
+    let (metrics, metrics_ms) = time_ms(|| sprite_bench::metrics::collect_metrics(&world));
+    eprintln!(
+        "# metrics: {} queries, {} traced events, {} ms",
+        metrics.queries, metrics.events, metrics_ms
+    );
+
+    // ------------------------------------------------------------------
     // Micro timings.
     // ------------------------------------------------------------------
     let payload = vec![0xabu8; 65536];
@@ -259,6 +271,12 @@ fn main() {
     j.field(2, "speedup", &format!("{speedup:.2}"), false);
     j.field(2, "bit_identical", &bit_identical.to_string(), true);
     j.close(1, false);
+    j.field(
+        1,
+        "metrics",
+        &sprite_bench::metrics::metrics_json(&metrics, 1),
+        false,
+    );
     j.open(1, "micro_ns");
     j.field(2, "md5_64kib", &md5_ns.to_string(), false);
     j.field(2, "chord_lookup_1024_peers", &lookup_ns.to_string(), false);

@@ -1,9 +1,12 @@
 //! Diagnostic (not a paper figure): how well does each system's published
 //! term set cover the *query terms* of the test workload, per relevant
-//! document? This is the mechanism behind every Figure-4 gap.
+//! document? This is the mechanism behind every Figure-4 gap — plus a
+//! [`sprite_core::QueryTrace`] walkthrough of the first few test queries
+//! (per-keyword routes, owner hits, failover paths, message bills).
 
 use sprite_bench::{build_world, print_table, r3};
-use sprite_core::{SpriteConfig, SpriteSystem};
+use sprite_chord::NetStats;
+use sprite_core::{RankScratch, SpriteConfig, SpriteSystem};
 use sprite_corpus::Schedule;
 
 fn main() {
@@ -18,7 +21,7 @@ fn main() {
             eprintln!("iter {it}: {r:?}");
         }
     }
-    let sprite = world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+    let mut sprite = world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
     let esearch = world.standard_system(SpriteConfig::esearch(20), Schedule::WithoutRepeats);
 
     let coverage = |sys: &SpriteSystem| -> (f64, f64) {
@@ -82,4 +85,35 @@ fn main() {
     println!(
         "\nSPRITE published terms: {frequent} overlap eSearch's top-20, {learned} learned beyond it"
     );
+
+    // Per-query walkthroughs: how the first few test queries actually
+    // resolved, keyword by keyword. Charges go into a throwaway delta so
+    // the diagnostic leaves the deployment's bill untouched.
+    println!("\n## Query traces (first 3 test queries, SPRITE deployment)\n");
+    let traces: Vec<sprite_core::QueryTrace> = {
+        let view = sprite.query_view();
+        let peers = view.peers();
+        let mut scratch = RankScratch::new();
+        world
+            .test
+            .iter()
+            .take(3)
+            .enumerate()
+            .map(|(i, &qi)| {
+                let gq = &world.workload[qi];
+                let mut delta = NetStats::new();
+                let (_, qt) = view.query_trace(
+                    peers[i % peers.len()],
+                    &gq.query,
+                    20,
+                    &mut delta,
+                    &mut scratch,
+                );
+                qt
+            })
+            .collect()
+    };
+    for qt in &traces {
+        print!("{}", qt.render(sprite.corpus()));
+    }
 }

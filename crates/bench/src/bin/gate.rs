@@ -1,0 +1,82 @@
+//! `gate` — the CI regression gate over `BENCH_experiments.json`.
+//!
+//! Recomputes the deterministic `metrics` object from a fresh
+//! `SPRITE_SCALE=small` run (the committed baseline's scale; override with
+//! the usual variable) and diffs it against the committed baseline:
+//! precision/recall ratios within `RATIO_TOLERANCE`, every message count
+//! and histogram bucket within `COUNT_TOLERANCE`. Exits 0 when clean, 1
+//! with one readable line per divergence when not, 2 when the baseline is
+//! missing, unparseable, or was generated at a different scale.
+//!
+//! Run: `cargo run -p sprite-bench --bin gate --release [baseline.json]`
+//!
+//! Timing sections of the baseline (`figures_ms`, `micro_ns`, the
+//! `evaluate` wall-clock fields) are machine-dependent and deliberately
+//! not gated.
+
+use std::process::ExitCode;
+
+use sprite_bench::json::{self, JsonValue};
+use sprite_bench::metrics::{collect_metrics, compare_against_baseline};
+
+fn main() -> ExitCode {
+    // The committed baseline is generated at small scale; match it unless
+    // the caller explicitly overrides.
+    if std::env::var("SPRITE_SCALE").is_err() {
+        std::env::set_var("SPRITE_SCALE", "small");
+    }
+    let scale = std::env::var("SPRITE_SCALE").unwrap_or_default();
+    let baseline_path = std::env::args().nth(1).unwrap_or_else(|| {
+        // crates/bench → workspace root, two levels up.
+        format!(
+            "{}/../../BENCH_experiments.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("gate: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("gate: baseline {baseline_path} is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(baseline_scale) = baseline.get("scale").and_then(JsonValue::as_str) {
+        if baseline_scale != scale {
+            eprintln!(
+                "gate: baseline was generated at SPRITE_SCALE={baseline_scale} but this run \
+                 is at SPRITE_SCALE={scale}; rerun with a matching scale"
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    eprintln!("# gate: scale={scale}, baseline {baseline_path}");
+    let world = sprite_bench::build_world(42);
+    let current = collect_metrics(&world);
+    let diffs = compare_against_baseline(&current, &baseline);
+    if diffs.is_empty() {
+        println!(
+            "gate: metrics match the committed baseline ({} queries, {} traced events)",
+            current.queries, current.events
+        );
+        ExitCode::SUCCESS
+    } else {
+        for d in &diffs {
+            println!("gate: {d}");
+        }
+        println!(
+            "gate: {} divergence(s) against {baseline_path} — either fix the regression or \
+             regenerate the baseline with `cargo run -p sprite-bench --bin bench --release`",
+            diffs.len()
+        );
+        ExitCode::FAILURE
+    }
+}

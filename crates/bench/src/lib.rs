@@ -12,6 +12,9 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod json;
+pub mod metrics;
+
 use sprite_core::{World, WorldConfig};
 
 /// Resolve the experiment scale from `SPRITE_SCALE` (default `full`).

@@ -1,0 +1,391 @@
+//! The machine-readable `metrics` object and the regression-gate
+//! comparison.
+//!
+//! [`collect_metrics`] runs the §6.2 standard deployment through a traced
+//! evaluation of the full test split and packages everything deterministic
+//! about it: the precision/recall ratios (exact to the bit at equal seeds),
+//! the per-[`MsgKind`] message bill, per-phase event counts, and the three
+//! cost histograms (hops per lookup, messages per query, replicas probed).
+//! `--bin bench` embeds the object in `BENCH_experiments.json`; `--bin
+//! gate` recomputes it from a fresh run and diffs it against the committed
+//! baseline with [`compare_against_baseline`], failing CI on any drift.
+//!
+//! Tolerances are declared here, next to the comparison that uses them:
+//! ratios must agree within [`RATIO_TOLERANCE`] (they are deterministic;
+//! the slack only absorbs the 12-digit decimal round-trip through JSON),
+//! and every integer — counts, histogram buckets, sums — must agree within
+//! [`COUNT_TOLERANCE`], which is zero: the simulation has no legitimate
+//! source of count jitter.
+
+use std::fmt::Write as _;
+
+use sprite_chord::{MsgKind, Phase, TraceRecorder};
+use sprite_core::{SpriteConfig, World};
+use sprite_corpus::Schedule;
+use sprite_util::Histogram;
+
+use crate::json::JsonValue;
+
+/// Absolute tolerance for precision/recall ratios: deterministic values
+/// that only round-trip through a 12-decimal JSON rendering.
+pub const RATIO_TOLERANCE: f64 = 1e-9;
+
+/// Absolute tolerance for every integer metric. Zero by design: message
+/// counts and histogram buckets are exactly reproducible at equal seeds.
+pub const COUNT_TOLERANCE: u64 = 0;
+
+/// The answer-list size the metrics evaluation uses (the paper's K = 20).
+pub const METRICS_K: usize = 20;
+
+/// A histogram flattened for serialization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Every bucket, last one the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistSummary {
+    fn of(h: &Histogram) -> Self {
+        HistSummary {
+            buckets: h.buckets().to_vec(),
+            count: h.count(),
+            sum: h.sum(),
+            max: h.max(),
+        }
+    }
+}
+
+/// Everything deterministic about a traced standard-system evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metrics {
+    /// Test queries evaluated.
+    pub queries: u64,
+    /// Answer-list size.
+    pub k: usize,
+    /// Precision ratio over the centralized reference.
+    pub precision_ratio: f64,
+    /// Recall ratio over the centralized reference.
+    pub recall_ratio: f64,
+    /// Total traced events.
+    pub events: u64,
+    /// Per-kind message counts, in [`MsgKind::all`] order.
+    pub kind_counts: Vec<(&'static str, u64)>,
+    /// Per-phase event counts, in [`Phase::all`] order.
+    pub phase_events: Vec<(&'static str, u64)>,
+    /// Hops per completed lookup.
+    pub hops_per_lookup: HistSummary,
+    /// Messages billed per query.
+    pub messages_per_query: HistSummary,
+    /// Failover replicas probed per query.
+    pub replicas_probed: HistSummary,
+}
+
+/// Build the §6.2 standard deployment (SPRITE defaults, `w/o-r` schedule),
+/// reset its message bill, and run a traced evaluation of the full test
+/// split at K = [`METRICS_K`]. Both `--bin bench` and `--bin gate` call
+/// this, so the committed object and the gate's fresh run are computed by
+/// the same code path.
+#[must_use]
+pub fn collect_metrics(world: &World) -> Metrics {
+    let mut sys = world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+    sys.net_mut().reset_stats();
+    let (ratios, rec) = world.evaluate_traced(&mut sys, &world.test, METRICS_K);
+    metrics_from(world.test.len() as u64, &ratios_pair(&ratios), &rec)
+}
+
+fn ratios_pair(r: &sprite_ir::RatioEval) -> (f64, f64) {
+    (r.precision_ratio, r.recall_ratio)
+}
+
+fn metrics_from(queries: u64, &(precision, recall): &(f64, f64), rec: &TraceRecorder) -> Metrics {
+    Metrics {
+        queries,
+        k: METRICS_K,
+        precision_ratio: precision,
+        recall_ratio: recall,
+        events: rec.events(),
+        kind_counts: MsgKind::all()
+            .iter()
+            .map(|&k| (k.name(), rec.kind_count(k)))
+            .collect(),
+        phase_events: Phase::all()
+            .iter()
+            .map(|&p| (p.name(), rec.phase_count(p)))
+            .collect(),
+        hops_per_lookup: HistSummary::of(rec.hops_per_lookup()),
+        messages_per_query: HistSummary::of(rec.messages_per_query()),
+        replicas_probed: HistSummary::of(rec.replicas_probed()),
+    }
+}
+
+fn write_hist(out: &mut String, pad: &str, key: &str, h: &HistSummary, last: bool) {
+    let comma = if last { "" } else { "," };
+    let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+    let _ = writeln!(out, "{pad}\"{key}\": {{");
+    let _ = writeln!(out, "{pad}  \"buckets\": [{}],", buckets.join(", "));
+    let _ = writeln!(out, "{pad}  \"count\": {},", h.count);
+    let _ = writeln!(out, "{pad}  \"sum\": {},", h.sum);
+    let _ = writeln!(out, "{pad}  \"max\": {}", h.max);
+    let _ = writeln!(out, "{pad}}}{comma}");
+}
+
+/// Serialize a [`Metrics`] as a JSON object value, indented so it nests at
+/// `indent` levels (the opening brace is unindented: it follows the key on
+/// the same line). The trailing brace carries no newline or comma — the
+/// caller's serializer adds those.
+#[must_use]
+pub fn metrics_json(m: &Metrics, indent: usize) -> String {
+    let pad = "  ".repeat(indent + 1);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "{pad}\"queries\": {},", m.queries);
+    let _ = writeln!(out, "{pad}\"k\": {},", m.k);
+    let _ = writeln!(out, "{pad}\"precision_ratio\": {:.12},", m.precision_ratio);
+    let _ = writeln!(out, "{pad}\"recall_ratio\": {:.12},", m.recall_ratio);
+    let _ = writeln!(out, "{pad}\"events\": {},", m.events);
+    let _ = writeln!(out, "{pad}\"kind_counts\": {{");
+    for (i, (name, count)) in m.kind_counts.iter().enumerate() {
+        let comma = if i + 1 == m.kind_counts.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(out, "{pad}  \"{name}\": {count}{comma}");
+    }
+    let _ = writeln!(out, "{pad}}},");
+    let _ = writeln!(out, "{pad}\"phase_events\": {{");
+    for (i, (name, count)) in m.phase_events.iter().enumerate() {
+        let comma = if i + 1 == m.phase_events.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(out, "{pad}  \"{name}\": {count}{comma}");
+    }
+    let _ = writeln!(out, "{pad}}},");
+    write_hist(&mut out, &pad, "hops_per_lookup", &m.hops_per_lookup, false);
+    write_hist(
+        &mut out,
+        &pad,
+        "messages_per_query",
+        &m.messages_per_query,
+        false,
+    );
+    write_hist(&mut out, &pad, "replicas_probed", &m.replicas_probed, true);
+    let _ = write!(out, "{}}}", "  ".repeat(indent));
+    out
+}
+
+fn diff_f64(diffs: &mut Vec<String>, path: &str, baseline: Option<f64>, current: f64) {
+    match baseline {
+        None => diffs.push(format!("{path}: missing from baseline")),
+        Some(b) if (b - current).abs() > RATIO_TOLERANCE => diffs.push(format!(
+            "{path}: baseline {b:.12}, current {current:.12} (|delta| {:.3e} > {RATIO_TOLERANCE:.0e})",
+            (b - current).abs()
+        )),
+        Some(_) => {}
+    }
+}
+
+fn diff_u64(diffs: &mut Vec<String>, path: &str, baseline: Option<u64>, current: u64) {
+    match baseline {
+        None => diffs.push(format!("{path}: missing from baseline")),
+        Some(b) if b.abs_diff(current) > COUNT_TOLERANCE => diffs.push(format!(
+            "{path}: baseline {b}, current {current} (delta {})",
+            current as i128 - b as i128
+        )),
+        Some(_) => {}
+    }
+}
+
+fn diff_hist(
+    diffs: &mut Vec<String>,
+    path: &str,
+    baseline: Option<&JsonValue>,
+    current: &HistSummary,
+) {
+    let Some(b) = baseline else {
+        diffs.push(format!("{path}: missing from baseline"));
+        return;
+    };
+    match b.get("buckets").and_then(JsonValue::as_arr) {
+        None => diffs.push(format!("{path}.buckets: missing from baseline")),
+        Some(arr) => {
+            if arr.len() != current.buckets.len() {
+                diffs.push(format!(
+                    "{path}.buckets: baseline has {} buckets, current {}",
+                    arr.len(),
+                    current.buckets.len()
+                ));
+            } else {
+                for (i, (bv, &cv)) in arr.iter().zip(&current.buckets).enumerate() {
+                    diff_u64(diffs, &format!("{path}.buckets[{i}]"), bv.as_u64(), cv);
+                }
+            }
+        }
+    }
+    diff_u64(
+        diffs,
+        &format!("{path}.count"),
+        b.get("count").and_then(JsonValue::as_u64),
+        current.count,
+    );
+    diff_u64(
+        diffs,
+        &format!("{path}.sum"),
+        b.get("sum").and_then(JsonValue::as_u64),
+        current.sum,
+    );
+    diff_u64(
+        diffs,
+        &format!("{path}.max"),
+        b.get("max").and_then(JsonValue::as_u64),
+        current.max,
+    );
+}
+
+/// Diff freshly computed [`Metrics`] against a parsed
+/// `BENCH_experiments.json` document. Returns one human-readable line per
+/// divergence (empty means the gate passes): ratios within
+/// [`RATIO_TOLERANCE`], every count and histogram bucket within
+/// [`COUNT_TOLERANCE`].
+#[must_use]
+pub fn compare_against_baseline(current: &Metrics, baseline: &JsonValue) -> Vec<String> {
+    let mut diffs = Vec::new();
+    let Some(m) = baseline.get("metrics") else {
+        diffs.push(
+            "metrics: object missing from baseline (regenerate BENCH_experiments.json with \
+             --bin bench)"
+                .to_string(),
+        );
+        return diffs;
+    };
+    let f = |key: &str| m.get(key).and_then(JsonValue::as_f64);
+    let u = |key: &str| m.get(key).and_then(JsonValue::as_u64);
+    diff_u64(&mut diffs, "metrics.queries", u("queries"), current.queries);
+    diff_u64(&mut diffs, "metrics.k", u("k"), current.k as u64);
+    diff_f64(
+        &mut diffs,
+        "metrics.precision_ratio",
+        f("precision_ratio"),
+        current.precision_ratio,
+    );
+    diff_f64(
+        &mut diffs,
+        "metrics.recall_ratio",
+        f("recall_ratio"),
+        current.recall_ratio,
+    );
+    diff_u64(&mut diffs, "metrics.events", u("events"), current.events);
+    for (name, count) in &current.kind_counts {
+        diff_u64(
+            &mut diffs,
+            &format!("metrics.kind_counts.{name}"),
+            m.path(&["kind_counts", name]).and_then(JsonValue::as_u64),
+            *count,
+        );
+    }
+    for (name, count) in &current.phase_events {
+        diff_u64(
+            &mut diffs,
+            &format!("metrics.phase_events.{name}"),
+            m.path(&["phase_events", name]).and_then(JsonValue::as_u64),
+            *count,
+        );
+    }
+    diff_hist(
+        &mut diffs,
+        "metrics.hops_per_lookup",
+        m.get("hops_per_lookup"),
+        &current.hops_per_lookup,
+    );
+    diff_hist(
+        &mut diffs,
+        "metrics.messages_per_query",
+        m.get("messages_per_query"),
+        &current.messages_per_query,
+    );
+    diff_hist(
+        &mut diffs,
+        "metrics.replicas_probed",
+        m.get("replicas_probed"),
+        &current.replicas_probed,
+    );
+    diffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use sprite_core::WorldConfig;
+
+    fn doc_for(m: &Metrics) -> String {
+        format!(
+            "{{\n  \"schema\": \"sprite-bench/v1\",\n  \"metrics\": {}\n}}\n",
+            metrics_json(m, 1)
+        )
+    }
+
+    #[test]
+    fn metrics_round_trip_matches_itself() {
+        let world = World::build(WorldConfig::tiny(7));
+        let m = collect_metrics(&world);
+        assert_eq!(m.queries, world.test.len() as u64);
+        assert!(m.events > 0, "a traced evaluation must observe events");
+        let baseline = json::parse(&doc_for(&m)).expect("serializer emits valid JSON");
+        let diffs = compare_against_baseline(&m, &baseline);
+        assert!(diffs.is_empty(), "self-comparison must be clean: {diffs:?}");
+    }
+
+    #[test]
+    fn gate_catches_a_perturbed_baseline() {
+        let world = World::build(WorldConfig::tiny(7));
+        let m = collect_metrics(&world);
+        // Perturb one message count, one ratio, and one histogram bucket.
+        let hop_count = m.kind_counts[0].1;
+        let doc = doc_for(&m)
+            .replacen(
+                &format!("\"lookup_hop\": {hop_count}"),
+                &format!("\"lookup_hop\": {}", hop_count + 1),
+                1,
+            )
+            .replacen(
+                &format!("{:.12}", m.precision_ratio),
+                &format!("{:.12}", m.precision_ratio + 1e-6),
+                1,
+            );
+        let baseline = json::parse(&doc).expect("perturbed document still parses");
+        let diffs = compare_against_baseline(&m, &baseline);
+        assert!(
+            diffs.iter().any(|d| d.contains("kind_counts.lookup_hop")),
+            "perturbed count not caught: {diffs:?}"
+        );
+        assert!(
+            diffs.iter().any(|d| d.contains("precision_ratio")),
+            "perturbed ratio not caught: {diffs:?}"
+        );
+    }
+
+    #[test]
+    fn missing_metrics_object_is_one_readable_diff() {
+        let world = World::build(WorldConfig::tiny(7));
+        let m = collect_metrics(&world);
+        let baseline = json::parse("{\"schema\": \"sprite-bench/v1\"}").expect("valid");
+        let diffs = compare_against_baseline(&m, &baseline);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("regenerate"));
+    }
+
+    #[test]
+    fn metrics_are_reproducible_at_equal_seeds() {
+        let w1 = World::build(WorldConfig::tiny(11));
+        let w2 = World::build(WorldConfig::tiny(11));
+        assert_eq!(collect_metrics(&w1), collect_metrics(&w2));
+    }
+}

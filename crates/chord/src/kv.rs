@@ -13,6 +13,7 @@ use sprite_util::RingId;
 
 use crate::ring::{ChordError, ChordNet};
 use crate::stats::{MsgKind, NetStats};
+use crate::trace::{NullTrace, Phase, TraceSink};
 
 /// Replicated DHT storage of values of type `V`.
 #[derive(Clone, Debug)]
@@ -51,19 +52,42 @@ impl<V: Clone> Dht<V> {
     /// owner, writes there, and mirrors to the replicas resolved by walking
     /// the owner's successor chain — no global knowledge involved.
     pub fn put(&mut self, from: RingId, key: RingId, value: V) -> Result<(), ChordError> {
-        let owner = self.net.lookup(from, key)?.owner;
-        let mut delta = NetStats::new();
-        let replicas = self
+        self.put_traced(from, key, value, 0, &mut NullTrace)
+    }
+
+    /// [`Dht::put`] with trace events emitted into `sink` under
+    /// [`Phase::Publish`]. Charging is bit-identical to the untraced call.
+    pub fn put_traced<T: TraceSink>(
+        &mut self,
+        from: RingId,
+        key: RingId,
+        value: V,
+        tick: u64,
+        sink: &mut T,
+    ) -> Result<(), ChordError> {
+        let owner = self
             .net
-            .replicas_from_owner(owner, self.replication, &mut delta);
+            .lookup_fast_traced(from, key, Phase::Publish, tick, sink)?
+            .owner;
+        let mut delta = NetStats::new();
+        let replicas = self.net.replicas_from_owner_traced(
+            owner,
+            self.replication,
+            &mut delta,
+            Phase::Publish,
+            tick,
+            sink,
+        );
         self.net.absorb_stats(&delta);
         debug_assert_eq!(replicas.first(), Some(&owner));
         for (i, peer) in replicas.into_iter().enumerate() {
-            self.net.charge(if i == 0 {
+            let kind = if i == 0 {
                 MsgKind::IndexPublish
             } else {
                 MsgKind::Replication
-            });
+            };
+            self.net
+                .charge_traced(kind, Phase::Publish, tick, peer, sink);
             self.store
                 .entry(peer.0)
                 .or_default()
@@ -76,8 +100,24 @@ impl<V: Clone> Dht<V> {
     /// replica within the replication span when the routed owner holds no
     /// copy (e.g. it joined after the write and has not synced).
     pub fn get(&mut self, from: RingId, key: RingId) -> Result<Option<V>, ChordError> {
-        let owner = self.net.lookup(from, key)?.owner;
-        self.net.charge(MsgKind::QueryFetch);
+        self.get_traced(from, key, 0, &mut NullTrace)
+    }
+
+    /// [`Dht::get`] with trace events emitted into `sink` under
+    /// [`Phase::Query`]. Charging is bit-identical to the untraced call.
+    pub fn get_traced<T: TraceSink>(
+        &mut self,
+        from: RingId,
+        key: RingId,
+        tick: u64,
+        sink: &mut T,
+    ) -> Result<Option<V>, ChordError> {
+        let owner = self
+            .net
+            .lookup_fast_traced(from, key, Phase::Query, tick, sink)?
+            .owner;
+        self.net
+            .charge_traced(MsgKind::QueryFetch, Phase::Query, tick, owner, sink);
         if let Some(v) = self.store.get(&owner.0).and_then(|m| m.get(&key.0)) {
             return Ok(Some(v.clone()));
         }
@@ -85,12 +125,18 @@ impl<V: Clone> Dht<V> {
         // successor chain (the routed failover of §7).
         if self.replication > 1 {
             let mut delta = NetStats::new();
-            let replicas = self
-                .net
-                .replicas_from_owner(owner, self.replication, &mut delta);
+            let replicas = self.net.replicas_from_owner_traced(
+                owner,
+                self.replication,
+                &mut delta,
+                Phase::Query,
+                tick,
+                sink,
+            );
             self.net.absorb_stats(&delta);
             for peer in replicas.into_iter().skip(1) {
-                self.net.charge(MsgKind::QueryFetch);
+                self.net
+                    .charge_traced(MsgKind::QueryFetch, Phase::Query, tick, peer, sink);
                 if let Some(v) = self.store.get(&peer.0).and_then(|m| m.get(&key.0)) {
                     return Ok(Some(v.clone()));
                 }
@@ -102,15 +148,36 @@ impl<V: Clone> Dht<V> {
     /// Remove `key` from every replica, issued by peer `from`. Returns true
     /// if at least one copy existed.
     pub fn remove(&mut self, from: RingId, key: RingId) -> Result<bool, ChordError> {
-        let owner = self.net.lookup(from, key)?.owner;
-        let mut delta = NetStats::new();
-        let replicas = self
+        self.remove_traced(from, key, 0, &mut NullTrace)
+    }
+
+    /// [`Dht::remove`] with trace events emitted into `sink` under
+    /// [`Phase::Publish`] (removal is the write path of an index update).
+    pub fn remove_traced<T: TraceSink>(
+        &mut self,
+        from: RingId,
+        key: RingId,
+        tick: u64,
+        sink: &mut T,
+    ) -> Result<bool, ChordError> {
+        let owner = self
             .net
-            .replicas_from_owner(owner, self.replication, &mut delta);
+            .lookup_fast_traced(from, key, Phase::Publish, tick, sink)?
+            .owner;
+        let mut delta = NetStats::new();
+        let replicas = self.net.replicas_from_owner_traced(
+            owner,
+            self.replication,
+            &mut delta,
+            Phase::Publish,
+            tick,
+            sink,
+        );
         self.net.absorb_stats(&delta);
         let mut existed = false;
         for peer in replicas {
-            self.net.charge(MsgKind::IndexRemove);
+            self.net
+                .charge_traced(MsgKind::IndexRemove, Phase::Publish, tick, peer, sink);
             if let Some(m) = self.store.get_mut(&peer.0) {
                 existed |= m.remove(&key.0).is_some();
             }
@@ -131,6 +198,13 @@ impl<V: Clone> Dht<V> {
     /// walk; one replication message is charged per copy created. Returns
     /// the number of copies written.
     pub fn rereplicate(&mut self) -> usize {
+        self.rereplicate_traced(0, &mut NullTrace)
+    }
+
+    /// [`Dht::rereplicate`] with trace events emitted into `sink` under
+    /// [`Phase::ChurnRepair`]. Charging is bit-identical to the untraced
+    /// call.
+    pub fn rereplicate_traced<T: TraceSink>(&mut self, tick: u64, sink: &mut T) -> usize {
         // Union of all (key, value) pairs still alive anywhere, each with
         // the smallest-id alive holder to route the repair from. Keys are
         // then repaired in sorted order so the schedule — and its message
@@ -153,17 +227,36 @@ impl<V: Clone> Dht<V> {
             };
             // A dead-end here means the key is unroutable under the current
             // damage; leave it for the next repair round.
-            let Ok(replicas) = self
-                .net
-                .route_replicas(RingId(holder), RingId(k), self.replication)
-            else {
+            let Ok(lookup) = self.net.lookup_fast_traced(
+                RingId(holder),
+                RingId(k),
+                Phase::ChurnRepair,
+                tick,
+                sink,
+            ) else {
                 continue;
             };
+            let mut delta = NetStats::new();
+            let replicas = self.net.replicas_from_owner_traced(
+                lookup.owner,
+                self.replication,
+                &mut delta,
+                Phase::ChurnRepair,
+                tick,
+                sink,
+            );
+            self.net.absorb_stats(&delta);
             for peer in replicas {
                 let slot = self.store.entry(peer.0).or_default();
                 if let std::collections::hash_map::Entry::Vacant(e) = slot.entry(k) {
                     e.insert(v.clone());
-                    self.net.charge(MsgKind::Replication);
+                    self.net.charge_traced(
+                        MsgKind::Replication,
+                        Phase::ChurnRepair,
+                        tick,
+                        peer,
+                        sink,
+                    );
                     written += 1;
                 }
             }

@@ -1,6 +1,6 @@
 //! A Chord DHT simulator, as the SPRITE paper uses it.
 //!
-//! "We implemented Chord as designed in [15]. All terms are hashed using
+//! "We implemented Chord as designed in \[15\]. All terms are hashed using
 //! MD5" (§6). This crate provides that substrate as a deterministic
 //! single-process simulation:
 //!
@@ -11,7 +11,9 @@
 //! * [`stats`] — message counters classified by purpose, feeding the cost
 //!   studies;
 //! * [`kv`] — a replicated key-value layer demonstrating §7's
-//!   successor-replication scheme.
+//!   successor-replication scheme;
+//! * [`trace`] — the deterministic observability layer: zero-cost-when-
+//!   disabled trace sinks, structured events, and mergeable cost recorders.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -23,9 +25,11 @@ pub mod kv;
 pub mod node;
 pub mod ring;
 pub mod stats;
+pub mod trace;
 
 pub use churn::{ChurnConfig, ChurnEngine, ChurnEvent, TickReport};
 pub use kv::Dht;
 pub use node::NodeState;
 pub use ring::{ChordConfig, ChordError, ChordNet, Lookup, LookupLite};
 pub use stats::{MsgKind, NetStats, MSG_KINDS};
+pub use trace::{Event, NullTrace, Phase, TraceRecorder, TraceSink, PHASES};

@@ -1,6 +1,6 @@
 //! The Chord network simulator.
 //!
-//! "We implemented Chord as designed in [15]" (§6 of the SPRITE paper).
+//! "We implemented Chord as designed in \[15\]" (§6 of the SPRITE paper).
 //! This module is that implementation, as a deterministic single-process
 //! simulation: every peer's routing state is explicit ([`NodeState`]), every
 //! inter-peer interaction is charged to [`NetStats`], and lookups route using
@@ -22,6 +22,7 @@ use sprite_util::{derive_rng, RingId, ID_BITS};
 
 use crate::node::NodeState;
 use crate::stats::{MsgKind, NetStats};
+use crate::trace::{self, Event, Phase, TraceSink};
 
 /// Simulator configuration.
 #[derive(Clone, Debug)]
@@ -548,6 +549,146 @@ impl ChordNet {
     /// operation SPRITE performs for every query keyword and index publish.
     pub fn lookup_term(&mut self, from: RingId, term: &str) -> Result<Lookup, ChordError> {
         self.lookup(from, RingId::hash_term(term))
+    }
+
+    // ------------------------------------------------------------------
+    // Traced routing (observability layer)
+    // ------------------------------------------------------------------
+
+    /// [`Self::probe`] with the full visited path: read-only, charges into
+    /// the caller's delta exactly like `probe`, but returns a [`Lookup`] so
+    /// trace reports can show the route. Only the tracing/diagnostic query
+    /// path pays the path allocation.
+    pub fn probe_full(
+        &self,
+        from: RingId,
+        key: RingId,
+        stats: &mut NetStats,
+    ) -> Result<Lookup, ChordError> {
+        let mut path = Vec::new();
+        let (result, hops, failed) = self.walk(from, key, Some(&mut path));
+        stats.charge_route(MsgKind::LookupHop, hops, failed, result.is_ok());
+        result.map(|lite| Lookup {
+            owner: lite.owner,
+            hops: lite.hops,
+            path,
+        })
+    }
+
+    /// [`Self::lookup_fast`] that additionally emits one event per routing
+    /// hop (and per failed probe) into `sink`. Charging is bit-identical to
+    /// the untraced call; when `T::ENABLED` is false this *is* the untraced
+    /// call — the path bookkeeping compiles out.
+    pub fn lookup_fast_traced<T: TraceSink>(
+        &mut self,
+        from: RingId,
+        key: RingId,
+        phase: Phase,
+        tick: u64,
+        sink: &mut T,
+    ) -> Result<LookupLite, ChordError> {
+        if !T::ENABLED {
+            return self.lookup_fast(from, key);
+        }
+        let mut path = Vec::new();
+        let (result, hops, failed) = self.walk(from, key, Some(&mut path));
+        self.stats
+            .charge_route(MsgKind::LookupHop, hops, failed, result.is_ok());
+        // `path` holds the origin plus every intermediate node contacted:
+        // exactly `hops` hop messages target `path[1..]`.
+        for &peer in path.iter().skip(1) {
+            sink.emit(Event {
+                tick,
+                peer,
+                kind: MsgKind::LookupHop,
+                phase,
+            });
+        }
+        if failed > 0 {
+            // Timeout probes are attributed to the walk's origin: the dead
+            // targets are no longer addressable peers.
+            sink.emit_n(
+                Event {
+                    tick,
+                    peer: from,
+                    kind: MsgKind::Failed,
+                    phase,
+                },
+                failed,
+            );
+        }
+        if result.is_ok() {
+            sink.lookup_done(hops);
+        }
+        result
+    }
+
+    /// [`Self::charge`] that also emits the matching trace event. Query-path
+    /// modules use this (enforced by `sprite-lint`) so accounting and
+    /// tracing cannot diverge.
+    pub fn charge_traced<T: TraceSink>(
+        &mut self,
+        kind: MsgKind,
+        phase: Phase,
+        tick: u64,
+        peer: RingId,
+        sink: &mut T,
+    ) {
+        trace::charge(&mut self.stats, sink, tick, peer, kind, phase);
+    }
+
+    /// [`Self::charge_n`] that also emits the matching trace events.
+    pub fn charge_n_traced<T: TraceSink>(
+        &mut self,
+        kind: MsgKind,
+        phase: Phase,
+        tick: u64,
+        peer: RingId,
+        n: u64,
+        sink: &mut T,
+    ) {
+        trace::charge_n(&mut self.stats, sink, tick, peer, kind, phase, n);
+    }
+
+    /// [`Self::replicas_from_owner`] that additionally emits one event per
+    /// successor-chain probe (and per dead-entry timeout) into `sink`.
+    /// Charging into `stats` is bit-identical to the untraced call.
+    #[must_use]
+    pub fn replicas_from_owner_traced<T: TraceSink>(
+        &self,
+        owner: RingId,
+        n: usize,
+        stats: &mut NetStats,
+        phase: Phase,
+        tick: u64,
+        sink: &mut T,
+    ) -> Vec<RingId> {
+        if !T::ENABLED {
+            return self.replicas_from_owner(owner, n, stats);
+        }
+        let timeouts_before = stats.count(MsgKind::Timeout);
+        let out = self.replicas_from_owner(owner, n, stats);
+        for &peer in out.iter().skip(1) {
+            sink.emit(Event {
+                tick,
+                peer,
+                kind: MsgKind::Maintenance,
+                phase,
+            });
+        }
+        let timeouts = stats.count(MsgKind::Timeout) - timeouts_before;
+        if timeouts > 0 {
+            sink.emit_n(
+                Event {
+                    tick,
+                    peer: owner,
+                    kind: MsgKind::Timeout,
+                    phase,
+                },
+                timeouts,
+            );
+        }
+        out
     }
 
     /// Routing engine shared by lookups and maintenance probes; `kind`

@@ -38,7 +38,7 @@ pub enum MsgKind {
 pub const MSG_KINDS: usize = 10;
 
 impl MsgKind {
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             MsgKind::LookupHop => 0,
             MsgKind::IndexPublish => 1,
@@ -50,6 +50,24 @@ impl MsgKind {
             MsgKind::Replication => 7,
             MsgKind::Failed => 8,
             MsgKind::Timeout => 9,
+        }
+    }
+
+    /// Stable lower-snake name, used by trace reports and the bench
+    /// `metrics` JSON object (so the CI gate can key counts by kind).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgKind::LookupHop => "lookup_hop",
+            MsgKind::IndexPublish => "index_publish",
+            MsgKind::IndexRemove => "index_remove",
+            MsgKind::QueryFetch => "query_fetch",
+            MsgKind::LearnPoll => "learn_poll",
+            MsgKind::LearnReturn => "learn_return",
+            MsgKind::Maintenance => "maintenance",
+            MsgKind::Replication => "replication",
+            MsgKind::Failed => "failed",
+            MsgKind::Timeout => "timeout",
         }
     }
 
@@ -229,6 +247,61 @@ mod tests {
         assert_eq!(a.lookups(), 2);
         assert!((a.mean_hops() - 4.0).abs() < 1e-12);
         assert_eq!(a.max_hops(), 6);
+    }
+
+    #[test]
+    fn charge_route_zero_hop_completed_lookup() {
+        // A lookup answered by the origin itself: no hop messages, but the
+        // hop distribution must still record a completed zero-hop lookup.
+        let mut s = NetStats::new();
+        s.charge_route(MsgKind::LookupHop, 0, 0, true);
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.lookups(), 1);
+        assert_eq!(s.mean_hops(), 0.0);
+        assert_eq!(s.max_hops(), 0);
+    }
+
+    #[test]
+    fn charge_route_failed_only_walk() {
+        // A walk that only hit dead peers: timeouts are billed, no lookup
+        // completes, the hop distribution stays empty.
+        let mut s = NetStats::new();
+        s.charge_route(MsgKind::LookupHop, 0, 3, false);
+        assert_eq!(s.count(MsgKind::Failed), 3);
+        assert_eq!(s.count(MsgKind::LookupHop), 0);
+        assert_eq!(s.lookups(), 0);
+        assert_eq!(s.max_hops(), 0);
+    }
+
+    #[test]
+    fn charge_route_non_lookup_kind_skips_hop_distribution() {
+        // Maintenance walks bill their hops under their own kind but never
+        // enter the application-lookup hop distribution, even when
+        // completed.
+        let mut s = NetStats::new();
+        s.charge_route(MsgKind::Maintenance, 4, 1, true);
+        assert_eq!(s.count(MsgKind::Maintenance), 4);
+        assert_eq!(s.count(MsgKind::Failed), 1);
+        assert_eq!(s.lookups(), 0, "non-LookupHop kinds skip record_lookup");
+        assert_eq!(s.max_hops(), 0);
+    }
+
+    #[test]
+    fn charge_route_incomplete_lookup_bills_hops_without_distribution() {
+        let mut s = NetStats::new();
+        s.charge_route(MsgKind::LookupHop, 5, 2, false);
+        assert_eq!(s.count(MsgKind::LookupHop), 5);
+        assert_eq!(s.count(MsgKind::Failed), 2);
+        assert_eq!(s.lookups(), 0);
+    }
+
+    #[test]
+    fn msg_kind_names_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for k in MsgKind::all() {
+            assert!(seen.insert(k.name()));
+        }
+        assert_eq!(seen.len(), MSG_KINDS);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! "Since cooperation among peers is not as close as in a distributed
 //! system … local context analysis can be employed in SPRITE. In local
 //! context analysis, global information is not required — the co-occurrence
-//! of [terms] in a document is analyzed. Queries are enriched accordingly."
+//! of \[terms\] in a document is analyzed. Queries are enriched accordingly."
 //!
 //! The querying peer runs the original query, downloads the term vectors of
 //! the top-ranked documents from their owner peers (each fetch is charged),

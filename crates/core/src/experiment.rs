@@ -5,7 +5,7 @@
 //! 50/50 train/test split. The `fig4*` functions reproduce the three panels
 //! of Figure 4; the bench binaries are thin printers over these.
 
-use sprite_chord::NetStats;
+use sprite_chord::{NetStats, TraceRecorder};
 use sprite_corpus::{
     generate_workload, issue_order, split_train_test, CorpusConfig, GenConfig, GeneratedQuery,
     Schedule, SyntheticCorpus,
@@ -175,6 +175,61 @@ impl World {
         }
         sys.net_mut().absorb_stats(&total);
         acc.finish()
+    }
+
+    /// [`World::evaluate`] with the observability layer switched on: every
+    /// query runs through the traced ranking path with a **private**
+    /// [`TraceRecorder`], and the per-query recorders are merged in input
+    /// order alongside the [`NetStats`] deltas. Because the recorder's
+    /// merge is commutative and the fold order is fixed, the returned
+    /// histograms are bit-identical at any `SPRITE_THREADS` worker count —
+    /// and because tracing only *observes* (every traced helper charges
+    /// through the same code path as its untraced twin), the
+    /// [`RatioEval`] and the absorbed stats are bit-identical to an
+    /// untraced [`World::evaluate`] run.
+    pub fn evaluate_traced(
+        &self,
+        sys: &mut SpriteSystem,
+        indices: &[usize],
+        k: usize,
+    ) -> (RatioEval, TraceRecorder) {
+        sys.warm_query_terms(indices.iter().map(|&qi| &self.workload[qi].query));
+        let per_query: Vec<(PrEval, PrEval, NetStats, TraceRecorder)> = {
+            let view = sys.query_view();
+            let peers = view.peers();
+            par_map_init(indices, RankScratch::new, |scratch, i, &qi| {
+                let gq = &self.workload[qi];
+                let from = peers[i % peers.len()];
+                let mut delta = NetStats::new();
+                let mut recorder = TraceRecorder::new();
+                let sys_hits = view.query_traced(
+                    from,
+                    &gq.query,
+                    k,
+                    &mut delta,
+                    scratch,
+                    i as u64,
+                    &mut recorder,
+                );
+                let cen_hits = self.engine.search(&gq.query, k);
+                (
+                    evaluate_hits_at_k(&sys_hits, &gq.relevant, k),
+                    evaluate_hits_at_k(&cen_hits, &gq.relevant, k),
+                    delta,
+                    recorder,
+                )
+            })
+        };
+        let mut acc = RatioAccumulator::new();
+        let mut total = NetStats::new();
+        let mut trace = TraceRecorder::new();
+        for (sys_pr, cen_pr, delta, recorder) in &per_query {
+            acc.add(*sys_pr, *cen_pr);
+            total.merge(delta);
+            trace.merge(recorder);
+        }
+        sys.net_mut().absorb_stats(&total);
+        (acc.finish(), trace)
     }
 
     /// The §6.2 standard pipeline: insert the training queries, publish all
@@ -636,6 +691,48 @@ mod tests {
         assert_eq!(r1.recall_ratio.to_bits(), r4.recall_ratio.to_bits());
         assert_eq!(r1.queries, r4.queries);
         assert_eq!(s1, s4, "merged NetStats must be bit-identical");
+    }
+
+    #[test]
+    fn traced_evaluate_is_bit_identical_to_untraced() {
+        // Tracing is observation only: switching it on must change neither
+        // the ratios (exact float bits) nor the merged NetStats.
+        let w = tiny_world();
+        let mut plain = w.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+        let mut traced = w.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+        plain.net_mut().reset_stats();
+        traced.net_mut().reset_stats();
+        let r0 = w.evaluate(&mut plain, &w.test, 20);
+        let (r1, rec) = w.evaluate_traced(&mut traced, &w.test, 20);
+        assert_eq!(r0.precision_ratio.to_bits(), r1.precision_ratio.to_bits());
+        assert_eq!(r0.recall_ratio.to_bits(), r1.recall_ratio.to_bits());
+        assert_eq!(r0.queries, r1.queries);
+        assert_eq!(plain.net().stats(), traced.net().stats());
+        assert_eq!(rec.queries(), w.test.len() as u64);
+        assert!(rec.events() > 0, "traced run must observe events");
+    }
+
+    #[test]
+    fn traced_histograms_are_thread_count_invariant() {
+        // The recorder merge is commutative and folded in input order, so
+        // the parallel engine must produce bit-identical histograms at any
+        // worker count.
+        let w = tiny_world();
+        let run = |threads: usize| {
+            let prev = sprite_util::override_threads(threads);
+            let mut sys = w.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+            sys.net_mut().reset_stats();
+            let (r, rec) = w.evaluate_traced(&mut sys, &w.test, 20);
+            sprite_util::override_threads(prev);
+            (r, rec)
+        };
+        let (r1, rec1) = run(1);
+        let (r4, rec4) = run(4);
+        assert_eq!(r1.precision_ratio.to_bits(), r4.precision_ratio.to_bits());
+        assert_eq!(
+            rec1, rec4,
+            "recorders must be bit-identical across thread counts"
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! * [`resilience`] — §7: peer failure, successor replication, hot-term
 //!   advisory;
 //! * [`expansion`] — §7: local-context-analysis query expansion;
-//! * [`experiment`] — the shared experiment driver behind every figure.
+//! * [`experiment`] — the shared experiment driver behind every figure;
+//! * [`trace`] — per-query [`QueryTrace`] reports for the observability
+//!   layer (`sprite-trace`).
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -32,6 +34,7 @@ pub mod metrics;
 pub mod peer;
 pub mod resilience;
 pub mod system;
+pub mod trace;
 pub mod view;
 
 pub use config::{IdfMode, SpriteConfig};
@@ -48,4 +51,5 @@ pub use metrics::{gini, LoadReport, PeerLoad};
 pub use peer::{CachedQuery, IndexEntry, IndexingState, OwnerDoc, TermStat};
 pub use resilience::{AdvisoryReport, ChurnReport, MaintenanceReport};
 pub use system::{LearnReport, SpriteSystem};
+pub use trace::{KeywordTrace, QueryTrace};
 pub use view::{QueryView, RankScratch};

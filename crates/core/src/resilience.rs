@@ -7,7 +7,7 @@
 //! exactly that: retrieval quality after abrupt indexing-peer failures,
 //! with and without replication.
 
-use sprite_chord::{ChurnEngine, ChurnEvent, MsgKind, NetStats, TickReport};
+use sprite_chord::{ChurnEngine, ChurnEvent, MsgKind, NetStats, Phase, TickReport};
 use sprite_ir::{DocId, TermId};
 use sprite_util::{derive_rng, RingId};
 
@@ -94,6 +94,7 @@ impl SpriteSystem {
     /// No `converge`, no oracle — staleness the budget leaves behind is
     /// what the churn experiments measure.
     pub fn churn_tick(&mut self, engine: &mut ChurnEngine) -> ChurnReport {
+        let span = self.trace_span_start();
         let mut report = ChurnReport::default();
         let events = engine.plan(self.net());
         for ev in &events {
@@ -111,6 +112,7 @@ impl SpriteSystem {
         }
         report.tick = engine.apply(self.net_mut(), &events);
         self.refresh_peers();
+        self.trace_span_end(Phase::ChurnRepair, span);
         report
     }
 
@@ -147,10 +149,13 @@ impl SpriteSystem {
     /// entries orphaned by ownership transfer, then refresh successor
     /// replicas. Intended cadence: every few [`Self::churn_tick`]s.
     pub fn maintenance_round(&mut self) -> MaintenanceReport {
-        MaintenanceReport {
+        let span = self.trace_span_start();
+        let report = MaintenanceReport {
             orphans_moved: self.republish_orphans(),
             replicated: self.replicate_indexes(),
-        }
+        };
+        self.trace_span_end(Phase::Maintenance, span);
+        report
     }
 
     /// Re-home entries orphaned by ownership transfer: after joins, a peer

@@ -21,7 +21,9 @@
 
 use std::collections::HashMap;
 
-use sprite_chord::{ChordConfig, ChordNet, MsgKind, NetStats};
+use sprite_chord::{
+    ChordConfig, ChordNet, MsgKind, NetStats, NullTrace, Phase, TraceRecorder, TraceSink,
+};
 use sprite_ir::{Corpus, DocId, Hit, Query, Similarity, TermId};
 use sprite_util::{derive_rng, Md5, RingId};
 
@@ -70,6 +72,37 @@ pub struct SpriteSystem {
     /// re-walks the ring per call; many documents publish the same term).
     /// Invalidated whenever the membership can change.
     replica_cache: HashMap<u128, Vec<RingId>>,
+    /// Installed trace recorder (observability layer). `None` — the
+    /// default — makes every operation run its untraced, zero-overhead
+    /// monomorphization.
+    tracer: Option<TraceRecorder>,
+    /// Logical clock stamped on trace events: advances once per top-level
+    /// operation (publish pass, query, learning iteration), tracing on or
+    /// off, so enabling tracing cannot shift any behavior.
+    trace_tick: u64,
+}
+
+/// Run `$body` with the installed tracer as `$sink` (temporarily moved out
+/// so `$self` stays mutably borrowable), or with [`NullTrace`] when tracing
+/// is off. A macro because [`TraceSink`] is deliberately not object-safe —
+/// dispatch happens by monomorphization, not `dyn`.
+macro_rules! traced {
+    ($self:ident, $sink:ident, $body:expr) => {
+        match $self.tracer.take() {
+            Some(mut recorder) => {
+                let out = {
+                    let $sink = &mut recorder;
+                    $body
+                };
+                $self.tracer = Some(recorder);
+                out
+            }
+            None => {
+                let $sink = &mut NullTrace;
+                $body
+            }
+        }
+    };
 }
 
 impl SpriteSystem {
@@ -102,6 +135,56 @@ impl SpriteSystem {
             issue_cursor: 0,
             true_dfs: None,
             replica_cache: HashMap::new(),
+            tracer: None,
+            trace_tick: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing (observability layer)
+    // ------------------------------------------------------------------
+
+    /// Install a fresh [`TraceRecorder`]: subsequent operations emit events
+    /// into it. Tracing is observation only — results and `NetStats` are
+    /// bit-identical with and without it (audited by `sprite-audit`).
+    pub fn enable_tracing(&mut self) {
+        if self.tracer.is_none() {
+            self.tracer = Some(TraceRecorder::new());
+        }
+    }
+
+    /// Remove and return the installed recorder (tracing turns off).
+    pub fn take_tracer(&mut self) -> Option<TraceRecorder> {
+        self.tracer.take()
+    }
+
+    /// The installed recorder, if tracing is on.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&TraceRecorder> {
+        self.tracer.as_ref()
+    }
+
+    /// Advance the logical trace clock (once per top-level operation,
+    /// tracing on or off).
+    fn next_tick(&mut self) -> u64 {
+        let t = self.trace_tick;
+        self.trace_tick += 1;
+        t
+    }
+
+    /// Start of a coarse traced span (maintenance round, churn tick): a
+    /// stats snapshot when tracing is on, `None` otherwise.
+    pub(crate) fn trace_span_start(&self) -> Option<NetStats> {
+        self.tracer.as_ref().map(|_| self.net.stats().clone())
+    }
+
+    /// End of a coarse traced span: attribute every message charged since
+    /// `start` to `phase`. Deriving the events from the accounting diff
+    /// means span traces cannot diverge from `NetStats`.
+    pub(crate) fn trace_span_end(&mut self, phase: Phase, start: Option<NetStats>) {
+        if let (Some(before), Some(recorder)) = (start, self.tracer.as_mut()) {
+            let after = self.net.stats().clone();
+            recorder.absorb_span(phase, &before, &after);
         }
     }
 
@@ -235,14 +318,26 @@ impl SpriteSystem {
     /// until churn. The walk's Maintenance/Timeout probes are charged on
     /// first resolution only — a peer remembering the replica set it just
     /// learned, exactly like a real cache.
-    fn replicas_of(&mut self, key: RingId, owner: RingId) -> Vec<RingId> {
+    fn replicas_of<T: TraceSink>(
+        &mut self,
+        key: RingId,
+        owner: RingId,
+        phase: Phase,
+        tick: u64,
+        sink: &mut T,
+    ) -> Vec<RingId> {
         if let Some(r) = self.replica_cache.get(&key.0) {
             return r.clone();
         }
         let mut delta = NetStats::new();
-        let r = self
-            .net
-            .replicas_from_owner(owner, self.cfg.replication, &mut delta);
+        let r = self.net.replicas_from_owner_traced(
+            owner,
+            self.cfg.replication,
+            &mut delta,
+            phase,
+            tick,
+            sink,
+        );
         self.net.absorb_stats(&delta);
         self.replica_cache.insert(key.0, r.clone());
         r
@@ -271,29 +366,54 @@ impl SpriteSystem {
     /// every document. Idempotent per document: already-published documents
     /// are skipped.
     pub fn publish_all(&mut self) {
-        for i in 0..self.corpus.len() {
-            let doc = DocId(i as u32);
-            if !self.owners[i].published.is_empty() {
-                continue;
+        let tick = self.next_tick();
+        traced!(self, sink, {
+            for i in 0..self.corpus.len() {
+                let doc = DocId(i as u32);
+                if !self.owners[i].published.is_empty() {
+                    continue;
+                }
+                let initial = self
+                    .corpus
+                    .doc(doc)
+                    .top_frequent_terms(self.cfg.initial_terms);
+                for &t in &initial {
+                    self.publish_term_with(doc, t, Phase::Publish, tick, sink);
+                }
+                self.owners[i].published = initial;
+                self.debug_validate_owner(doc);
             }
-            let initial = self
-                .corpus
-                .doc(doc)
-                .top_frequent_terms(self.cfg.initial_terms);
-            for &t in &initial {
-                self.publish_term(doc, t);
-            }
-            self.owners[i].published = initial;
-            self.debug_validate_owner(doc);
-        }
+        });
     }
 
     /// Publish one `(doc, term)` index entry: route to the responsible
     /// peer, store the §5.1 metadata there, replicate if configured.
     pub(crate) fn publish_term(&mut self, doc: DocId, term: TermId) {
+        let tick = self.trace_tick;
+        traced!(
+            self,
+            sink,
+            self.publish_term_with(doc, term, Phase::Publish, tick, sink)
+        );
+    }
+
+    /// [`Self::publish_term`] under an explicit phase/sink — the traced
+    /// core every publishing caller (initial share, learning diff,
+    /// advisory replacement) funnels through.
+    fn publish_term_with<T: TraceSink>(
+        &mut self,
+        doc: DocId,
+        term: TermId,
+        phase: Phase,
+        tick: u64,
+        sink: &mut T,
+    ) {
         let owner_peer = self.doc_owner[doc.index()];
         let key = self.term_ring(term);
-        let Ok(lookup) = self.net.lookup_fast(owner_peer, key) else {
+        let Ok(lookup) = self
+            .net
+            .lookup_fast_traced(owner_peer, key, phase, tick, sink)
+        else {
             return; // unroutable during heavy churn; retried on next iteration
         };
         let d = self.corpus.doc(doc);
@@ -305,14 +425,20 @@ impl SpriteSystem {
             distinct: d.distinct_terms() as u32,
         };
         let cap = self.cfg.query_cache_capacity;
-        self.net.charge(MsgKind::IndexPublish);
+        self.net
+            .charge_traced(MsgKind::IndexPublish, phase, tick, lookup.owner, sink);
         self.indexing
             .entry(lookup.owner.0)
             .or_insert_with(|| IndexingState::new(cap))
             .publish(term, entry);
         if self.cfg.replication > 1 {
-            for peer in self.replicas_of(key, lookup.owner).into_iter().skip(1) {
-                self.net.charge(MsgKind::Replication);
+            for peer in self
+                .replicas_of(key, lookup.owner, phase, tick, sink)
+                .into_iter()
+                .skip(1)
+            {
+                self.net
+                    .charge_traced(MsgKind::Replication, phase, tick, peer, sink);
                 self.indexing
                     .entry(peer.0)
                     .or_insert_with(|| IndexingState::new(cap))
@@ -324,18 +450,44 @@ impl SpriteSystem {
     /// Retract one `(doc, term)` index entry from the responsible peer and
     /// any replicas.
     pub(crate) fn remove_term(&mut self, doc: DocId, term: TermId) {
+        let tick = self.trace_tick;
+        traced!(
+            self,
+            sink,
+            self.remove_term_with(doc, term, Phase::Publish, tick, sink)
+        );
+    }
+
+    /// [`Self::remove_term`] under an explicit phase/sink.
+    fn remove_term_with<T: TraceSink>(
+        &mut self,
+        doc: DocId,
+        term: TermId,
+        phase: Phase,
+        tick: u64,
+        sink: &mut T,
+    ) {
         let owner_peer = self.doc_owner[doc.index()];
         let key = self.term_ring(term);
-        let Ok(lookup) = self.net.lookup_fast(owner_peer, key) else {
+        let Ok(lookup) = self
+            .net
+            .lookup_fast_traced(owner_peer, key, phase, tick, sink)
+        else {
             return;
         };
-        self.net.charge(MsgKind::IndexRemove);
+        self.net
+            .charge_traced(MsgKind::IndexRemove, phase, tick, lookup.owner, sink);
         if let Some(st) = self.indexing.get_mut(&lookup.owner.0) {
             st.remove(term, doc);
         }
         if self.cfg.replication > 1 {
-            for peer in self.replicas_of(key, lookup.owner).into_iter().skip(1) {
-                self.net.charge(MsgKind::IndexRemove);
+            for peer in self
+                .replicas_of(key, lookup.owner, phase, tick, sink)
+                .into_iter()
+                .skip(1)
+            {
+                self.net
+                    .charge_traced(MsgKind::IndexRemove, phase, tick, peer, sink);
                 if let Some(st) = self.indexing.get_mut(&peer.0) {
                     st.remove(term, doc);
                 }
@@ -357,12 +509,32 @@ impl SpriteSystem {
 
     /// Issue `query` from a specific peer.
     pub fn issue_query_from(&mut self, from: RingId, query: &Query, k: usize) -> Vec<Hit> {
+        let tick = self.next_tick();
+        traced!(
+            self,
+            sink,
+            self.issue_query_from_with(from, query, k, tick, sink)
+        )
+    }
+
+    /// [`Self::issue_query_from`] under an explicit sink — results and
+    /// charges are bit-identical whether the sink records or not.
+    fn issue_query_from_with<T: TraceSink>(
+        &mut self,
+        from: RingId,
+        query: &Query,
+        k: usize,
+        tick: u64,
+        sink: &mut T,
+    ) -> Vec<Hit> {
         if query.is_empty() || !self.net.contains(from) {
             return Vec::new();
         }
         self.query_seq += 1;
         let seq = self.query_seq;
         let qhash = self.query_hash(query);
+        let msgs_before = self.net.stats().total_messages();
+        let mut replicas_probed: u64 = 0;
 
         // Phase 1 — contact each keyword's indexing peer: fetch the inverted
         // list and leave the query in that peer's history.
@@ -374,18 +546,23 @@ impl SpriteSystem {
         let mut fetches: Vec<TermFetch> = Vec::with_capacity(query.distinct_len());
         for (term, qtf) in query.term_counts() {
             let key = self.term_ring(term);
-            let lookup = match self.net.lookup_fast(from, key) {
+            let lookup = match self
+                .net
+                .lookup_fast_traced(from, key, Phase::Query, tick, sink)
+            {
                 Ok(l) => l,
                 Err(_) => {
                     // §7 degradation: the routed walk dead-ended (every
                     // successor-list entry probed was dead). Charge the
                     // abandoned retry and drop the keyword — ranking
                     // proceeds on the terms that are still reachable.
-                    self.net.charge(MsgKind::Timeout);
+                    self.net
+                        .charge_traced(MsgKind::Timeout, Phase::Query, tick, from, sink);
                     continue;
                 }
             };
-            self.net.charge(MsgKind::QueryFetch);
+            self.net
+                .charge_traced(MsgKind::QueryFetch, Phase::Query, tick, lookup.owner, sink);
             let cap = self.cfg.query_cache_capacity;
             let st = self
                 .indexing
@@ -400,12 +577,19 @@ impl SpriteSystem {
             // with no entries; ranking degrades to partial results.
             if entries.is_empty() && self.cfg.replication > 1 {
                 let mut delta = NetStats::new();
-                let replicas =
-                    self.net
-                        .replicas_from_owner(lookup.owner, self.cfg.replication, &mut delta);
+                let replicas = self.net.replicas_from_owner_traced(
+                    lookup.owner,
+                    self.cfg.replication,
+                    &mut delta,
+                    Phase::Query,
+                    tick,
+                    sink,
+                );
                 self.net.absorb_stats(&delta);
                 for peer in replicas.into_iter().skip(1) {
-                    self.net.charge(MsgKind::QueryFetch);
+                    self.net
+                        .charge_traced(MsgKind::QueryFetch, Phase::Query, tick, peer, sink);
+                    replicas_probed += 1;
                     if let Some(rep) = self.indexing.get(&peer.0) {
                         let list = rep.list(term);
                         if !list.is_empty() {
@@ -468,6 +652,13 @@ impl SpriteSystem {
                 .then_with(|| a.doc.cmp(&b.doc))
         });
         hits.truncate(k);
+        if T::ENABLED {
+            sink.query_done(
+                self.net.stats().total_messages() - msgs_before,
+                replicas_probed,
+                hits.len(),
+            );
+        }
         hits
     }
 
@@ -493,6 +684,12 @@ impl SpriteSystem {
     /// configurations (eSearch) return an empty report without touching
     /// the network.
     pub fn learning_iteration(&mut self) -> LearnReport {
+        let tick = self.next_tick();
+        traced!(self, sink, self.learning_iteration_with(tick, sink))
+    }
+
+    /// [`Self::learning_iteration`] under an explicit sink.
+    fn learning_iteration_with<T: TraceSink>(&mut self, tick: u64, sink: &mut T) -> LearnReport {
         let mut report = LearnReport::default();
         if self.cfg.is_static() {
             return report;
@@ -513,7 +710,10 @@ impl SpriteSystem {
             let mut by_peer: HashMap<u128, Vec<TermId>> = HashMap::new();
             for &t in &published {
                 let key = self.term_ring(t);
-                if let Ok(l) = self.net.lookup_fast(owner_peer, key) {
+                if let Ok(l) =
+                    self.net
+                        .lookup_fast_traced(owner_peer, key, Phase::Learn, tick, sink)
+                {
                     by_peer.entry(l.owner.0).or_default().push(t);
                 }
             }
@@ -534,7 +734,8 @@ impl SpriteSystem {
             let mut by_peer: Vec<(u128, Vec<TermId>)> = by_peer.into_iter().collect();
             by_peer.sort_unstable_by_key(|&(p, _)| p);
             for (peer, terms) in &by_peer {
-                self.net.charge(MsgKind::LearnPoll);
+                self.net
+                    .charge_traced(MsgKind::LearnPoll, Phase::Learn, tick, RingId(*peer), sink);
                 report.polls += 1;
                 let Some(st) = self.indexing.get(peer) else {
                     continue;
@@ -558,7 +759,14 @@ impl SpriteSystem {
                 }
             }
             report.queries_returned += incoming.len();
-            self.net.charge_n(MsgKind::LearnReturn, returned);
+            self.net.charge_n_traced(
+                MsgKind::LearnReturn,
+                Phase::Learn,
+                tick,
+                owner_peer,
+                returned,
+                sink,
+            );
             {
                 let owner = &mut self.owners[i];
                 for &t in &published {
@@ -585,14 +793,14 @@ impl SpriteSystem {
             let mut changed = false;
             for &t in &new_terms {
                 if !published.contains(&t) {
-                    self.publish_term(doc, t);
+                    self.publish_term_with(doc, t, Phase::Learn, tick, sink);
                     report.terms_added += 1;
                     changed = true;
                 }
             }
             for &t in &published {
                 if !new_terms.contains(&t) {
-                    self.remove_term(doc, t);
+                    self.remove_term_with(doc, t, Phase::Learn, tick, sink);
                     report.terms_removed += 1;
                     changed = true;
                 }

@@ -1,0 +1,186 @@
+//! Per-query trace reports.
+//!
+//! The chord-level recorder ([`sprite_chord::TraceRecorder`]) aggregates;
+//! this module explains a *single* query: where each keyword routed, whether
+//! the routed owner actually held the inverted list or the §7 failover had
+//! to walk replicas, how many timeouts were burned, and what the query cost
+//! in messages. [`QueryTrace`] is produced by
+//! [`crate::QueryView::query_trace`] and rendered by `--bin diag`.
+
+use sprite_ir::{Corpus, TermId};
+use sprite_util::RingId;
+
+/// How one query keyword was resolved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeywordTrace {
+    /// The keyword.
+    pub term: TermId,
+    /// Its ring position (`md5(term)`).
+    pub key: RingId,
+    /// The routing walk: origin first, then every intermediate node
+    /// contacted. Empty when the walk dead-ended before the first hop.
+    pub route: Vec<RingId>,
+    /// The resolved indexing peer, `None` when routing dead-ended.
+    pub owner: Option<RingId>,
+    /// Routing steps taken.
+    pub hops: u32,
+    /// Whether the routed owner held a non-empty inverted list.
+    pub owner_hit: bool,
+    /// Failover replicas probed (in probe order) when the owner missed.
+    pub failover: Vec<RingId>,
+    /// The peer whose list was finally used, `None` when every replica
+    /// missed (the keyword contributes nothing to the rank).
+    pub served_by: Option<RingId>,
+    /// Dead-peer probes burned on this keyword (walk timeouts, dead
+    /// successor-list entries, and the abandoned-retry charge).
+    pub timeouts: u64,
+    /// Inverted-list entries fetched for the keyword.
+    pub entries: usize,
+}
+
+/// A complete per-query report: one [`KeywordTrace`] per distinct keyword
+/// plus the query-level totals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// The issuing peer.
+    pub from: RingId,
+    /// Per-keyword resolution, in the query's sorted term order.
+    pub keywords: Vec<KeywordTrace>,
+    /// Total messages billed to the query (all kinds).
+    pub messages: u64,
+    /// Size of the final rank returned to the user.
+    pub rank_size: usize,
+}
+
+fn short(id: RingId) -> String {
+    format!("{:08x}", (id.0 >> 96) as u32)
+}
+
+impl QueryTrace {
+    /// Human-readable rendering, resolving term ids against `corpus`.
+    #[must_use]
+    pub fn render(&self, corpus: &Corpus) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "query from {}: {} keywords, {} msgs, rank {}",
+            short(self.from),
+            self.keywords.len(),
+            self.messages,
+            self.rank_size
+        );
+        for kw in &self.keywords {
+            let word = corpus.vocab().term(kw.term);
+            match kw.owner {
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  kw {word:?} -> unroutable after {} dead probes (keyword dropped)",
+                        kw.timeouts
+                    );
+                }
+                Some(owner) => {
+                    let _ = write!(
+                        out,
+                        "  kw {word:?} -> owner {} ({} hop{})",
+                        short(owner),
+                        kw.hops,
+                        if kw.hops == 1 { "" } else { "s" }
+                    );
+                    if kw.owner_hit {
+                        let _ = write!(out, " hit, {} entries", kw.entries);
+                    } else if kw.failover.is_empty() {
+                        let _ = write!(out, " miss, no replicas to probe");
+                    } else {
+                        let probed: Vec<String> = kw.failover.iter().map(|&p| short(p)).collect();
+                        match kw.served_by {
+                            Some(p) => {
+                                let _ = write!(
+                                    out,
+                                    " miss -> failover [{}] served by {}, {} entries",
+                                    probed.join(", "),
+                                    short(p),
+                                    kw.entries
+                                );
+                            }
+                            None => {
+                                let _ = write!(
+                                    out,
+                                    " miss -> failover [{}] all missed",
+                                    probed.join(", ")
+                                );
+                            }
+                        }
+                    }
+                    if kw.timeouts > 0 {
+                        let _ = write!(out, ", {} timeouts", kw.timeouts);
+                    }
+                    let _ = writeln!(out);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprite_corpus::{CorpusConfig, SyntheticCorpus};
+
+    #[test]
+    fn render_covers_hit_miss_and_unroutable() {
+        let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(3));
+        let corpus = sc.corpus();
+        let t = TermId(0);
+        let trace = QueryTrace {
+            from: RingId(1 << 100),
+            keywords: vec![
+                KeywordTrace {
+                    term: t,
+                    key: RingId(7),
+                    route: vec![RingId(1 << 100), RingId(2 << 100)],
+                    owner: Some(RingId(2 << 100)),
+                    hops: 1,
+                    owner_hit: true,
+                    failover: vec![],
+                    served_by: Some(RingId(2 << 100)),
+                    timeouts: 0,
+                    entries: 4,
+                },
+                KeywordTrace {
+                    term: t,
+                    key: RingId(8),
+                    route: vec![],
+                    owner: Some(RingId(3 << 100)),
+                    hops: 2,
+                    owner_hit: false,
+                    failover: vec![RingId(4 << 100)],
+                    served_by: None,
+                    timeouts: 1,
+                    entries: 0,
+                },
+                KeywordTrace {
+                    term: t,
+                    key: RingId(9),
+                    route: vec![],
+                    owner: None,
+                    hops: 0,
+                    owner_hit: false,
+                    failover: vec![],
+                    served_by: None,
+                    timeouts: 3,
+                    entries: 0,
+                },
+            ],
+            messages: 42,
+            rank_size: 10,
+        };
+        let text = trace.render(corpus);
+        assert!(text.contains("42 msgs"));
+        assert!(text.contains("hit, 4 entries"));
+        assert!(text.contains("all missed"));
+        assert!(text.contains("unroutable after 3 dead probes"));
+    }
+}

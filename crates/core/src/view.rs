@@ -27,12 +27,14 @@
 
 use std::collections::HashMap;
 
+use sprite_chord::trace::{self, NullTrace, Phase, TraceSink};
 use sprite_chord::{ChordNet, MsgKind, NetStats};
 use sprite_ir::{Corpus, DocId, Hit, Query, Similarity, TermId};
 use sprite_util::RingId;
 
 use crate::config::{IdfMode, SpriteConfig};
 use crate::peer::{IndexEntry, IndexingState};
+use crate::trace::{KeywordTrace, QueryTrace};
 
 /// Reusable per-thread ranking buffers (see module docs). The contents
 /// never survive a query — only the allocations do.
@@ -123,45 +125,178 @@ impl<'a> QueryView<'a> {
         stats: &mut NetStats,
         scratch: &mut RankScratch,
     ) -> Vec<Hit> {
+        self.query_impl(from, query, k, stats, scratch, 0, &mut NullTrace, None)
+    }
+
+    /// [`QueryView::query`] with trace events emitted into `sink` under
+    /// [`Phase::Query`]. Results and charges are bit-identical to the
+    /// untraced call — tracing is observation only.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_traced<T: TraceSink>(
+        &self,
+        from: RingId,
+        query: &Query,
+        k: usize,
+        stats: &mut NetStats,
+        scratch: &mut RankScratch,
+        tick: u64,
+        sink: &mut T,
+    ) -> Vec<Hit> {
+        self.query_impl(from, query, k, stats, scratch, tick, sink, None)
+    }
+
+    /// [`QueryView::query`] that additionally builds the per-keyword
+    /// [`QueryTrace`] report (routes, owner hits, failover paths, timeouts).
+    /// Results and charges are bit-identical to the untraced call.
+    #[must_use]
+    pub fn query_trace(
+        &self,
+        from: RingId,
+        query: &Query,
+        k: usize,
+        stats: &mut NetStats,
+        scratch: &mut RankScratch,
+    ) -> (Vec<Hit>, QueryTrace) {
+        let mut qt = QueryTrace::default();
+        let hits = self.query_impl(
+            from,
+            query,
+            k,
+            stats,
+            scratch,
+            0,
+            &mut NullTrace,
+            Some(&mut qt),
+        );
+        (hits, qt)
+    }
+
+    /// The single query implementation behind every public flavor. When the
+    /// sink is [`NullTrace`] and no [`QueryTrace`] is requested, every
+    /// tracing branch is compile-time dead or `qt.is_some()`-guarded, so
+    /// the hot evaluation path pays nothing.
+    #[allow(clippy::too_many_arguments)]
+    fn query_impl<T: TraceSink>(
+        &self,
+        from: RingId,
+        query: &Query,
+        k: usize,
+        stats: &mut NetStats,
+        scratch: &mut RankScratch,
+        tick: u64,
+        sink: &mut T,
+        mut qt: Option<&mut QueryTrace>,
+    ) -> Vec<Hit> {
         if query.is_empty() || !self.net.contains(from) {
             return Vec::new();
         }
         scratch.clear();
+        let msgs_before = stats.total_messages();
+        let mut replicas_probed: u64 = 0;
         let n = self.cfg.assumed_n;
         for (term, qtf) in query.term_counts() {
             let key = self.term_ring(term);
-            let lookup = match self.net.probe(from, key, stats) {
-                Ok(l) => l,
+            let need_path = T::ENABLED || qt.is_some();
+            let dead_before = stats.count(MsgKind::Failed) + stats.count(MsgKind::Timeout);
+            // Resolve the keyword's indexing peer. The path-carrying probe
+            // charges exactly like the lite one; only traced callers pay
+            // the allocation.
+            let resolved = if need_path {
+                self.net
+                    .probe_full(from, key, stats)
+                    .map(|l| (l.owner, l.hops, l.path))
+            } else {
+                self.net
+                    .probe(from, key, stats)
+                    .map(|l| (l.owner, l.hops, Vec::new()))
+            };
+            let (owner, hops, route) = match resolved {
+                Ok(r) => r,
                 Err(_) => {
                     // §7 degradation, mirroring `issue_query_from`: charge
                     // the abandoned retry and drop the keyword.
-                    stats.record(MsgKind::Timeout);
+                    trace::charge(stats, sink, tick, from, MsgKind::Timeout, Phase::Query);
+                    if let Some(q) = qt.as_deref_mut() {
+                        let timeouts = stats.count(MsgKind::Failed) + stats.count(MsgKind::Timeout)
+                            - dead_before;
+                        q.keywords.push(KeywordTrace {
+                            term,
+                            key,
+                            route: Vec::new(),
+                            owner: None,
+                            hops: 0,
+                            owner_hit: false,
+                            failover: Vec::new(),
+                            served_by: None,
+                            timeouts,
+                            entries: 0,
+                        });
+                    }
                     continue;
                 }
             };
-            stats.record(MsgKind::QueryFetch);
-            let mut entries: &[IndexEntry] = self
-                .indexing
-                .get(&lookup.owner.0)
-                .map_or(&[], |st| st.list(term));
+            if T::ENABLED {
+                for &peer in route.iter().skip(1) {
+                    sink.emit(trace::Event {
+                        tick,
+                        peer,
+                        kind: MsgKind::LookupHop,
+                        phase: Phase::Query,
+                    });
+                }
+                sink.lookup_done(hops);
+            }
+            trace::charge(stats, sink, tick, owner, MsgKind::QueryFetch, Phase::Query);
+            let mut entries: &[IndexEntry] =
+                self.indexing.get(&owner.0).map_or(&[], |st| st.list(term));
+            let owner_hit = !entries.is_empty();
+            let mut failover: Vec<RingId> = Vec::new();
+            let mut served_by = if owner_hit { Some(owner) } else { None };
             // Failover when the routed peer holds no list (it may have
             // taken over an arc after a failure, §7): same routed
             // successor-chain walk as the sequential path, charged into
             // the caller's delta.
             if entries.is_empty() && self.cfg.replication > 1 {
-                let replicas =
-                    self.net
-                        .replicas_from_owner(lookup.owner, self.cfg.replication, stats);
+                let replicas = self.net.replicas_from_owner_traced(
+                    owner,
+                    self.cfg.replication,
+                    stats,
+                    Phase::Query,
+                    tick,
+                    sink,
+                );
                 for peer in replicas.into_iter().skip(1) {
-                    stats.record(MsgKind::QueryFetch);
+                    trace::charge(stats, sink, tick, peer, MsgKind::QueryFetch, Phase::Query);
+                    replicas_probed += 1;
+                    if qt.is_some() {
+                        failover.push(peer);
+                    }
                     if let Some(rep) = self.indexing.get(&peer.0) {
                         let list = rep.list(term);
                         if !list.is_empty() {
                             entries = list;
+                            served_by = Some(peer);
                             break;
                         }
                     }
                 }
+            }
+            if let Some(q) = qt.as_deref_mut() {
+                let timeouts =
+                    stats.count(MsgKind::Failed) + stats.count(MsgKind::Timeout) - dead_before;
+                q.keywords.push(KeywordTrace {
+                    term,
+                    key,
+                    route,
+                    owner: Some(owner),
+                    hops,
+                    owner_hit,
+                    failover,
+                    served_by,
+                    timeouts,
+                    entries: entries.len(),
+                });
             }
             // Accumulate immediately (§4 ranking). Terms arrive in the same
             // sorted order as the sequential path's fetch list, so the
@@ -204,7 +339,20 @@ impl<'a> QueryView<'a> {
                 .then_with(|| a.doc.cmp(&b.doc))
         });
         scratch.hits.truncate(k);
-        scratch.hits.clone()
+        let hits = scratch.hits.clone();
+        if T::ENABLED {
+            sink.query_done(
+                stats.total_messages() - msgs_before,
+                replicas_probed,
+                hits.len(),
+            );
+        }
+        if let Some(q) = qt {
+            q.from = from;
+            q.messages = stats.total_messages() - msgs_before;
+            q.rank_size = hits.len();
+        }
+        hits
     }
 }
 

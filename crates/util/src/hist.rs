@@ -1,0 +1,233 @@
+//! Fixed-bucket histograms with a commutative merge.
+//!
+//! The observability layer records per-operation costs (hops per lookup,
+//! messages per query, replicas probed) into [`Histogram`]s that are folded
+//! across worker threads exactly like `NetStats`: every field is a sum or a
+//! max, so merging per-worker recorders in input order reproduces the exact
+//! histogram a sequential run would have produced, bit for bit.
+
+/// A fixed-bucket histogram of small non-negative integer samples.
+///
+/// Bucket `i` counts samples with value exactly `i`; the final bucket is an
+/// overflow bucket that absorbs every sample `>= len - 1`. The exact sum and
+/// max are tracked alongside, so the mean is not quantized by the overflow
+/// bucket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A zeroed histogram with `buckets` buckets (at least 2: one value
+    /// bucket plus the overflow bucket).
+    #[must_use]
+    pub fn new(buckets: usize) -> Self {
+        Histogram {
+            buckets: vec![0; buckets.max(2)],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` identical samples.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let last = self.buckets.len() - 1;
+        let slot = usize::try_from(value).map_or(last, |v| v.min(last));
+        self.buckets[slot] += n;
+        self.count += n;
+        self.sum += value * n;
+        self.max = self.max.max(value);
+    }
+
+    /// Absorb the samples of `other`.
+    ///
+    /// Every field is a sum or a max, so `merge` is commutative and
+    /// associative — per-worker histograms merged in any order produce the
+    /// same result. The bucket layouts must match.
+    ///
+    /// # Panics
+    /// If the two histograms have different bucket counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram bucket layouts must match to merge"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (not quantized by the overflow bucket).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample recorded (0 if empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The bucket counts; the last entry is the overflow bucket.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Number of buckets, overflow included.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_value_buckets() {
+        let mut h = Histogram::new(5);
+        h.record(0);
+        h.record(2);
+        h.record(2);
+        h.record(3);
+        assert_eq!(h.buckets(), &[1, 0, 2, 1, 0]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 7);
+        assert_eq!(h.max(), 3);
+        assert!((h.mean() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_bucket_absorbs_large_samples() {
+        let mut h = Histogram::new(4);
+        h.record(3); // exactly the overflow bucket index
+        h.record(100);
+        assert_eq!(h.buckets(), &[0, 0, 0, 2]);
+        assert_eq!(h.sum(), 103, "sum stays exact past the overflow bucket");
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new(6);
+        a.record_n(4, 3);
+        a.record_n(9, 0);
+        let mut b = Histogram::new(6);
+        for _ in 0..3 {
+            b.record(4);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_identity() {
+        let mut h = Histogram::new(8);
+        h.record(1);
+        h.record(5);
+        h.record(19);
+        let before = h.clone();
+        h.merge(&Histogram::new(8));
+        assert_eq!(h, before, "merging an empty histogram is the identity");
+        let mut empty = Histogram::new(8);
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn merge_commutes() {
+        let mut a = Histogram::new(5);
+        a.record(0);
+        a.record(2);
+        a.record(11);
+        let mut b = Histogram::new(5);
+        b.record(2);
+        b.record(7);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(ab.count(), 5);
+        assert_eq!(ab.sum(), 22);
+        assert_eq!(ab.max(), 11);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mut parts = Vec::new();
+        for seed in 0u64..3 {
+            let mut h = Histogram::new(4);
+            h.record(seed);
+            h.record(seed * 3);
+            parts.push(h);
+        }
+        // ((a + b) + c)
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // (a + (b + c))
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket layouts")]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = Histogram::new(4);
+        a.merge(&Histogram::new(5));
+    }
+
+    #[test]
+    fn minimum_two_buckets() {
+        let mut h = Histogram::new(0);
+        assert_eq!(h.len(), 2);
+        h.record(0);
+        h.record(9);
+        assert_eq!(h.buckets(), &[1, 1]);
+        assert!(!h.is_empty());
+    }
+}

@@ -14,7 +14,8 @@ pub const ID_BITS: u32 = 128;
 /// A position on the 2^128 Chord identifier circle.
 ///
 /// Ordering is the natural integer order; ring-aware comparisons go through
-/// [`RingId::in_range`] and [`RingId::distance_cw`].
+/// [`RingId::in_open`], [`RingId::in_open_closed`], and
+/// [`RingId::distance_cw`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RingId(pub u128);
 

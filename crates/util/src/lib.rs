@@ -3,7 +3,7 @@
 //! This crate holds the paper-mandated primitives that do not belong to any
 //! one subsystem:
 //!
-//! * [`md5`] — the MD5 digest (RFC 1321) used to hash terms, queries, and
+//! * [`md5()`] — the MD5 digest (RFC 1321) used to hash terms, queries, and
 //!   peer addresses onto the Chord ring (SPRITE §6);
 //! * [`id`] — 128-bit ring identifiers with Chord's wrap-around interval
 //!   arithmetic;
@@ -15,13 +15,16 @@
 //! * [`rng`] — labeled, deterministic RNG derivation so every experiment is
 //!   reproducible;
 //! * [`pool`] — the deterministic scoped-thread pool behind every parallel
-//!   construct in the workspace (order-preserving `par_map`).
+//!   construct in the workspace (order-preserving `par_map`);
+//! * [`hist`] — fixed-bucket histograms with a commutative merge, the
+//!   aggregation primitive of the observability layer.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod hist;
 pub mod id;
 pub mod md5;
 pub mod pool;
@@ -30,6 +33,7 @@ pub mod stats;
 pub mod topk;
 pub mod zipf;
 
+pub use hist::Histogram;
 pub use id::{RingId, ID_BITS};
 pub use md5::{md5, md5_u128, Digest, Md5};
 pub use pool::{configured_threads, override_threads, par_map, par_map_init};

@@ -119,7 +119,7 @@ fn stats_are_monotone() {
 }
 
 mod workload {
-    use super::{rng, DetRng};
+    use super::rng;
     use sprite::corpus::{
         generate_workload, issue_order, split_train_test, CorpusConfig, GenConfig, Schedule,
         SyntheticCorpus,
