@@ -31,9 +31,10 @@
 //!   setup, audits, and tests only.
 //! * **no-untraced-record** — in the query-path files (`kv.rs`,
 //!   `system.rs`, `view.rs`) the raw `NetStats` mutators (`record`,
-//!   `record_n`, `charge`, `charge_n`) are banned: every message must be
-//!   billed through `charge_route` or the traced `charge*` helpers, or the
-//!   observability layer silently under-counts while the stats stay right.
+//!   `record_n`, `charge`, `charge_n`, `record_bytes`, `charge_bytes`) are
+//!   banned: every message and payload byte must be billed through
+//!   `charge_route` or the traced `charge*` helpers, or the observability
+//!   layer silently under-counts while the stats stay right.
 //!
 //! Test modules (everything from the first `#[cfg(test)]` down), `tests/`,
 //! `benches/`, and `examples/` directories are exempt from content rules.
@@ -148,6 +149,14 @@ fn pat_raw_charge() -> String {
 
 fn pat_raw_charge_n() -> String {
     [".cha", "rge_n("].concat()
+}
+
+fn pat_raw_record_bytes() -> String {
+    [".rec", "ord_bytes("].concat()
+}
+
+fn pat_raw_charge_bytes() -> String {
+    [".cha", "rge_bytes("].concat()
 }
 
 /// The opt-out marker looked for in a line's trailing comment.
@@ -349,6 +358,8 @@ fn scan_source(rel: &str, content: &str) -> Vec<Diagnostic> {
                 pat_raw_record_n(),
                 pat_raw_charge(),
                 pat_raw_charge_n(),
+                pat_raw_record_bytes(),
+                pat_raw_charge_bytes(),
             ] {
                 if s.contains(&pat) {
                     out.push(diag(
@@ -662,7 +673,15 @@ mod tests {
             "fn f(net: &mut ChordNet) {{ net{}MsgKind::LearnReturn, 3); }}\n",
             pat_raw_charge_n()
         );
-        for src in [&record, &charge, &charge_n] {
+        let record_bytes = format!(
+            "fn f(stats: &mut NetStats) {{ stats{}kind, 21); }}\n",
+            pat_raw_record_bytes()
+        );
+        let charge_bytes = format!(
+            "fn f(net: &mut ChordNet) {{ net{}MsgKind::QueryFetch, 21); }}\n",
+            pat_raw_charge_bytes()
+        );
+        for src in [&record, &charge, &charge_n, &record_bytes, &charge_bytes] {
             for file in TRACED_CHARGE_FILES {
                 assert_eq!(
                     rules(&scan_source(file, src)),
@@ -674,11 +693,15 @@ mod tests {
         // The traced and routed spellings never match (the paren differs).
         let traced = "fn f(net: &mut ChordNet) { net.charge_traced(kind, phase, 0, p, sink); }\n";
         let routed = "fn f(stats: &mut NetStats) { stats.charge_route(kind, 2, 0, true); }\n";
+        let bytes_traced =
+            "fn f(net: &mut ChordNet) { net.charge_bytes_traced(kind, 21, sink); }\n";
         assert!(scan_source("crates/chord/src/kv.rs", traced).is_empty());
         assert!(scan_source("crates/core/src/view.rs", routed).is_empty());
+        assert!(scan_source("crates/core/src/system.rs", bytes_traced).is_empty());
         // Outside the query-path files the raw mutators stay legal:
         // resilience.rs repair spans are traced via snapshot diffs.
         assert!(scan_source("crates/core/src/resilience.rs", &charge).is_empty());
+        assert!(scan_source("crates/core/src/resilience.rs", &charge_bytes).is_empty());
         assert!(scan_source("crates/chord/src/stats.rs", &record).is_empty());
     }
 

@@ -130,13 +130,17 @@ pub fn fingerprint_hits(hits: &[Hit]) -> u128 {
     h.finalize().as_u128()
 }
 
-/// MD5 over every [`NetStats`] counter (message counts per kind in index
-/// order, completed lookups, exact mean-hops bits, max hops).
+/// MD5 over every [`NetStats`] counter (message counts and payload bytes
+/// per kind in index order, completed lookups, exact mean-hops bits, max
+/// hops).
 #[must_use]
 pub fn fingerprint_stats(stats: &NetStats) -> u128 {
     let mut h = Md5::new();
     for kind in MsgKind::all() {
         feed_u64(&mut h, stats.count(kind));
+    }
+    for kind in MsgKind::all() {
+        feed_u64(&mut h, stats.bytes(kind));
     }
     feed_u64(&mut h, stats.lookups());
     feed_u64(&mut h, stats.mean_hops().to_bits());
@@ -180,8 +184,9 @@ pub fn parallel_results_fingerprint(
 }
 
 /// MD5 over a merged [`TraceRecorder`]: per-phase and per-kind event
-/// counts, query totals, and all three cost histograms (bucket layout,
-/// every bucket, count/sum/max — exact integers, no summarization).
+/// counts, per-kind payload bytes, query totals, and all three cost
+/// histograms (bucket layout, every bucket, count/sum/max — exact
+/// integers, no summarization).
 #[must_use]
 pub fn fingerprint_recorder(rec: &TraceRecorder) -> u128 {
     let mut h = Md5::new();
@@ -190,6 +195,9 @@ pub fn fingerprint_recorder(rec: &TraceRecorder) -> u128 {
     }
     for kind in MsgKind::all() {
         feed_u64(&mut h, rec.kind_count(kind));
+    }
+    for kind in MsgKind::all() {
+        feed_u64(&mut h, rec.kind_bytes(kind));
     }
     feed_u64(&mut h, rec.events());
     feed_u64(&mut h, rec.queries());
@@ -257,6 +265,75 @@ pub fn traced_parallel_fingerprints(
     };
     override_threads(prev);
     out
+}
+
+/// Outcome of the batched-vs-unbatched publication equivalence audit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchingAudit {
+    /// Published index contents are bit-identical across modes.
+    pub index_match: bool,
+    /// Per-kind payload byte totals are equal across modes (records are
+    /// encoded independently, so a batch's size is the sum of its records).
+    pub bytes_match: bool,
+    /// Batching strictly reduced the publish + replication message count.
+    pub fewer_messages: bool,
+    /// Replay fingerprint over both runs' index and stats state.
+    pub fingerprint: u128,
+}
+
+impl BatchingAudit {
+    /// True when every clause of the batching contract holds.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.index_match && self.bytes_match && self.fewer_messages
+    }
+}
+
+/// Publish the reference corpus twice from `seed` — once with
+/// [`SpriteConfig::batched_publish`] on, once off — and audit the batching
+/// contract: identical index contents, equal per-kind payload bytes,
+/// strictly fewer publish/replication messages. Replication degree 2 so
+/// both the publish and the replica legs of the batch are exercised.
+#[must_use]
+pub fn audit_batching(seed: u64) -> BatchingAudit {
+    let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(seed));
+    let build = |batched: bool| {
+        let cfg = SpriteConfig {
+            replication: 2,
+            batched_publish: batched,
+            ..SpriteConfig::default()
+        };
+        let mut sys = SpriteSystem::build(sc.corpus().clone(), 24, cfg, seed);
+        sys.publish_all();
+        sys
+    };
+    let on = build(true);
+    let off = build(false);
+    let data_msgs = |sys: &SpriteSystem| {
+        sys.net().stats().count(MsgKind::IndexPublish)
+            + sys.net().stats().count(MsgKind::Replication)
+    };
+    let kind_bytes = |sys: &SpriteSystem| -> Vec<u64> {
+        MsgKind::all()
+            .iter()
+            .map(|&k| sys.net().stats().bytes(k))
+            .collect()
+    };
+    let mut h = Md5::new();
+    for fp in [
+        fingerprint_index(&on),
+        fingerprint_index(&off),
+        fingerprint_stats(on.net().stats()),
+        fingerprint_stats(off.net().stats()),
+    ] {
+        feed_u128(&mut h, fp);
+    }
+    BatchingAudit {
+        index_match: fingerprint_index(&on) == fingerprint_index(&off),
+        bytes_match: kind_bytes(&on) == kind_bytes(&off),
+        fewer_messages: data_msgs(&on) < data_msgs(&off),
+        fingerprint: h.finalize().as_u128(),
+    }
 }
 
 /// Run the reference experiment once, fingerprinting after every stage.
@@ -332,6 +409,13 @@ pub fn run_trace(seed: u64) -> Trace {
         parallel_results_fingerprint(&mut sys, &queries, 4),
     ));
 
+    // Thirteenth stage: the wire/batching contract. Two fresh deployments
+    // publish the same corpus with batching on and off; the fingerprint
+    // covers both modes' index contents and full stats (message counts
+    // *and* payload bytes), so any nondeterminism in the batch flush order
+    // or a byte-accounting drift between the modes diverges here.
+    stages.push(("wire/batching", audit_batching(seed).fingerprint));
+
     Trace { stages }
 }
 
@@ -362,7 +446,14 @@ pub fn audit_determinism(seed: u64) -> DeterminismReport {
         (Some(plain), Some(traced)) if plain != traced => Some("results/traced"),
         _ => None,
     };
-    let first_divergence = replay_divergence.or(tracing_divergence);
+    // The batching contract is enforced *within* a run, like the tracing
+    // contract: a batched deployment that drifts from its unbatched twin
+    // (contents, bytes, or a failure to actually coalesce) fails the audit
+    // even though both replays agree with each other.
+    let batching_divergence = (!audit_batching(seed).passed()).then_some("wire/batching");
+    let first_divergence = replay_divergence
+        .or(tracing_divergence)
+        .or(batching_divergence);
     DeterminismReport {
         passed: first_divergence.is_none(),
         first_divergence,
@@ -382,7 +473,18 @@ mod tests {
             "first divergent stage: {:?}",
             report.first_divergence
         );
-        assert_eq!(report.stages, 12);
+        assert_eq!(report.stages, 13);
+    }
+
+    #[test]
+    fn batched_publication_is_equivalent_and_cheaper() {
+        let audit = audit_batching(2026);
+        assert!(audit.index_match, "batching changed published contents");
+        assert!(audit.bytes_match, "batching changed per-kind payload bytes");
+        assert!(
+            audit.fewer_messages,
+            "batching failed to reduce the publish message count"
+        );
     }
 
     #[test]

@@ -3,13 +3,20 @@
 //! state is reported clean. The injection points (`node_mut`, `inject_copy`,
 //! `inject_published`, `inject_raw`) exist for exactly this purpose; the
 //! simulation itself never calls them.
+//!
+//! The final section hardens the wire codec the byte accounting is built
+//! on: truncated, bit-flipped, and non-canonical inputs must all decode to
+//! a typed [`sprite_util::CodecError`] — never a panic, never a hang,
+//! never an unbounded allocation.
 
 use sprite_audit::{check_index, check_kv, check_ring, check_system, Violation};
 use sprite_chord::{ChordConfig, ChordNet, Dht};
 use sprite_core::{IndexEntry, SpriteConfig, SpriteSystem};
 use sprite_corpus::{CorpusConfig, SyntheticCorpus};
 use sprite_ir::TermId;
-use sprite_util::RingId;
+use sprite_util::{
+    decode_gap_list, decode_varint, derive_rng, encode_gap_list, encode_varint, CodecError, RingId,
+};
 
 fn ring(n: usize) -> ChordNet {
     let net = ChordNet::with_random_nodes(ChordConfig::default(), n, 99);
@@ -295,4 +302,135 @@ fn indexed_but_unpublished_is_detected() {
 fn determinism_audit_passes_on_the_real_system() {
     let report = sprite_audit::audit_determinism(41);
     assert!(report.passed, "diverged at {:?}", report.first_divergence);
+}
+
+// ---------------------------------------------------------------------
+// Wire-codec corruption injection.
+// ---------------------------------------------------------------------
+
+/// A seeded pool of valid encoded gap lists (with their source lists).
+fn encoded_lists(seed_label: &str, cases: usize) -> Vec<(Vec<u64>, Vec<u8>)> {
+    let mut rng = derive_rng(0xBAD_C0DE, seed_label);
+    let mut out = Vec::with_capacity(cases);
+    for _ in 0..cases {
+        let len = rng.gen_range(0..40);
+        let mut v = 0u64;
+        let list: Vec<u64> = (0..len)
+            .map(|_| {
+                v += rng.gen_range(1..10_000) as u64;
+                v
+            })
+            .collect();
+        let mut buf = Vec::new();
+        encode_gap_list(&list, &mut buf).expect("ascending list encodes");
+        out.push((list, buf));
+    }
+    out
+}
+
+#[test]
+fn truncated_codec_input_is_a_typed_error() {
+    // Every proper prefix of a valid encoding must decode to an error (or,
+    // for gap lists, a shorter valid stream boundary is impossible since
+    // the count byte pins the element count) — and must never panic.
+    for (list, buf) in encoded_lists("truncation", 60) {
+        for cut in 0..buf.len() {
+            match decode_gap_list(&buf[..cut], 0) {
+                Ok((got, _)) => panic!("prefix of len {cut} decoded to {got:?} for {list:?}"),
+                Err(
+                    CodecError::Truncated { .. }
+                    | CodecError::Overflow { .. }
+                    | CodecError::NonCanonical { .. },
+                ) => {}
+                Err(e) => panic!("unexpected error class {e:?}"),
+            }
+        }
+    }
+    // Varints likewise: chopping the final byte always truncates.
+    let mut buf = Vec::new();
+    encode_varint(u64::MAX, &mut buf);
+    for cut in 0..buf.len() {
+        assert_eq!(
+            decode_varint(&buf[..cut], 0),
+            Err(CodecError::Truncated { offset: cut })
+        );
+    }
+}
+
+#[test]
+fn bit_flipped_codec_input_never_panics() {
+    // Flip every bit of every byte of valid encodings. The decoder may
+    // legitimately succeed (the flip may yield another valid stream) but
+    // must never panic, hang, or return through anything but the typed
+    // error path.
+    for (_, buf) in encoded_lists("bit-flips", 40) {
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                let mut corrupt = buf.clone();
+                corrupt[byte] ^= 1 << bit;
+                if let Ok((got, end)) = decode_gap_list(&corrupt, 0) {
+                    // If it decodes, the result must still be strictly
+                    // ascending and the consumed length in bounds.
+                    assert!(end <= corrupt.len());
+                    assert!(got.windows(2).all(|w| w[0] < w[1]));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn random_garbage_codec_input_never_panics() {
+    let mut rng = derive_rng(0xBAD_C0DE, "garbage");
+    for _ in 0..300 {
+        let len = rng.gen_range(0..64);
+        let buf: Vec<u8> = (0..len).map(|_| rng.gen_u32() as u8).collect();
+        // Both decoders must return, not panic — any Ok must be in bounds.
+        if let Ok((_, end)) = decode_varint(&buf, 0) {
+            assert!(end <= buf.len());
+        }
+        if let Ok((got, end)) = decode_gap_list(&buf, 0) {
+            assert!(end <= buf.len());
+            assert!(got.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}
+
+#[test]
+fn non_canonical_varints_are_rejected_everywhere() {
+    // Padding any varint with a redundant continuation byte must be
+    // refused — otherwise equal payloads could bill different byte sizes.
+    let mut rng = derive_rng(0xBAD_C0DE, "non-canonical");
+    for _ in 0..200 {
+        let v = rng.gen_u64() >> rng.gen_range(0..64) as u32;
+        let mut buf = Vec::new();
+        encode_varint(v, &mut buf);
+        if buf.len() >= sprite_util::MAX_VARINT_LEN {
+            continue; // no room to pad a 10-byte encoding
+        }
+        // Re-encode with one redundant group: set the continuation bit on
+        // the final byte and append a zero byte.
+        let last = buf.len() - 1;
+        buf[last] |= 0x80;
+        buf.push(0x00);
+        assert_eq!(
+            decode_varint(&buf, 0),
+            Err(CodecError::NonCanonical { offset: last + 1 }),
+            "padded encoding of {v} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn corrupt_gap_list_count_cannot_overallocate() {
+    // A count field claiming 2^50 elements with only a handful of payload
+    // bytes must fail fast (bounded by the buffer, not the claim).
+    let mut buf = Vec::new();
+    encode_varint(1 << 50, &mut buf);
+    encode_varint(7, &mut buf);
+    encode_varint(3, &mut buf);
+    assert!(matches!(
+        decode_gap_list(&buf, 0),
+        Err(CodecError::Truncated { .. })
+    ));
 }

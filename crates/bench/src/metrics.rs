@@ -4,8 +4,9 @@
 //! [`collect_metrics`] runs the §6.2 standard deployment through a traced
 //! evaluation of the full test split and packages everything deterministic
 //! about it: the precision/recall ratios (exact to the bit at equal seeds),
-//! the per-[`MsgKind`] message bill, per-phase event counts, and the three
-//! cost histograms (hops per lookup, messages per query, replicas probed).
+//! the per-[`MsgKind`] message bill *and* payload-byte bill, per-phase
+//! event counts, and the three cost histograms (hops per lookup, messages
+//! per query, replicas probed).
 //! `--bin bench` embeds the object in `BENCH_experiments.json`; `--bin
 //! gate` recomputes it from a fresh run and diffs it against the committed
 //! baseline with [`compare_against_baseline`], failing CI on any drift.
@@ -76,6 +77,11 @@ pub struct Metrics {
     pub events: u64,
     /// Per-kind message counts, in [`MsgKind::all`] order.
     pub kind_counts: Vec<(&'static str, u64)>,
+    /// Per-kind payload bytes, in [`MsgKind::all`] order. Control kinds
+    /// (hops, failures, maintenance probes) are 0 by the wire model.
+    pub kind_bytes: Vec<(&'static str, u64)>,
+    /// Total payload bytes across all kinds.
+    pub total_bytes: u64,
     /// Per-phase event counts, in [`Phase::all`] order.
     pub phase_events: Vec<(&'static str, u64)>,
     /// Hops per completed lookup.
@@ -114,6 +120,11 @@ fn metrics_from(queries: u64, &(precision, recall): &(f64, f64), rec: &TraceReco
             .iter()
             .map(|&k| (k.name(), rec.kind_count(k)))
             .collect(),
+        kind_bytes: MsgKind::all()
+            .iter()
+            .map(|&k| (k.name(), rec.kind_bytes(k)))
+            .collect(),
+        total_bytes: rec.total_bytes(),
         phase_events: Phase::all()
             .iter()
             .map(|&p| (p.name(), rec.phase_count(p)))
@@ -158,6 +169,13 @@ pub fn metrics_json(m: &Metrics, indent: usize) -> String {
         let _ = writeln!(out, "{pad}  \"{name}\": {count}{comma}");
     }
     let _ = writeln!(out, "{pad}}},");
+    let _ = writeln!(out, "{pad}\"kind_bytes\": {{");
+    for (i, (name, bytes)) in m.kind_bytes.iter().enumerate() {
+        let comma = if i + 1 == m.kind_bytes.len() { "" } else { "," };
+        let _ = writeln!(out, "{pad}  \"{name}\": {bytes}{comma}");
+    }
+    let _ = writeln!(out, "{pad}}},");
+    let _ = writeln!(out, "{pad}\"total_bytes\": {},", m.total_bytes);
     let _ = writeln!(out, "{pad}\"phase_events\": {{");
     for (i, (name, count)) in m.phase_events.iter().enumerate() {
         let comma = if i + 1 == m.phase_events.len() {
@@ -290,6 +308,20 @@ pub fn compare_against_baseline(current: &Metrics, baseline: &JsonValue) -> Vec<
             *count,
         );
     }
+    for (name, bytes) in &current.kind_bytes {
+        diff_u64(
+            &mut diffs,
+            &format!("metrics.kind_bytes.{name}"),
+            m.path(&["kind_bytes", name]).and_then(JsonValue::as_u64),
+            *bytes,
+        );
+    }
+    diff_u64(
+        &mut diffs,
+        "metrics.total_bytes",
+        u("total_bytes"),
+        current.total_bytes,
+    );
     for (name, count) in &current.phase_events {
         diff_u64(
             &mut diffs,
@@ -338,6 +370,15 @@ mod tests {
         let m = collect_metrics(&world);
         assert_eq!(m.queries, world.test.len() as u64);
         assert!(m.events > 0, "a traced evaluation must observe events");
+        assert!(
+            m.total_bytes > 0,
+            "query fetches must bill payload bytes during evaluation"
+        );
+        assert_eq!(
+            m.total_bytes,
+            m.kind_bytes.iter().map(|&(_, b)| b).sum::<u64>(),
+            "total must equal the per-kind sum"
+        );
         let baseline = json::parse(&doc_for(&m)).expect("serializer emits valid JSON");
         let diffs = compare_against_baseline(&m, &baseline);
         assert!(diffs.is_empty(), "self-comparison must be clean: {diffs:?}");
@@ -359,6 +400,11 @@ mod tests {
                 &format!("{:.12}", m.precision_ratio),
                 &format!("{:.12}", m.precision_ratio + 1e-6),
                 1,
+            )
+            .replacen(
+                &format!("\"total_bytes\": {}", m.total_bytes),
+                &format!("\"total_bytes\": {}", m.total_bytes + 1),
+                1,
             );
         let baseline = json::parse(&doc).expect("perturbed document still parses");
         let diffs = compare_against_baseline(&m, &baseline);
@@ -369,6 +415,10 @@ mod tests {
         assert!(
             diffs.iter().any(|d| d.contains("precision_ratio")),
             "perturbed ratio not caught: {diffs:?}"
+        );
+        assert!(
+            diffs.iter().any(|d| d.contains("total_bytes")),
+            "perturbed byte total not caught: {diffs:?}"
         );
     }
 

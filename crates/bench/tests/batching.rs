@@ -1,0 +1,87 @@
+//! End-to-end batching equivalence at the CI scale.
+//!
+//! The batching contract, checked on the full §6.2 pipeline (train →
+//! publish → learn → evaluate) at `SPRITE_SCALE=small`: coalescing
+//! publication transfers per destination peer must be invisible to
+//! everything except the message count — bit-identical precision/recall,
+//! bit-identical index contents, equal payload bytes for every message
+//! kind, and strictly fewer publish-phase messages.
+
+use sprite_bench::world_config_from_env;
+use sprite_chord::MsgKind;
+use sprite_core::{IndexEntry, SpriteConfig, SpriteSystem, World};
+use sprite_corpus::Schedule;
+use sprite_ir::TermId;
+
+/// Every inverted list in the deployment, in `(peer, term)` order.
+fn index_snapshot(sys: &SpriteSystem) -> Vec<(u128, u32, Vec<IndexEntry>)> {
+    let mut out = Vec::new();
+    for peer in sys.indexing_peers() {
+        let Some(st) = sys.indexing_state(peer) else {
+            continue;
+        };
+        let mut terms: Vec<TermId> = st.terms().map(|(t, _)| t).collect();
+        terms.sort_unstable();
+        for t in terms {
+            out.push((peer.0, t.0, st.list(t).to_vec()));
+        }
+    }
+    out
+}
+
+#[test]
+fn batched_publication_is_end_to_end_equivalent_at_small_scale() {
+    std::env::set_var("SPRITE_SCALE", "small");
+    let world = World::build(world_config_from_env(42));
+    let run = |batched: bool| {
+        let cfg = SpriteConfig {
+            batched_publish: batched,
+            ..SpriteConfig::default()
+        };
+        let mut sys = world.standard_system(cfg, Schedule::WithoutRepeats);
+        // Snapshot the build-phase bill before evaluation adds query traffic.
+        let publish_msgs = sys.net().stats().count(MsgKind::IndexPublish);
+        let kind_bytes: Vec<u64> = MsgKind::all()
+            .iter()
+            .map(|&k| sys.net().stats().bytes(k))
+            .collect();
+        let fetch_before = sys.net().stats().bytes(MsgKind::QueryFetch);
+        let ratios = world.evaluate(&mut sys, &world.test, 20);
+        let fetch_bytes = sys.net().stats().bytes(MsgKind::QueryFetch) - fetch_before;
+        // Bandwidth summary for EXPERIMENTS.md (run with --nocapture).
+        let publish_slot = MsgKind::all()
+            .iter()
+            .position(|&k| k == MsgKind::IndexPublish)
+            .expect("kind listed");
+        eprintln!(
+            "# batched={batched}: publish msgs {publish_msgs}, publish bytes {}, \
+             query-fetch bytes {fetch_bytes} over {} queries ({} docs)",
+            kind_bytes[publish_slot],
+            world.test.len(),
+            world.config.corpus.n_docs,
+        );
+        (index_snapshot(&sys), publish_msgs, kind_bytes, ratios)
+    };
+    let (index_on, msgs_on, bytes_on, ratios_on) = run(true);
+    let (index_off, msgs_off, bytes_off, ratios_off) = run(false);
+
+    assert_eq!(
+        ratios_on.precision_ratio.to_bits(),
+        ratios_off.precision_ratio.to_bits(),
+        "batching changed precision"
+    );
+    assert_eq!(
+        ratios_on.recall_ratio.to_bits(),
+        ratios_off.recall_ratio.to_bits(),
+        "batching changed recall"
+    );
+    assert_eq!(index_on, index_off, "batching changed index contents");
+    assert_eq!(
+        bytes_on, bytes_off,
+        "batching changed per-kind payload bytes"
+    );
+    assert!(
+        msgs_on < msgs_off,
+        "batching must strictly reduce publish messages, got {msgs_on} vs {msgs_off}"
+    );
+}

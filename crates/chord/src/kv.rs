@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use sprite_util::RingId;
+use sprite_util::{RingId, WireSize};
 
 use crate::ring::{ChordError, ChordNet};
 use crate::stats::{MsgKind, NetStats};
@@ -51,12 +51,18 @@ impl<V: Clone> Dht<V> {
     /// Store `value` under `key`, issued by peer `from`. Routes to the
     /// owner, writes there, and mirrors to the replicas resolved by walking
     /// the owner's successor chain — no global knowledge involved.
-    pub fn put(&mut self, from: RingId, key: RingId, value: V) -> Result<(), ChordError> {
+    pub fn put(&mut self, from: RingId, key: RingId, value: V) -> Result<(), ChordError>
+    where
+        V: WireSize,
+    {
         self.put_traced(from, key, value, 0, &mut NullTrace)
     }
 
     /// [`Dht::put`] with trace events emitted into `sink` under
     /// [`Phase::Publish`]. Charging is bit-identical to the untraced call.
+    /// Every copy written — primary and replicas — bills the value's
+    /// canonical wire size to its message kind; the key rides in the
+    /// routing header and is payload-free.
     pub fn put_traced<T: TraceSink>(
         &mut self,
         from: RingId,
@@ -64,7 +70,10 @@ impl<V: Clone> Dht<V> {
         value: V,
         tick: u64,
         sink: &mut T,
-    ) -> Result<(), ChordError> {
+    ) -> Result<(), ChordError>
+    where
+        V: WireSize,
+    {
         let owner = self
             .net
             .lookup_fast_traced(from, key, Phase::Publish, tick, sink)?
@@ -88,6 +97,8 @@ impl<V: Clone> Dht<V> {
             };
             self.net
                 .charge_traced(kind, Phase::Publish, tick, peer, sink);
+            self.net
+                .charge_bytes_traced(kind, value.wire_size() as u64, sink);
             self.store
                 .entry(peer.0)
                 .or_default()
@@ -99,19 +110,27 @@ impl<V: Clone> Dht<V> {
     /// Read the value under `key`, issued by peer `from`. Falls back to any
     /// replica within the replication span when the routed owner holds no
     /// copy (e.g. it joined after the write and has not synced).
-    pub fn get(&mut self, from: RingId, key: RingId) -> Result<Option<V>, ChordError> {
+    pub fn get(&mut self, from: RingId, key: RingId) -> Result<Option<V>, ChordError>
+    where
+        V: WireSize,
+    {
         self.get_traced(from, key, 0, &mut NullTrace)
     }
 
     /// [`Dht::get`] with trace events emitted into `sink` under
     /// [`Phase::Query`]. Charging is bit-identical to the untraced call.
+    /// Each probe bills the wire size of its response: one presence byte,
+    /// plus the value's canonical encoding on a hit.
     pub fn get_traced<T: TraceSink>(
         &mut self,
         from: RingId,
         key: RingId,
         tick: u64,
         sink: &mut T,
-    ) -> Result<Option<V>, ChordError> {
+    ) -> Result<Option<V>, ChordError>
+    where
+        V: WireSize,
+    {
         let owner = self
             .net
             .lookup_fast_traced(from, key, Phase::Query, tick, sink)?
@@ -119,8 +138,11 @@ impl<V: Clone> Dht<V> {
         self.net
             .charge_traced(MsgKind::QueryFetch, Phase::Query, tick, owner, sink);
         if let Some(v) = self.store.get(&owner.0).and_then(|m| m.get(&key.0)) {
+            self.net
+                .charge_bytes_traced(MsgKind::QueryFetch, 1 + v.wire_size() as u64, sink);
             return Ok(Some(v.clone()));
         }
+        self.net.charge_bytes_traced(MsgKind::QueryFetch, 1, sink);
         // Probe the remaining replicas, resolved by walking the owner's
         // successor chain (the routed failover of §7).
         if self.replication > 1 {
@@ -138,8 +160,14 @@ impl<V: Clone> Dht<V> {
                 self.net
                     .charge_traced(MsgKind::QueryFetch, Phase::Query, tick, peer, sink);
                 if let Some(v) = self.store.get(&peer.0).and_then(|m| m.get(&key.0)) {
+                    self.net.charge_bytes_traced(
+                        MsgKind::QueryFetch,
+                        1 + v.wire_size() as u64,
+                        sink,
+                    );
                     return Ok(Some(v.clone()));
                 }
+                self.net.charge_bytes_traced(MsgKind::QueryFetch, 1, sink);
             }
         }
         Ok(None)
@@ -153,6 +181,8 @@ impl<V: Clone> Dht<V> {
 
     /// [`Dht::remove`] with trace events emitted into `sink` under
     /// [`Phase::Publish`] (removal is the write path of an index update).
+    /// Removal messages carry only the key — already in the routing
+    /// header — so they bill zero payload bytes.
     pub fn remove_traced<T: TraceSink>(
         &mut self,
         from: RingId,
@@ -197,14 +227,21 @@ impl<V: Clone> Dht<V> {
     /// routed lookup from an alive holder followed by a successor-chain
     /// walk; one replication message is charged per copy created. Returns
     /// the number of copies written.
-    pub fn rereplicate(&mut self) -> usize {
+    pub fn rereplicate(&mut self) -> usize
+    where
+        V: WireSize,
+    {
         self.rereplicate_traced(0, &mut NullTrace)
     }
 
     /// [`Dht::rereplicate`] with trace events emitted into `sink` under
     /// [`Phase::ChurnRepair`]. Charging is bit-identical to the untraced
-    /// call.
-    pub fn rereplicate_traced<T: TraceSink>(&mut self, tick: u64, sink: &mut T) -> usize {
+    /// call. Each copy written bills the value's wire size to
+    /// [`MsgKind::Replication`].
+    pub fn rereplicate_traced<T: TraceSink>(&mut self, tick: u64, sink: &mut T) -> usize
+    where
+        V: WireSize,
+    {
         // Union of all (key, value) pairs still alive anywhere, each with
         // the smallest-id alive holder to route the repair from. Keys are
         // then repaired in sorted order so the schedule — and its message
@@ -249,6 +286,7 @@ impl<V: Clone> Dht<V> {
             for peer in replicas {
                 let slot = self.store.entry(peer.0).or_default();
                 if let std::collections::hash_map::Entry::Vacant(e) = slot.entry(k) {
+                    let bytes = v.wire_size() as u64;
                     e.insert(v.clone());
                     self.net.charge_traced(
                         MsgKind::Replication,
@@ -257,6 +295,8 @@ impl<V: Clone> Dht<V> {
                         peer,
                         sink,
                     );
+                    self.net
+                        .charge_bytes_traced(MsgKind::Replication, bytes, sink);
                     written += 1;
                 }
             }
@@ -320,6 +360,32 @@ mod tests {
         assert_eq!(d.total_copies(), 3);
         assert_eq!(d.net().stats().count(MsgKind::Replication), 2);
         assert_eq!(d.net().stats().count(MsgKind::IndexPublish), 1);
+    }
+
+    #[test]
+    fn writes_and_reads_bill_payload_bytes() {
+        let mut d = dht(16, 3);
+        let from = d.net().node_ids()[0];
+        let key = RingId::hash_term("bytes");
+        let value = "four".to_string();
+        let per_copy = value.wire_size() as u64;
+        d.put(from, key, value).unwrap();
+        // One primary write plus two replicas, each carrying the value.
+        assert_eq!(d.net().stats().bytes(MsgKind::IndexPublish), per_copy);
+        assert_eq!(d.net().stats().bytes(MsgKind::Replication), 2 * per_copy);
+        let before = d.net().stats().bytes(MsgKind::QueryFetch);
+        assert!(d.get(from, key).unwrap().is_some());
+        // A hit at the owner: one presence byte plus the value.
+        assert_eq!(
+            d.net().stats().bytes(MsgKind::QueryFetch) - before,
+            1 + per_copy
+        );
+        let before = d.net().stats().bytes(MsgKind::QueryFetch);
+        let miss = RingId::hash_term("absent");
+        assert!(d.get(from, miss).unwrap().is_none());
+        // A miss probes the owner and both replicas: one byte each.
+        assert_eq!(d.net().stats().bytes(MsgKind::QueryFetch) - before, 3);
+        assert_eq!(d.net().stats().bytes(MsgKind::IndexRemove), 0);
     }
 
     #[test]

@@ -234,6 +234,13 @@ impl ChordNet {
         self.stats.record_n(kind, n);
     }
 
+    /// Charge `n` payload bytes to `kind` without counting a message (the
+    /// message itself is billed separately via [`Self::charge`] or a
+    /// routed walk).
+    pub fn charge_bytes(&mut self, kind: MsgKind, n: u64) {
+        self.stats.record_bytes(kind, n);
+    }
+
     // ------------------------------------------------------------------
     // Oracle (test / setup only — never used in routing)
     // ------------------------------------------------------------------
@@ -648,6 +655,15 @@ impl ChordNet {
         sink: &mut T,
     ) {
         trace::charge_n(&mut self.stats, sink, tick, peer, kind, phase, n);
+    }
+
+    /// Charge `bytes` payload bytes to `kind`, mirrored into `sink`. Byte
+    /// charges ride on messages billed separately via
+    /// [`Self::charge_traced`]/[`Self::charge_n_traced`]; this is the only
+    /// spelling charge-audited modules may use (enforced by `sprite-lint`),
+    /// so `NetStats` and recorder byte totals cannot diverge.
+    pub fn charge_bytes_traced<T: TraceSink>(&mut self, kind: MsgKind, bytes: u64, sink: &mut T) {
+        trace::charge_bytes(&mut self.stats, sink, kind, bytes);
     }
 
     /// [`Self::replicas_from_owner`] that additionally emits one event per

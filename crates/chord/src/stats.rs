@@ -95,9 +95,18 @@ impl MsgKind {
 /// associative: per-thread deltas merged in input order reproduce the exact
 /// totals a sequential run would have produced, which is what makes the
 /// parallel experiment engine bit-identical to the sequential one.
+///
+/// Alongside message *counts*, every kind carries a payload *byte* counter.
+/// Control traffic (routing hops, polls, maintenance probes, timeouts) is
+/// payload-free and stays at zero bytes; data-bearing kinds (publishes,
+/// removals, fetches, replication transfers, learning returns) are charged
+/// the exact canonical wire size of their payload as reported by the
+/// `sprite-util` codec's `WireSize` trait.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     counts: [u64; MSG_KINDS],
+    /// Payload bytes shipped per kind (sum of canonical wire sizes).
+    bytes: [u64; MSG_KINDS],
     /// Number of completed lookups.
     lookups: u64,
     /// Total hops across completed lookups.
@@ -121,6 +130,15 @@ impl NetStats {
     /// Count `n` messages of `kind`.
     pub fn record_n(&mut self, kind: MsgKind, n: u64) {
         self.counts[kind.index()] += n;
+    }
+
+    /// Charge `n` payload bytes to `kind`, without counting a message.
+    ///
+    /// Message counts and byte totals are deliberately independent: a
+    /// batched transfer is one message carrying many records' bytes, while
+    /// a zero-payload control message counts as one message of zero bytes.
+    pub fn record_bytes(&mut self, kind: MsgKind, n: u64) {
+        self.bytes[kind.index()] += n;
     }
 
     /// Record one completed lookup that took `hops` routing steps.
@@ -154,6 +172,18 @@ impl NetStats {
         self.counts.iter().sum()
     }
 
+    /// Payload bytes charged to `kind` so far.
+    #[must_use]
+    pub fn bytes(&self, kind: MsgKind) -> u64 {
+        self.bytes[kind.index()]
+    }
+
+    /// All payload bytes across all kinds.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
     /// Number of completed lookups.
     #[must_use]
     pub fn lookups(&self) -> u64 {
@@ -185,6 +215,7 @@ impl NetStats {
     pub fn merge(&mut self, other: &NetStats) {
         for i in 0..MSG_KINDS {
             self.counts[i] += other.counts[i];
+            self.bytes[i] += other.bytes[i];
         }
         self.lookups += other.lookups;
         self.lookup_hops += other.lookup_hops;
@@ -293,6 +324,47 @@ mod tests {
         assert_eq!(s.count(MsgKind::LookupHop), 5);
         assert_eq!(s.count(MsgKind::Failed), 2);
         assert_eq!(s.lookups(), 0);
+    }
+
+    #[test]
+    fn bytes_are_independent_of_message_counts() {
+        let mut s = NetStats::new();
+        s.record(MsgKind::IndexPublish);
+        s.record_bytes(MsgKind::IndexPublish, 17);
+        s.record_bytes(MsgKind::QueryFetch, 5);
+        assert_eq!(s.bytes(MsgKind::IndexPublish), 17);
+        assert_eq!(s.bytes(MsgKind::QueryFetch), 5);
+        assert_eq!(
+            s.count(MsgKind::QueryFetch),
+            0,
+            "bytes never count messages"
+        );
+        assert_eq!(s.total_bytes(), 22);
+        assert_eq!(s.total_messages(), 1);
+        s.reset();
+        assert_eq!(s.total_bytes(), 0);
+    }
+
+    #[test]
+    fn merge_adds_bytes_commutatively() {
+        // Byte counters are pure sums, so merge order must not matter —
+        // the parallel engine's per-worker deltas rely on it.
+        let mut a = NetStats::new();
+        a.record_bytes(MsgKind::Replication, 100);
+        a.record_bytes(MsgKind::QueryFetch, 3);
+        a.record(MsgKind::Replication);
+        let mut b = NetStats::new();
+        b.record_bytes(MsgKind::Replication, 11);
+        b.record_bytes(MsgKind::LearnReturn, 42);
+        b.record_lookup(4);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "byte merge must commute");
+        assert_eq!(ab.bytes(MsgKind::Replication), 111);
+        assert_eq!(ab.bytes(MsgKind::LearnReturn), 42);
+        assert_eq!(ab.total_bytes(), 156);
     }
 
     #[test]

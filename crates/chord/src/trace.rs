@@ -122,6 +122,12 @@ pub trait TraceSink {
         }
     }
 
+    /// Observe `n` payload bytes charged to `kind`. Bytes are an
+    /// independent axis from events: a batched transfer emits one event
+    /// but many records' bytes, a control message emits an event and no
+    /// bytes.
+    fn emit_bytes(&mut self, kind: MsgKind, n: u64);
+
     /// A completed application lookup took `hops` routing steps.
     fn lookup_done(&mut self, hops: u32);
 
@@ -145,6 +151,9 @@ impl TraceSink for NullTrace {
     fn emit_n(&mut self, _ev: Event, _n: u64) {}
 
     #[inline]
+    fn emit_bytes(&mut self, _kind: MsgKind, _n: u64) {}
+
+    #[inline]
     fn lookup_done(&mut self, _hops: u32) {}
 
     #[inline]
@@ -166,6 +175,8 @@ pub const REPLICA_BUCKETS: usize = 8;
 pub struct TraceRecorder {
     phase_counts: [u64; PHASES],
     kind_counts: [u64; MSG_KINDS],
+    /// Payload bytes observed per kind, mirroring `NetStats` byte charges.
+    kind_bytes: [u64; MSG_KINDS],
     events: u64,
     queries: u64,
     hops_per_lookup: Histogram,
@@ -186,6 +197,7 @@ impl TraceRecorder {
         TraceRecorder {
             phase_counts: [0; PHASES],
             kind_counts: [0; MSG_KINDS],
+            kind_bytes: [0; MSG_KINDS],
             events: 0,
             queries: 0,
             hops_per_lookup: Histogram::new(HOP_BUCKETS),
@@ -201,6 +213,7 @@ impl TraceRecorder {
         }
         for i in 0..MSG_KINDS {
             self.kind_counts[i] += other.kind_counts[i];
+            self.kind_bytes[i] += other.kind_bytes[i];
         }
         self.events += other.events;
         self.queries += other.queries;
@@ -222,6 +235,10 @@ impl TraceRecorder {
                 self.phase_counts[phase.index()] += diff;
                 self.events += diff;
             }
+            let byte_diff = after.bytes(kind).saturating_sub(before.bytes(kind));
+            if byte_diff > 0 {
+                self.kind_bytes[kind.index()] += byte_diff;
+            }
         }
         // Per-lookup hop values are not recoverable from an aggregate span,
         // so coarse spans contribute event counts only — the hop histogram
@@ -238,6 +255,18 @@ impl TraceRecorder {
     #[must_use]
     pub fn kind_count(&self, kind: MsgKind) -> u64 {
         self.kind_counts[kind.index()]
+    }
+
+    /// Payload bytes observed for `kind`.
+    #[must_use]
+    pub fn kind_bytes(&self, kind: MsgKind) -> u64 {
+        self.kind_bytes[kind.index()]
+    }
+
+    /// Payload bytes observed across all kinds.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.kind_bytes.iter().sum()
     }
 
     /// Total events observed.
@@ -285,6 +314,10 @@ impl TraceSink for TraceRecorder {
         self.phase_counts[ev.phase.index()] += n;
         self.kind_counts[ev.kind.index()] += n;
         self.events += n;
+    }
+
+    fn emit_bytes(&mut self, kind: MsgKind, n: u64) {
+        self.kind_bytes[kind.index()] += n;
     }
 
     fn lookup_done(&mut self, hops: u32) {
@@ -345,6 +378,19 @@ pub fn charge_n<T: TraceSink>(
             },
             n,
         );
+    }
+}
+
+/// Charge `bytes` payload bytes to `kind`, keeping accounting and trace in
+/// step. Byte charges never count messages — pair this with [`charge`] (or
+/// a routed charge) for the message the payload rides on. Like the message
+/// helpers, this is the only spelling the lint allows in charge-audited
+/// modules, so `NetStats` and `TraceRecorder` byte totals cannot diverge.
+#[inline]
+pub fn charge_bytes<T: TraceSink>(stats: &mut NetStats, sink: &mut T, kind: MsgKind, bytes: u64) {
+    stats.record_bytes(kind, bytes);
+    if T::ENABLED && bytes > 0 {
+        sink.emit_bytes(kind, bytes);
     }
 }
 
@@ -426,6 +472,51 @@ mod tests {
         assert_eq!(r.kind_count(MsgKind::Maintenance), 6);
         assert_eq!(r.kind_count(MsgKind::Replication), 2);
         assert_eq!(r.events(), 8);
+    }
+
+    #[test]
+    fn byte_charges_track_stats_and_recorder_together() {
+        let mut stats = NetStats::new();
+        let mut rec = TraceRecorder::new();
+        charge_bytes(&mut stats, &mut rec, MsgKind::IndexPublish, 23);
+        charge_bytes(&mut stats, &mut rec, MsgKind::IndexPublish, 7);
+        charge_bytes(&mut stats, &mut rec, MsgKind::QueryFetch, 1);
+        assert_eq!(stats.bytes(MsgKind::IndexPublish), 30);
+        assert_eq!(rec.kind_bytes(MsgKind::IndexPublish), 30);
+        assert_eq!(rec.kind_bytes(MsgKind::QueryFetch), 1);
+        assert_eq!(rec.total_bytes(), stats.total_bytes());
+        assert_eq!(rec.events(), 0, "byte charges never count messages");
+        assert_eq!(stats.total_messages(), 0);
+    }
+
+    #[test]
+    fn absorb_span_carries_byte_diffs() {
+        let mut before = NetStats::new();
+        before.record_bytes(MsgKind::Replication, 10);
+        let mut after = before.clone();
+        after.record_n(MsgKind::Replication, 2);
+        after.record_bytes(MsgKind::Replication, 90);
+        let mut r = TraceRecorder::new();
+        r.absorb_span(Phase::ChurnRepair, &before, &after);
+        assert_eq!(r.kind_count(MsgKind::Replication), 2);
+        assert_eq!(r.kind_bytes(MsgKind::Replication), 90);
+        assert_eq!(r.total_bytes(), 90);
+    }
+
+    #[test]
+    fn merge_adds_byte_totals() {
+        let mut a = TraceRecorder::new();
+        a.emit_bytes(MsgKind::LearnReturn, 40);
+        let mut b = TraceRecorder::new();
+        b.emit_bytes(MsgKind::LearnReturn, 2);
+        b.emit_bytes(MsgKind::QueryFetch, 8);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "byte merge must be commutative");
+        assert_eq!(ab.kind_bytes(MsgKind::LearnReturn), 42);
+        assert_eq!(ab.total_bytes(), 50);
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub struct SpriteConfig {
     /// IDF source for distributed ranking (ablation; default the paper's
     /// indexed document frequency).
     pub idf_mode: IdfMode,
+    /// Coalesce bulk publication and replication transfers bound for the
+    /// same indexing peer into one batched message each (default on).
+    /// Batching is pure message-count savings: routing lookups, index
+    /// contents, retrieval results, and total payload bytes are
+    /// bit-identical to the unbatched path (records are encoded
+    /// independently, so a batch's payload is exactly the sum of its
+    /// records' wire sizes).
+    pub batched_publish: bool,
 }
 
 /// Which document frequency feeds the IDF during distributed ranking.
@@ -60,6 +68,7 @@ impl Default for SpriteConfig {
             similarity: Similarity::LeeSecond,
             score_mode: crate::learn::ScoreMode::Full,
             idf_mode: IdfMode::Indexed,
+            batched_publish: true,
         }
     }
 }
@@ -98,6 +107,7 @@ mod tests {
         assert_eq!(c.replication, 1);
         assert!(!c.is_static());
         assert_eq!(c.similarity, Similarity::LeeSecond);
+        assert!(c.batched_publish, "batched publication is the default");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use sprite_ir::{DocId, Query, TermId};
-use sprite_util::RingId;
+use sprite_util::{varint_len, RingId, WireSize};
 
 /// One inverted-list entry, carrying exactly the metadata §5.1 lists:
 /// owner address, document id, term frequency, document length — plus the
@@ -25,6 +25,59 @@ pub struct IndexEntry {
     pub doc_len: u32,
     /// Distinct-term count ("number of terms in Dᵢ", §4).
     pub distinct: u32,
+}
+
+impl WireSize for IndexEntry {
+    /// Canonical §5.1 record: varint document id, the owner peer's raw
+    /// 16-byte ring address, then varint term frequency, document length,
+    /// and distinct-term count.
+    fn wire_size(&self) -> usize {
+        varint_len(self.doc.index() as u64)
+            + 16
+            + varint_len(u64::from(self.tf))
+            + varint_len(u64::from(self.doc_len))
+            + varint_len(u64::from(self.distinct))
+    }
+}
+
+/// Exact wire size of one published `(term, entry)` record: the varint
+/// term id followed by the entry. Records encode independently — no
+/// cross-record compression — so a batched transfer's payload is exactly
+/// the sum of its records' sizes, making byte totals invariant under
+/// batching.
+#[must_use]
+pub fn term_record_wire_size(term: TermId, entry: &IndexEntry) -> usize {
+    varint_len(term.index() as u64) + entry.wire_size()
+}
+
+/// Exact wire size of one `(term, doc)` removal record.
+#[must_use]
+pub fn removal_wire_size(term: TermId, doc: DocId) -> usize {
+    varint_len(term.index() as u64) + varint_len(doc.index() as u64)
+}
+
+/// Exact wire size of an inverted-list response (a `QueryFetch` payload):
+/// a varint entry count, document ids delta-encoded as ascending gaps
+/// (lists are kept sorted by document id), and each entry's remaining
+/// metadata. The empty list is a single zero-count byte.
+#[must_use]
+pub fn posting_list_wire_size(entries: &[IndexEntry]) -> usize {
+    let mut n = varint_len(entries.len() as u64);
+    let mut prev = 0u64;
+    for (i, e) in entries.iter().enumerate() {
+        let doc = e.doc.index() as u64;
+        n += if i == 0 {
+            varint_len(doc)
+        } else {
+            varint_len(doc.wrapping_sub(prev))
+        };
+        prev = doc;
+        n += 16
+            + varint_len(u64::from(e.tf))
+            + varint_len(u64::from(e.doc_len))
+            + varint_len(u64::from(e.distinct));
+    }
+    n
 }
 
 /// A query cached at an indexing peer, stamped with a global sequence
@@ -304,6 +357,27 @@ mod tests {
         assert_eq!(copied, 2);
         assert_eq!(a.indexed_df(TermId(1)), 2);
         assert_eq!(a.indexed_df(TermId(2)), 1);
+    }
+
+    #[test]
+    fn wire_sizes_are_exact_and_delta_compressed() {
+        let e = entry(0, 3);
+        // doc 0 (1B) + owner ring id (16B) + tf 3 (1B) + len 100 (1B) +
+        // distinct 50 (1B).
+        assert_eq!(e.wire_size(), 20);
+        assert_eq!(term_record_wire_size(TermId(1), &e), 21);
+        assert_eq!(term_record_wire_size(TermId(200), &e), 22);
+        assert_eq!(removal_wire_size(TermId(1), DocId(0)), 2);
+        assert_eq!(posting_list_wire_size(&[]), 1, "empty list is one byte");
+        // Adjacent doc ids: each gap is one byte even when the absolute
+        // ids would need two.
+        let list: Vec<IndexEntry> = (0..4).map(|i| entry(300 + i, 2)).collect();
+        let sized = posting_list_wire_size(&list);
+        // count (1) + first doc 300 (2) + three 1-byte gaps + 4 × 19B of
+        // per-entry metadata.
+        assert_eq!(sized, 1 + 2 + 3 + 4 * 19);
+        let naive: usize = 1 + list.iter().map(WireSize::wire_size).sum::<usize>();
+        assert!(sized < naive, "gap encoding beats absolute ids");
     }
 
     #[test]

@@ -7,11 +7,13 @@
 //! exactly that: retrieval quality after abrupt indexing-peer failures,
 //! with and without replication.
 
+use std::collections::BTreeMap;
+
 use sprite_chord::{ChurnEngine, ChurnEvent, MsgKind, NetStats, Phase, TickReport};
 use sprite_ir::{DocId, TermId};
 use sprite_util::{derive_rng, RingId};
 
-use crate::peer::IndexingState;
+use crate::peer::{term_record_wire_size, IndexingState};
 use crate::system::SpriteSystem;
 
 /// Report of a [`SpriteSystem::hot_term_advisory`] pass.
@@ -135,6 +137,18 @@ impl SpriteSystem {
             .indexing_mut()
             .remove(&leaving.0)
             .expect("checked above");
+        // The leaver ships its full holdings over the wire, whether or not
+        // the heir already mirrors some of them — bill the shipped payload.
+        let shipped_bytes: u64 = state
+            .term_dfs()
+            .map(|(t, _)| {
+                state
+                    .list(t)
+                    .iter()
+                    .map(|e| term_record_wire_size(t, e) as u64)
+                    .sum::<u64>()
+            })
+            .sum();
         let cap = self.config().query_cache_capacity;
         let copied = self
             .indexing_mut()
@@ -142,6 +156,8 @@ impl SpriteSystem {
             .or_insert_with(|| IndexingState::new(cap))
             .absorb_replica(&state);
         self.net_mut().charge_n(MsgKind::Replication, copied as u64);
+        self.net_mut()
+            .charge_bytes(MsgKind::Replication, shipped_bytes);
         copied
     }
 
@@ -165,6 +181,10 @@ impl SpriteSystem {
     /// are shipped over (the old holder keeps its copy, which now acts as
     /// a replica). Returns entries newly added at their proper owners.
     fn republish_orphans(&mut self) -> usize {
+        let batched = self.config().batched_publish;
+        // dest peer → summed payload bytes, flushed as one transfer message
+        // per destination (BTreeMap: deterministic flush order).
+        let mut batch: BTreeMap<u128, u64> = BTreeMap::new();
         let holders = self.holder_snapshot();
         let mut moved = 0;
         for (holder, terms) in holders {
@@ -187,8 +207,17 @@ impl SpriteSystem {
                 if entries.is_empty() {
                     continue;
                 }
-                self.net_mut()
-                    .charge_n(MsgKind::Replication, entries.len() as u64);
+                let bytes: u64 = entries
+                    .iter()
+                    .map(|e| term_record_wire_size(term, e) as u64)
+                    .sum();
+                if batched {
+                    *batch.entry(lookup.owner.0).or_insert(0) += bytes;
+                } else {
+                    self.net_mut()
+                        .charge_n(MsgKind::Replication, entries.len() as u64);
+                    self.net_mut().charge_bytes(MsgKind::Replication, bytes);
+                }
                 let cap = self.config().query_cache_capacity;
                 let st = self
                     .indexing_mut()
@@ -200,6 +229,12 @@ impl SpriteSystem {
                 }
                 moved += st.list(term).len() - before;
             }
+        }
+        // Batched: all of one destination's re-homed records travel as a
+        // single transfer — one message charge, exactly the summed bytes.
+        for (_dest, bytes) in batch {
+            self.net_mut().charge(MsgKind::Replication);
+            self.net_mut().charge_bytes(MsgKind::Replication, bytes);
         }
         moved
     }
@@ -235,6 +270,10 @@ impl SpriteSystem {
         if degree <= 1 {
             return 0;
         }
+        let batched = self.config().batched_publish;
+        // dest replica → summed payload bytes, flushed as one message per
+        // destination after the walk (BTreeMap: deterministic flush order).
+        let mut batch: BTreeMap<u128, u64> = BTreeMap::new();
         let holders = self.holder_snapshot();
         let mut copied = 0;
         for (holder, terms) in holders {
@@ -259,6 +298,10 @@ impl SpriteSystem {
                 if entries.is_empty() {
                     continue;
                 }
+                let bytes: u64 = entries
+                    .iter()
+                    .map(|e| term_record_wire_size(term, e) as u64)
+                    .sum();
                 let cap = self.config().query_cache_capacity;
                 let mut delta = NetStats::new();
                 let replicas: Vec<RingId> = self
@@ -269,8 +312,13 @@ impl SpriteSystem {
                     .collect();
                 self.net_mut().absorb_stats(&delta);
                 for replica in replicas {
-                    self.net_mut()
-                        .charge_n(MsgKind::Replication, entries.len() as u64);
+                    if batched {
+                        *batch.entry(replica.0).or_insert(0) += bytes;
+                    } else {
+                        self.net_mut()
+                            .charge_n(MsgKind::Replication, entries.len() as u64);
+                        self.net_mut().charge_bytes(MsgKind::Replication, bytes);
+                    }
                     let st = self
                         .indexing_mut()
                         .entry(replica.0)
@@ -281,6 +329,10 @@ impl SpriteSystem {
                     }
                 }
             }
+        }
+        for (_dest, bytes) in batch {
+            self.net_mut().charge(MsgKind::Replication);
+            self.net_mut().charge_bytes(MsgKind::Replication, bytes);
         }
         copied
     }

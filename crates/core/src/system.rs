@@ -19,17 +19,20 @@
 //! configuration ([`crate::SpriteConfig::esearch`]): all terms up front,
 //! no learning.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use sprite_chord::{
     ChordConfig, ChordNet, MsgKind, NetStats, NullTrace, Phase, TraceRecorder, TraceSink,
 };
 use sprite_ir::{Corpus, DocId, Hit, Query, Similarity, TermId};
-use sprite_util::{derive_rng, Md5, RingId};
+use sprite_util::{derive_rng, Md5, RingId, WireSize};
 
 use crate::config::{IdfMode, SpriteConfig};
 use crate::learn;
-use crate::peer::{IndexEntry, IndexingState, OwnerDoc};
+use crate::peer::{
+    posting_list_wire_size, removal_wire_size, term_record_wire_size, IndexEntry, IndexingState,
+    OwnerDoc,
+};
 use crate::view::QueryView;
 
 /// Outcome counters of one learning iteration.
@@ -80,6 +83,32 @@ pub struct SpriteSystem {
     /// operation (publish pass, query, learning iteration), tracing on or
     /// off, so enabling tracing cannot shift any behavior.
     trace_tick: u64,
+}
+
+/// Accumulator of the destination-batched publication pipeline (§5 cost
+/// reduction): per `(origin peer, destination peer, message kind)`, the
+/// record count and summed payload bytes bound for one batched message.
+/// Records encode independently, so the batch payload is exactly the sum
+/// of the per-record wire sizes the unbatched path would have charged —
+/// batching changes message counts only, never byte totals. A `BTreeMap`
+/// keeps the flush order deterministic without an explicit sort.
+#[derive(Debug, Default)]
+pub(crate) struct PublishBatch {
+    /// (origin, destination, kind code) → (records, payload bytes).
+    slots: BTreeMap<(u128, u128, u8), (u64, u64)>,
+}
+
+/// Kind codes used as `PublishBatch` keys (only data-bearing bulk kinds
+/// are ever batched).
+const BATCH_PUBLISH: u8 = 0;
+const BATCH_REPLICATION: u8 = 1;
+
+impl PublishBatch {
+    fn add(&mut self, origin: RingId, dest: RingId, code: u8, bytes: u64) {
+        let slot = self.slots.entry((origin.0, dest.0, code)).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += bytes;
+    }
 }
 
 /// Run `$body` with the installed tracer as `$sink` (temporarily moved out
@@ -367,7 +396,9 @@ impl SpriteSystem {
     /// are skipped.
     pub fn publish_all(&mut self) {
         let tick = self.next_tick();
+        let batched = self.cfg.batched_publish;
         traced!(self, sink, {
+            let mut batch = PublishBatch::default();
             for i in 0..self.corpus.len() {
                 let doc = DocId(i as u32);
                 if !self.owners[i].published.is_empty() {
@@ -378,11 +409,23 @@ impl SpriteSystem {
                     .doc(doc)
                     .top_frequent_terms(self.cfg.initial_terms);
                 for &t in &initial {
-                    self.publish_term_with(doc, t, Phase::Publish, tick, sink);
+                    if batched {
+                        self.publish_term_impl(
+                            doc,
+                            t,
+                            Phase::Publish,
+                            tick,
+                            sink,
+                            Some(&mut batch),
+                        );
+                    } else {
+                        self.publish_term_with(doc, t, Phase::Publish, tick, sink);
+                    }
                 }
                 self.owners[i].published = initial;
                 self.debug_validate_owner(doc);
             }
+            self.flush_publish_batch(batch, Phase::Publish, tick, sink);
         });
     }
 
@@ -408,6 +451,24 @@ impl SpriteSystem {
         tick: u64,
         sink: &mut T,
     ) {
+        self.publish_term_impl(doc, term, phase, tick, sink, None);
+    }
+
+    /// The publishing core. With `batch: None`, every record is its own
+    /// message (plus its payload bytes). With a batch, routing, index
+    /// writes, and payload bytes are identical, but the message and byte
+    /// charges are deferred into the accumulator for a per-destination
+    /// flush — the index contents cannot differ because
+    /// [`IndexingState::publish`] is an order-independent sorted insert.
+    fn publish_term_impl<T: TraceSink>(
+        &mut self,
+        doc: DocId,
+        term: TermId,
+        phase: Phase,
+        tick: u64,
+        sink: &mut T,
+        mut batch: Option<&mut PublishBatch>,
+    ) {
         let owner_peer = self.doc_owner[doc.index()];
         let key = self.term_ring(term);
         let Ok(lookup) = self
@@ -424,9 +485,17 @@ impl SpriteSystem {
             doc_len: d.len(),
             distinct: d.distinct_terms() as u32,
         };
+        let record = term_record_wire_size(term, &entry) as u64;
         let cap = self.cfg.query_cache_capacity;
-        self.net
-            .charge_traced(MsgKind::IndexPublish, phase, tick, lookup.owner, sink);
+        match batch.as_deref_mut() {
+            Some(b) => b.add(owner_peer, lookup.owner, BATCH_PUBLISH, record),
+            None => {
+                self.net
+                    .charge_traced(MsgKind::IndexPublish, phase, tick, lookup.owner, sink);
+                self.net
+                    .charge_bytes_traced(MsgKind::IndexPublish, record, sink);
+            }
+        }
         self.indexing
             .entry(lookup.owner.0)
             .or_insert_with(|| IndexingState::new(cap))
@@ -437,13 +506,42 @@ impl SpriteSystem {
                 .into_iter()
                 .skip(1)
             {
-                self.net
-                    .charge_traced(MsgKind::Replication, phase, tick, peer, sink);
+                match batch.as_deref_mut() {
+                    Some(b) => b.add(owner_peer, peer, BATCH_REPLICATION, record),
+                    None => {
+                        self.net
+                            .charge_traced(MsgKind::Replication, phase, tick, peer, sink);
+                        self.net
+                            .charge_bytes_traced(MsgKind::Replication, record, sink);
+                    }
+                }
                 self.indexing
                     .entry(peer.0)
                     .or_insert_with(|| IndexingState::new(cap))
                     .publish(term, entry);
             }
+        }
+    }
+
+    /// Flush a [`PublishBatch`]: one message per `(origin, destination,
+    /// kind)` slot carrying the summed payload bytes of its records, in
+    /// deterministic key order.
+    fn flush_publish_batch<T: TraceSink>(
+        &mut self,
+        batch: PublishBatch,
+        phase: Phase,
+        tick: u64,
+        sink: &mut T,
+    ) {
+        for ((_origin, dest, code), (_records, bytes)) in batch.slots {
+            let kind = if code == BATCH_PUBLISH {
+                MsgKind::IndexPublish
+            } else {
+                MsgKind::Replication
+            };
+            self.net
+                .charge_traced(kind, phase, tick, RingId(dest), sink);
+            self.net.charge_bytes_traced(kind, bytes, sink);
         }
     }
 
@@ -475,8 +573,11 @@ impl SpriteSystem {
         else {
             return;
         };
+        let record = removal_wire_size(term, doc) as u64;
         self.net
             .charge_traced(MsgKind::IndexRemove, phase, tick, lookup.owner, sink);
+        self.net
+            .charge_bytes_traced(MsgKind::IndexRemove, record, sink);
         if let Some(st) = self.indexing.get_mut(&lookup.owner.0) {
             st.remove(term, doc);
         }
@@ -488,6 +589,8 @@ impl SpriteSystem {
             {
                 self.net
                     .charge_traced(MsgKind::IndexRemove, phase, tick, peer, sink);
+                self.net
+                    .charge_bytes_traced(MsgKind::IndexRemove, record, sink);
                 if let Some(st) = self.indexing.get_mut(&peer.0) {
                     st.remove(term, doc);
                 }
@@ -570,6 +673,13 @@ impl SpriteSystem {
                 .or_insert_with(|| IndexingState::new(cap));
             st.cache_query(query.clone(), qhash, seq);
             let mut entries = st.list(term).to_vec();
+            // Every fetch response bills its exact wire size: the empty
+            // list is a single zero-count byte.
+            self.net.charge_bytes_traced(
+                MsgKind::QueryFetch,
+                posting_list_wire_size(&entries) as u64,
+                sink,
+            );
             // Failover when the routed peer holds no list (it may have
             // taken over an arc after a failure, §7): walk the owner's
             // successor chain — never the oracle — and retry each live
@@ -590,12 +700,19 @@ impl SpriteSystem {
                     self.net
                         .charge_traced(MsgKind::QueryFetch, Phase::Query, tick, peer, sink);
                     replicas_probed += 1;
-                    if let Some(rep) = self.indexing.get(&peer.0) {
-                        let list = rep.list(term);
-                        if !list.is_empty() {
-                            entries = list.to_vec();
-                            break;
-                        }
+                    let list = self
+                        .indexing
+                        .get(&peer.0)
+                        .map(|rep| rep.list(term).to_vec())
+                        .unwrap_or_default();
+                    self.net.charge_bytes_traced(
+                        MsgKind::QueryFetch,
+                        posting_list_wire_size(&list) as u64,
+                        sink,
+                    );
+                    if !list.is_empty() {
+                        entries = list;
+                        break;
                     }
                 }
             }
@@ -729,6 +846,7 @@ impl SpriteSystem {
                 published.iter().map(|&t| (t, self.term_ring(t))).collect();
             let mut incoming: Vec<Query> = Vec::new();
             let mut returned: u64 = 0;
+            let mut returned_bytes: u64 = 0;
             // Poll in sorted peer order: the fold below is commutative, but
             // a fixed order keeps traces and the determinism audit exact.
             let mut by_peer: Vec<(u128, Vec<TermId>)> = by_peer.into_iter().collect();
@@ -752,6 +870,7 @@ impl SpriteSystem {
                             continue;
                         }
                         returned += 1;
+                        returned_bytes += cached.query.wire_size() as u64;
                         if owner.seen.insert(cached.seq) {
                             incoming.push(cached.query.clone());
                         }
@@ -767,6 +886,8 @@ impl SpriteSystem {
                 returned,
                 sink,
             );
+            self.net
+                .charge_bytes_traced(MsgKind::LearnReturn, returned_bytes, sink);
             {
                 let owner = &mut self.owners[i];
                 for &t in &published {

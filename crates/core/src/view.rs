@@ -33,7 +33,7 @@ use sprite_ir::{Corpus, DocId, Hit, Query, Similarity, TermId};
 use sprite_util::RingId;
 
 use crate::config::{IdfMode, SpriteConfig};
-use crate::peer::{IndexEntry, IndexingState};
+use crate::peer::{posting_list_wire_size, IndexEntry, IndexingState};
 use crate::trace::{KeywordTrace, QueryTrace};
 
 /// Reusable per-thread ranking buffers (see module docs). The contents
@@ -250,6 +250,12 @@ impl<'a> QueryView<'a> {
             trace::charge(stats, sink, tick, owner, MsgKind::QueryFetch, Phase::Query);
             let mut entries: &[IndexEntry] =
                 self.indexing.get(&owner.0).map_or(&[], |st| st.list(term));
+            trace::charge_bytes(
+                stats,
+                sink,
+                MsgKind::QueryFetch,
+                posting_list_wire_size(entries) as u64,
+            );
             let owner_hit = !entries.is_empty();
             let mut failover: Vec<RingId> = Vec::new();
             let mut served_by = if owner_hit { Some(owner) } else { None };
@@ -272,13 +278,18 @@ impl<'a> QueryView<'a> {
                     if qt.is_some() {
                         failover.push(peer);
                     }
-                    if let Some(rep) = self.indexing.get(&peer.0) {
-                        let list = rep.list(term);
-                        if !list.is_empty() {
-                            entries = list;
-                            served_by = Some(peer);
-                            break;
-                        }
+                    let list: &[IndexEntry] =
+                        self.indexing.get(&peer.0).map_or(&[], |rep| rep.list(term));
+                    trace::charge_bytes(
+                        stats,
+                        sink,
+                        MsgKind::QueryFetch,
+                        posting_list_wire_size(list) as u64,
+                    );
+                    if !list.is_empty() {
+                        entries = list;
+                        served_by = Some(peer);
+                        break;
                     }
                 }
             }

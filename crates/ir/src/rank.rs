@@ -13,6 +13,8 @@
 //! `N` and `n_k`. Every experiment reports SPRITE/eSearch quality as a ratio
 //! over this engine's results.
 
+use sprite_util::{varint_len, WireSize};
+
 use crate::doc::{Corpus, DocId, TermId};
 use crate::index::InvertedIndex;
 
@@ -125,6 +127,28 @@ impl Query {
 impl From<Vec<TermId>> for Query {
     fn from(terms: Vec<TermId>) -> Self {
         Query::new(terms)
+    }
+}
+
+impl WireSize for Query {
+    /// Canonical wire form: a distinct-term count, the sorted term ids
+    /// delta-encoded as ascending gaps, and each term's in-query count —
+    /// the payload an indexing peer ships back during learning returns.
+    fn wire_size(&self) -> usize {
+        let counts = self.term_counts();
+        let mut n = varint_len(counts.len() as u64);
+        let mut prev = 0u64;
+        for (i, &(t, c)) in counts.iter().enumerate() {
+            let tid = t.index() as u64;
+            n += if i == 0 {
+                varint_len(tid)
+            } else {
+                varint_len(tid.wrapping_sub(prev))
+            };
+            prev = tid;
+            n += varint_len(u64::from(c));
+        }
+        n
     }
 }
 

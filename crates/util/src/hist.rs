@@ -215,6 +215,37 @@ mod tests {
     }
 
     #[test]
+    fn par_map_merge_is_thread_count_invariant() {
+        // The contract the observability layer's byte and event counters
+        // lean on: per-item histograms produced under `par_map` and merged
+        // in input order are bit-identical at 1 worker and 4 workers —
+        // scheduling must never leak into any bucket, sum, or max.
+        use crate::{derive_rng, override_threads, par_map};
+        let items: Vec<u64> = (0..257).collect();
+        let run = |threads: usize| {
+            let prev = override_threads(threads);
+            let parts: Vec<Histogram> = par_map(&items, |i, &item| {
+                let mut rng = derive_rng(item, "hist-par-map");
+                let mut h = Histogram::new(8);
+                for _ in 0..(i % 7) + 1 {
+                    h.record(rng.gen_range(0..32) as u64);
+                }
+                h
+            });
+            override_threads(prev);
+            let mut total = Histogram::new(8);
+            for p in &parts {
+                total.merge(p);
+            }
+            total
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq, par, "worker count leaked into the merged histogram");
+        assert!(seq.count() > 0);
+    }
+
+    #[test]
     #[should_panic(expected = "bucket layouts")]
     fn merge_rejects_mismatched_layouts() {
         let mut a = Histogram::new(4);

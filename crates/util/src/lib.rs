@@ -17,13 +17,17 @@
 //! * [`pool`] — the deterministic scoped-thread pool behind every parallel
 //!   construct in the workspace (order-preserving `par_map`);
 //! * [`hist`] — fixed-bucket histograms with a commutative merge, the
-//!   aggregation primitive of the observability layer.
+//!   aggregation primitive of the observability layer;
+//! * [`codec`] — the dependency-free wire codec (LEB128 varints, zig-zag,
+//!   delta-encoded gap lists) and the [`WireSize`] trait behind the
+//!   byte-accurate network accounting.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod codec;
 pub mod hist;
 pub mod id;
 pub mod md5;
@@ -33,6 +37,10 @@ pub mod stats;
 pub mod topk;
 pub mod zipf;
 
+pub use codec::{
+    decode_gap_list, decode_varint, encode_gap_list, encode_varint, gap_list_len, unzigzag,
+    varint_len, zigzag, CodecError, WireSize, MAX_VARINT_LEN,
+};
 pub use hist::Histogram;
 pub use id::{RingId, ID_BITS};
 pub use md5::{md5, md5_u128, Digest, Md5};

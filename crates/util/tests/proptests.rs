@@ -6,7 +6,9 @@
 //! shrinking framework. Coverage per property is a few hundred cases.
 
 use sprite_util::{
-    derive_rng, md5, percentile, top_k, DetRng, F64Ord, Md5, RingId, Summary, TopK, Zipf,
+    decode_gap_list, decode_varint, derive_rng, encode_gap_list, encode_varint, gap_list_len, md5,
+    percentile, top_k, unzigzag, varint_len, zigzag, DetRng, F64Ord, Md5, RingId, Summary, TopK,
+    Zipf, MAX_VARINT_LEN,
 };
 
 fn rng(label: &str) -> DetRng {
@@ -191,6 +193,135 @@ fn percentile_monotone() {
         let p90 = percentile(&xs, 90.0);
         assert!(xs.contains(&p50));
         assert!(p50 <= p90);
+    }
+}
+
+/// u64 generator biased toward varint edge cases (0, MAX, 7-bit
+/// boundaries and their neighbours).
+fn gen_varint_value(rng: &mut DetRng) -> u64 {
+    match rng.gen_range(0..8) {
+        0 => 0,
+        1 => u64::MAX,
+        2 => {
+            // A boundary of the 7-bit groups, ±1.
+            let group = rng.gen_range(1..10) as u32;
+            let base = 1u64 << (7 * group);
+            match rng.gen_range(0..3) {
+                0 => base - 1,
+                1 => base,
+                _ => base + 1,
+            }
+        }
+        3 => u64::from(rng.gen_u32()),
+        _ => rng.gen_u64(),
+    }
+}
+
+/// Every value round-trips through the varint codec, the declared length
+/// matches the encoder, and concatenated varints decode back in sequence.
+#[test]
+fn varint_round_trips_at_any_value() {
+    let mut r = rng("varint-roundtrip");
+    for _ in 0..500 {
+        let n = r.gen_range(1..20);
+        let values: Vec<u64> = (0..n).map(|_| gen_varint_value(&mut r)).collect();
+        let mut buf = Vec::new();
+        let mut expected_len = 0;
+        for &v in &values {
+            encode_varint(v, &mut buf);
+            expected_len += varint_len(v);
+            assert!(varint_len(v) <= MAX_VARINT_LEN);
+            assert_eq!(buf.len(), expected_len, "varint_len must match encoder");
+        }
+        let mut at = 0;
+        for &v in &values {
+            let (got, next) = decode_varint(&buf, at).expect("canonical stream decodes");
+            assert_eq!(got, v);
+            at = next;
+        }
+        assert_eq!(at, buf.len(), "stream consumed exactly");
+    }
+}
+
+/// Zig-zag is a bijection (involution with unzigzag) across random and
+/// extreme signed values, and never grows the varint beyond the magnitude.
+#[test]
+fn zigzag_round_trips_at_any_value() {
+    let mut r = rng("zigzag-roundtrip");
+    for _ in 0..2000 {
+        let v = match r.gen_range(0..6) {
+            0 => 0i64,
+            1 => i64::MAX,
+            2 => i64::MIN,
+            3 => -1,
+            _ => r.gen_u64() as i64,
+        };
+        assert_eq!(unzigzag(zigzag(v)), v);
+        // Small magnitudes of either sign must stay in one byte.
+        if (-63..=63).contains(&v) {
+            assert_eq!(varint_len(zigzag(v)), 1, "small delta must encode short");
+        }
+    }
+}
+
+/// Strictly ascending list generator: `len` unique sorted u64 values with
+/// a mix of dense (gap 1) and sparse runs.
+fn gen_ascending(rng: &mut DetRng, len: usize) -> Vec<u64> {
+    let mut v = 0u64;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let gap = match rng.gen_range(0..4) {
+            0 => 1u64,
+            1 => rng.gen_range(1..100) as u64,
+            _ => u64::from(rng.gen_u32()) + 1,
+        };
+        // Keep headroom so 10k elements never approach u64::MAX.
+        v += gap.clamp(1, u64::MAX / (len as u64 + 1));
+        out.push(v);
+    }
+    out
+}
+
+/// Gap lists round-trip at every size — empty, single-element, and a
+/// 10k-element ascending list — and the size function always agrees with
+/// the encoder byte-for-byte.
+#[test]
+fn gap_list_round_trips_at_any_size() {
+    let mut r = rng("gap-list-roundtrip");
+    let mut sizes: Vec<usize> = vec![0, 1, 2, 10_000];
+    sizes.extend((0..60).map(|_| r.gen_range(0..300)));
+    for len in sizes {
+        let list = gen_ascending(&mut r, len);
+        let mut buf = Vec::new();
+        encode_gap_list(&list, &mut buf).expect("ascending list encodes");
+        assert_eq!(buf.len(), gap_list_len(&list), "size fn matches encoder");
+        let (got, end) = decode_gap_list(&buf, 0).expect("round trip");
+        assert_eq!(got, list);
+        assert_eq!(end, buf.len(), "decoder consumed exactly the encoding");
+    }
+    // Single-element lists holding the extremes.
+    for v in [0u64, u64::MAX] {
+        let mut buf = Vec::new();
+        encode_gap_list(&[v], &mut buf).expect("singleton encodes");
+        let (got, _) = decode_gap_list(&buf, 0).expect("singleton decodes");
+        assert_eq!(got, vec![v]);
+    }
+}
+
+/// Dense ascending lists compress: the delta encoding of a gap-1 run is
+/// strictly smaller than encoding every absolute value.
+#[test]
+fn gap_encoding_beats_absolute_encoding_on_dense_lists() {
+    let mut r = rng("gap-list-compression");
+    for _ in 0..50 {
+        let start = u64::from(r.gen_u32()) + (1 << 20);
+        let list: Vec<u64> = (0..100).map(|i| start + i).collect();
+        let absolute: usize =
+            varint_len(list.len() as u64) + list.iter().map(|&v| varint_len(v)).sum::<usize>();
+        assert!(
+            gap_list_len(&list) < absolute,
+            "delta coding must beat absolute coding on a dense run"
+        );
     }
 }
 
