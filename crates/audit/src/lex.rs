@@ -1,0 +1,473 @@
+//! A dependency-free Rust lexer for the workspace source audit.
+//!
+//! `sprite-lint` began life as a line scanner, which meant every rule had to
+//! fight the same two enemies: `//` inside a string literal (the old
+//! `strip_comment` truncated the line there and silently skipped real
+//! violations after it) and banned patterns inside strings or comments
+//! (which forced the split-literal hacks in the old binary). Tokenizing
+//! first makes both problems vanish: rules only ever look at identifier and
+//! punctuation tokens, so text inside strings and comments is invisible by
+//! construction.
+//!
+//! The lexer is deliberately small — it is not a Rust parser and does not
+//! validate the input. It guarantees exactly one property, checked by the
+//! seeded proptests in `crates/audit/tests/lexer_proptests.rs`:
+//! concatenating the text of every token reproduces the input byte for
+//! byte (`lex` never drops, reorders, or rewrites a character). Everything
+//! it cannot classify is emitted as a single-character [`TokenKind::Punct`].
+//!
+//! Handled forms: line comments, nested block comments, normal / raw /
+//! byte / raw-byte strings with any number of `#` guards, char and byte
+//! literals (including escapes), lifetimes (disambiguated from char
+//! literals), raw identifiers (`r#fn`), and numeric literals including
+//! floats with exponents (`1.0e6`, `1e-12`), radix prefixes (`0xC0FF`),
+//! digit separators, and type suffixes.
+
+/// Classification of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace (spaces, tabs, newlines).
+    Whitespace,
+    /// A `//` comment, up to but not including the newline.
+    LineComment,
+    /// A `/* ... */` comment, nesting respected.
+    BlockComment,
+    /// An identifier or keyword (including raw identifiers like `r#fn`).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A char or byte literal: `'x'`, `'\n'`, `b'\0'`.
+    CharLit,
+    /// Any string form: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    StrLit,
+    /// A numeric literal: `42`, `1.0e6`, `0xFF_u8`.
+    NumLit,
+    /// A single character of punctuation, except `::` which is one token.
+    Punct,
+}
+
+/// One token: a byte range into the source plus the 1-based line where it
+/// starts. Token text is recovered by slicing, so tokens stay cheap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based source line of the first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text, sliced from the source it was lexed from.
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True for whitespace and comments — tokens the syntax layer skips.
+    #[must_use]
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn byte(&self, at: usize) -> u8 {
+        self.bytes.get(at).copied().unwrap_or(0)
+    }
+
+    /// Advance one full character (UTF-8 aware) from `at`.
+    fn next_boundary(&self, at: usize) -> usize {
+        let mut n = at + 1;
+        while n < self.src.len() && !self.src.is_char_boundary(n) {
+            n += 1;
+        }
+        n.min(self.src.len())
+    }
+
+    fn char_at(&self, at: usize) -> Option<char> {
+        self.src.get(at..).and_then(|s| s.chars().next())
+    }
+
+    fn is_ident_start(c: char) -> bool {
+        c == '_' || c.is_alphabetic()
+    }
+
+    fn is_ident_continue(c: char) -> bool {
+        c == '_' || c.is_alphanumeric()
+    }
+
+    /// Consume ident chars starting at `at`, returning the end offset.
+    fn ident_end(&self, mut at: usize) -> usize {
+        while let Some(c) = self.char_at(at) {
+            if Self::is_ident_continue(c) {
+                at = self.next_boundary(at);
+            } else {
+                break;
+            }
+        }
+        at
+    }
+
+    /// End of a normal (escaped) string/char body opened at `at` with
+    /// `quote`; handles `\` escapes, runs to EOF when unterminated.
+    fn quoted_end(&self, mut at: usize, quote: u8) -> usize {
+        while at < self.bytes.len() {
+            match self.byte(at) {
+                b'\\' => {
+                    at = self.next_boundary(at + 1);
+                }
+                b if b == quote => return at + 1,
+                _ => at = self.next_boundary(at),
+            }
+        }
+        at
+    }
+
+    /// End of a raw string opened at `at` (just past the opening `"`)
+    /// guarded by `hashes` `#` characters.
+    fn raw_end(&self, mut at: usize, hashes: usize) -> usize {
+        while at < self.bytes.len() {
+            if self.byte(at) == b'"' {
+                let mut k = 0;
+                while k < hashes && self.byte(at + 1 + k) == b'#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return at + 1 + hashes;
+                }
+            }
+            at = self.next_boundary(at);
+        }
+        at
+    }
+
+    /// If the bytes at `at` open a raw-string guard (`#`* then `"`),
+    /// return (hash count, offset just past the opening quote).
+    fn raw_open(&self, at: usize) -> Option<(usize, usize)> {
+        let mut h = 0;
+        while self.byte(at + h) == b'#' {
+            h += 1;
+        }
+        if self.byte(at + h) == b'"' {
+            Some((h, at + h + 1))
+        } else {
+            None
+        }
+    }
+
+    /// End offset of a `'…'` char literal or a lifetime, starting at the
+    /// opening `'` (at `at`), plus which of the two it is.
+    fn char_or_lifetime(&self, at: usize) -> (usize, TokenKind) {
+        let after_quote = at + 1;
+        if self.byte(after_quote) == b'\\' {
+            return (self.quoted_end(after_quote, b'\''), TokenKind::CharLit);
+        }
+        match self.char_at(after_quote) {
+            // `'x'` — a one-char literal: the char after the payload closes.
+            Some(c) if self.byte(self.next_boundary(after_quote)) == b'\'' && c != '\'' => {
+                (self.next_boundary(after_quote) + 1, TokenKind::CharLit)
+            }
+            Some(c) if Self::is_ident_start(c) => {
+                (self.ident_end(after_quote), TokenKind::Lifetime)
+            }
+            _ => (self.next_boundary(after_quote), TokenKind::Punct),
+        }
+    }
+
+    /// End of a numeric literal starting at a digit at `at`. Accepts radix
+    /// prefixes, `_` separators, one `.` followed by a digit, exponents
+    /// with an optional sign, and alphanumeric type suffixes.
+    fn number_end(&self, at: usize) -> usize {
+        let mut i = at;
+        let radix_prefixed =
+            self.byte(at) == b'0' && matches!(self.byte(at + 1), b'x' | b'o' | b'b');
+        if radix_prefixed {
+            i = at + 2;
+        }
+        let mut seen_dot = false;
+        let mut prev_was_exp = false;
+        while i < self.bytes.len() {
+            let b = self.byte(i);
+            let exp_start = !radix_prefixed && matches!(b, b'e' | b'E');
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                prev_was_exp = exp_start;
+                i += 1;
+            } else if b == b'.' && !seen_dot && !radix_prefixed && self.byte(i + 1).is_ascii_digit()
+            {
+                seen_dot = true;
+                prev_was_exp = false;
+                i += 1;
+            } else if matches!(b, b'+' | b'-') && prev_was_exp {
+                prev_was_exp = false;
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        i
+    }
+
+    /// Lex one token starting at `self.pos` (which must be in bounds).
+    fn next_token(&mut self) -> Token {
+        let start = self.pos;
+        let line = self.line;
+        let b = self.byte(start);
+        let (end, kind) = match b {
+            _ if self.char_at(start).is_some_and(char::is_whitespace) => {
+                let mut i = start;
+                while self.char_at(i).is_some_and(char::is_whitespace) {
+                    i = self.next_boundary(i);
+                }
+                (i, TokenKind::Whitespace)
+            }
+            b'/' if self.byte(start + 1) == b'/' => {
+                let mut i = start;
+                while i < self.bytes.len() && self.byte(i) != b'\n' {
+                    i = self.next_boundary(i);
+                }
+                (i, TokenKind::LineComment)
+            }
+            b'/' if self.byte(start + 1) == b'*' => {
+                let mut depth = 1usize;
+                let mut i = start + 2;
+                while i < self.bytes.len() && depth > 0 {
+                    if self.byte(i) == b'/' && self.byte(i + 1) == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if self.byte(i) == b'*' && self.byte(i + 1) == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i = self.next_boundary(i);
+                    }
+                }
+                (i, TokenKind::BlockComment)
+            }
+            b'"' => (self.quoted_end(start + 1, b'"'), TokenKind::StrLit),
+            b'r' => {
+                if let Some((h, body)) = self.raw_open(start + 1) {
+                    (self.raw_end(body, h), TokenKind::StrLit)
+                } else if self.byte(start + 1) == b'#'
+                    && self.char_at(start + 2).is_some_and(Lexer::is_ident_start)
+                {
+                    // Raw identifier `r#fn`.
+                    (self.ident_end(start + 2), TokenKind::Ident)
+                } else {
+                    (self.ident_end(start), TokenKind::Ident)
+                }
+            }
+            b'b' => {
+                if self.byte(start + 1) == b'"' {
+                    (self.quoted_end(start + 2, b'"'), TokenKind::StrLit)
+                } else if self.byte(start + 1) == b'\'' {
+                    let (end, _) = self.char_or_lifetime(start + 1);
+                    (end, TokenKind::CharLit)
+                } else if self.byte(start + 1) == b'r' {
+                    match self.raw_open(start + 2) {
+                        Some((h, body)) => (self.raw_end(body, h), TokenKind::StrLit),
+                        None => (self.ident_end(start), TokenKind::Ident),
+                    }
+                } else {
+                    (self.ident_end(start), TokenKind::Ident)
+                }
+            }
+            b'\'' => {
+                let (end, kind) = self.char_or_lifetime(start);
+                (end, kind)
+            }
+            // `::` is glued into one token: the syntax layer distinguishes
+            // path separators from type ascription by token text.
+            b':' if self.byte(start + 1) == b':' => (start + 2, TokenKind::Punct),
+            _ if b.is_ascii_digit() => (self.number_end(start), TokenKind::NumLit),
+            _ if self.char_at(start).is_some_and(Lexer::is_ident_start) => {
+                (self.ident_end(start), TokenKind::Ident)
+            }
+            _ => (self.next_boundary(start), TokenKind::Punct),
+        };
+        // Every arm consumes at least one character, so the loop advances.
+        let end = end.max(self.next_boundary(start));
+        self.line += self.src[start..end].bytes().filter(|&c| c == b'\n').count() as u32;
+        self.pos = end;
+        Token {
+            kind,
+            start,
+            end,
+            line,
+        }
+    }
+}
+
+/// Tokenize `src`. Concatenating every token's text reproduces `src`
+/// exactly; malformed input never panics (unterminated literals run to the
+/// end of the file).
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while lx.pos < src.len() {
+        out.push(lx.next_token());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let joined: String = lex(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src, "lexing must reproduce the source exactly");
+    }
+
+    #[test]
+    fn slash_slash_inside_string_is_not_a_comment() {
+        // Regression for the old line scanner's `strip_comment`, which cut
+        // the line at the first `//` even inside a string literal and
+        // silently skipped everything after it.
+        let src = r#"let url = "http://example.com"; x.unwrap();"#;
+        let toks = kinds(src);
+        assert!(
+            toks.iter()
+                .any(|(k, t)| *k == TokenKind::StrLit && t.contains("//")),
+            "the URL stays one string token"
+        );
+        assert!(
+            !toks.iter().any(|(k, _)| *k == TokenKind::LineComment),
+            "no comment token on this line"
+        );
+        assert!(
+            toks.iter()
+                .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"),
+            "code after the string is still tokenized"
+        );
+        roundtrip(src);
+    }
+
+    #[test]
+    fn line_and_block_comments() {
+        let src = "a // trailing\nb /* inline */ c /* nested /* deep */ still */ d";
+        let toks = kinds(src);
+        let comments: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            comments,
+            [
+                "// trailing",
+                "/* inline */",
+                "/* nested /* deep */ still */"
+            ]
+        );
+        roundtrip(src);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let src =
+            r###"let a = r#"has "quotes" and // slashes"#; let b = br"bytes"; let c = b"x";"###;
+        let strs: Vec<String> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::StrLit)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(strs.len(), 3);
+        assert!(strs[0].starts_with("r#\""));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = r"fn f<'a>(x: &'a str) { let c = 'y'; let n = '\n'; let q = '\''; let s: &'static str = x; }";
+        let toks = kinds(src);
+        let lifetimes: Vec<String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+        let chars: Vec<String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(chars, ["'y'", r"'\n'", r"'\''"]);
+        roundtrip(src);
+    }
+
+    #[test]
+    fn numbers_with_exponents_radix_and_suffixes() {
+        let src = "let a = 1.0e6; let b = 1e-12; let c = 0xC0FF_EE00; let d = 42u64; let e = 1..9; let f = t.0;";
+        let nums: Vec<String> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::NumLit)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(
+            nums,
+            ["1.0e6", "1e-12", "0xC0FF_EE00", "42u64", "1", "9", "0"]
+        );
+        roundtrip(src);
+    }
+
+    #[test]
+    fn raw_identifiers_and_plain_idents() {
+        let src = "let r#fn = rope; br0ken b r";
+        let idents: Vec<String> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(idents, ["let", "r#fn", "rope", "br0ken", "b", "r"]);
+        roundtrip(src);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nbb /* two\nlines */ c\nd";
+        let at = |name: &str| {
+            lex(src)
+                .into_iter()
+                .find(|t| t.text(src) == name)
+                .map(|t| t.line)
+        };
+        assert_eq!(at("a"), Some(1));
+        assert_eq!(at("bb"), Some(2));
+        assert_eq!(at("c"), Some(3));
+        assert_eq!(at("d"), Some(4));
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof_without_panic() {
+        for src in ["\"open", "r#\"open", "/* open", "'", "b'"] {
+            roundtrip(src);
+        }
+    }
+}

@@ -30,6 +30,11 @@
 
 pub mod determinism;
 pub mod invariants;
+pub mod lex;
+pub mod rules;
+pub mod syntax;
+
+pub use rules::{analyze, analyze_sources, Diagnostic};
 
 pub use determinism::{
     audit_determinism, fingerprint_recorder, parallel_results_fingerprint, run_trace,

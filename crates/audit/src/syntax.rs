@@ -1,0 +1,935 @@
+//! A lightweight item and call-site extractor over [`crate::lex`] tokens.
+//!
+//! This is *not* a Rust parser: it recovers exactly the shape the audit
+//! rules in [`crate::rules`] need — functions (with their impl owner and
+//! body extent), struct fields and their types, enum variants, `use`
+//! declarations, and every call site inside a function body classified by
+//! how its receiver is spelled. Resolution is name-keyed and best-effort
+//! by design: the workspace's conventions (one impl per file-local type,
+//! unambiguous method names on the hot path) make that precise enough for
+//! taint analysis, and the rules treat unresolvable receivers
+//! conservatively.
+//!
+//! The repository convention that test code lives in a `#[cfg(test)]`
+//! module at the bottom of each file is load-bearing here, exactly as it
+//! was for the old line scanner: everything from the first `#[cfg(test)]`
+//! attribute to the end of the file is marked as test code and excluded
+//! from content rules and from the call graph.
+
+use crate::lex::{lex, Token, TokenKind};
+
+/// How a call site's receiver is spelled at the call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Recv {
+    /// `self.name(…)` — a method on the enclosing impl type.
+    SelfCall,
+    /// `x.name(…)` or `….x.name(…)` — a method on a named binding or
+    /// field; the string is the identifier immediately left of the dot.
+    Named(String),
+    /// `expr.name(…)` where the receiver is not a plain identifier
+    /// (a call result, an index expression, a parenthesized chain …).
+    Method,
+    /// `Qual::name(…)` — a path call; the string is the path segment
+    /// immediately left of the `::`.
+    Path(String),
+    /// `name(…)` with no receiver — a free-function call.
+    Free,
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Callee name as written.
+    pub name: String,
+    /// Receiver classification.
+    pub recv: Recv,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A `Path::Segment` pair that is *not* a call (no `(` follows), e.g. an
+/// enum variant construction or an associated constant.
+#[derive(Clone, Debug)]
+pub struct PathPair {
+    /// The qualifier (`MsgKind` in `MsgKind::Timeout`).
+    pub qual: String,
+    /// The segment (`Timeout`).
+    pub name: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A function (free or associated) with everything the rules inspect.
+#[derive(Clone, Debug)]
+pub struct FnInfo {
+    /// Function name.
+    pub name: String,
+    /// Enclosing impl/trait type, when directly inside one.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True when the function sits inside the file's `#[cfg(test)]` tail.
+    pub in_test: bool,
+    /// Body extent as a `[start, end)` range of significant-token indices.
+    pub body: (usize, usize),
+    /// Every call site in the body.
+    pub calls: Vec<CallSite>,
+    /// Every non-call `Qual::Name` pair in the body.
+    pub path_pairs: Vec<PathPair>,
+    /// Every `.field` read (dot followed by an identifier that is not a
+    /// call) in the body, with lines.
+    pub field_reads: Vec<(String, u32)>,
+    /// Identifiers bound to `HashMap`s in this function's parameters or
+    /// `let` bindings.
+    pub hashmap_locals: Vec<String>,
+    /// `for … in <ident>`-style iteration sites over a plain identifier or
+    /// `self.field`, which have no method call to classify.
+    pub for_iterations: Vec<(String, u32)>,
+}
+
+/// One struct field.
+#[derive(Clone, Debug)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// 1-based line of the field.
+    pub line: u32,
+    /// Identifier tokens of the field's type, in order (`Vec`, `RingId` …).
+    pub type_idents: Vec<String>,
+}
+
+/// A struct definition (only brace-form structs carry fields).
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// True when the definition sits in the `#[cfg(test)]` tail.
+    pub in_test: bool,
+    /// Named fields.
+    pub fields: Vec<FieldDef>,
+}
+
+/// An enum definition with its variant names.
+#[derive(Clone, Debug)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// True when the definition sits in the `#[cfg(test)]` tail.
+    pub in_test: bool,
+    /// Variant names with their lines.
+    pub variants: Vec<(String, u32)>,
+}
+
+/// The extracted model of one source file.
+#[derive(Clone, Debug)]
+pub struct FileModel {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Raw source text.
+    pub src: String,
+    /// All tokens, including trivia.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the significant (non-trivia) tokens.
+    pub sig: Vec<usize>,
+    /// Significant-token index where the `#[cfg(test)]` tail begins
+    /// (`sig.len()` when the file has none).
+    pub test_from: usize,
+    /// Functions, in source order.
+    pub fns: Vec<FnInfo>,
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Enum definitions.
+    pub enums: Vec<EnumDef>,
+}
+
+impl FileModel {
+    /// Text of significant token `i` (indices as used in [`FnInfo::body`]).
+    #[must_use]
+    pub fn sig_text(&self, i: usize) -> &str {
+        self.tokens[self.sig[i]].text(&self.src)
+    }
+
+    /// Kind of significant token `i`.
+    #[must_use]
+    pub fn sig_kind(&self, i: usize) -> TokenKind {
+        self.tokens[self.sig[i]].kind
+    }
+
+    /// Line of significant token `i`.
+    #[must_use]
+    pub fn sig_line(&self, i: usize) -> u32 {
+        self.tokens[self.sig[i]].line
+    }
+
+    /// Parse `src` into a model. Never fails: unparseable regions simply
+    /// contribute no items.
+    #[must_use]
+    pub fn parse(rel: &str, src: &str) -> FileModel {
+        let tokens = lex(src);
+        let sig: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_trivia())
+            .collect();
+        let mut model = FileModel {
+            rel: rel.to_string(),
+            src: src.to_string(),
+            tokens,
+            sig,
+            test_from: 0,
+            fns: Vec::new(),
+            structs: Vec::new(),
+            enums: Vec::new(),
+        };
+        model.test_from = model.find_test_cutoff();
+        Parser::new(&mut model).run();
+        model
+    }
+
+    /// First significant index of a `#[cfg(test)]` attribute, or
+    /// `sig.len()`.
+    fn find_test_cutoff(&self) -> usize {
+        let n = self.sig.len();
+        for i in 0..n {
+            let seq = ["#", "[", "cfg", "(", "test", ")", "]"];
+            if i + seq.len() <= n
+                && seq
+                    .iter()
+                    .enumerate()
+                    .all(|(k, s)| self.sig_text(i + k) == *s)
+            {
+                return i;
+            }
+        }
+        n
+    }
+}
+
+/// Does the token text list `types` look HashMap-typed?
+#[must_use]
+pub fn is_hashmap_type(types: &[String]) -> bool {
+    types.first().is_some_and(|t| t == "HashMap")
+        || (types
+            .first()
+            .is_some_and(|t| t == "std" || t == "collections")
+            && types.iter().any(|t| t == "HashMap"))
+}
+
+struct Parser<'m> {
+    m: &'m mut FileModel,
+    /// (type name, brace depth of the impl/trait body).
+    owners: Vec<(String, usize)>,
+    depth: usize,
+    i: usize,
+}
+
+impl<'m> Parser<'m> {
+    fn new(m: &'m mut FileModel) -> Self {
+        Parser {
+            m,
+            owners: Vec::new(),
+            depth: 0,
+            i: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.m.sig.len()
+    }
+
+    fn text(&self, i: usize) -> &str {
+        self.m.sig_text(i)
+    }
+
+    fn kind(&self, i: usize) -> TokenKind {
+        self.m.sig_kind(i)
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.m.sig_line(i)
+    }
+
+    fn is_ident(&self, i: usize) -> bool {
+        i < self.len() && self.kind(i) == TokenKind::Ident
+    }
+
+    /// Index of the matching close brace for the open brace at `open`
+    /// (returns `len()` when unbalanced).
+    fn matching_brace(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.len() {
+            match self.text(i) {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        self.len()
+    }
+
+    fn run(&mut self) {
+        while self.i < self.len() {
+            let t = self.text(self.i).to_string();
+            match t.as_str() {
+                "{" => {
+                    self.depth += 1;
+                    self.i += 1;
+                }
+                "}" => {
+                    self.depth = self.depth.saturating_sub(1);
+                    while let Some(&(_, d)) = self.owners.last() {
+                        if d > self.depth {
+                            self.owners.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.i += 1;
+                }
+                "impl" | "trait" => self.enter_owner(),
+                "struct" => self.parse_struct(),
+                "enum" => self.parse_enum(),
+                "fn" => self.parse_fn(),
+                "macro_rules" => self.skip_macro_rules(),
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// `impl … {` / `trait Name {`: record the implemented/declared type
+    /// and step into the body so member fns pick up their owner.
+    fn enter_owner(&mut self) {
+        let start = self.i;
+        let mut j = self.i + 1;
+        let mut after_for: Option<usize> = None;
+        while j < self.len() && self.text(j) != "{" && self.text(j) != ";" {
+            if self.text(j) == "for" {
+                after_for = Some(j + 1);
+            }
+            j += 1;
+        }
+        if j >= self.len() || self.text(j) != "{" {
+            self.i = j.min(self.len());
+            return;
+        }
+        // The type path starts after `for` when present, else after the
+        // generics that follow the keyword.
+        let mut k = after_for.unwrap_or_else(|| {
+            let mut k = start + 1;
+            if k < self.len() && self.text(k) == "<" {
+                let mut angle = 0i32;
+                while k < j {
+                    match self.text(k) {
+                        "<" => angle += 1,
+                        ">" => {
+                            angle -= 1;
+                            if angle == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            k
+        });
+        // Skip `&`, `mut`, `dyn`, lifetimes; take the last path segment
+        // before generic arguments open.
+        let mut name = String::new();
+        while k < j {
+            match self.text(k) {
+                "&" | "mut" | "dyn" => k += 1,
+                "<" | "where" => break,
+                "::" | ":" => k += 1,
+                _ if self.kind(k) == TokenKind::Lifetime => k += 1,
+                _ if self.is_ident(k) => {
+                    name = self.text(k).to_string();
+                    k += 1;
+                }
+                _ => break,
+            }
+        }
+        self.depth += 1;
+        if !name.is_empty() {
+            self.owners.push((name, self.depth));
+        }
+        self.i = j + 1;
+    }
+
+    fn parse_struct(&mut self) {
+        let kw = self.i;
+        if !self.is_ident(kw + 1) {
+            self.i += 1;
+            return;
+        }
+        let name = self.text(kw + 1).to_string();
+        let line = self.line(kw);
+        let in_test = kw >= self.m.test_from;
+        // Find what follows the name (skipping generics): `{`, `(`, or `;`.
+        let mut j = kw + 2;
+        let mut angle = 0i32;
+        while j < self.len() {
+            match self.text(j) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" | "(" | ";" if angle <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= self.len() || self.text(j) != "{" {
+            // Tuple or unit struct: no named fields to record.
+            self.m.structs.push(StructDef {
+                name,
+                line,
+                in_test,
+                fields: Vec::new(),
+            });
+            self.i = kw + 2;
+            return;
+        }
+        let close = self.matching_brace(j);
+        let mut fields = Vec::new();
+        let mut k = j + 1;
+        while k < close {
+            // Skip attributes and visibility before a field name.
+            if self.text(k) == "#" {
+                // `#[…]` — skip to the matching `]`.
+                let mut bracket = 0i32;
+                while k < close {
+                    match self.text(k) {
+                        "[" => bracket += 1,
+                        "]" => {
+                            bracket -= 1;
+                            if bracket == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                continue;
+            }
+            if self.text(k) == "pub" {
+                k += 1;
+                if k < close && self.text(k) == "(" {
+                    while k < close && self.text(k) != ")" {
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                continue;
+            }
+            if self.is_ident(k) && k + 1 < close && self.text(k + 1) == ":" {
+                let fname = self.text(k).to_string();
+                let fline = self.line(k);
+                let mut type_idents = Vec::new();
+                let mut t = k + 2;
+                let mut nest = 0i32;
+                while t < close {
+                    match self.text(t) {
+                        "<" | "(" | "[" => nest += 1,
+                        ">" | ")" | "]" => nest -= 1,
+                        "," if nest <= 0 => break,
+                        "mut" | "dyn" | "impl" => {}
+                        _ if self.is_ident(t) => type_idents.push(self.text(t).to_string()),
+                        _ => {}
+                    }
+                    t += 1;
+                }
+                fields.push(FieldDef {
+                    name: fname,
+                    line: fline,
+                    type_idents,
+                });
+                k = t + 1;
+            } else {
+                k += 1;
+            }
+        }
+        self.m.structs.push(StructDef {
+            name,
+            line,
+            in_test,
+            fields,
+        });
+        self.i = close + 1;
+    }
+
+    fn parse_enum(&mut self) {
+        let kw = self.i;
+        if !self.is_ident(kw + 1) {
+            self.i += 1;
+            return;
+        }
+        let name = self.text(kw + 1).to_string();
+        let in_test = kw >= self.m.test_from;
+        let mut j = kw + 2;
+        while j < self.len() && self.text(j) != "{" && self.text(j) != ";" {
+            j += 1;
+        }
+        if j >= self.len() || self.text(j) != "{" {
+            self.i = j.min(self.len());
+            return;
+        }
+        let close = self.matching_brace(j);
+        let mut variants = Vec::new();
+        let mut k = j + 1;
+        let mut expect_name = true;
+        let mut nest = 0i32;
+        while k < close {
+            match self.text(k) {
+                "#" => {
+                    // Skip `#[…]` attribute.
+                    let mut bracket = 0i32;
+                    while k < close {
+                        match self.text(k) {
+                            "[" => bracket += 1,
+                            "]" => {
+                                bracket -= 1;
+                                if bracket == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                "(" | "{" | "<" | "[" => {
+                    nest += 1;
+                    expect_name = false;
+                }
+                ")" | "}" | ">" | "]" => nest -= 1,
+                "," if nest <= 0 => expect_name = true,
+                _ if expect_name && self.is_ident(k) => {
+                    variants.push((self.text(k).to_string(), self.line(k)));
+                    expect_name = false;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        self.m.enums.push(EnumDef {
+            name,
+            in_test,
+            variants,
+        });
+        self.i = close + 1;
+    }
+
+    /// `macro_rules! name { … }` — skip the definition body entirely so
+    /// macro match arms don't masquerade as items.
+    fn skip_macro_rules(&mut self) {
+        let mut j = self.i + 1;
+        while j < self.len() && self.text(j) != "{" {
+            j += 1;
+        }
+        if j >= self.len() {
+            self.i = self.len();
+            return;
+        }
+        self.i = self.matching_brace(j) + 1;
+    }
+
+    fn parse_fn(&mut self) {
+        let kw = self.i;
+        if !self.is_ident(kw + 1) {
+            self.i += 1;
+            return;
+        }
+        let name = self.text(kw + 1).to_string();
+        let line = self.line(kw);
+        let in_test = kw >= self.m.test_from;
+        let owner = self
+            .owners
+            .last()
+            .filter(|&&(_, d)| d == self.depth)
+            .map(|(n, _)| n.clone());
+
+        // Find the parameter list, skipping generics after the name.
+        let mut j = kw + 2;
+        if j < self.len() && self.text(j) == "<" {
+            let mut angle = 0i32;
+            while j < self.len() {
+                match self.text(j) {
+                    "<" => angle += 1,
+                    ">" => {
+                        angle -= 1;
+                        if angle == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if j >= self.len() || self.text(j) != "(" {
+            self.i = kw + 2;
+            return;
+        }
+        // Parameters: collect `name: Type` pairs at paren depth 1.
+        let mut hashmap_locals = Vec::new();
+        let mut paren = 0i32;
+        let params_start = j;
+        while j < self.len() {
+            match self.text(j) {
+                "(" | "[" => paren += 1,
+                ")" | "]" => {
+                    paren -= 1;
+                    if paren == 0 {
+                        break;
+                    }
+                }
+                ":" if paren == 1 && j > params_start && self.is_ident(j - 1) => {
+                    let pname = self.text(j - 1).to_string();
+                    let mut type_idents = Vec::new();
+                    let mut t = j + 1;
+                    let mut nest = 0i32;
+                    while t < self.len() {
+                        match self.text(t) {
+                            "<" | "(" | "[" => nest += 1,
+                            ">" | ")" | "]" => {
+                                if nest == 0 {
+                                    break;
+                                }
+                                nest -= 1;
+                            }
+                            "," if nest <= 0 => break,
+                            "mut" | "dyn" | "impl" => {}
+                            _ if self.is_ident(t) => type_idents.push(self.text(t).to_string()),
+                            _ => {}
+                        }
+                        t += 1;
+                    }
+                    if is_hashmap_type(&type_idents) {
+                        hashmap_locals.push(pname);
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // Walk to the body `{` (or `;` for a bodyless declaration). Track
+        // angle and bracket/paren nesting so `-> [u8; 4]` and generic
+        // return types don't end the signature early.
+        let mut b = j + 1;
+        let mut angle = 0i32;
+        let mut nest = 0i32;
+        while b < self.len() {
+            match self.text(b) {
+                "<" => angle += 1,
+                ">" => angle = (angle - 1).max(0),
+                "(" | "[" => nest += 1,
+                ")" | "]" => nest -= 1,
+                "{" if angle == 0 && nest <= 0 => break,
+                ";" if angle == 0 && nest <= 0 => {
+                    // Declaration only (trait method without a default body).
+                    self.m.fns.push(FnInfo {
+                        name,
+                        owner,
+                        line,
+                        in_test,
+                        body: (b, b),
+                        calls: Vec::new(),
+                        path_pairs: Vec::new(),
+                        field_reads: Vec::new(),
+                        hashmap_locals,
+                        for_iterations: Vec::new(),
+                    });
+                    self.i = b + 1;
+                    return;
+                }
+                _ => {}
+            }
+            b += 1;
+        }
+        if b >= self.len() {
+            self.i = b;
+            return;
+        }
+        let close = self.matching_brace(b);
+        let mut info = FnInfo {
+            name,
+            owner,
+            line,
+            in_test,
+            body: (b, close),
+            calls: Vec::new(),
+            path_pairs: Vec::new(),
+            field_reads: Vec::new(),
+            hashmap_locals,
+            for_iterations: Vec::new(),
+        };
+        self.scan_body(&mut info, b, close);
+        self.m.fns.push(info);
+        self.i = close + 1;
+    }
+
+    /// Scan a body for calls, path pairs, field reads, `let` HashMap
+    /// bindings, and bare `for … in` iteration sites.
+    fn scan_body(&mut self, info: &mut FnInfo, from: usize, to: usize) {
+        let mut k = from;
+        while k < to {
+            let txt = self.text(k);
+            if self.is_ident(k) && k + 1 < to {
+                let next = self.text(k + 1);
+                if next == "(" && txt != "fn" {
+                    let prev = if k > 0 { self.text(k - 1) } else { "" };
+                    let recv = if prev == "." {
+                        let r2 = if k >= 2 { self.text(k - 2) } else { "" };
+                        if r2 == "self" {
+                            Recv::SelfCall
+                        } else if k >= 2 && self.is_ident(k - 2) {
+                            Recv::Named(r2.to_string())
+                        } else {
+                            Recv::Method
+                        }
+                    } else if prev == "::" {
+                        if k >= 2 && self.is_ident(k - 2) {
+                            Recv::Path(self.text(k - 2).to_string())
+                        } else {
+                            Recv::Method
+                        }
+                    } else if KEYWORDS.contains(&txt) {
+                        k += 1;
+                        continue;
+                    } else {
+                        Recv::Free
+                    };
+                    info.calls.push(CallSite {
+                        name: txt.to_string(),
+                        recv,
+                        line: self.line(k),
+                    });
+                    k += 1;
+                    continue;
+                }
+                // `Qual::Name` pair that is not a call.
+                if next == "::" && k + 2 < to && self.is_ident(k + 2) {
+                    let is_call = k + 3 < to && self.text(k + 3) == "(";
+                    let continues = k + 3 < to && self.text(k + 3) == "::";
+                    if !is_call && !continues {
+                        info.path_pairs.push(PathPair {
+                            qual: txt.to_string(),
+                            name: self.text(k + 2).to_string(),
+                            line: self.line(k + 2),
+                        });
+                    }
+                }
+                // `let [mut] name : Type` / `let [mut] name = HashMap::…`.
+                if txt == "let" {
+                    let mut n = k + 1;
+                    if n < to && self.text(n) == "mut" {
+                        n += 1;
+                    }
+                    if n + 1 < to && self.is_ident(n) {
+                        let bind = self.text(n).to_string();
+                        if self.text(n + 1) == ":" {
+                            let mut type_idents = Vec::new();
+                            let mut t = n + 2;
+                            let mut nest = 0i32;
+                            while t < to {
+                                match self.text(t) {
+                                    "<" | "(" | "[" => nest += 1,
+                                    ">" | ")" | "]" => nest -= 1,
+                                    "=" | ";" if nest <= 0 => break,
+                                    "mut" | "dyn" | "impl" => {}
+                                    _ if self.is_ident(t) => {
+                                        type_idents.push(self.text(t).to_string());
+                                    }
+                                    _ => {}
+                                }
+                                t += 1;
+                            }
+                            if is_hashmap_type(&type_idents) {
+                                info.hashmap_locals.push(bind);
+                            }
+                        } else if self.text(n + 1) == "="
+                            && n + 2 < to
+                            && self.text(n + 2) == "HashMap"
+                        {
+                            info.hashmap_locals.push(bind);
+                        }
+                    }
+                }
+                // `for pat in [&][mut] (self.field | ident) {` — an
+                // iteration with no method call to hang a rule on.
+                if txt == "in" {
+                    let mut n = k + 1;
+                    while n < to && (self.text(n) == "&" || self.text(n) == "mut") {
+                        n += 1;
+                    }
+                    if n < to && self.text(n) == "self" && n + 2 < to && self.text(n + 1) == "." {
+                        if self.is_ident(n + 2) && n + 3 < to && self.text(n + 3) == "{" {
+                            info.for_iterations
+                                .push((self.text(n + 2).to_string(), self.line(n + 2)));
+                        }
+                    } else if n + 1 < to
+                        && self.is_ident(n)
+                        && self.text(n + 1) == "{"
+                        && !KEYWORDS.contains(&self.text(n))
+                    {
+                        info.for_iterations
+                            .push((self.text(n).to_string(), self.line(n)));
+                    }
+                }
+            } else if txt == "." && k + 1 < to && self.is_ident(k + 1) {
+                let is_call = k + 2 < to && self.text(k + 2) == "(";
+                if !is_call {
+                    info.field_reads
+                        .push((self.text(k + 1).to_string(), self.line(k + 1)));
+                }
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Identifier-shaped keywords that look like calls when followed by `(`.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "let", "else", "move", "unsafe",
+    "box", "await", "yield",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::parse("crates/demo/src/lib.rs", src)
+    }
+
+    #[test]
+    fn functions_get_their_impl_owner() {
+        let m = model(
+            "struct Foo { n: u32 }\n\
+             impl Foo {\n    fn get(&self) -> u32 { self.n }\n}\n\
+             impl std::fmt::Display for Foo {\n    fn fmt(&self) -> u32 { helper() }\n}\n\
+             fn helper() -> u32 { 0 }\n",
+        );
+        let owners: Vec<(String, Option<String>)> = m
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.owner.clone()))
+            .collect();
+        assert_eq!(
+            owners,
+            [
+                ("get".to_string(), Some("Foo".to_string())),
+                ("fmt".to_string(), Some("Foo".to_string())),
+                ("helper".to_string(), None),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_impl_resolves_base_type() {
+        let m = model("impl<V: Clone> Dht<V> {\n    fn put(&mut self) { self.store() }\n}\n");
+        assert_eq!(m.fns[0].owner.as_deref(), Some("Dht"));
+    }
+
+    #[test]
+    fn call_receivers_are_classified() {
+        let m = model(
+            "impl Sys {\n  fn go(&mut self) {\n    self.step();\n    self.net.lookup(k);\n    x.poll();\n    trace::charge(s);\n    helper();\n    self.a().b();\n  }\n}\n",
+        );
+        let calls: Vec<(String, Recv)> = m.fns[0]
+            .calls
+            .iter()
+            .map(|c| (c.name.clone(), c.recv.clone()))
+            .collect();
+        assert_eq!(
+            calls,
+            [
+                ("step".to_string(), Recv::SelfCall),
+                ("lookup".to_string(), Recv::Named("net".to_string())),
+                ("poll".to_string(), Recv::Named("x".to_string())),
+                ("charge".to_string(), Recv::Path("trace".to_string())),
+                ("helper".to_string(), Recv::Free),
+                ("a".to_string(), Recv::SelfCall),
+                ("b".to_string(), Recv::Method),
+            ]
+        );
+    }
+
+    #[test]
+    fn path_pairs_capture_variant_mentions_not_calls() {
+        let m = model("fn f() { let k = MsgKind::Timeout; let a = MsgKind::all(); }\n");
+        let pairs: Vec<(String, String)> = m.fns[0]
+            .path_pairs
+            .iter()
+            .map(|p| (p.qual.clone(), p.name.clone()))
+            .collect();
+        assert_eq!(pairs, [("MsgKind".to_string(), "Timeout".to_string())]);
+    }
+
+    #[test]
+    fn test_tail_marks_functions() {
+        let m = model("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n");
+        assert!(!m.fns[0].in_test);
+        assert!(m.fns[1].in_test);
+    }
+
+    #[test]
+    fn struct_fields_and_types() {
+        let m = model(
+            "pub struct S {\n    pub store: HashMap<u128, V>,\n    net: ChordNet,\n    #[allow(dead_code)]\n    n: usize,\n}\n",
+        );
+        let s = &m.structs[0];
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["store", "net", "n"]);
+        assert!(is_hashmap_type(&s.fields[0].type_idents));
+        assert_eq!(s.fields[1].type_idents, ["ChordNet"]);
+    }
+
+    #[test]
+    fn enum_variants() {
+        let m = model(
+            "pub enum MsgKind {\n    #[default]\n    LookupHop,\n    Failed,\n    Timeout,\n}\n",
+        );
+        let e = &m.enums[0];
+        assert_eq!(e.name, "MsgKind");
+        let names: Vec<&str> = e.variants.iter().map(|(v, _)| v.as_str()).collect();
+        assert_eq!(names, ["LookupHop", "Failed", "Timeout"]);
+    }
+
+    #[test]
+    fn hashmap_locals_from_params_and_lets() {
+        let m = model(
+            "fn f(stats: &mut HashMap<u32, u64>, k: u32) {\n    let mut acc: HashMap<u32, f64> = HashMap::new();\n    let other = HashMap::new();\n    let plain = 3;\n}\n",
+        );
+        assert_eq!(m.fns[0].hashmap_locals, ["stats", "acc", "other"]);
+    }
+
+    #[test]
+    fn bare_for_iterations_are_recorded() {
+        let m = model(
+            "impl S { fn f(&self, m: HashMap<u32, u32>) { for (k, v) in &self.store { } for x in m { } } }\n",
+        );
+        assert_eq!(
+            m.fns[0].for_iterations,
+            [("store".to_string(), 1), ("m".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_skipped() {
+        let m = model("macro_rules! t { ($x:expr) => { fn phantom() {} }; }\nfn real() {}\n");
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["real"]);
+    }
+}

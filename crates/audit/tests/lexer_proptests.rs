@@ -1,0 +1,177 @@
+//! Seeded property tests for the audit lexer.
+//!
+//! Same convention as `crates/util/tests/proptests.rs`: each property is a
+//! deterministic loop over `DetRng`-generated inputs rather than a
+//! shrinking framework. The generator assembles Rust-ish sources from
+//! fragments whose token kind is known in advance, with string and comment
+//! fragments deliberately stuffed with trap text (`//`, `/*`, quotes, a
+//! marker identifier) that a line-based scanner would trip over.
+//!
+//! Two invariants are checked:
+//! 1. Round trip — concatenating every token's text reproduces the source
+//!    byte for byte, tokens are contiguous, and line numbers agree with
+//!    the newlines actually emitted.
+//! 2. Containment — each string/comment fragment lexes to exactly one
+//!    token of the right kind spanning the fragment exactly, so trap text
+//!    inside it can never leak out as identifier or comment tokens.
+
+use sprite_audit::lex::{lex, TokenKind};
+use sprite_util::{derive_rng, DetRng};
+
+fn rng(label: &str) -> DetRng {
+    derive_rng(0xC0FF_EE00, label)
+}
+
+/// Marker planted only inside strings and comments; it must never surface
+/// as an `Ident` token.
+const TRAP: &str = "LEAKME";
+
+/// One generated fragment: its text and the single token kind it must lex
+/// to when surrounded by whitespace.
+fn gen_fragment(r: &mut DetRng) -> (String, TokenKind) {
+    match r.gen_range(0..12) {
+        0 => (format!("x{}", r.gen_range(0..100)), TokenKind::Ident),
+        1 => ("r#fn".to_string(), TokenKind::Ident),
+        2 => (format!("{}", r.gen_u32()), TokenKind::NumLit),
+        3 => ("1.5e-3".to_string(), TokenKind::NumLit),
+        4 => ("0xC0FF_EE00u64".to_string(), TokenKind::NumLit),
+        5 => (
+            // Escaped string carrying both comment openers, an escaped
+            // quote, and the trap marker.
+            format!("\"{TRAP} // /* \\\" \\\\ {TRAP}\""),
+            TokenKind::StrLit,
+        ),
+        6 => {
+            // Raw string; with at least one `#` guard the body may even
+            // contain a bare quote.
+            let hashes = "#".repeat(r.gen_range(1..4));
+            (
+                format!("r{hashes}\"{TRAP} \" // */ {TRAP}\"{hashes}"),
+                TokenKind::StrLit,
+            )
+        }
+        7 => (format!("b\"{TRAP} // bytes\""), TokenKind::StrLit),
+        8 => {
+            let c = ["'a'", "'\\n'", "'\\''", "b'\\0'", "'/'"][r.gen_range(0..5)];
+            (c.to_string(), TokenKind::CharLit)
+        }
+        9 => (
+            ["'a", "'static", "'_"][r.gen_range(0..3)].to_string(),
+            TokenKind::Lifetime,
+        ),
+        10 => (
+            // Line comment with trap text; must be terminated by a newline
+            // in the separator that follows.
+            format!("// {TRAP} \"not a string\" /* {TRAP}"),
+            TokenKind::LineComment,
+        ),
+        _ => (
+            format!("/* {TRAP} // \" /* nested {TRAP} */ still */"),
+            TokenKind::BlockComment,
+        ),
+    }
+}
+
+/// Random whitespace run; starts with a newline when `force_newline`
+/// (required after a line comment, which otherwise absorbs any leading
+/// spaces of the separator into the comment token).
+fn gen_ws(r: &mut DetRng, force_newline: bool) -> String {
+    let base = [" ", "\n", "\t", " \n ", "  "][r.gen_range(0..5)];
+    if force_newline && !base.starts_with('\n') {
+        format!("\n{base}")
+    } else {
+        base.to_string()
+    }
+}
+
+/// Generated source plus the byte range and expected kind of each
+/// fragment.
+fn gen_source(r: &mut DetRng) -> (String, Vec<(usize, usize, TokenKind)>) {
+    let n = r.gen_range(1..40);
+    let mut src = String::new();
+    let mut spans = Vec::new();
+    let mut need_newline = false;
+    for _ in 0..n {
+        src.push_str(&gen_ws(r, need_newline));
+        let (text, kind) = gen_fragment(r);
+        spans.push((src.len(), src.len() + text.len(), kind));
+        src.push_str(&text);
+        need_newline = kind == TokenKind::LineComment;
+    }
+    src.push_str(&gen_ws(r, need_newline));
+    (src, spans)
+}
+
+/// Concatenating every token's text reproduces the source byte for byte;
+/// tokens tile the input with no gaps or overlaps; line numbers are
+/// consistent with the newlines in the preceding text.
+#[test]
+fn lexed_tokens_round_trip_byte_for_byte() {
+    let mut r = rng("lex-roundtrip");
+    for _ in 0..300 {
+        let (src, _) = gen_source(&mut r);
+        let tokens = lex(&src);
+        let rebuilt: String = tokens.iter().map(|t| t.text(&src)).collect();
+        assert_eq!(rebuilt, src, "token concatenation must reproduce source");
+        let mut at = 0;
+        for t in &tokens {
+            assert_eq!(t.start, at, "tokens must be contiguous");
+            assert!(t.end > t.start, "tokens must be non-empty");
+            let line = 1 + src[..t.start].bytes().filter(|&b| b == b'\n').count() as u32;
+            assert_eq!(t.line, line, "line number must match newline count");
+            at = t.end;
+        }
+        assert_eq!(at, src.len(), "tokens must cover the whole source");
+    }
+}
+
+/// Each fragment lexes to exactly one token of the expected kind covering
+/// the fragment's exact byte range, and the trap marker planted inside
+/// strings and comments never appears as an identifier token.
+#[test]
+fn strings_and_comments_never_leak_tokens() {
+    let mut r = rng("lex-containment");
+    for _ in 0..300 {
+        let (src, spans) = gen_source(&mut r);
+        let tokens = lex(&src);
+        for &(start, end, kind) in &spans {
+            let covering: Vec<_> = tokens
+                .iter()
+                .filter(|t| t.start < end && t.end > start)
+                .collect();
+            assert_eq!(
+                covering.len(),
+                1,
+                "fragment {:?} must be one token, got {covering:?}",
+                &src[start..end]
+            );
+            assert_eq!(covering[0].kind, kind);
+            assert_eq!((covering[0].start, covering[0].end), (start, end));
+        }
+        assert!(
+            tokens
+                .iter()
+                .all(|t| t.kind != TokenKind::Ident || t.text(&src) != TRAP),
+            "marker inside strings/comments must never lex as an identifier"
+        );
+    }
+}
+
+/// The regression that motivated the lexer (satellite of the same issue):
+/// `//` inside a string literal is not a comment, so tokens after the
+/// string — here an `.unwrap()` — remain visible to every rule.
+#[test]
+fn url_in_string_does_not_hide_the_rest_of_the_line() {
+    let src = "let u = \"http://example.com\"; x.unwrap();\n";
+    let tokens = lex(src);
+    assert!(
+        tokens.iter().all(|t| t.kind != TokenKind::LineComment),
+        "no comment token may appear"
+    );
+    assert!(
+        tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "unwrap"),
+        "the unwrap after the string must still be lexed"
+    );
+}

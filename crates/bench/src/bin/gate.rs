@@ -1,11 +1,13 @@
 //! `gate` — the CI regression gate over `BENCH_experiments.json`.
 //!
-//! Recomputes the deterministic `metrics` object from a fresh
-//! `SPRITE_SCALE=small` run (the committed baseline's scale; override with
-//! the usual variable) and diffs it against the committed baseline:
-//! precision/recall ratios within `RATIO_TOLERANCE`, every message count
-//! and histogram bucket within `COUNT_TOLERANCE`. Exits 0 when clean, 1
-//! with one readable line per divergence when not, 2 when the baseline is
+//! First runs the workspace source lint in-process (`sprite_audit::analyze`
+//! — same engine as `sprite-lint`), then recomputes the deterministic
+//! `metrics` object from a fresh `SPRITE_SCALE=small` run (the committed
+//! baseline's scale; override with the usual variable) and diffs it
+//! against the committed baseline: precision/recall ratios within
+//! `RATIO_TOLERANCE`, every message count and histogram bucket within
+//! `COUNT_TOLERANCE`. Exits 0 when clean, 1 with one readable line per
+//! lint violation or metric divergence when not, 2 when the baseline is
 //! missing, unparseable, or was generated at a different scale.
 //!
 //! Run: `cargo run -p sprite-bench --bin gate --release [baseline.json]`
@@ -54,6 +56,30 @@ fn main() -> ExitCode {
                 "gate: baseline was generated at SPRITE_SCALE={baseline_scale} but this run \
                  is at SPRITE_SCALE={scale}; rerun with a matching scale"
             );
+            return ExitCode::from(2);
+        }
+    }
+
+    // Source lint first: a determinism violation in the source makes the
+    // metric diff below meaningless.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    match sprite_audit::analyze(&root) {
+        Ok(diags) if diags.is_empty() => {}
+        Ok(diags) => {
+            for d in &diags {
+                println!("gate: lint: {d}");
+            }
+            println!(
+                "gate: {} lint violation(s); fix before gating metrics",
+                diags.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("gate: cannot lint workspace sources: {e}");
             return ExitCode::from(2);
         }
     }

@@ -316,12 +316,17 @@ impl<V: Clone> Dht<V> {
         self.replication
     }
 
-    /// Every stored copy as `(holding peer, key)` — arbitrary order; the
-    /// audit layer sorts before checking placement.
-    pub fn copies(&self) -> impl Iterator<Item = (RingId, RingId)> + '_ {
-        self.store
+    /// Every stored copy as `(holding peer, key)`, sorted by peer then key
+    /// so callers never observe `HashMap` iteration order.
+    #[must_use]
+    pub fn copies(&self) -> Vec<(RingId, RingId)> {
+        let mut out: Vec<(RingId, RingId)> = self
+            .store
             .iter()
             .flat_map(|(&p, m)| m.keys().map(move |&k| (RingId(p), RingId(k))))
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Write a copy directly at `peer`, bypassing routing and replication —

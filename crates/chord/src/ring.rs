@@ -282,23 +282,18 @@ impl ChordNet {
     /// oracle says it should be? (Convergence check for churn tests.)
     #[must_use]
     pub fn is_converged(&self) -> bool {
-        for node in self.nodes.values() {
+        self.nodes.values().all(|node| {
             let want_succ = self
                 .oracle_owner(RingId(node.id().0.wrapping_add(1)))
                 .expect("non-empty");
-            if node.successor() != want_succ {
-                return false;
-            }
-            for k in 0..ID_BITS {
-                let want = self
-                    .oracle_owner(node.id().finger_start(k))
-                    .expect("non-empty");
-                if node.finger_table()[k as usize] != want {
-                    return false;
-                }
-            }
-        }
-        true
+            node.successor() == want_succ
+                && (0..ID_BITS).all(|k| {
+                    let want = self
+                        .oracle_owner(node.id().finger_start(k))
+                        .expect("non-empty");
+                    node.finger_table()[k as usize] == want
+                })
+        })
     }
 
     /// Rebuild every node's pointers from the oracle, free of charge.

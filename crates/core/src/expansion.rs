@@ -12,7 +12,6 @@
 
 use std::collections::HashMap;
 
-use sprite_chord::MsgKind;
 use sprite_ir::{Hit, Query, TermId};
 
 use crate::system::SpriteSystem;
@@ -65,7 +64,7 @@ impl SpriteSystem {
             if !self.net().contains(owner) {
                 continue;
             }
-            self.net_mut().charge(MsgKind::QueryFetch);
+            self.charge_doc_fetch_traced(owner);
             fetched += 1;
             for &(t, c) in self.corpus().doc(h.doc).terms() {
                 *doc_count.entry(t).or_insert(0) += 1;
@@ -111,6 +110,7 @@ impl SpriteSystem {
 mod tests {
     use super::*;
     use crate::SpriteConfig;
+    use sprite_chord::MsgKind;
     use sprite_corpus::{CorpusConfig, SyntheticCorpus};
     use sprite_ir::DocId;
 

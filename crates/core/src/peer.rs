@@ -157,15 +157,25 @@ impl IndexingState {
         self.list(term).len()
     }
 
-    /// Terms this peer currently indexes, with their indexed df.
-    pub fn term_dfs(&self) -> impl Iterator<Item = (TermId, usize)> + '_ {
-        self.inverted.iter().map(|(&t, l)| (t, l.len()))
+    /// Terms this peer currently indexes, with their indexed df, sorted by
+    /// term so iteration order never leaks `HashMap` randomness.
+    pub fn term_dfs(&self) -> impl Iterator<Item = (TermId, usize)> {
+        let mut v: Vec<(TermId, usize)> =
+            self.inverted.iter().map(|(&t, l)| (t, l.len())).collect();
+        v.sort_unstable_by_key(|&(t, _)| t);
+        v.into_iter()
     }
 
-    /// Every inverted list held by this peer, keyed by term (arbitrary
-    /// order — callers that need determinism must sort).
+    /// Every inverted list held by this peer, keyed by term, sorted by
+    /// term so iteration order never leaks `HashMap` randomness.
     pub fn terms(&self) -> impl Iterator<Item = (TermId, &[IndexEntry])> {
-        self.inverted.iter().map(|(&t, l)| (t, l.as_slice()))
+        let mut v: Vec<(TermId, &[IndexEntry])> = self
+            .inverted
+            .iter()
+            .map(|(&t, l)| (t, l.as_slice()))
+            .collect();
+        v.sort_unstable_by_key(|&(t, _)| t);
+        v.into_iter()
     }
 
     /// Replace the inverted list of `term` verbatim, skipping the

@@ -556,6 +556,20 @@ impl SpriteSystem {
         );
     }
 
+    /// Bill one query-expansion document fetch from `peer` through the
+    /// traced charge path, so the observability layer sees exactly what
+    /// the accounting sees (§7 local context analysis downloads the term
+    /// vectors of the top-ranked documents from their owner peers).
+    pub(crate) fn charge_doc_fetch_traced(&mut self, peer: RingId) {
+        let tick = self.trace_tick;
+        traced!(
+            self,
+            sink,
+            self.net
+                .charge_traced(MsgKind::QueryFetch, Phase::Query, tick, peer, sink)
+        );
+    }
+
     /// [`Self::remove_term`] under an explicit phase/sink.
     fn remove_term_with<T: TraceSink>(
         &mut self,
@@ -1086,6 +1100,34 @@ mod tests {
         let before = sys.total_index_entries();
         sys.publish_all();
         assert_eq!(sys.total_index_entries(), before);
+    }
+
+    #[test]
+    fn remove_term_retracts_the_entry_and_bills_index_remove() {
+        let (_sc, mut sys) = tiny_system(SpriteConfig::default());
+        sys.publish_all();
+        let doc = DocId(0);
+        let term = sys.published_terms(doc)[0];
+        let df_before = sys.indexed_df(term);
+        let entries_before = sys.total_index_entries();
+        assert!(df_before > 0, "published term must be indexed");
+        sys.net_mut().reset_stats();
+        sys.remove_term(doc, term);
+        assert!(
+            sys.net().stats().count(MsgKind::IndexRemove) > 0,
+            "retraction must bill IndexRemove messages"
+        );
+        assert_eq!(sys.indexed_df(term), df_before - 1);
+        assert_eq!(sys.total_index_entries(), entries_before - 1);
+        // A removed entry is no longer retrievable.
+        let hits = sys.issue_query(&Query::new(vec![term]), sys.corpus().len());
+        assert!(
+            hits.iter().all(|h| h.doc != doc),
+            "retracted (doc, term) must not be retrieved"
+        );
+        // Removing an entry that is already gone is a no-op on the index.
+        sys.remove_term(doc, term);
+        assert_eq!(sys.total_index_entries(), entries_before - 1);
     }
 
     #[test]
