@@ -183,6 +183,51 @@ pub fn parallel_results_fingerprint(
     fp
 }
 
+/// Fingerprint of the **batched** query pipeline: the same frozen-view
+/// fan-out as [`parallel_results_fingerprint`], but every query is served
+/// through [`sprite_core::QueryView::query_batched`] against one shared
+/// [`sprite_chord::RouteMemo`] covering the whole batch. The hash covers
+/// every ranked list (exact float bits) plus the in-input-order merge of
+/// the [`NetStats`] deltas — the same shape as the unbatched fingerprint,
+/// so the two are directly comparable. The batching contract says the
+/// memoized destination replay charges exactly what a live walk would
+/// have, so this must equal `parallel_results_fingerprint` bit for bit.
+#[must_use]
+pub fn batched_results_fingerprint(
+    sys: &mut SpriteSystem,
+    queries: &[Query],
+    threads: usize,
+) -> u128 {
+    let prev = override_threads(threads);
+    let fp = {
+        let view = sys.query_view();
+        let peers = view.peers();
+        let memo = view.resolve_routes(
+            queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| (peers[i % peers.len()], q)),
+        );
+        let per: Vec<(u128, NetStats)> =
+            par_map_init(queries, RankScratch::new, |scratch, i, q| {
+                let mut delta = NetStats::new();
+                let hits =
+                    view.query_batched(peers[i % peers.len()], q, 10, &memo, &mut delta, scratch);
+                (fingerprint_hits(&hits), delta)
+            });
+        let mut h = Md5::new();
+        let mut total = NetStats::new();
+        for (hits_fp, delta) in &per {
+            feed_u128(&mut h, *hits_fp);
+            total.merge(delta);
+        }
+        feed_u128(&mut h, fingerprint_stats(&total));
+        h.finalize().as_u128()
+    };
+    override_threads(prev);
+    fp
+}
+
 /// MD5 over a merged [`TraceRecorder`]: per-phase and per-kind event
 /// counts, per-kind payload bytes, query totals, and all three cost
 /// histograms (bucket layout, every bucket, count/sum/max — exact
@@ -384,7 +429,18 @@ pub fn run_trace(seed: u64) -> Trace {
         parallel_results_fingerprint(&mut sys, &queries, 4),
     ));
 
-    // Tenth and eleventh stages: the same parallel evaluation with the
+    // Tenth stage: the batched query pipeline. The same queries fan out
+    // over four workers, but lookup destinations are resolved once for
+    // the whole batch through a shared route memo and replayed into each
+    // query's private stats delta. The throughput path earns its speedup
+    // only if this fingerprint equals `results/parallel` exactly — the
+    // auditor enforces that within-run, below.
+    stages.push((
+        "query/batched",
+        batched_results_fingerprint(&mut sys, &queries, 4),
+    ));
+
+    // Eleventh and twelfth stages: the same parallel evaluation with the
     // observability layer switched on. Tracing is observation only, so
     // `results/traced` must equal `results/parallel` exactly — a
     // divergence means a traced helper charged differently from its
@@ -395,7 +451,7 @@ pub fn run_trace(seed: u64) -> Trace {
     stages.push(("results/traced", traced_fp));
     stages.push(("trace/histograms", recorder_fp));
 
-    // Twelfth stage: continuous churn with bounded stabilization and routed
+    // Thirteenth stage: continuous churn with bounded stabilization and routed
     // failover. Three engine ticks interleaved with maintenance rounds
     // leave the ring deliberately unconverged; a parallel evaluation over
     // that damaged state must still be bit-reproducible.
@@ -409,7 +465,7 @@ pub fn run_trace(seed: u64) -> Trace {
         parallel_results_fingerprint(&mut sys, &queries, 4),
     ));
 
-    // Thirteenth stage: the wire/batching contract. Two fresh deployments
+    // Fourteenth stage: the wire/batching contract. Two fresh deployments
     // publish the same corpus with batching on and off; the fingerprint
     // covers both modes' index contents and full stats (message counts
     // *and* payload bytes), so any nondeterminism in the batch flush order
@@ -446,12 +502,21 @@ pub fn audit_determinism(seed: u64) -> DeterminismReport {
         (Some(plain), Some(traced)) if plain != traced => Some("results/traced"),
         _ => None,
     };
+    // The batched-pipeline contract is also within-run: serving a query
+    // through the shared route memo must reproduce the unbatched ranked
+    // lists and stats exactly, else the throughput path is buying speed
+    // with changed answers.
+    let batched_divergence = match (stage("results/parallel"), stage("query/batched")) {
+        (Some(plain), Some(batched)) if plain != batched => Some("query/batched"),
+        _ => None,
+    };
     // The batching contract is enforced *within* a run, like the tracing
     // contract: a batched deployment that drifts from its unbatched twin
     // (contents, bytes, or a failure to actually coalesce) fails the audit
     // even though both replays agree with each other.
     let batching_divergence = (!audit_batching(seed).passed()).then_some("wire/batching");
     let first_divergence = replay_divergence
+        .or(batched_divergence)
         .or(tracing_divergence)
         .or(batching_divergence);
     DeterminismReport {
@@ -473,7 +538,7 @@ mod tests {
             "first divergent stage: {:?}",
             report.first_divergence
         );
-        assert_eq!(report.stages, 13);
+        assert_eq!(report.stages, 14);
     }
 
     #[test]
@@ -573,6 +638,64 @@ mod tests {
         let seq = parallel_results_fingerprint(&mut sys, &queries, 1);
         let par = parallel_results_fingerprint(&mut sys, &queries, 4);
         assert_eq!(seq, par, "churned evaluation depends on worker count");
+    }
+
+    #[test]
+    fn batched_pipeline_matches_unbatched_bit_for_bit() {
+        // The fourteenth-stage contract, stated directly: serving every
+        // query through one shared route memo reproduces the unbatched
+        // fan-out exactly — ranked lists and merged stats — at any worker
+        // count, including over a churned ring where some walks fail.
+        let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(83));
+        let cfg = SpriteConfig {
+            replication: 2,
+            ..SpriteConfig::default()
+        };
+        let mut sys = SpriteSystem::build(sc.corpus().clone(), 24, cfg, 83);
+        sys.publish_all();
+        sys.replicate_indexes();
+        let queries: Vec<Query> = sc
+            .seed_queries()
+            .iter()
+            .take(12)
+            .map(|s| s.query.clone())
+            .collect();
+        let plain = parallel_results_fingerprint(&mut sys, &queries, 4);
+        assert_eq!(
+            batched_results_fingerprint(&mut sys, &queries, 1),
+            plain,
+            "batched pipeline diverged at one worker"
+        );
+        assert_eq!(
+            batched_results_fingerprint(&mut sys, &queries, 4),
+            plain,
+            "batched pipeline diverged at four workers"
+        );
+        sys.fail_random_peers(3, 84);
+        let churned_plain = parallel_results_fingerprint(&mut sys, &queries, 4);
+        assert_eq!(
+            batched_results_fingerprint(&mut sys, &queries, 4),
+            churned_plain,
+            "batched pipeline diverged over a churned ring"
+        );
+    }
+
+    #[test]
+    fn batched_stage_is_present_and_agrees_within_a_run() {
+        let trace = run_trace(2026);
+        let get = |name: &str| {
+            trace
+                .stages
+                .iter()
+                .find(|&&(n, _)| n == name)
+                .map(|&(_, fp)| fp)
+                .expect("stage present")
+        };
+        assert_eq!(
+            get("query/batched"),
+            get("results/parallel"),
+            "batched pipeline changed results or stats"
+        );
     }
 
     #[test]

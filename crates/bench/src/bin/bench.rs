@@ -3,15 +3,16 @@
 //! Times every figure of the paper at `SPRITE_SCALE=small` (the CI scale;
 //! override with the usual `SPRITE_SCALE` variable), a handful of
 //! microbenchmarks (MD5, one Chord lookup, one distributed query, one
-//! centralized search), and the headline sequential-vs-parallel
-//! `World::evaluate` comparison, then writes the whole report as
-//! `BENCH_experiments.json` at the repository root so later PRs can be
-//! measured against this baseline.
+//! centralized search), and the headline throughput comparison — the
+//! batched `World::evaluate` pipeline against the sequential unbatched
+//! `World::evaluate_reference`, with a 1/2/N-worker queries/sec sweep —
+//! then writes the whole report as `BENCH_experiments.json` at the
+//! repository root so later PRs can be measured against this baseline.
 //!
 //! Run: `cargo run -p sprite-bench --bin bench --release [output.json]`
 //!
-//! The parallel comparison also *verifies* the engine's contract: the
-//! report records whether the 1-thread and N-thread evaluations produced
+//! The throughput comparison also *verifies* the engine's contract: the
+//! report records whether the batched and reference evaluations produced
 //! bit-identical ratios and merged stats (`"bit_identical": true`), and
 //! the process exits nonzero if they did not.
 
@@ -22,7 +23,7 @@ use sprite_chord::{ChordConfig, ChordNet};
 use sprite_core::{churn_figure, fig4a, fig4b, fig4c, SpriteConfig, SpriteSystem};
 use sprite_corpus::{CorpusConfig, Schedule, SyntheticCorpus};
 use sprite_ir::CentralizedEngine;
-use sprite_util::{configured_threads, md5, override_threads, RingId};
+use sprite_util::{configured_threads, md5, RingId};
 
 /// Milliseconds, one decimal.
 fn ms(from: Instant) -> f64 {
@@ -123,52 +124,42 @@ fn main() {
     eprintln!("# churn figure: {churn_ms} ms");
 
     // ------------------------------------------------------------------
-    // The headline comparison: sequential vs parallel evaluation of the
-    // full test set on one trained deployment — plus the bit-identity
-    // check the determinism auditor enforces.
+    // The headline comparison: the batched query pipeline against the
+    // sequential unbatched reference on one trained deployment, with the
+    // bit-identity check the determinism auditor enforces and a
+    // 1/2/N-worker sweep. Timed over the full generated workload.
     // ------------------------------------------------------------------
-    let (mut sys, train_ms) =
+    let (_, train_ms) =
         time_ms(|| world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats));
     eprintln!("# standard system (train+learn): {train_ms} ms");
 
-    // 4 vs 1 threads per the engine's contract; an explicit SPRITE_THREADS
-    // still wins so the comparison can be re-run at other widths.
+    // Headline width 4 per the engine's contract; an explicit
+    // SPRITE_THREADS still wins so the sweep can be re-run at other widths.
     let threads = std::env::var("SPRITE_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n >= 2)
         .unwrap_or(4);
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let prev = override_threads(1);
-    sys.net_mut().reset_stats();
-    let (r_seq, first_ms) = time_ms(|| world.evaluate(&mut sys, &world.test, 20));
-    let stats_seq = sys.net().stats().clone();
-    // A single small-scale evaluation is ~1ms; repeat until the timing is
-    // dominated by the work, not the clock.
-    let reps = ((250.0 / first_ms.max(0.1)).ceil() as usize).clamp(1, 500);
-    let time_eval = |world: &sprite_core::World, sys: &mut SpriteSystem| {
-        let t0 = Instant::now();
-        for _ in 0..reps {
-            std::hint::black_box(world.evaluate(sys, &world.test, 20));
-        }
-        (t0.elapsed().as_secs_f64() * 1000.0 / reps as f64 * 1000.0).round() / 1000.0
-    };
-    let seq_ms = time_eval(&world, &mut sys);
-    override_threads(threads);
-    sys.net_mut().reset_stats();
-    let (r_par, _) = time_ms(|| world.evaluate(&mut sys, &world.test, 20));
-    let stats_par = sys.net().stats().clone();
-    let par_ms = time_eval(&world, &mut sys);
-    override_threads(prev);
-    let bit_identical = r_seq.precision_ratio.to_bits() == r_par.precision_ratio.to_bits()
-        && r_seq.recall_ratio.to_bits() == r_par.recall_ratio.to_bits()
-        && r_seq.queries == r_par.queries
-        && stats_seq == stats_par;
-    let speedup = if par_ms > 0.0 { seq_ms / par_ms } else { 0.0 };
+    let (throughput, throughput_ms) =
+        time_ms(|| sprite_bench::metrics::measure_throughput(&world, threads));
+    let cores = throughput.cores;
     eprintln!(
-        "# evaluate ({reps} reps): seq {seq_ms} ms, par({threads} threads, {cores} cores) \
-         {par_ms} ms — {speedup:.2}x, bit-identical: {bit_identical}"
+        "# throughput ({} reps, measured in {throughput_ms} ms): reference {} ms, \
+         batched@{} {} ms — {:.2}x, {} q/s, bit-identical: {}",
+        throughput.repetitions,
+        throughput.reference_ms,
+        throughput.batched_workers,
+        throughput.batched_ms,
+        throughput.speedup_vs_reference,
+        throughput.batched_qps,
+        throughput.bit_identical
     );
+    for p in &throughput.sweep {
+        eprintln!(
+            "#   sweep @{} workers: {} ms/eval, {} q/s, efficiency {:.3}",
+            p.workers, p.ms_per_eval, p.queries_per_sec, p.efficiency
+        );
+    }
 
     // ------------------------------------------------------------------
     // The deterministic `metrics` object the regression gate replays: a
@@ -261,16 +252,51 @@ fn main() {
         j.close(2, i + 1 == n_points);
     }
     j.close(1, false);
+    // `evaluate` mirrors the headline throughput numbers in the shape the
+    // old sequential-vs-parallel object used, with the workers actually
+    // used by each measurement spelled out per side.
     j.open(1, "evaluate");
-    j.field(2, "queries", &world.test.len().to_string(), false);
-    j.field(2, "k", "20", false);
-    j.field(2, "repetitions", &reps.to_string(), false);
-    j.field(2, "sequential_ms", &seq_ms.to_string(), false);
-    j.field(2, "parallel_ms", &par_ms.to_string(), false);
-    j.field(2, "parallel_threads", &threads.to_string(), false);
-    j.field(2, "speedup", &format!("{speedup:.2}"), false);
-    j.field(2, "bit_identical", &bit_identical.to_string(), true);
+    j.field(2, "queries", &throughput.queries.to_string(), false);
+    j.field(2, "k", &throughput.k.to_string(), false);
+    j.field(2, "repetitions", &throughput.repetitions.to_string(), false);
+    j.field(
+        2,
+        "sequential_ms",
+        &throughput.reference_ms.to_string(),
+        false,
+    );
+    j.field(
+        2,
+        "sequential_workers",
+        &throughput.reference_workers.to_string(),
+        false,
+    );
+    j.field(2, "parallel_ms", &throughput.batched_ms.to_string(), false);
+    j.field(
+        2,
+        "parallel_workers",
+        &throughput.batched_workers.to_string(),
+        false,
+    );
+    j.field(
+        2,
+        "speedup",
+        &format!("{:.2}", throughput.speedup_vs_reference),
+        false,
+    );
+    j.field(
+        2,
+        "bit_identical",
+        &throughput.bit_identical.to_string(),
+        true,
+    );
     j.close(1, false);
+    j.field(
+        1,
+        "throughput",
+        &sprite_bench::metrics::throughput_json(&throughput, 1),
+        false,
+    );
     j.field(
         1,
         "metrics",
@@ -294,7 +320,7 @@ fn main() {
     }
     print!("{body}");
     assert!(
-        bit_identical,
-        "parallel evaluation diverged from the sequential reference"
+        throughput.bit_identical,
+        "the batched pipeline diverged from the sequential reference"
     );
 }

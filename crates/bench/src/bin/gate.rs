@@ -6,20 +6,26 @@
 //! baseline's scale; override with the usual variable) and diffs it
 //! against the committed baseline: precision/recall ratios within
 //! `RATIO_TOLERANCE`, every message count and histogram bucket within
-//! `COUNT_TOLERANCE`. Exits 0 when clean, 1 with one readable line per
-//! lint violation or metric divergence when not, 2 when the baseline is
-//! missing, unparseable, or was generated at a different scale.
+//! `COUNT_TOLERANCE`. It then remeasures the headline `throughput` object
+//! and band-compares it: structure and the `bit_identical` flag exactly,
+//! queries/sec and the speedup within the one-sided
+//! `THROUGHPUT_TOLERANCE` regression band (improvements always pass).
+//! Exits 0 when clean, 1 with one readable line per lint violation or
+//! divergence when not, 2 when the baseline is missing, unparseable, or
+//! was generated at a different scale.
 //!
 //! Run: `cargo run -p sprite-bench --bin gate --release [baseline.json]`
 //!
-//! Timing sections of the baseline (`figures_ms`, `micro_ns`, the
-//! `evaluate` wall-clock fields) are machine-dependent and deliberately
-//! not gated.
+//! Timing sections of the baseline (`figures_ms`, `micro_ns`, raw
+//! millisecond fields of `evaluate`/`throughput`) are machine-dependent
+//! and deliberately not gated.
 
 use std::process::ExitCode;
 
 use sprite_bench::json::{self, JsonValue};
-use sprite_bench::metrics::{collect_metrics, compare_against_baseline};
+use sprite_bench::metrics::{
+    collect_metrics, compare_against_baseline, compare_throughput, measure_throughput,
+};
 
 fn main() -> ExitCode {
     // The committed baseline is generated at small scale; match it unless
@@ -87,11 +93,27 @@ fn main() -> ExitCode {
     eprintln!("# gate: scale={scale}, baseline {baseline_path}");
     let world = sprite_bench::build_world(42);
     let current = collect_metrics(&world);
-    let diffs = compare_against_baseline(&current, &baseline);
+    let mut diffs = compare_against_baseline(&current, &baseline);
+    // Remeasure the headline throughput at the baseline's worker count so
+    // the band comparison is like for like.
+    let headline_workers = baseline
+        .path(&["throughput", "batched_workers"])
+        .and_then(JsonValue::as_u64)
+        .map_or(4, |w| w.max(2) as usize);
+    let throughput = measure_throughput(&world, headline_workers);
+    eprintln!(
+        "# gate: throughput batched@{} {:.2}x vs reference, {} q/s, bit-identical: {}",
+        throughput.batched_workers,
+        throughput.speedup_vs_reference,
+        throughput.batched_qps,
+        throughput.bit_identical
+    );
+    diffs.extend(compare_throughput(&throughput, &baseline));
     if diffs.is_empty() {
         println!(
-            "gate: metrics match the committed baseline ({} queries, {} traced events)",
-            current.queries, current.events
+            "gate: metrics and throughput match the committed baseline ({} queries, {} traced \
+             events, {:.2}x batched speedup)",
+            current.queries, current.events, throughput.speedup_vs_reference
         );
         ExitCode::SUCCESS
     } else {

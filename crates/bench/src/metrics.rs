@@ -19,11 +19,12 @@
 //! source of count jitter.
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use sprite_chord::{MsgKind, Phase, TraceRecorder};
 use sprite_core::{SpriteConfig, World};
 use sprite_corpus::Schedule;
-use sprite_util::Histogram;
+use sprite_util::{override_threads, Histogram};
 
 use crate::json::JsonValue;
 
@@ -34,6 +35,14 @@ pub const RATIO_TOLERANCE: f64 = 1e-9;
 /// Absolute tolerance for every integer metric. Zero by design: message
 /// counts and histogram buckets are exactly reproducible at equal seeds.
 pub const COUNT_TOLERANCE: u64 = 0;
+
+/// Relative band for throughput comparisons. Queries/sec and the speedup
+/// ratio are the only gated quantities that involve wall-clock time, so
+/// the band is wide: the gate fires only when the current run falls below
+/// `baseline * (1 - THROUGHPUT_TOLERANCE)` — a real regression, not
+/// scheduler jitter. Improvements always pass. Raw millisecond fields are
+/// advisory and never compared.
+pub const THROUGHPUT_TOLERANCE: f64 = 0.5;
 
 /// The answer-list size the metrics evaluation uses (the paper's K = 20).
 pub const METRICS_K: usize = 20;
@@ -101,7 +110,21 @@ pub struct Metrics {
 pub fn collect_metrics(world: &World) -> Metrics {
     let mut sys = world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
     sys.net_mut().reset_stats();
-    let (ratios, rec) = world.evaluate_traced(&mut sys, &world.test, METRICS_K);
+    let (ratios, mut rec) = world.evaluate_traced(&mut sys, &world.test, METRICS_K);
+    // Exercise the removal path too: retire the first published document
+    // after the evaluation, so the committed object carries a real
+    // `index_remove` bill instead of a structurally-zero row. The ratios
+    // above are already computed, so the probe cannot perturb them.
+    let retired = (0..sys.corpus().len())
+        .map(|i| sprite_ir::DocId(i as u32))
+        .find(|&d| !sys.published_terms(d).is_empty());
+    if let Some(doc) = retired {
+        sys.enable_tracing();
+        sys.unpublish_document(doc);
+        if let Some(removal) = sys.take_tracer() {
+            rec.merge(&removal);
+        }
+    }
     metrics_from(world.test.len() as u64, &ratios_pair(&ratios), &rec)
 }
 
@@ -133,6 +156,294 @@ fn metrics_from(queries: u64, &(precision, recall): &(f64, f64), rec: &TraceReco
         messages_per_query: HistSummary::of(rec.messages_per_query()),
         replicas_probed: HistSummary::of(rec.replicas_probed()),
     }
+}
+
+/// One point of the thread sweep: the batched pipeline timed at a fixed
+/// worker count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThroughputPoint {
+    /// Pool workers actually used for this measurement.
+    pub workers: usize,
+    /// Mean wall-clock milliseconds per full-workload evaluation.
+    pub ms_per_eval: f64,
+    /// Queries served per second at this width.
+    pub queries_per_sec: f64,
+    /// `queries_per_sec / (one-worker queries_per_sec × workers)`: 1.0 is
+    /// perfect scaling, and on a single-core host every multi-worker point
+    /// is expected to sit well below it.
+    pub efficiency: f64,
+}
+
+/// The headline throughput object: the batched query pipeline measured
+/// against the sequential unbatched reference, plus a worker-count sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Throughput {
+    /// Queries per evaluation (the full generated workload — serving
+    /// throughput is about volume, so the batch is every query the world
+    /// has, not just the held-out test half).
+    pub queries: u64,
+    /// Answer-list size.
+    pub k: usize,
+    /// Timed repetitions per measurement (self-calibrated).
+    pub repetitions: usize,
+    /// `available_parallelism` of the measuring host.
+    pub cores: usize,
+    /// Workers used by the reference measurement (always 1).
+    pub reference_workers: usize,
+    /// Milliseconds per evaluation through [`World::evaluate_reference`]
+    /// — the sequential, unbatched, per-query path.
+    pub reference_ms: f64,
+    /// Queries per second through the reference path.
+    pub reference_qps: f64,
+    /// Workers used by the headline batched measurement.
+    pub batched_workers: usize,
+    /// Milliseconds per evaluation through the batched pipeline.
+    pub batched_ms: f64,
+    /// Queries per second through the batched pipeline.
+    pub batched_qps: f64,
+    /// `batched_qps / reference_qps` — the headline speedup.
+    pub speedup_vs_reference: f64,
+    /// True when the batched pipeline reproduced the reference evaluation
+    /// bit for bit (ratio float bits and the full merged stats ledger).
+    pub bit_identical: bool,
+    /// The batched pipeline at 1/2/`batched_workers` pool workers.
+    pub sweep: Vec<ThroughputPoint>,
+}
+
+/// Mean milliseconds per call over `reps` invocations, three decimals.
+fn time_reps(reps: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    (t0.elapsed().as_secs_f64() * 1000.0 / reps as f64 * 1000.0).round() / 1000.0
+}
+
+fn qps(queries: u64, ms_per_eval: f64) -> f64 {
+    (queries as f64 * 1000.0 / ms_per_eval.max(1e-6) * 10.0).round() / 10.0
+}
+
+/// Measure the headline throughput object on a freshly trained standard
+/// deployment: the sequential unbatched reference at one worker versus the
+/// batched pipeline at `headline_workers`, plus a 1/2/`headline_workers`
+/// sweep of the batched pipeline. Also verifies the bit-identity contract
+/// the determinism auditor enforces — identical ratio bits and merged
+/// stats across the two paths. `--bin bench` embeds the result in
+/// `BENCH_experiments.json`; `--bin gate` recomputes it and band-compares
+/// the speed figures with [`compare_throughput`].
+#[must_use]
+pub fn measure_throughput(world: &World, headline_workers: usize) -> Throughput {
+    let mut sys = world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+    // Serve the whole generated workload per evaluation: throughput is a
+    // volume measurement, and the bigger batch amortizes the pool's
+    // fixed spawn cost the way a real serving window would.
+    let indices: Vec<usize> = (0..world.workload.len()).collect();
+    let queries = indices.len() as u64;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // Bit-identity first: one reference pass and one batched pass from a
+    // clean ledger each, compared on exact float bits and full stats.
+    let prev = override_threads(1);
+    sys.net_mut().reset_stats();
+    let (r_ref, first_ms) = {
+        let t0 = Instant::now();
+        let r = world.evaluate_reference(&mut sys, &indices, METRICS_K);
+        (r, t0.elapsed().as_secs_f64() * 1000.0)
+    };
+    let stats_ref = sys.net().stats().clone();
+    override_threads(headline_workers);
+    sys.net_mut().reset_stats();
+    let r_bat = world.evaluate(&mut sys, &indices, METRICS_K);
+    let stats_bat = sys.net().stats().clone();
+    let bit_identical = r_ref.precision_ratio.to_bits() == r_bat.precision_ratio.to_bits()
+        && r_ref.recall_ratio.to_bits() == r_bat.recall_ratio.to_bits()
+        && r_ref.queries == r_bat.queries
+        && stats_ref == stats_bat;
+
+    // One evaluation at small scale is milliseconds; repeat until each
+    // timing is dominated by the work, not the clock.
+    let repetitions = ((250.0 / first_ms.max(0.1)).ceil() as usize).clamp(1, 500);
+    override_threads(1);
+    let reference_ms = time_reps(repetitions, || {
+        std::hint::black_box(world.evaluate_reference(&mut sys, &indices, METRICS_K));
+    });
+
+    let mut widths = vec![1usize, 2, headline_workers];
+    widths.sort_unstable();
+    widths.dedup();
+    let mut sweep = Vec::with_capacity(widths.len());
+    for &workers in &widths {
+        override_threads(workers);
+        let ms_per_eval = time_reps(repetitions, || {
+            std::hint::black_box(world.evaluate(&mut sys, &indices, METRICS_K));
+        });
+        sweep.push(ThroughputPoint {
+            workers,
+            ms_per_eval,
+            queries_per_sec: qps(queries, ms_per_eval),
+            efficiency: 0.0,
+        });
+    }
+    override_threads(prev);
+    let base_qps = sweep[0].queries_per_sec;
+    for p in &mut sweep {
+        p.efficiency =
+            (p.queries_per_sec / (base_qps * p.workers as f64).max(1e-6) * 1000.0).round() / 1000.0;
+    }
+
+    let batched = sweep
+        .iter()
+        .find(|p| p.workers == headline_workers)
+        .expect("headline width is in the sweep")
+        .clone();
+    Throughput {
+        queries,
+        k: METRICS_K,
+        repetitions,
+        cores,
+        reference_workers: 1,
+        reference_ms,
+        reference_qps: qps(queries, reference_ms),
+        batched_workers: headline_workers,
+        batched_ms: batched.ms_per_eval,
+        batched_qps: batched.queries_per_sec,
+        speedup_vs_reference: if batched.ms_per_eval > 0.0 {
+            (reference_ms / batched.ms_per_eval * 100.0).round() / 100.0
+        } else {
+            0.0
+        },
+        bit_identical,
+        sweep,
+    }
+}
+
+/// Serialize a [`Throughput`] as a JSON object value, same conventions as
+/// [`metrics_json`].
+#[must_use]
+pub fn throughput_json(t: &Throughput, indent: usize) -> String {
+    let pad = "  ".repeat(indent + 1);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "{pad}\"queries\": {},", t.queries);
+    let _ = writeln!(out, "{pad}\"k\": {},", t.k);
+    let _ = writeln!(out, "{pad}\"repetitions\": {},", t.repetitions);
+    let _ = writeln!(out, "{pad}\"cores\": {},", t.cores);
+    let _ = writeln!(out, "{pad}\"reference_workers\": {},", t.reference_workers);
+    let _ = writeln!(out, "{pad}\"reference_ms\": {},", t.reference_ms);
+    let _ = writeln!(out, "{pad}\"reference_qps\": {},", t.reference_qps);
+    let _ = writeln!(out, "{pad}\"batched_workers\": {},", t.batched_workers);
+    let _ = writeln!(out, "{pad}\"batched_ms\": {},", t.batched_ms);
+    let _ = writeln!(out, "{pad}\"batched_qps\": {},", t.batched_qps);
+    let _ = writeln!(
+        out,
+        "{pad}\"speedup_vs_reference\": {},",
+        t.speedup_vs_reference
+    );
+    let _ = writeln!(out, "{pad}\"bit_identical\": {},", t.bit_identical);
+    let _ = writeln!(out, "{pad}\"sweep\": [");
+    for (i, p) in t.sweep.iter().enumerate() {
+        let comma = if i + 1 == t.sweep.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "{pad}  {{\"workers\": {}, \"ms_per_eval\": {}, \"queries_per_sec\": {}, \
+             \"efficiency\": {}}}{comma}",
+            p.workers, p.ms_per_eval, p.queries_per_sec, p.efficiency
+        );
+    }
+    let _ = writeln!(out, "{pad}]");
+    let _ = write!(out, "{}}}", "  ".repeat(indent));
+    out
+}
+
+/// Diff a freshly measured [`Throughput`] against the committed baseline.
+/// Structure (queries, k, worker counts, sweep shape) and the
+/// `bit_identical` flag are exact; `batched_qps` and
+/// `speedup_vs_reference` are gated with the one-sided
+/// [`THROUGHPUT_TOLERANCE`] band (only a drop below
+/// `baseline × (1 − band)` fails); raw millisecond fields are advisory
+/// and never compared.
+#[must_use]
+pub fn compare_throughput(current: &Throughput, baseline: &JsonValue) -> Vec<String> {
+    let mut diffs = Vec::new();
+    let Some(t) = baseline.get("throughput") else {
+        diffs.push(
+            "throughput: object missing from baseline (regenerate BENCH_experiments.json with \
+             --bin bench)"
+                .to_string(),
+        );
+        return diffs;
+    };
+    let u = |key: &str| t.get(key).and_then(JsonValue::as_u64);
+    diff_u64(
+        &mut diffs,
+        "throughput.queries",
+        u("queries"),
+        current.queries,
+    );
+    diff_u64(&mut diffs, "throughput.k", u("k"), current.k as u64);
+    diff_u64(
+        &mut diffs,
+        "throughput.reference_workers",
+        u("reference_workers"),
+        current.reference_workers as u64,
+    );
+    diff_u64(
+        &mut diffs,
+        "throughput.batched_workers",
+        u("batched_workers"),
+        current.batched_workers as u64,
+    );
+    if !current.bit_identical {
+        diffs.push(
+            "throughput.bit_identical: the batched pipeline diverged from the sequential \
+             reference in this run"
+                .to_string(),
+        );
+    }
+    match t.get("bit_identical").and_then(JsonValue::as_bool) {
+        None => diffs.push("throughput.bit_identical: missing from baseline".to_string()),
+        Some(false) => {
+            diffs.push("throughput.bit_identical: baseline recorded a divergent run".to_string());
+        }
+        Some(true) => {}
+    }
+    let mut band = |path: &str, baseline: Option<f64>, cur: f64| match baseline {
+        None => diffs.push(format!("{path}: missing from baseline")),
+        Some(b) if cur < b * (1.0 - THROUGHPUT_TOLERANCE) => diffs.push(format!(
+            "{path}: baseline {b}, current {cur} — below the {:.0}% regression band",
+            THROUGHPUT_TOLERANCE * 100.0
+        )),
+        Some(_) => {}
+    };
+    let f = |key: &str| t.get(key).and_then(JsonValue::as_f64);
+    band(
+        "throughput.batched_qps",
+        f("batched_qps"),
+        current.batched_qps,
+    );
+    band(
+        "throughput.speedup_vs_reference",
+        f("speedup_vs_reference"),
+        current.speedup_vs_reference,
+    );
+    match t.get("sweep").and_then(JsonValue::as_arr) {
+        None => diffs.push("throughput.sweep: missing from baseline".to_string()),
+        Some(arr) if arr.len() != current.sweep.len() => diffs.push(format!(
+            "throughput.sweep: baseline has {} points, current {}",
+            arr.len(),
+            current.sweep.len()
+        )),
+        Some(arr) => {
+            for (i, (bp, cp)) in arr.iter().zip(&current.sweep).enumerate() {
+                diff_u64(
+                    &mut diffs,
+                    &format!("throughput.sweep[{i}].workers"),
+                    bp.get("workers").and_then(JsonValue::as_u64),
+                    cp.workers as u64,
+                );
+            }
+        }
+    }
+    diffs
 }
 
 fn write_hist(out: &mut String, pad: &str, key: &str, h: &HistSummary, last: bool) {
@@ -428,6 +739,77 @@ mod tests {
         let m = collect_metrics(&world);
         let baseline = json::parse("{\"schema\": \"sprite-bench/v1\"}").expect("valid");
         let diffs = compare_against_baseline(&m, &baseline);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("regenerate"));
+    }
+
+    #[test]
+    fn metrics_bill_the_removal_path() {
+        // The committed object must not carry a structurally-zero
+        // index_remove row: the retirement probe exercises publish →
+        // remove through the traced path.
+        let world = World::build(WorldConfig::tiny(7));
+        let m = collect_metrics(&world);
+        let count = |name: &str| {
+            m.kind_counts
+                .iter()
+                .find(|&&(n, _)| n == name)
+                .map(|&(_, c)| c)
+                .expect("known kind")
+        };
+        let bytes = |name: &str| {
+            m.kind_bytes
+                .iter()
+                .find(|&&(n, _)| n == name)
+                .map(|&(_, b)| b)
+                .expect("known kind")
+        };
+        assert!(count("index_remove") > 0, "removal messages must be billed");
+        assert!(bytes("index_remove") > 0, "removal records carry bytes");
+    }
+
+    #[test]
+    fn throughput_round_trips_and_band_catches_regressions() {
+        let world = World::build(WorldConfig::tiny(7));
+        let t = measure_throughput(&world, 4);
+        assert!(
+            t.bit_identical,
+            "the batched pipeline must reproduce the reference"
+        );
+        assert_eq!(t.sweep.len(), 3, "1/2/4-worker sweep");
+        assert_eq!(
+            t.sweep.iter().map(|p| p.workers).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        assert!(t.reference_qps > 0.0 && t.batched_qps > 0.0);
+        let doc = format!(
+            "{{\n  \"schema\": \"sprite-bench/v1\",\n  \"throughput\": {}\n}}\n",
+            throughput_json(&t, 1)
+        );
+        let baseline = json::parse(&doc).expect("serializer emits valid JSON");
+        let diffs = compare_throughput(&t, &baseline);
+        assert!(diffs.is_empty(), "self-comparison must be clean: {diffs:?}");
+        // A drop past the band on either gated speed figure must fire.
+        let mut slow = t.clone();
+        slow.batched_qps = t.batched_qps * (1.0 - THROUGHPUT_TOLERANCE) * 0.9;
+        slow.speedup_vs_reference = t.speedup_vs_reference * (1.0 - THROUGHPUT_TOLERANCE) * 0.9;
+        let diffs = compare_throughput(&slow, &baseline);
+        assert!(
+            diffs.iter().any(|d| d.contains("batched_qps")),
+            "qps regression not caught: {diffs:?}"
+        );
+        assert!(
+            diffs.iter().any(|d| d.contains("speedup_vs_reference")),
+            "speedup regression not caught: {diffs:?}"
+        );
+        // Improvements pass: a faster current run never fails the gate.
+        let mut fast = t.clone();
+        fast.batched_qps = t.batched_qps * 2.0;
+        fast.speedup_vs_reference = t.speedup_vs_reference * 2.0;
+        assert!(compare_throughput(&fast, &baseline).is_empty());
+        // A missing throughput object is one readable diff.
+        let empty = json::parse("{\"schema\": \"sprite-bench/v1\"}").expect("valid");
+        let diffs = compare_throughput(&t, &empty);
         assert_eq!(diffs.len(), 1);
         assert!(diffs[0].contains("regenerate"));
     }

@@ -30,6 +30,6 @@ pub mod trace;
 pub use churn::{ChurnConfig, ChurnEngine, ChurnEvent, TickReport};
 pub use kv::Dht;
 pub use node::NodeState;
-pub use ring::{ChordConfig, ChordError, ChordNet, Lookup, LookupLite};
+pub use ring::{ChordConfig, ChordError, ChordNet, Lookup, LookupLite, RouteMemo};
 pub use stats::{MsgKind, NetStats, MSG_KINDS};
 pub use trace::{Event, NullTrace, Phase, TraceRecorder, TraceSink, PHASES};

@@ -115,6 +115,68 @@ pub struct LookupLite {
     pub hops: u32,
 }
 
+/// Memoized routing outcomes for the batched query pipeline.
+///
+/// The batched evaluate path resolves every distinct `(from, key)` pair of
+/// a query batch once up front ([`RouteMemo::build`] — one sequential pass
+/// of read-only walks), then each in-flight query replays the
+/// recorded outcome through [`ChordNet::probe_via`]. Replay bills exactly
+/// what [`ChordNet::probe`] would have billed — the walk's `(hops,
+/// failed-probe)` tally is stored next to its outcome — so per-query
+/// [`NetStats`] deltas merged in input order reproduce the unmemoized
+/// reference bit for bit, while keywords shared across in-flight queries
+/// pay the routing walk only once.
+#[derive(Clone, Debug, Default)]
+pub struct RouteMemo {
+    routes: HashMap<(u128, u128), MemoRoute>,
+}
+
+/// One recorded walk: the outcome [`ChordNet::probe`] would return plus
+/// the exact charge it would make.
+#[derive(Clone, Debug)]
+struct MemoRoute {
+    outcome: Result<LookupLite, ChordError>,
+    hops: u32,
+    failed: u64,
+}
+
+impl RouteMemo {
+    /// Walk every distinct `(from, key)` pair once over a frozen network.
+    /// Duplicates are collapsed on insertion (`entry` — first occurrence
+    /// walks, the rest reuse), so the memo's contents depend only on the
+    /// pair *set*: a walk is a pure function of `(from, key)` on a frozen
+    /// ring, making the build order unobservable. The build is a single
+    /// sequential pass — route resolution is a small fraction of a batch's
+    /// work, and spawning pool workers for it costs more than the walks.
+    #[must_use]
+    pub fn build(net: &ChordNet, pairs: &[(RingId, RingId)]) -> Self {
+        let mut routes = HashMap::with_capacity(pairs.len());
+        for &(from, key) in pairs {
+            routes.entry((from.0, key.0)).or_insert_with(|| {
+                let (outcome, hops, failed) = net.walk(from, key, None);
+                MemoRoute {
+                    outcome,
+                    hops,
+                    failed,
+                }
+            });
+        }
+        RouteMemo { routes }
+    }
+
+    /// Number of distinct routes memoized.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when no routes are memoized.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
 /// The simulated Chord network.
 #[derive(Clone, Debug)]
 pub struct ChordNet {
@@ -468,6 +530,32 @@ impl ChordNet {
         let (result, hops, failed) = self.walk(from, key, None);
         stats.charge_route(MsgKind::LookupHop, hops, failed, result.is_ok());
         result
+    }
+
+    /// [`Self::probe`] through a [`RouteMemo`]: a memoized `(from, key)`
+    /// pair replays the recorded outcome and bills exactly what the walk
+    /// would have billed; a miss falls back to walking. Results and
+    /// charges are bit-identical to [`Self::probe`] either way — the memo
+    /// only removes repeated work, never changes it.
+    pub fn probe_via(
+        &self,
+        memo: &RouteMemo,
+        from: RingId,
+        key: RingId,
+        stats: &mut NetStats,
+    ) -> Result<LookupLite, ChordError> {
+        match memo.routes.get(&(from.0, key.0)) {
+            Some(route) => {
+                stats.charge_route(
+                    MsgKind::LookupHop,
+                    route.hops,
+                    route.failed,
+                    route.outcome.is_ok(),
+                );
+                route.outcome.clone()
+            }
+            None => self.probe(from, key, stats),
+        }
     }
 
     /// Merge a [`NetStats`] delta produced by [`Self::probe`] (or any
@@ -1016,6 +1104,49 @@ mod tests {
             net.lookup(RingId(200), RingId(100)).unwrap().owner,
             RingId(100)
         );
+    }
+
+    #[test]
+    fn probe_via_memo_replays_probe_bit_for_bit() {
+        // Converged and damaged rings alike: for every (from, key) pair,
+        // the memoized probe must return the same outcome and charge the
+        // same stats as a fresh walk — including failed-probe billing on
+        // rings with dead successor entries.
+        let mut net = ring_of(48);
+        let victims: Vec<RingId> = net.node_ids().into_iter().step_by(9).take(4).collect();
+        for v in victims {
+            net.fail(v).expect("alive node");
+        }
+        let ids = net.node_ids();
+        let keys: Vec<RingId> = (0..24)
+            .map(|i| RingId::hash_bytes(format!("memo-key-{i}").as_bytes()))
+            .collect();
+        let mut pairs: Vec<(RingId, RingId)> = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            pairs.push((ids[i % ids.len()], key));
+            // Duplicates on purpose: the memo must dedup without drift.
+            pairs.push((ids[i % ids.len()], key));
+        }
+        let memo = RouteMemo::build(&net, &pairs);
+        assert_eq!(memo.len(), keys.len(), "duplicate pairs must coalesce");
+        assert!(!memo.is_empty());
+        for &(from, key) in &pairs {
+            let mut direct = NetStats::new();
+            let mut replayed = NetStats::new();
+            let a = net.probe(from, key, &mut direct);
+            let b = net.probe_via(&memo, from, key, &mut replayed);
+            assert_eq!(a, b, "outcome drift from {from:?} key {key:?}");
+            assert_eq!(direct, replayed, "charge drift from {from:?} key {key:?}");
+        }
+        // A miss falls back to the plain walk.
+        let fresh = RingId::hash_bytes(b"not-memoized");
+        let mut direct = NetStats::new();
+        let mut fallback = NetStats::new();
+        assert_eq!(
+            net.probe(ids[0], fresh, &mut direct),
+            net.probe_via(&memo, ids[0], fresh, &mut fallback)
+        );
+        assert_eq!(direct, fallback);
     }
 
     #[test]

@@ -556,6 +556,24 @@ impl SpriteSystem {
         );
     }
 
+    /// Retire `doc` from the distributed index: retract every published
+    /// `(doc, term)` entry from its responsible peer and any replicas —
+    /// each retraction billed as [`MsgKind::IndexRemove`] plus its wire
+    /// bytes through the traced charge path — then clear the owner's
+    /// published set so a later [`Self::publish_all`] republishes the
+    /// document from scratch. Returns the number of terms retracted.
+    pub fn unpublish_document(&mut self, doc: DocId) -> usize {
+        let tick = self.trace_tick;
+        let terms = self.owners[doc.index()].published.clone();
+        traced!(self, sink, {
+            for &t in &terms {
+                self.remove_term_with(doc, t, Phase::Publish, tick, sink);
+            }
+        });
+        self.owners[doc.index()].published.clear();
+        terms.len()
+    }
+
     /// Bill one query-expansion document fetch from `peer` through the
     /// traced charge path, so the observability layer sees exactly what
     /// the accounting sees (§7 local context analysis downloads the term

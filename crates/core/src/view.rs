@@ -28,7 +28,7 @@
 use std::collections::HashMap;
 
 use sprite_chord::trace::{self, NullTrace, Phase, TraceSink};
-use sprite_chord::{ChordNet, MsgKind, NetStats};
+use sprite_chord::{ChordNet, MsgKind, NetStats, RouteMemo};
 use sprite_ir::{Corpus, DocId, Hit, Query, Similarity, TermId};
 use sprite_util::RingId;
 
@@ -36,13 +36,23 @@ use crate::config::{IdfMode, SpriteConfig};
 use crate::peer::{posting_list_wire_size, IndexEntry, IndexingState};
 use crate::trace::{KeywordTrace, QueryTrace};
 
-/// Reusable per-thread ranking buffers (see module docs). The contents
-/// never survive a query — only the allocations do.
+/// Reusable per-thread ranking buffers (see module docs), dense over the
+/// document space: one accumulator slot per [`DocId`] with an epoch stamp,
+/// so starting a query is O(1), clearing is implicit, and the per-posting
+/// hot loop is two array writes instead of two hash-map probes. The
+/// `touched` list remembers which documents this query reached; the final
+/// hit sort is a total order over `(score, doc)`, so ranked lists are
+/// bit-identical to the historical hash-map accumulation (scores are
+/// summed per document in the same posting order either way). The
+/// contents never survive a query — only the allocations do.
 #[derive(Debug, Default)]
 pub struct RankScratch {
-    dot: HashMap<DocId, f64>,
-    norm_sq: HashMap<DocId, f64>,
-    meta: HashMap<DocId, u32>,
+    dot: Vec<f64>,
+    norm_sq: Vec<f64>,
+    meta: Vec<u32>,
+    epoch: Vec<u32>,
+    current: u32,
+    touched: Vec<DocId>,
     hits: Vec<Hit>,
 }
 
@@ -53,11 +63,37 @@ impl RankScratch {
         Self::default()
     }
 
-    fn clear(&mut self) {
-        self.dot.clear();
-        self.norm_sq.clear();
-        self.meta.clear();
+    /// Start a new query over a corpus of `docs` documents: bump the epoch
+    /// (stale slots die wholesale) and size the dense arrays on first use.
+    fn begin(&mut self, docs: usize) {
+        self.touched.clear();
         self.hits.clear();
+        if self.epoch.len() < docs {
+            self.dot.resize(docs, 0.0);
+            self.norm_sq.resize(docs, 0.0);
+            self.meta.resize(docs, 0);
+            self.epoch.resize(docs, 0);
+        }
+        if self.current == u32::MAX {
+            // Epoch wrap: one O(docs) reset every u32::MAX queries.
+            self.epoch.fill(0);
+            self.current = 0;
+        }
+        self.current += 1;
+    }
+
+    /// The dense slot of `doc`, zeroed on its first touch this query.
+    #[inline]
+    fn slot(&mut self, doc: DocId) -> usize {
+        let i = doc.index();
+        if self.epoch[i] != self.current {
+            self.epoch[i] = self.current;
+            self.dot[i] = 0.0;
+            self.norm_sq[i] = 0.0;
+            self.meta[i] = 0;
+            self.touched.push(doc);
+        }
+        i
     }
 }
 
@@ -125,7 +161,68 @@ impl<'a> QueryView<'a> {
         stats: &mut NetStats,
         scratch: &mut RankScratch,
     ) -> Vec<Hit> {
-        self.query_impl(from, query, k, stats, scratch, 0, &mut NullTrace, None)
+        self.query_impl(
+            from,
+            query,
+            k,
+            stats,
+            scratch,
+            0,
+            &mut NullTrace,
+            None,
+            None,
+        )
+    }
+
+    /// Resolve every keyword route of a query batch once, up front: the
+    /// distinct `(issuing peer, keyword key)` pairs are each walked a
+    /// single time in one sequential pass (routing a frozen ring is
+    /// read-only). [`QueryView::query_batched`] then replays the recorded
+    /// outcomes — and their exact message bills — instead of re-walking
+    /// keywords shared across in-flight queries.
+    #[must_use]
+    pub fn resolve_routes<'q, I>(&self, jobs: I) -> RouteMemo
+    where
+        I: IntoIterator<Item = (RingId, &'q Query)>,
+    {
+        let mut pairs: Vec<(RingId, RingId)> = Vec::new();
+        for (from, query) in jobs {
+            if query.is_empty() || !self.net.contains(from) {
+                continue; // the query path rejects these before routing
+            }
+            for (term, _) in query.term_counts() {
+                pairs.push((from, self.term_ring(term)));
+            }
+        }
+        RouteMemo::build(self.net, &pairs)
+    }
+
+    /// [`QueryView::query`] through a prebuilt [`RouteMemo`] — the batched
+    /// pipeline's per-query entry point. Results and charges are
+    /// bit-identical to the unmemoized call (enforced by the determinism
+    /// audit's `query/batched` stage and the bench's `bit_identical`
+    /// flag); pairs missing from the memo fall back to a fresh walk.
+    #[must_use]
+    pub fn query_batched(
+        &self,
+        from: RingId,
+        query: &Query,
+        k: usize,
+        memo: &RouteMemo,
+        stats: &mut NetStats,
+        scratch: &mut RankScratch,
+    ) -> Vec<Hit> {
+        self.query_impl(
+            from,
+            query,
+            k,
+            stats,
+            scratch,
+            0,
+            &mut NullTrace,
+            None,
+            Some(memo),
+        )
     }
 
     /// [`QueryView::query`] with trace events emitted into `sink` under
@@ -143,7 +240,7 @@ impl<'a> QueryView<'a> {
         tick: u64,
         sink: &mut T,
     ) -> Vec<Hit> {
-        self.query_impl(from, query, k, stats, scratch, tick, sink, None)
+        self.query_impl(from, query, k, stats, scratch, tick, sink, None, None)
     }
 
     /// [`QueryView::query`] that additionally builds the per-keyword
@@ -168,6 +265,7 @@ impl<'a> QueryView<'a> {
             0,
             &mut NullTrace,
             Some(&mut qt),
+            None,
         );
         (hits, qt)
     }
@@ -187,11 +285,12 @@ impl<'a> QueryView<'a> {
         tick: u64,
         sink: &mut T,
         mut qt: Option<&mut QueryTrace>,
+        memo: Option<&RouteMemo>,
     ) -> Vec<Hit> {
         if query.is_empty() || !self.net.contains(from) {
             return Vec::new();
         }
-        scratch.clear();
+        scratch.begin(self.corpus.len());
         let msgs_before = stats.total_messages();
         let mut replicas_probed: u64 = 0;
         let n = self.cfg.assumed_n;
@@ -206,6 +305,10 @@ impl<'a> QueryView<'a> {
                 self.net
                     .probe_full(from, key, stats)
                     .map(|l| (l.owner, l.hops, l.path))
+            } else if let Some(memo) = memo {
+                self.net
+                    .probe_via(memo, from, key, stats)
+                    .map(|l| (l.owner, l.hops, Vec::new()))
             } else {
                 self.net
                     .probe(from, key, stats)
@@ -330,25 +433,38 @@ impl<'a> QueryView<'a> {
                 } else {
                     (f64::from(e.tf) / f64::from(e.doc_len)) * idf
                 };
-                *scratch.dot.entry(e.doc).or_insert(0.0) += w_q * w_d;
-                *scratch.norm_sq.entry(e.doc).or_insert(0.0) += w_d * w_d;
-                scratch.meta.insert(e.doc, e.distinct);
+                let s = scratch.slot(e.doc);
+                scratch.dot[s] += w_q * w_d;
+                scratch.norm_sq[s] += w_d * w_d;
+                scratch.meta[s] = e.distinct;
             }
         }
-        scratch.hits.extend(scratch.dot.iter().map(|(&doc, &num)| {
+        for ti in 0..scratch.touched.len() {
+            let doc = scratch.touched[ti];
+            let i = doc.index();
+            let num = scratch.dot[i];
             let denom = match self.cfg.similarity {
-                Similarity::LeeSecond => f64::from(scratch.meta[&doc]).sqrt(),
-                Similarity::CosineTfIdf => scratch.norm_sq[&doc].sqrt(),
+                Similarity::LeeSecond => f64::from(scratch.meta[i]).sqrt(),
+                Similarity::CosineTfIdf => scratch.norm_sq[i].sqrt(),
             };
             let score = if denom > 0.0 { num / denom } else { 0.0 };
-            Hit { doc, score }
-        }));
-        scratch.hits.sort_by(|a, b| {
+            scratch.hits.push(Hit { doc, score });
+        }
+        // Rank by (score desc, doc asc) — a *strict* total order (scores
+        // are finite and docs distinct), so selecting the top k first and
+        // sorting only that prefix returns exactly what sorting everything
+        // and truncating would: same set, same order, same bits.
+        let cmp = |a: &Hit, b: &Hit| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.doc.cmp(&b.doc))
-        });
+        };
+        if k > 0 && scratch.hits.len() > k {
+            scratch.hits.select_nth_unstable_by(k - 1, cmp);
+            scratch.hits.truncate(k);
+        }
+        scratch.hits.sort_by(cmp);
         scratch.hits.truncate(k);
         let hits = scratch.hits.clone();
         if T::ENABLED {
@@ -428,6 +544,50 @@ mod tests {
                     assert_eq!(a.score.to_bits(), b.score.to_bits(), "query {i}");
                 }
                 assert_eq!(&delta, sys.net().stats(), "charges differ, query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_query_matches_plain_query_bit_for_bit() {
+        // Across configurations (incl. replication failover) and a peer
+        // set with failures, the memoized batched path must reproduce the
+        // plain per-query path exactly: same hits, same score bits, same
+        // charged stats.
+        for cfg in [
+            SpriteConfig::default(),
+            SpriteConfig {
+                replication: 3,
+                ..SpriteConfig::default()
+            },
+        ] {
+            let mut sys = tiny_system(cfg);
+            sys.fail_random_peers(2, 5);
+            let queries = probe_queries(&sys);
+            let peers = sys.peers().to_vec();
+            let view = sys.query_view();
+            let memo = view.resolve_routes(
+                queries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| (peers[(i * 3) % peers.len()], q)),
+            );
+            assert!(!memo.is_empty(), "probe queries must memoize routes");
+            for (i, q) in queries.iter().enumerate() {
+                let from = peers[(i * 3) % peers.len()];
+                let mut d_plain = NetStats::new();
+                let mut d_batched = NetStats::new();
+                let mut s_plain = RankScratch::new();
+                let mut s_batched = RankScratch::new();
+                let plain = view.query(from, q, 20, &mut d_plain, &mut s_plain);
+                let batched =
+                    view.query_batched(from, q, 20, &memo, &mut d_batched, &mut s_batched);
+                assert_eq!(plain.len(), batched.len(), "query {i}");
+                for (a, b) in plain.iter().zip(&batched) {
+                    assert_eq!(a.doc, b.doc, "query {i}");
+                    assert_eq!(a.score.to_bits(), b.score.to_bits(), "query {i}");
+                }
+                assert_eq!(d_plain, d_batched, "charges differ, query {i}");
             }
         }
     }

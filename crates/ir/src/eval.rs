@@ -45,11 +45,23 @@ pub fn evaluate_at_k(results: &[DocId], relevant: &HashSet<DocId>, k: usize) -> 
     }
 }
 
-/// Convenience: evaluate ranked [`Hit`]s.
+/// Convenience: evaluate ranked [`Hit`]s. Allocation-free — this sits on
+/// the per-query evaluation hot path.
 #[must_use]
 pub fn evaluate_hits_at_k(results: &[Hit], relevant: &HashSet<DocId>, k: usize) -> PrEval {
-    let docs: Vec<DocId> = results.iter().take(k).map(|h| h.doc).collect();
-    evaluate_at_k(&docs, relevant, k)
+    if k == 0 || relevant.is_empty() {
+        return PrEval::default();
+    }
+    let hits = results
+        .iter()
+        .take(k)
+        .filter(|h| relevant.contains(&h.doc))
+        .count();
+    PrEval {
+        precision: hits as f64 / k as f64,
+        recall: hits as f64 / relevant.len() as f64,
+        hits,
+    }
 }
 
 /// Ratio of a system's precision/recall over the centralized reference,

@@ -27,4 +27,4 @@ pub use eval::{
     RatioEval,
 };
 pub use index::{InvertedIndex, Posting};
-pub use rank::{idf, tfidf_weight, CentralizedEngine, Hit, Query, Similarity};
+pub use rank::{idf, tfidf_weight, CentralizedEngine, Hit, Query, SearchScratch, Similarity};

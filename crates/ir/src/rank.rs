@@ -152,6 +152,55 @@ impl WireSize for Query {
     }
 }
 
+/// Reusable dense accumulation buffers for [`CentralizedEngine`] ranking:
+/// one dot-product slot per document with an epoch stamp, so repeated
+/// searches (the evaluation hot loop runs one per test query) stop paying
+/// a fresh hash map each call. Purely an allocation cache — results are
+/// bit-identical to a search with fresh buffers, because per-document
+/// sums accumulate in the same posting order and the final sort is a
+/// total order over `(score, doc)`.
+#[derive(Clone, Debug, Default)]
+pub struct SearchScratch {
+    dot: Vec<f64>,
+    epoch: Vec<u32>,
+    current: u32,
+    touched: Vec<DocId>,
+}
+
+impl SearchScratch {
+    /// Fresh buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new query over `docs` documents.
+    fn begin(&mut self, docs: usize) {
+        self.touched.clear();
+        if self.epoch.len() < docs {
+            self.dot.resize(docs, 0.0);
+            self.epoch.resize(docs, 0);
+        }
+        if self.current == u32::MAX {
+            self.epoch.fill(0);
+            self.current = 0;
+        }
+        self.current += 1;
+    }
+
+    /// The dense slot of `doc`, zeroed on its first touch this query.
+    #[inline]
+    fn slot(&mut self, doc: DocId) -> usize {
+        let i = doc.index();
+        if self.epoch[i] != self.current {
+            self.epoch[i] = self.current;
+            self.dot[i] = 0.0;
+            self.touched.push(doc);
+        }
+        i
+    }
+}
+
 /// The ideal centralized engine of §6: full inverted index, exact global
 /// statistics, configurable similarity.
 #[derive(Clone, Debug)]
@@ -199,16 +248,33 @@ impl CentralizedEngine {
     /// Rank all matching documents for `query`, returning the top `k`.
     #[must_use]
     pub fn search(&self, query: &Query, k: usize) -> Vec<Hit> {
-        let ranked = self.rank_all(query);
-        ranked.into_iter().take(k).collect()
+        self.search_with(query, k, &mut SearchScratch::default())
+    }
+
+    /// [`Self::search`] with caller-owned scratch buffers — the evaluation
+    /// hot loop runs one search per test query per repetition and reuses
+    /// one scratch per pool worker. Bit-identical to [`Self::search`].
+    #[must_use]
+    pub fn search_with(&self, query: &Query, k: usize, scratch: &mut SearchScratch) -> Vec<Hit> {
+        let mut hits = self.rank_with(query, scratch);
+        hits.truncate(k);
+        hits
     }
 
     /// Rank *all* matching documents, best first. Used by the query
     /// generator, which needs deep ranked lists (E = 1000).
     #[must_use]
     pub fn rank_all(&self, query: &Query) -> Vec<Hit> {
+        self.rank_with(query, &mut SearchScratch::default())
+    }
+
+    /// The ranking core behind [`Self::search`] and [`Self::rank_all`]:
+    /// dense term-at-a-time accumulation over `scratch`, then one sort by
+    /// descending score with ties broken by ascending doc id — a total
+    /// order, so the result is independent of accumulation order.
+    fn rank_with(&self, query: &Query, scratch: &mut SearchScratch) -> Vec<Hit> {
         let n = self.index.n_docs() as f64;
-        let mut acc: std::collections::HashMap<DocId, f64> = std::collections::HashMap::new();
+        scratch.begin(self.index.n_docs());
         for (term, qtf) in query.term_counts() {
             let df = self.index.df(term);
             let term_idf = idf(n, df);
@@ -218,12 +284,15 @@ impl CentralizedEngine {
             let w_q = f64::from(qtf) * term_idf;
             for p in self.index.postings(term) {
                 let w_d = tfidf_weight(p.tf, self.index.doc_len(p.doc), n, df);
-                *acc.entry(p.doc).or_insert(0.0) += w_q * w_d;
+                let s = scratch.slot(p.doc);
+                scratch.dot[s] += w_q * w_d;
             }
         }
-        let mut hits: Vec<Hit> = acc
-            .into_iter()
-            .map(|(doc, dot)| {
+        let mut hits: Vec<Hit> = scratch
+            .touched
+            .iter()
+            .map(|&doc| {
+                let dot = scratch.dot[doc.index()];
                 let denom = match self.similarity {
                     Similarity::CosineTfIdf => self.doc_norms[doc.index()],
                     Similarity::LeeSecond => f64::from(self.index.doc_distinct(doc)).sqrt(),
@@ -359,6 +428,31 @@ mod tests {
         let expect = idf(n, df) * tfidf_weight(tf, idx.doc_len(h.doc), n, df)
             / f64::from(idx.doc_distinct(h.doc)).sqrt();
         assert!((h.score - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_search_bit_for_bit() {
+        let c = corpus();
+        for sim in [Similarity::CosineTfIdf, Similarity::LeeSecond] {
+            let engine = CentralizedEngine::with_similarity(&c, sim);
+            let queries = [
+                q(&c, &["ring"]),
+                q(&c, &["retrieval", "ring", "peer"]),
+                q(&c, &["peer", "peer", "churn"]),
+                Query::default(),
+                q(&c, &["lookup"]),
+            ];
+            let mut scratch = SearchScratch::new();
+            for (i, query) in queries.iter().enumerate() {
+                let reused = engine.search_with(query, 3, &mut scratch);
+                let fresh = engine.search(query, 3);
+                assert_eq!(reused.len(), fresh.len(), "query {i} ({sim:?})");
+                for (a, b) in reused.iter().zip(&fresh) {
+                    assert_eq!(a.doc, b.doc, "query {i} ({sim:?})");
+                    assert_eq!(a.score.to_bits(), b.score.to_bits(), "query {i} ({sim:?})");
+                }
+            }
+        }
     }
 
     #[test]

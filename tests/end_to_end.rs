@@ -166,6 +166,75 @@ fn owner_term_budgets_always_respected() {
 }
 
 #[test]
+fn index_remove_retires_a_document_end_to_end() {
+    // Publish → remove → query, through the public API: retiring a
+    // document must bill IndexRemove traffic (visible to both the stats
+    // ledger and the trace recorder), strip the document's entries from
+    // every replica, and make it unreachable by the queries that found it.
+    use sprite::chord::MsgKind;
+    let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(47));
+    let cfg = SpriteConfig {
+        replication: 2,
+        ..SpriteConfig::default()
+    };
+    let mut sys = SpriteSystem::build(sc.corpus().clone(), 32, cfg, 47);
+    sys.publish_all();
+    sys.replicate_indexes();
+
+    // Find a document that a query over its own published terms actually
+    // returns, so "unreachable afterwards" is a meaningful assertion.
+    let (doc, probe) = (0..sys.corpus().len())
+        .map(|i| DocId(i as u32))
+        .find_map(|d| {
+            let terms = sys.published_terms(d).to_vec();
+            if terms.is_empty() {
+                return None;
+            }
+            let q = Query::new(terms);
+            sys.issue_query(&q, 30)
+                .iter()
+                .any(|h| h.doc == d)
+                .then_some((d, q))
+        })
+        .expect("some published document answers its own terms");
+
+    let removes_before = sys.net().stats().count(MsgKind::IndexRemove);
+    sys.enable_tracing();
+    let retracted = sys.unpublish_document(doc);
+    let rec = sys.take_tracer().expect("tracing was enabled");
+    assert!(retracted > 0, "the document had published terms to retract");
+    assert!(
+        rec.kind_count(MsgKind::IndexRemove) > 0,
+        "the recorder must see IndexRemove events on the removal path"
+    );
+    assert!(
+        rec.kind_bytes(MsgKind::IndexRemove) > 0,
+        "removal records carry wire bytes"
+    );
+    assert!(
+        sys.net().stats().count(MsgKind::IndexRemove) > removes_before,
+        "the stats ledger must bill the removal traffic"
+    );
+    assert!(sys.published_terms(doc).is_empty());
+
+    // Replicas included: no indexing peer may still hold an entry for the
+    // retired document.
+    for peer in sys.indexing_peers() {
+        let st = sys.indexing_state(peer).expect("listed peer is alive");
+        for (t, _) in st.terms() {
+            assert!(
+                st.list(t).iter().all(|e| e.doc != doc),
+                "peer {peer:?} still lists the retired doc under term {t:?}"
+            );
+        }
+    }
+    assert!(
+        !sys.issue_query(&probe, 30).iter().any(|h| h.doc == doc),
+        "a retired document must be unreachable"
+    );
+}
+
+#[test]
 fn text_pipeline_integrates_with_ir() {
     // Real text through the analyzer into the centralized engine.
     let analyzer = sprite::text::Analyzer::standard();
