@@ -10,7 +10,9 @@
 //! reports the first stage whose fingerprint diverges, which localizes the
 //! nondeterminism to the subsystem that stage exercised.
 
-use sprite_chord::{ChordNet, ChurnConfig, ChurnEngine, MsgKind, NetStats, Phase, TraceRecorder};
+use sprite_chord::{
+    ChordNet, ChurnConfig, ChurnEngine, MsgKind, NetStats, Phase, SimConfig, TraceRecorder,
+};
 use sprite_core::{RankScratch, SpriteConfig, SpriteSystem};
 use sprite_corpus::{CorpusConfig, SyntheticCorpus};
 use sprite_ir::{Hit, Query, TermId};
@@ -381,6 +383,107 @@ pub fn audit_batching(seed: u64) -> BatchingAudit {
     }
 }
 
+/// Outcome of the network-model simulation audit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimAudit {
+    /// An explicitly-installed perfect model (different sim seed, bigger
+    /// retry budget — none of which a perfect link ever samples)
+    /// reproduced the default lockstep deployment bit for bit.
+    pub zero_loss_match: bool,
+    /// Two lossy runs from the same seed produced identical indexes,
+    /// ranked lists, and stats.
+    pub lossy_replay_match: bool,
+    /// The lossy evaluation is bit-identical at 1 vs 4 pool workers (the
+    /// link fate is a pure hash of the endpoints, not an RNG stream).
+    pub lossy_parallel_match: bool,
+    /// The lossy run billed at least one real [`MsgKind::Timeout`].
+    pub timeouts_fired: bool,
+    /// Replay fingerprint over the baseline, perfect, and lossy runs.
+    pub fingerprint: u128,
+}
+
+impl SimAudit {
+    /// True when every clause of the delivery-layer contract holds.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.zero_loss_match
+            && self.lossy_replay_match
+            && self.lossy_parallel_match
+            && self.timeouts_fired
+    }
+}
+
+/// Audit the event-driven delivery layer: build and evaluate one
+/// deployment per network model — the default (no model), an explicit
+/// perfect model, and a lossy latency/jitter/asymmetry model — and check
+/// the two halves of the tentpole contract: a perfect model changes
+/// *nothing* (bit-identity with the default lockstep run), and a lossy
+/// model changes things *deterministically* (same seed ⇒ same drops, same
+/// retries, same partial results, at any worker count) while billing real
+/// timeouts.
+#[must_use]
+pub fn audit_sim(seed: u64) -> SimAudit {
+    let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(seed));
+    let queries: Vec<Query> = sc
+        .seed_queries()
+        .iter()
+        .take(8)
+        .map(|s| s.query.clone())
+        .collect();
+    let run = |sim: SimConfig, threads: usize| -> (u128, u64) {
+        let cfg = SpriteConfig {
+            replication: 2,
+            ..SpriteConfig::default()
+        };
+        let mut sys = SpriteSystem::build(sc.corpus().clone(), 24, cfg, seed);
+        sys.net_mut().set_sim(sim);
+        sys.publish_all();
+        sys.replicate_indexes();
+        let mut h = Md5::new();
+        feed_u128(&mut h, fingerprint_index(&sys));
+        feed_u128(
+            &mut h,
+            parallel_results_fingerprint(&mut sys, &queries, threads),
+        );
+        feed_u128(&mut h, fingerprint_stats(sys.net().stats()));
+        (
+            h.finalize().as_u128(),
+            sys.net().stats().count(MsgKind::Timeout),
+        )
+    };
+    let baseline = run(SimConfig::default(), 4);
+    let perfect = run(
+        SimConfig {
+            seed: seed ^ 0xab5e,
+            max_retries: 7,
+            ..SimConfig::default()
+        },
+        4,
+    );
+    let lossy_cfg = SimConfig {
+        seed,
+        latency: 2,
+        jitter: 3,
+        asymmetry: 1,
+        loss: 0.05,
+        max_retries: 3,
+    };
+    let lossy_seq = run(lossy_cfg, 1);
+    let lossy_a = run(lossy_cfg, 4);
+    let lossy_b = run(lossy_cfg, 4);
+    let mut h = Md5::new();
+    for fp in [baseline.0, perfect.0, lossy_a.0] {
+        feed_u128(&mut h, fp);
+    }
+    SimAudit {
+        zero_loss_match: baseline.0 == perfect.0,
+        lossy_replay_match: lossy_a.0 == lossy_b.0,
+        lossy_parallel_match: lossy_seq.0 == lossy_a.0,
+        timeouts_fired: lossy_a.1 > 0,
+        fingerprint: h.finalize().as_u128(),
+    }
+}
+
 /// Run the reference experiment once, fingerprinting after every stage.
 ///
 /// The experiment is deliberately small (a tiny corpus on 24 peers) but
@@ -472,6 +575,14 @@ pub fn run_trace(seed: u64) -> Trace {
     // or a byte-accounting drift between the modes diverges here.
     stages.push(("wire/batching", audit_batching(seed).fingerprint));
 
+    // Fifteenth stage: the event-driven delivery layer. Three fresh
+    // deployments — default, explicit perfect model, lossy model — whose
+    // fingerprint covers all three runs' indexes, ranked lists, and stats.
+    // Nondeterministic drop sampling, a retry that consumes shared RNG
+    // state, or a perfect model that perturbs the lockstep run all
+    // diverge here.
+    stages.push(("sim/loss", audit_sim(seed).fingerprint));
+
     Trace { stages }
 }
 
@@ -515,10 +626,14 @@ pub fn audit_determinism(seed: u64) -> DeterminismReport {
     // (contents, bytes, or a failure to actually coalesce) fails the audit
     // even though both replays agree with each other.
     let batching_divergence = (!audit_batching(seed).passed()).then_some("wire/batching");
+    // The delivery-layer contract too: perfect ⇒ bit-identical to the
+    // default run, lossy ⇒ deterministic drops billed as real timeouts.
+    let sim_divergence = (!audit_sim(seed).passed()).then_some("sim/loss");
     let first_divergence = replay_divergence
         .or(batched_divergence)
         .or(tracing_divergence)
-        .or(batching_divergence);
+        .or(batching_divergence)
+        .or(sim_divergence);
     DeterminismReport {
         passed: first_divergence.is_none(),
         first_divergence,
@@ -538,7 +653,22 @@ mod tests {
             "first divergent stage: {:?}",
             report.first_divergence
         );
-        assert_eq!(report.stages, 14);
+        assert_eq!(report.stages, 15);
+    }
+
+    #[test]
+    fn sim_audit_upholds_the_delivery_contract() {
+        let audit = audit_sim(2026);
+        assert!(
+            audit.zero_loss_match,
+            "an explicit perfect model perturbed the lockstep run"
+        );
+        assert!(audit.lossy_replay_match, "lossy replay diverged");
+        assert!(
+            audit.lossy_parallel_match,
+            "lossy evaluation depends on the worker count"
+        );
+        assert!(audit.timeouts_fired, "the lossy run billed no timeouts");
     }
 
     #[test]

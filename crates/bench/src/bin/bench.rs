@@ -174,6 +174,25 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
+    // The loss study: deployments built and queried over lossy network
+    // models, showing in-flight drops billed as real timeouts and
+    // replication absorbing the damage. Gated exactly by `--bin gate`.
+    // ------------------------------------------------------------------
+    let (loss, loss_ms) = time_ms(|| sprite_bench::metrics::collect_loss(&world));
+    for p in &loss.points {
+        eprintln!(
+            "# loss r{} @ {:.0}%: precision {:.3}, recall {:.3}, {:.1} msg/q, {} timeouts",
+            p.replication,
+            p.loss * 100.0,
+            p.precision,
+            p.recall,
+            p.messages_per_query,
+            p.timeouts
+        );
+    }
+    eprintln!("# loss figure: {loss_ms} ms");
+
+    // ------------------------------------------------------------------
     // Micro timings.
     // ------------------------------------------------------------------
     let payload = vec![0xabu8; 65536];
@@ -303,6 +322,12 @@ fn main() {
         &sprite_bench::metrics::metrics_json(&metrics, 1),
         false,
     );
+    j.field(
+        1,
+        "loss",
+        &sprite_bench::metrics::loss_json(&loss, 1),
+        false,
+    );
     j.open(1, "micro_ns");
     j.field(2, "md5_64kib", &md5_ns.to_string(), false);
     j.field(2, "chord_lookup_1024_peers", &lookup_ns.to_string(), false);
@@ -322,5 +347,9 @@ fn main() {
     assert!(
         throughput.bit_identical,
         "the batched pipeline diverged from the sequential reference"
+    );
+    assert!(
+        loss.points.iter().any(|p| p.loss > 0.0 && p.timeouts > 0),
+        "the lossy sweep points billed no timeouts — drops are not surfacing"
     );
 }

@@ -10,6 +10,9 @@
 //! and band-compares it: structure and the `bit_identical` flag exactly,
 //! queries/sec and the speedup within the one-sided
 //! `THROUGHPUT_TOLERANCE` regression band (improvements always pass).
+//! Finally it replays the `loss` sweep and diffs it point for point —
+//! ratios within `RATIO_TOLERANCE`, timeout counts exact — also checking
+//! that every lossy point billed a nonzero timeout count.
 //! Exits 0 when clean, 1 with one readable line per lint violation or
 //! divergence when not, 2 when the baseline is missing, unparseable, or
 //! was generated at a different scale.
@@ -24,7 +27,8 @@ use std::process::ExitCode;
 
 use sprite_bench::json::{self, JsonValue};
 use sprite_bench::metrics::{
-    collect_metrics, compare_against_baseline, compare_throughput, measure_throughput,
+    collect_loss, collect_metrics, compare_against_baseline, compare_loss, compare_throughput,
+    measure_throughput,
 };
 
 fn main() -> ExitCode {
@@ -109,6 +113,21 @@ fn main() -> ExitCode {
         throughput.bit_identical
     );
     diffs.extend(compare_throughput(&throughput, &baseline));
+    // Replay the loss study: point-for-point exact (ratios within the
+    // JSON round-trip tolerance, timeout counts to the message), plus the
+    // within-run check that lossy points bill real timeouts.
+    let loss = collect_loss(&world);
+    let lossy_timeouts: u64 = loss
+        .points
+        .iter()
+        .filter(|p| p.loss > 0.0)
+        .map(|p| p.timeouts)
+        .sum();
+    eprintln!(
+        "# gate: loss sweep {} points, {lossy_timeouts} timeouts across the lossy points",
+        loss.points.len()
+    );
+    diffs.extend(compare_loss(&loss, &baseline));
     if diffs.is_empty() {
         println!(
             "gate: metrics and throughput match the committed baseline ({} queries, {} traced \

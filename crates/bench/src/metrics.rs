@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use sprite_chord::{MsgKind, Phase, TraceRecorder};
-use sprite_core::{SpriteConfig, World};
+use sprite_core::{loss_figure, LossFigure, SpriteConfig, World};
 use sprite_corpus::Schedule;
 use sprite_util::{override_threads, Histogram};
 
@@ -46,6 +46,14 @@ pub const THROUGHPUT_TOLERANCE: f64 = 0.5;
 
 /// The answer-list size the metrics evaluation uses (the paper's K = 20).
 pub const METRICS_K: usize = 20;
+
+/// Bernoulli loss rates swept by the committed loss study. 0.0 anchors
+/// the lossless baseline; the lossy points must bill real timeouts.
+pub const LOSS_RATES: [f64; 3] = [0.0, 0.02, 0.05];
+
+/// Replication degrees swept by the committed loss study: unreplicated
+/// versus the §7 default of 3, to show replication absorbing loss.
+pub const LOSS_REPLS: [usize; 2] = [1, 3];
 
 /// A histogram flattened for serialization.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -662,6 +670,112 @@ pub fn compare_against_baseline(current: &Metrics, baseline: &JsonValue) -> Vec<
     diffs
 }
 
+/// Run the committed loss study: [`LOSS_RATES`] × [`LOSS_REPLS`] through
+/// [`loss_figure`], with deployments built over the lossy network model
+/// so drops hit publication, maintenance, and the query path alike. Both
+/// `--bin bench` and `--bin gate` call this, so the committed object and
+/// the gate's fresh run share one code path.
+#[must_use]
+pub fn collect_loss(world: &World) -> LossFigure {
+    loss_figure(world, &LOSS_RATES, &LOSS_REPLS)
+}
+
+/// The stable JSON key of one loss point: replication degree and the loss
+/// rate as an integer percentage, e.g. `r3_loss5` for 5% loss at
+/// replication 3.
+fn loss_point_key(replication: usize, loss: f64) -> String {
+    format!("r{replication}_loss{}", (loss * 100.0).round() as u64)
+}
+
+/// Serialize a [`LossFigure`] as a JSON object value, same conventions as
+/// [`metrics_json`]: ratios at 12 decimals (within [`RATIO_TOLERANCE`] of
+/// a round-trip), timeout counts exact.
+#[must_use]
+pub fn loss_json(f: &LossFigure, indent: usize) -> String {
+    let pad = "  ".repeat(indent + 1);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "{pad}\"k\": {METRICS_K},");
+    let _ = writeln!(out, "{pad}\"points\": {{");
+    for (i, p) in f.points.iter().enumerate() {
+        let comma = if i + 1 == f.points.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "{pad}  \"{}\": {{\"loss\": {:.12}, \"replication\": {}, \"precision\": {:.12}, \
+             \"recall\": {:.12}, \"messages_per_query\": {:.12}, \"timeouts\": {}}}{comma}",
+            loss_point_key(p.replication, p.loss),
+            p.loss,
+            p.replication,
+            p.precision,
+            p.recall,
+            p.messages_per_query,
+            p.timeouts
+        );
+    }
+    let _ = writeln!(out, "{pad}}}");
+    let _ = write!(out, "{}}}", "  ".repeat(indent));
+    out
+}
+
+/// Diff a freshly computed [`LossFigure`] against the committed baseline:
+/// ratios and message costs within [`RATIO_TOLERANCE`], timeout counts
+/// exact (the event order is seeded, so drops are exactly reproducible).
+/// Also enforces the tentpole's acceptance bar within the current run
+/// itself: lossless points must bill zero timeouts, lossy points a
+/// nonzero count.
+#[must_use]
+pub fn compare_loss(current: &LossFigure, baseline: &JsonValue) -> Vec<String> {
+    let mut diffs = Vec::new();
+    for p in &current.points {
+        let key = loss_point_key(p.replication, p.loss);
+        if p.loss == 0.0 && p.timeouts != 0 {
+            diffs.push(format!(
+                "loss.points.{key}: a lossless run billed {} timeouts",
+                p.timeouts
+            ));
+        }
+        if p.loss > 0.0 && p.timeouts == 0 {
+            diffs.push(format!(
+                "loss.points.{key}: a lossy run billed no timeouts — drops are not surfacing"
+            ));
+        }
+    }
+    let Some(l) = baseline.get("loss") else {
+        diffs.push(
+            "loss: object missing from baseline (regenerate BENCH_experiments.json with \
+             --bin bench)"
+                .to_string(),
+        );
+        return diffs;
+    };
+    diff_u64(
+        &mut diffs,
+        "loss.k",
+        l.get("k").and_then(JsonValue::as_u64),
+        METRICS_K as u64,
+    );
+    for p in &current.points {
+        let key = loss_point_key(p.replication, p.loss);
+        let path = |field: &str| format!("loss.points.{key}.{field}");
+        let f = |field: &str| l.path(&["points", &key, field]).and_then(JsonValue::as_f64);
+        diff_f64(&mut diffs, &path("precision"), f("precision"), p.precision);
+        diff_f64(&mut diffs, &path("recall"), f("recall"), p.recall);
+        diff_f64(
+            &mut diffs,
+            &path("messages_per_query"),
+            f("messages_per_query"),
+            p.messages_per_query,
+        );
+        diff_u64(
+            &mut diffs,
+            &path("timeouts"),
+            l.path(&["points", &key, "timeouts"])
+                .and_then(JsonValue::as_u64),
+            p.timeouts,
+        );
+    }
+    diffs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -812,6 +926,78 @@ mod tests {
         let diffs = compare_throughput(&t, &empty);
         assert_eq!(diffs.len(), 1);
         assert!(diffs[0].contains("regenerate"));
+    }
+
+    #[test]
+    fn loss_sweep_round_trips_and_bills_timeouts() {
+        let world = World::build(WorldConfig::tiny(7));
+        let f = collect_loss(&world);
+        assert_eq!(f.points.len(), LOSS_RATES.len() * LOSS_REPLS.len());
+        assert!(
+            f.points.iter().any(|p| p.loss > 0.0 && p.timeouts > 0),
+            "the lossy points must bill real timeouts"
+        );
+        let doc = format!(
+            "{{\n  \"schema\": \"sprite-bench/v1\",\n  \"loss\": {}\n}}\n",
+            loss_json(&f, 1)
+        );
+        let baseline = json::parse(&doc).expect("serializer emits valid JSON");
+        let diffs = compare_loss(&f, &baseline);
+        assert!(diffs.is_empty(), "self-comparison must be clean: {diffs:?}");
+        // A missing loss object is one readable diff.
+        let empty = json::parse("{\"schema\": \"sprite-bench/v1\"}").expect("valid");
+        let diffs = compare_loss(&f, &empty);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("regenerate"));
+    }
+
+    #[test]
+    fn loss_gate_catches_perturbed_timeouts_and_silent_drops() {
+        let world = World::build(WorldConfig::tiny(7));
+        let f = collect_loss(&world);
+        let lossy = f
+            .points
+            .iter()
+            .find(|p| p.loss > 0.0 && p.timeouts > 0)
+            .expect("a lossy point with timeouts");
+        let key = format!(
+            "r{}_loss{}",
+            lossy.replication,
+            (lossy.loss * 100.0).round() as u64
+        );
+        let doc = format!(
+            "{{\n  \"schema\": \"sprite-bench/v1\",\n  \"loss\": {}\n}}\n",
+            loss_json(&f, 1)
+        )
+        .replacen(
+            &format!("\"timeouts\": {}", lossy.timeouts),
+            &format!("\"timeouts\": {}", lossy.timeouts + 1),
+            1,
+        );
+        let baseline = json::parse(&doc).expect("perturbed document still parses");
+        let diffs = compare_loss(&f, &baseline);
+        assert!(
+            diffs
+                .iter()
+                .any(|d| d.contains(&key) && d.contains("timeouts")),
+            "perturbed timeout count not caught: {diffs:?}"
+        );
+        // Within-run enforcement: a lossy point that billed nothing fails
+        // even against a matching baseline.
+        let mut silent = f.clone();
+        for p in &mut silent.points {
+            p.timeouts = 0;
+        }
+        let good = json::parse(&format!(
+            "{{\n  \"schema\": \"sprite-bench/v1\",\n  \"loss\": {}\n}}\n",
+            loss_json(&silent, 1)
+        ))
+        .expect("valid");
+        let diffs = compare_loss(&silent, &good);
+        assert!(
+            diffs.iter().any(|d| d.contains("not surfacing")),
+            "silent lossy run not caught: {diffs:?}"
+        );
     }
 
     #[test]

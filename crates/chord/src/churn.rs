@@ -146,20 +146,20 @@ impl ChurnEngine {
 
         let departures_allowed = alive.len().saturating_sub(self.cfg.min_peers);
         let mut victims: Vec<RingId> = Vec::new();
-        let pick_victim = |rng: &mut DetRng, victims: &mut Vec<RingId>| -> Option<RingId> {
-            if victims.len() >= departures_allowed {
+        // Candidate pool for departures: draw without replacement by
+        // swap-removing picks, so victims are always distinct, high churn
+        // rates deliver exactly `min(requested, departures_allowed)`
+        // departures (the old bounded rejection sampler silently
+        // under-delivered once most peers were victims), and an empty ring
+        // can never be indexed.
+        let mut pool: Vec<RingId> = alive.clone();
+        let mut pick_victim = |rng: &mut DetRng, victims: &mut Vec<RingId>| -> Option<RingId> {
+            if victims.len() >= departures_allowed || pool.is_empty() {
                 return None;
             }
-            // Rejection-sample a not-yet-picked peer; bounded retries keep
-            // the schedule finite even when most peers are already victims.
-            for _ in 0..8 {
-                let cand = alive[rng.gen_range(0..alive.len())];
-                if !victims.contains(&cand) {
-                    victims.push(cand);
-                    return Some(cand);
-                }
-            }
-            None
+            let cand = pool.swap_remove(rng.gen_range(0..pool.len()));
+            victims.push(cand);
+            Some(cand)
         };
         for _ in 0..n_fails {
             if let Some(id) = pick_victim(&mut self.rng, &mut victims) {
@@ -325,6 +325,53 @@ mod tests {
         assert_eq!(events.len(), 3);
         assert_eq!(report.joins + report.rejected, 3);
         assert_eq!(net.len(), before + report.joins);
+    }
+
+    #[test]
+    fn empty_ring_plans_no_departures() {
+        let net = ChordNet::new(ChordConfig::default());
+        let mut engine = ChurnEngine::new(
+            ChurnConfig {
+                join_rate: 0.0,
+                leave_rate: 5.0,
+                fail_rate: 5.0,
+                min_peers: 0,
+                ..ChurnConfig::default()
+            },
+            21,
+        );
+        // The old sampler indexed `alive[..]` unconditionally and panicked
+        // here; an empty pool must simply yield an empty plan.
+        assert!(engine.plan(&net).is_empty());
+    }
+
+    #[test]
+    fn extreme_rates_deliver_every_allowed_departure() {
+        let net = ring_of(8);
+        let mut engine = ChurnEngine::new(
+            ChurnConfig {
+                join_rate: 0.0,
+                leave_rate: 16.0,
+                fail_rate: 0.0,
+                min_peers: 0,
+                ..ChurnConfig::default()
+            },
+            13,
+        );
+        let events = engine.plan(&net);
+        // Without-replacement sampling fills the whole allowance; the
+        // 8-retry rejection sampler used to stall below it at high rates.
+        assert_eq!(events.len(), 8);
+        let mut ids: Vec<RingId> = events
+            .iter()
+            .map(|e| match *e {
+                ChurnEvent::Leave { id } => id,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "victims must be distinct");
     }
 
     #[test]

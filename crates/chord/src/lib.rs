@@ -13,7 +13,10 @@
 //! * [`kv`] — a replicated key-value layer demonstrating §7's
 //!   successor-replication scheme;
 //! * [`trace`] — the deterministic observability layer: zero-cost-when-
-//!   disabled trace sinks, structured events, and mergeable cost recorders.
+//!   disabled trace sinks, structured events, and mergeable cost recorders;
+//! * [`sim`] — pluggable network models (latency/jitter, link asymmetry,
+//!   Bernoulli loss) behind the event-driven delivery layer; the default
+//!   perfect network is bit-identical to lockstep execution.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -24,6 +27,7 @@ pub mod churn;
 pub mod kv;
 pub mod node;
 pub mod ring;
+pub mod sim;
 pub mod stats;
 pub mod trace;
 
@@ -31,5 +35,6 @@ pub use churn::{ChurnConfig, ChurnEngine, ChurnEvent, TickReport};
 pub use kv::Dht;
 pub use node::NodeState;
 pub use ring::{ChordConfig, ChordError, ChordNet, Lookup, LookupLite, RouteMemo};
+pub use sim::{Delivery, LinkModel, NetworkModel, PerfectNetwork, SimConfig};
 pub use stats::{MsgKind, NetStats, MSG_KINDS};
 pub use trace::{Event, NullTrace, Phase, TraceRecorder, TraceSink, PHASES};

@@ -21,6 +21,7 @@ use std::collections::{BTreeSet, HashMap};
 use sprite_util::{derive_rng, RingId, ID_BITS};
 
 use crate::node::NodeState;
+use crate::sim::{self, SimConfig};
 use crate::stats::{MsgKind, NetStats};
 use crate::trace::{self, Event, Phase, TraceSink};
 
@@ -69,6 +70,17 @@ pub enum ChordError {
         /// The key being resolved.
         key: RingId,
     },
+    /// An in-flight hop message was dropped by the network model on every
+    /// retransmission attempt — a *real* timeout, not a dead-probe one.
+    Lost {
+        /// The sender of the undeliverable hop.
+        at: RingId,
+        /// Its unreachable target (alive, but the link drowned).
+        to: RingId,
+        /// Transmissions dropped over the whole walk, each already billed
+        /// as one [`MsgKind::Timeout`].
+        dropped: u64,
+    },
 }
 
 impl std::fmt::Display for ChordError {
@@ -85,6 +97,12 @@ impl std::fmt::Display for ChordError {
             }
             ChordError::TooManyHops { from, key } => {
                 write!(f, "lookup from {from:?} for {key:?} exceeded hop bound")
+            }
+            ChordError::Lost { at, to, dropped } => {
+                write!(
+                    f,
+                    "hop {at:?} -> {to:?} lost in flight after {dropped} dropped transmissions"
+                )
             }
         }
     }
@@ -138,6 +156,7 @@ struct MemoRoute {
     outcome: Result<LookupLite, ChordError>,
     hops: u32,
     failed: u64,
+    lost: u64,
 }
 
 impl RouteMemo {
@@ -153,11 +172,12 @@ impl RouteMemo {
         let mut routes = HashMap::with_capacity(pairs.len());
         for &(from, key) in pairs {
             routes.entry((from.0, key.0)).or_insert_with(|| {
-                let (outcome, hops, failed) = net.walk(from, key, None);
+                let (outcome, hops, failed, lost) = net.walk(from, key, None);
                 MemoRoute {
                     outcome,
                     hops,
                     failed,
+                    lost,
                 }
             });
         }
@@ -186,6 +206,9 @@ pub struct ChordNet {
     /// never consulted during routing).
     sorted: BTreeSet<u128>,
     stats: NetStats,
+    /// Network model every message transits; the default is the perfect
+    /// (zero-latency, zero-loss) network, which is never even sampled.
+    sim: SimConfig,
 }
 
 impl ChordNet {
@@ -197,6 +220,7 @@ impl ChordNet {
             nodes: HashMap::new(),
             sorted: BTreeSet::new(),
             stats: NetStats::new(),
+            sim: SimConfig::default(),
         }
     }
 
@@ -233,6 +257,35 @@ impl ChordNet {
     #[must_use]
     pub fn config(&self) -> &ChordConfig {
         &self.cfg
+    }
+
+    /// The active network model.
+    #[must_use]
+    pub fn sim(&self) -> &SimConfig {
+        &self.sim
+    }
+
+    /// Install a network model. Must be set before any traffic a caller
+    /// wants modeled; replacing the model mid-run is deterministic (link
+    /// fates are pure functions) but changes subsequent samples.
+    pub fn set_sim(&mut self, sim: SimConfig) {
+        self.sim = sim;
+    }
+
+    /// Plan one application-level message `from → to` through the network
+    /// model. `Ok((arrival, drops))` means some transmission got through:
+    /// `arrival` is its scheduler-time offset and `drops` the dropped
+    /// attempts, each owed one [`MsgKind::Timeout`] charge by the caller.
+    /// `Err(drops)` means the retransmission budget drowned and the message
+    /// is lost for good. The perfect default short-circuits to
+    /// `Ok((0, 0))` without sampling — the bit-identity contract. This is
+    /// the only sanctioned delivery entry for application crates: direct
+    /// `link_delivery` calls outside the delivery layer are lint-banned.
+    pub fn plan_delivery(&self, from: RingId, to: RingId, salt: u64) -> Result<(u64, u64), u64> {
+        if self.sim.is_perfect() {
+            return Ok((0, 0));
+        }
+        self.sim.transmit(from, to, salt)
     }
 
     /// Number of alive nodes.
@@ -510,9 +563,9 @@ impl ChordNet {
     /// bookkeeping is skipped. The retrieval hot paths (publish, query,
     /// learning) use this; audit and diagnostic callers keep `lookup`.
     pub fn lookup_fast(&mut self, from: RingId, key: RingId) -> Result<LookupLite, ChordError> {
-        let (result, hops, failed) = self.walk(from, key, None);
+        let (result, hops, failed, lost) = self.walk(from, key, None);
         self.stats
-            .charge_route(MsgKind::LookupHop, hops, failed, result.is_ok());
+            .charge_route(MsgKind::LookupHop, hops, failed, lost, result.is_ok());
         result
     }
 
@@ -527,8 +580,8 @@ impl ChordNet {
         key: RingId,
         stats: &mut NetStats,
     ) -> Result<LookupLite, ChordError> {
-        let (result, hops, failed) = self.walk(from, key, None);
-        stats.charge_route(MsgKind::LookupHop, hops, failed, result.is_ok());
+        let (result, hops, failed, lost) = self.walk(from, key, None);
+        stats.charge_route(MsgKind::LookupHop, hops, failed, lost, result.is_ok());
         result
     }
 
@@ -550,6 +603,7 @@ impl ChordNet {
                     MsgKind::LookupHop,
                     route.hops,
                     route.failed,
+                    route.lost,
                     route.outcome.is_ok(),
                 );
                 route.outcome.clone()
@@ -656,8 +710,8 @@ impl ChordNet {
         stats: &mut NetStats,
     ) -> Result<Lookup, ChordError> {
         let mut path = Vec::new();
-        let (result, hops, failed) = self.walk(from, key, Some(&mut path));
-        stats.charge_route(MsgKind::LookupHop, hops, failed, result.is_ok());
+        let (result, hops, failed, lost) = self.walk(from, key, Some(&mut path));
+        stats.charge_route(MsgKind::LookupHop, hops, failed, lost, result.is_ok());
         result.map(|lite| Lookup {
             owner: lite.owner,
             hops: lite.hops,
@@ -681,9 +735,9 @@ impl ChordNet {
             return self.lookup_fast(from, key);
         }
         let mut path = Vec::new();
-        let (result, hops, failed) = self.walk(from, key, Some(&mut path));
+        let (result, hops, failed, lost) = self.walk(from, key, Some(&mut path));
         self.stats
-            .charge_route(MsgKind::LookupHop, hops, failed, result.is_ok());
+            .charge_route(MsgKind::LookupHop, hops, failed, lost, result.is_ok());
         // `path` holds the origin plus every intermediate node contacted:
         // exactly `hops` hop messages target `path[1..]`.
         for &peer in path.iter().skip(1) {
@@ -705,6 +759,19 @@ impl ChordNet {
                     phase,
                 },
                 failed,
+            );
+        }
+        if lost > 0 {
+            // In-flight drops are likewise attributed to the origin; the
+            // stats side already billed them via `charge_route`.
+            sink.emit_n(
+                Event {
+                    tick,
+                    peer: from,
+                    kind: MsgKind::Timeout,
+                    phase,
+                },
+                lost,
             );
         }
         if result.is_ok() {
@@ -795,8 +862,9 @@ impl ChordNet {
     /// recorded for application lookups ([`MsgKind::LookupHop`]).
     fn route(&mut self, from: RingId, key: RingId, kind: MsgKind) -> Result<Lookup, ChordError> {
         let mut path = Vec::new();
-        let (result, hops, failed) = self.walk(from, key, Some(&mut path));
-        self.stats.charge_route(kind, hops, failed, result.is_ok());
+        let (result, hops, failed, lost) = self.walk(from, key, Some(&mut path));
+        self.stats
+            .charge_route(kind, hops, failed, lost, result.is_ok());
         result.map(|lite| Lookup {
             owner: lite.owner,
             hops: lite.hops,
@@ -813,13 +881,14 @@ impl ChordNet {
         from: RingId,
         key: RingId,
         mut path: Option<&mut Vec<RingId>>,
-    ) -> (Result<LookupLite, ChordError>, u32, u64) {
+    ) -> (Result<LookupLite, ChordError>, u32, u64, u64) {
         if !self.contains(from) {
-            return (Err(ChordError::UnknownNode(from)), 0, 0);
+            return (Err(ChordError::UnknownNode(from)), 0, 0, 0);
         }
         let mut cur = from;
         let mut hops: u32 = 0;
         let mut failed: u64 = 0;
+        let mut lost: u64 = 0;
         if let Some(p) = path.as_deref_mut() {
             p.push(from);
         }
@@ -843,10 +912,11 @@ impl ChordNet {
                     }),
                     hops,
                     failed,
+                    lost,
                 );
             };
             if key.in_open_closed(cur, succ) {
-                return (Ok(LookupLite { owner: succ, hops }), hops, failed);
+                return (Ok(LookupLite { owner: succ, hops }), hops, failed, lost);
             }
             let nodes = &self.nodes;
             let next = node
@@ -866,7 +936,32 @@ impl ChordNet {
                     }),
                     hops,
                     failed,
+                    lost,
                 );
+            }
+            // The hop message `cur → next` transits the network model:
+            // every dropped transmission is one real in-flight timeout,
+            // and an exhausted retransmission budget abandons the walk.
+            // Sampling is a pure function of `(sim seed, cur, next, key,
+            // hop index)`, so replaying this walk — memoized or parallel —
+            // realizes the same fates.
+            if self.sim.lossy() {
+                match self.sim.transmit(cur, next, sim::hop_salt(key, hops)) {
+                    Ok((_arrival, drops)) => lost += drops,
+                    Err(drops) => {
+                        lost += drops;
+                        return (
+                            Err(ChordError::Lost {
+                                at: cur,
+                                to: next,
+                                dropped: lost,
+                            }),
+                            hops,
+                            failed,
+                            lost,
+                        );
+                    }
+                }
             }
             cur = next;
             hops += 1;
@@ -874,7 +969,12 @@ impl ChordNet {
                 p.push(cur);
             }
             if hops > self.cfg.max_lookup_hops {
-                return (Err(ChordError::TooManyHops { from, key }), hops, failed);
+                return (
+                    Err(ChordError::TooManyHops { from, key }),
+                    hops,
+                    failed,
+                    lost,
+                );
             }
         }
     }
@@ -1188,6 +1288,122 @@ mod tests {
         let mut net = ring_of(8);
         let err = net.lookup(RingId(1), RingId(5)).unwrap_err();
         assert!(matches!(err, ChordError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn explicit_perfect_sim_is_bit_identical_to_default() {
+        // A SimConfig with zero latency/jitter/asymmetry/loss must leave the
+        // pipeline untouched even with a nonzero seed: the delivery layer
+        // short-circuits before sampling.
+        let run = |configure: bool| {
+            let mut net = ring_of(48);
+            if configure {
+                net.set_sim(SimConfig {
+                    seed: 0xdead_beef,
+                    ..SimConfig::default()
+                });
+            }
+            net.reset_stats();
+            let ids = net.node_ids();
+            let mut owners = Vec::new();
+            for i in 0..200 {
+                let from = ids[i % ids.len()];
+                let key = RingId::hash_bytes(format!("perfect-{i}").as_bytes());
+                owners.push(net.lookup_fast(from, key).map(|l| l.owner));
+            }
+            (owners, net.stats().clone())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn lossy_walks_bill_real_timeouts_and_replay_identically() {
+        let run = || {
+            let mut net = ring_of(64);
+            net.set_sim(SimConfig {
+                seed: 7,
+                loss: 0.05,
+                ..SimConfig::default()
+            });
+            net.reset_stats();
+            let ids = net.node_ids();
+            let mut outcomes = Vec::new();
+            for i in 0..300 {
+                let from = ids[i % ids.len()];
+                let key = RingId::hash_bytes(format!("lossy-{i}").as_bytes());
+                outcomes.push(net.lookup_fast(from, key).map(|l| l.owner));
+            }
+            (outcomes, net.stats().clone())
+        };
+        let (outcomes, stats) = run();
+        assert!(
+            stats.count(MsgKind::Timeout) > 0,
+            "5% loss over 300 walks must drop some transmissions"
+        );
+        assert_eq!((outcomes, stats), run(), "same seed, same event order");
+    }
+
+    #[test]
+    fn lossy_probe_and_memo_replay_match_the_mutating_walk() {
+        let mut net = ring_of(64);
+        net.set_sim(SimConfig {
+            seed: 11,
+            loss: 0.08,
+            ..SimConfig::default()
+        });
+        let ids = net.node_ids();
+        let pairs: Vec<(RingId, RingId)> = (0..150)
+            .map(|i| {
+                (
+                    ids[i % ids.len()],
+                    RingId::hash_bytes(format!("memo-{i}").as_bytes()),
+                )
+            })
+            .collect();
+        let memo = RouteMemo::build(&net, &pairs);
+        for &(from, key) in &pairs {
+            net.reset_stats();
+            let live = net.lookup_fast(from, key);
+            let live_stats = net.stats().clone();
+            let mut probe_stats = NetStats::new();
+            let probed = net.probe(from, key, &mut probe_stats);
+            let mut memo_stats = NetStats::new();
+            let replayed = net.probe_via(&memo, from, key, &mut memo_stats);
+            assert_eq!(live, probed, "pure link sampling: probe == lookup_fast");
+            assert_eq!(live, replayed, "memo replay must reproduce the walk");
+            assert_eq!(live_stats, probe_stats, "charges must match");
+            assert_eq!(live_stats, memo_stats, "memo charges must match");
+        }
+    }
+
+    #[test]
+    fn total_loss_surfaces_as_lost_with_exhausted_retries() {
+        let mut net = ring_of(32);
+        net.set_sim(SimConfig {
+            seed: 3,
+            loss: 1.0,
+            max_retries: 2,
+            ..SimConfig::default()
+        });
+        net.reset_stats();
+        let ids = net.node_ids();
+        let mut lost_seen = false;
+        for i in 0..50 {
+            let from = ids[i % ids.len()];
+            let key = RingId::hash_bytes(format!("drowned-{i}").as_bytes());
+            match net.lookup_fast(from, key) {
+                // Zero-hop lookups (key owned by the origin's successor)
+                // send nothing and legitimately still succeed.
+                Ok(l) => assert_eq!(l.hops, 0, "no hop message can survive 100% loss"),
+                Err(ChordError::Lost { dropped, .. }) => {
+                    lost_seen = true;
+                    assert_eq!(dropped, 3, "1 + max_retries transmissions dropped");
+                }
+                Err(other) => panic!("expected Lost, got {other}"),
+            }
+        }
+        assert!(lost_seen, "some walk must need at least one hop");
+        assert!(net.stats().count(MsgKind::Timeout) > 0);
     }
 
     #[test]

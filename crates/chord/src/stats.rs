@@ -27,10 +27,12 @@ pub enum MsgKind {
     Replication,
     /// A message attempt that hit a dead peer (timeout).
     Failed,
-    /// An application-level failover probe that timed out: the routed
-    /// recovery layer (§7) tried a successor-list replica entry that turned
-    /// out to be dead. Distinct from [`MsgKind::Failed`], which counts
-    /// timeouts *inside* a routing walk.
+    /// A message that timed out in flight: either an application-level
+    /// failover probe against a dead successor-list replica entry (§7), or
+    /// a transmission the network model dropped — one timeout per dropped
+    /// attempt, including retransmissions. Distinct from
+    /// [`MsgKind::Failed`], which counts dead-probe timeouts *inside* a
+    /// routing walk.
     Timeout,
 }
 
@@ -148,13 +150,23 @@ impl NetStats {
         self.max_hops = self.max_hops.max(hops);
     }
 
-    /// Charge one routing walk: `hops` messages of `kind`, `failed` timeout
-    /// probes, and — for completed application lookups — the hop-distribution
-    /// entry. Shared by the in-place router and the read-only query path so
-    /// both charge identically.
-    pub fn charge_route(&mut self, kind: MsgKind, hops: u32, failed: u64, completed: bool) {
+    /// Charge one routing walk: `hops` messages of `kind`, `failed` dead
+    /// probes, `lost` in-flight drops (real [`MsgKind::Timeout`]s from the
+    /// network model — zero on the perfect default, so the call is
+    /// unchanged), and — for completed application lookups — the
+    /// hop-distribution entry. Shared by the in-place router and the
+    /// read-only query path so both charge identically.
+    pub fn charge_route(
+        &mut self,
+        kind: MsgKind,
+        hops: u32,
+        failed: u64,
+        lost: u64,
+        completed: bool,
+    ) {
         self.record_n(kind, u64::from(hops));
         self.record_n(MsgKind::Failed, failed);
+        self.record_n(MsgKind::Timeout, lost);
         if completed && kind == MsgKind::LookupHop {
             self.record_lookup(hops);
         }
@@ -285,7 +297,7 @@ mod tests {
         // A lookup answered by the origin itself: no hop messages, but the
         // hop distribution must still record a completed zero-hop lookup.
         let mut s = NetStats::new();
-        s.charge_route(MsgKind::LookupHop, 0, 0, true);
+        s.charge_route(MsgKind::LookupHop, 0, 0, 0, true);
         assert_eq!(s.total_messages(), 0);
         assert_eq!(s.lookups(), 1);
         assert_eq!(s.mean_hops(), 0.0);
@@ -297,7 +309,7 @@ mod tests {
         // A walk that only hit dead peers: timeouts are billed, no lookup
         // completes, the hop distribution stays empty.
         let mut s = NetStats::new();
-        s.charge_route(MsgKind::LookupHop, 0, 3, false);
+        s.charge_route(MsgKind::LookupHop, 0, 3, 0, false);
         assert_eq!(s.count(MsgKind::Failed), 3);
         assert_eq!(s.count(MsgKind::LookupHop), 0);
         assert_eq!(s.lookups(), 0);
@@ -310,7 +322,7 @@ mod tests {
         // enter the application-lookup hop distribution, even when
         // completed.
         let mut s = NetStats::new();
-        s.charge_route(MsgKind::Maintenance, 4, 1, true);
+        s.charge_route(MsgKind::Maintenance, 4, 1, 0, true);
         assert_eq!(s.count(MsgKind::Maintenance), 4);
         assert_eq!(s.count(MsgKind::Failed), 1);
         assert_eq!(s.lookups(), 0, "non-LookupHop kinds skip record_lookup");
@@ -320,10 +332,20 @@ mod tests {
     #[test]
     fn charge_route_incomplete_lookup_bills_hops_without_distribution() {
         let mut s = NetStats::new();
-        s.charge_route(MsgKind::LookupHop, 5, 2, false);
+        s.charge_route(MsgKind::LookupHop, 5, 2, 0, false);
         assert_eq!(s.count(MsgKind::LookupHop), 5);
         assert_eq!(s.count(MsgKind::Failed), 2);
         assert_eq!(s.lookups(), 0);
+    }
+
+    #[test]
+    fn charge_route_bills_in_flight_losses_as_timeouts() {
+        let mut s = NetStats::new();
+        s.charge_route(MsgKind::LookupHop, 3, 1, 2, true);
+        assert_eq!(s.count(MsgKind::LookupHop), 3);
+        assert_eq!(s.count(MsgKind::Failed), 1);
+        assert_eq!(s.count(MsgKind::Timeout), 2);
+        assert_eq!(s.lookups(), 1, "a lossy but completed walk still counts");
     }
 
     #[test]

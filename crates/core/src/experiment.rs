@@ -5,7 +5,7 @@
 //! 50/50 train/test split. The `fig4*` functions reproduce the three panels
 //! of Figure 4; the bench binaries are thin printers over these.
 
-use sprite_chord::{NetStats, TraceRecorder};
+use sprite_chord::{MsgKind, NetStats, SimConfig, TraceRecorder};
 use sprite_corpus::{
     generate_workload, issue_order, split_train_test, CorpusConfig, GenConfig, GeneratedQuery,
     Schedule, SyntheticCorpus,
@@ -347,6 +347,22 @@ impl World {
     /// configurations skip training and learning entirely.
     #[must_use]
     pub fn standard_system(&self, cfg: SpriteConfig, schedule: Schedule) -> SpriteSystem {
+        self.standard_system_with_sim(cfg, schedule, SimConfig::default())
+    }
+
+    /// [`World::standard_system`] with a network model installed *before*
+    /// any message flows: training, publication, learning, and every later
+    /// message all traverse the configured delivery layer. A lossy model
+    /// therefore punches real holes in the published indexes — holes only
+    /// replication and the per-keyword retry/failover machinery can paper
+    /// over, which is exactly what the loss sweep measures.
+    #[must_use]
+    pub fn standard_system_with_sim(
+        &self,
+        cfg: SpriteConfig,
+        schedule: Schedule,
+        sim: SimConfig,
+    ) -> SpriteSystem {
         let iterations = if cfg.is_static() {
             0
         } else {
@@ -355,6 +371,7 @@ impl World {
                 .div_ceil(cfg.terms_per_iteration)
         };
         let mut sys = self.new_system(cfg);
+        sys.net_mut().set_sim(sim);
         if iterations > 0 {
             self.issue(&mut sys, &self.train, schedule);
         }
@@ -520,6 +537,79 @@ pub fn churn_figure(
         }
     }
     ChurnFigure { points }
+}
+
+/// One point of the loss study: a deployment built and queried over a
+/// lossy network model, at a given Bernoulli loss rate and replication
+/// degree.
+#[derive(Clone, Copy, Debug)]
+pub struct LossPoint {
+    /// Per-transmission Bernoulli loss probability.
+    pub loss: f64,
+    /// Replication degree of the deployment.
+    pub replication: usize,
+    /// Precision ratio over the centralized reference.
+    pub precision: f64,
+    /// Recall ratio over the centralized reference.
+    pub recall: f64,
+    /// Mean messages per evaluation query (the §6 cost axis).
+    pub messages_per_query: f64,
+    /// Timeout charges billed during evaluation — dropped in-flight
+    /// transmissions, each one a retry the sender had to wait out.
+    pub timeouts: u64,
+}
+
+/// The loss figure: one [`LossPoint`] per (replication, loss) pair,
+/// replication-major in the order the inputs were given.
+#[derive(Clone, Debug)]
+pub struct LossFigure {
+    /// All sweep points.
+    pub points: Vec<LossPoint>,
+}
+
+/// Run the loss study: for every replication degree × loss rate, build a
+/// standard deployment over a lossy network model (loss applies to
+/// publication too, so the indexes themselves carry real holes), then
+/// evaluate on the test split at K = 20.
+///
+/// Dropped transmissions surface as [`MsgKind::Timeout`] charges: during
+/// routing each drop costs a retransmission, and an exhausted retry budget
+/// fails the hop, driving the per-keyword failover that replication
+/// exists to absorb. Include 0.0 to anchor the lossless baseline.
+#[must_use]
+pub fn loss_figure(world: &World, losses: &[f64], replications: &[usize]) -> LossFigure {
+    let jobs: Vec<(usize, f64)> = replications
+        .iter()
+        .flat_map(|&r| losses.iter().map(move |&l| (r, l)))
+        .collect();
+    let points = par_map(&jobs, |j, &(replication, loss)| {
+        let cfg = SpriteConfig {
+            replication,
+            ..SpriteConfig::default()
+        };
+        let sim = SimConfig {
+            seed: world.config.seed.wrapping_add(j as u64 + 1),
+            loss,
+            ..SimConfig::default()
+        };
+        let mut sys = world.standard_system_with_sim(cfg, Schedule::WithoutRepeats, sim);
+        if replication > 1 {
+            sys.replicate_indexes();
+        }
+        sys.net_mut().reset_stats();
+        let r = world.evaluate(&mut sys, &world.test, 20);
+        let stats = sys.net().stats();
+        let msgs = stats.total_messages() as f64 / world.test.len().max(1) as f64;
+        LossPoint {
+            loss,
+            replication,
+            precision: r.precision_ratio,
+            recall: r.recall_ratio,
+            messages_per_query: msgs,
+            timeouts: stats.count(MsgKind::Timeout),
+        }
+    });
+    LossFigure { points }
 }
 
 /// Figure 4(b): precision ratio vs number of indexed terms, for the
@@ -909,6 +999,73 @@ mod tests {
             "churned retention {:.3} below the 80% bar",
             churned.retention
         );
+    }
+
+    #[test]
+    fn explicit_perfect_sim_is_bit_identical_to_default() {
+        // The bit-identity contract of the delivery layer: any perfect
+        // SimConfig — even one with a different seed and retry budget —
+        // must reproduce the default lockstep execution exactly, because
+        // a perfect link never samples its hash chain.
+        let w = tiny_world();
+        let mut plain = w.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+        let sim = SimConfig {
+            seed: 0xdead_beef,
+            max_retries: 7,
+            ..SimConfig::default()
+        };
+        assert!(sim.is_perfect());
+        let mut simmed =
+            w.standard_system_with_sim(SpriteConfig::default(), Schedule::WithoutRepeats, sim);
+        assert_eq!(plain.net().stats(), simmed.net().stats());
+        let r0 = w.evaluate(&mut plain, &w.test, 20);
+        let r1 = w.evaluate(&mut simmed, &w.test, 20);
+        assert_eq!(r0.precision_ratio.to_bits(), r1.precision_ratio.to_bits());
+        assert_eq!(r0.recall_ratio.to_bits(), r1.recall_ratio.to_bits());
+        assert_eq!(plain.net().stats(), simmed.net().stats());
+        assert_eq!(
+            plain.net().stats().count(MsgKind::Timeout),
+            0,
+            "a perfect network never times out"
+        );
+    }
+
+    #[test]
+    fn lossy_world_bills_timeouts_and_degrades_gracefully() {
+        // End-to-end under real loss: in-flight drops must surface as
+        // Timeout charges (retries the sender waited out), queries must
+        // still come back with partial results, and the whole sweep must
+        // replay bit-identically from the same seeds.
+        let w = tiny_world();
+        let run = || loss_figure(&w, &[0.0, 0.05], &[1, 3]);
+        let f = run();
+        assert_eq!(f.points.len(), 4);
+        for p in &f.points {
+            assert!(p.precision.is_finite() && p.precision >= 0.0);
+            assert!(p.recall.is_finite() && p.recall >= 0.0);
+            assert!(p.messages_per_query > 0.0);
+            if p.loss == 0.0 {
+                assert_eq!(p.timeouts, 0, "lossless points must not time out");
+                assert!(p.precision > 0.0);
+            } else {
+                assert!(
+                    p.timeouts > 0,
+                    "loss {} repl {} billed no timeouts",
+                    p.loss,
+                    p.replication
+                );
+                assert!(
+                    p.precision > 0.0,
+                    "lossy retrieval must still return partial results"
+                );
+            }
+        }
+        let g = run();
+        for (a, b) in f.points.iter().zip(&g.points) {
+            assert_eq!(a.precision.to_bits(), b.precision.to_bits());
+            assert_eq!(a.recall.to_bits(), b.recall.to_bits());
+            assert_eq!(a.timeouts, b.timeouts, "same seed, same event order");
+        }
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod view;
 pub use config::{IdfMode, SpriteConfig};
 pub use expansion::ExpansionConfig;
 pub use experiment::{
-    churn_figure, fig4a, fig4b, fig4c, ChurnFigure, ChurnPoint, Fig4a, Fig4b, Fig4c, SeriesPoint,
-    World, WorldConfig,
+    churn_figure, fig4a, fig4b, fig4c, loss_figure, ChurnFigure, ChurnPoint, Fig4a, Fig4b, Fig4c,
+    LossFigure, LossPoint, SeriesPoint, World, WorldConfig,
 };
 pub use learn::{
     algorithm1, naive_select, q_score, select_terms, select_terms_excluding, select_terms_mode,

@@ -9,12 +9,17 @@
 
 use std::collections::BTreeMap;
 
-use sprite_chord::{ChurnEngine, ChurnEvent, MsgKind, NetStats, Phase, TickReport};
+use sprite_chord::{sim, ChurnEngine, ChurnEvent, MsgKind, NetStats, Phase, TickReport};
 use sprite_ir::{DocId, TermId};
-use sprite_util::{derive_rng, RingId};
+use sprite_util::{derive_rng, EventQueue, RingId};
 
-use crate::peer::{term_record_wire_size, IndexingState};
+use crate::peer::{term_record_wire_size, IndexEntry, IndexingState};
 use crate::system::SpriteSystem;
+
+/// Destination-batched maintenance transfers awaiting a flush: per
+/// destination, the summed payload bytes and the records to install on
+/// delivery.
+type TransferBatch = BTreeMap<u128, (u64, Vec<(TermId, Vec<IndexEntry>)>)>;
 
 /// Report of a [`SpriteSystem::hot_term_advisory`] pass.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -182,9 +187,9 @@ impl SpriteSystem {
     /// a replica). Returns entries newly added at their proper owners.
     fn republish_orphans(&mut self) -> usize {
         let batched = self.config().batched_publish;
-        // dest peer → summed payload bytes, flushed as one transfer message
-        // per destination (BTreeMap: deterministic flush order).
-        let mut batch: BTreeMap<u128, u64> = BTreeMap::new();
+        // dest peer → (summed payload bytes, records), flushed as one
+        // transfer message per destination (BTreeMap: deterministic order).
+        let mut batch: TransferBatch = BTreeMap::new();
         let holders = self.holder_snapshot();
         let mut moved = 0;
         for (holder, terms) in holders {
@@ -212,11 +217,29 @@ impl SpriteSystem {
                     .map(|e| term_record_wire_size(term, e) as u64)
                     .sum();
                 if batched {
-                    *batch.entry(lookup.owner.0).or_insert(0) += bytes;
-                } else {
-                    self.net_mut()
-                        .charge_n(MsgKind::Replication, entries.len() as u64);
-                    self.net_mut().charge_bytes(MsgKind::Replication, bytes);
+                    let slot = batch
+                        .entry(lookup.owner.0)
+                        .or_insert_with(|| (0, Vec::new()));
+                    slot.0 += bytes;
+                    slot.1.push((term, entries));
+                    continue; // installed (or lost) at flush time
+                }
+                // Unbatched: one delivery-gated transfer per (holder, term).
+                let salt =
+                    sim::message_salt(holder as u64, lookup.owner.0 as u64, term.index() as u64);
+                match self.net().plan_delivery(RingId(holder), lookup.owner, salt) {
+                    Ok((_arrival, drops)) => {
+                        if drops > 0 {
+                            self.net_mut().charge_n(MsgKind::Timeout, drops);
+                        }
+                        self.net_mut()
+                            .charge_n(MsgKind::Replication, entries.len() as u64);
+                        self.net_mut().charge_bytes(MsgKind::Replication, bytes);
+                    }
+                    Err(drops) => {
+                        self.net_mut().charge_n(MsgKind::Timeout, drops);
+                        continue; // transfer lost; the holder keeps its copy
+                    }
                 }
                 let cap = self.config().query_cache_capacity;
                 let st = self
@@ -231,12 +254,61 @@ impl SpriteSystem {
             }
         }
         // Batched: all of one destination's re-homed records travel as a
-        // single transfer — one message charge, exactly the summed bytes.
-        for (_dest, bytes) in batch {
+        // single in-flight transfer through the event scheduler.
+        moved += self.flush_transfer_batch(batch, true);
+        moved
+    }
+
+    /// Flush dest-batched maintenance transfers through the event
+    /// scheduler: each destination's records travel as one in-flight
+    /// message planned through the delivery layer — drops bill real
+    /// [`MsgKind::Timeout`]s and a drowned message installs nothing, while
+    /// the perfect default delivers every slot at `t = 0` in key order,
+    /// reproducing the lockstep flush. Returns installed entries: only
+    /// newly-added ones when `count_new` (the orphan pass), else every
+    /// delivered record (the replication pass bills data moved).
+    fn flush_transfer_batch(&mut self, batch: TransferBatch, count_new: bool) -> usize {
+        let cap = self.config().query_cache_capacity;
+        let mut queue = EventQueue::new();
+        for (dest, (bytes, records)) in batch {
+            // A dest-batched transfer merges many holders into one message,
+            // so the sender is collapsed onto the destination for link
+            // sampling.
+            let salt = sim::message_salt(dest as u64, (dest >> 64) as u64, 0x6d61_696e);
+            let (arrival, drops, delivered) =
+                match self.net().plan_delivery(RingId(dest), RingId(dest), salt) {
+                    Ok((arrival, drops)) => (arrival, drops, true),
+                    Err(drops) => (0, drops, false),
+                };
+            queue.push(arrival, (dest, bytes, records, drops, delivered));
+        }
+        let mut installed = 0;
+        while let Some((_, (dest, bytes, records, drops, delivered))) = queue.pop() {
+            if drops > 0 {
+                self.net_mut().charge_n(MsgKind::Timeout, drops);
+            }
+            if !delivered {
+                continue; // the transfer drowned; nothing arrives
+            }
             self.net_mut().charge(MsgKind::Replication);
             self.net_mut().charge_bytes(MsgKind::Replication, bytes);
+            let st = self
+                .indexing_mut()
+                .entry(dest)
+                .or_insert_with(|| IndexingState::new(cap));
+            for (term, entries) in records {
+                let before = st.list(term).len();
+                for &e in &entries {
+                    st.publish(term, e);
+                }
+                installed += if count_new {
+                    st.list(term).len() - before
+                } else {
+                    entries.len()
+                };
+            }
         }
-        moved
+        installed
     }
 
     /// Snapshot which peers hold which terms, both levels sorted so every
@@ -271,9 +343,10 @@ impl SpriteSystem {
             return 0;
         }
         let batched = self.config().batched_publish;
-        // dest replica → summed payload bytes, flushed as one message per
-        // destination after the walk (BTreeMap: deterministic flush order).
-        let mut batch: BTreeMap<u128, u64> = BTreeMap::new();
+        // dest replica → (summed payload bytes, records), flushed as one
+        // message per destination after the walk (BTreeMap: deterministic
+        // flush order).
+        let mut batch: TransferBatch = BTreeMap::new();
         let holders = self.holder_snapshot();
         let mut copied = 0;
         for (holder, terms) in holders {
@@ -313,11 +386,27 @@ impl SpriteSystem {
                 self.net_mut().absorb_stats(&delta);
                 for replica in replicas {
                     if batched {
-                        *batch.entry(replica.0).or_insert(0) += bytes;
-                    } else {
-                        self.net_mut()
-                            .charge_n(MsgKind::Replication, entries.len() as u64);
-                        self.net_mut().charge_bytes(MsgKind::Replication, bytes);
+                        let slot = batch.entry(replica.0).or_insert_with(|| (0, Vec::new()));
+                        slot.0 += bytes;
+                        slot.1.push((term, entries.clone()));
+                        continue; // installed (or lost) at flush time
+                    }
+                    // Unbatched: one delivery-gated copy per replica.
+                    let salt =
+                        sim::message_salt(holder as u64, replica.0 as u64, term.index() as u64);
+                    match self.net().plan_delivery(lookup.owner, replica, salt) {
+                        Ok((_arrival, drops)) => {
+                            if drops > 0 {
+                                self.net_mut().charge_n(MsgKind::Timeout, drops);
+                            }
+                            self.net_mut()
+                                .charge_n(MsgKind::Replication, entries.len() as u64);
+                            self.net_mut().charge_bytes(MsgKind::Replication, bytes);
+                        }
+                        Err(drops) => {
+                            self.net_mut().charge_n(MsgKind::Timeout, drops);
+                            continue; // copy lost; this replica stays stale
+                        }
                     }
                     let st = self
                         .indexing_mut()
@@ -330,10 +419,7 @@ impl SpriteSystem {
                 }
             }
         }
-        for (_dest, bytes) in batch {
-            self.net_mut().charge(MsgKind::Replication);
-            self.net_mut().charge_bytes(MsgKind::Replication, bytes);
-        }
+        copied += self.flush_transfer_batch(batch, false);
         copied
     }
 

@@ -22,10 +22,10 @@
 use std::collections::{BTreeMap, HashMap};
 
 use sprite_chord::{
-    ChordConfig, ChordNet, MsgKind, NetStats, NullTrace, Phase, TraceRecorder, TraceSink,
+    sim, ChordConfig, ChordNet, MsgKind, NetStats, NullTrace, Phase, TraceRecorder, TraceSink,
 };
 use sprite_ir::{Corpus, DocId, Hit, Query, Similarity, TermId};
-use sprite_util::{derive_rng, Md5, RingId, WireSize};
+use sprite_util::{derive_rng, EventQueue, Md5, RingId, WireSize};
 
 use crate::config::{IdfMode, SpriteConfig};
 use crate::learn;
@@ -87,16 +87,28 @@ pub struct SpriteSystem {
 
 /// Accumulator of the destination-batched publication pipeline (§5 cost
 /// reduction): per `(origin peer, destination peer, message kind)`, the
-/// record count and summed payload bytes bound for one batched message.
+/// records and summed payload bytes bound for one batched message.
 /// Records encode independently, so the batch payload is exactly the sum
 /// of the per-record wire sizes the unbatched path would have charged —
 /// batching changes message counts only, never byte totals. A `BTreeMap`
 /// keeps the flush order deterministic without an explicit sort.
+///
+/// The batch carries the *records themselves*, not just their count:
+/// since the event-driven delivery layer, installation at the indexing
+/// peer happens at flush time, gated on the batch message actually
+/// arriving — a drowned batch leaves a real hole in the index. At zero
+/// loss every slot delivers, and because [`IndexingState::publish`] is an
+/// order-independent sorted insert, deferring the installs to the flush is
+/// unobservable there.
 #[derive(Debug, Default)]
 pub(crate) struct PublishBatch {
     /// (origin, destination, kind code) → (records, payload bytes).
-    slots: BTreeMap<(u128, u128, u8), (u64, u64)>,
+    slots: BTreeMap<(u128, u128, u8), BatchSlot>,
 }
+
+/// One batched message in flight: the index records it carries and their
+/// summed payload bytes.
+type BatchSlot = (Vec<(TermId, IndexEntry)>, u64);
 
 /// Kind codes used as `PublishBatch` keys (only data-bearing bulk kinds
 /// are ever batched).
@@ -104,9 +116,20 @@ const BATCH_PUBLISH: u8 = 0;
 const BATCH_REPLICATION: u8 = 1;
 
 impl PublishBatch {
-    fn add(&mut self, origin: RingId, dest: RingId, code: u8, bytes: u64) {
-        let slot = self.slots.entry((origin.0, dest.0, code)).or_insert((0, 0));
-        slot.0 += 1;
+    fn add(
+        &mut self,
+        origin: RingId,
+        dest: RingId,
+        code: u8,
+        term: TermId,
+        entry: IndexEntry,
+        bytes: u64,
+    ) {
+        let slot = self
+            .slots
+            .entry((origin.0, dest.0, code))
+            .or_insert_with(|| (Vec::new(), 0));
+        slot.0.push((term, entry));
         slot.1 += bytes;
     }
 }
@@ -455,11 +478,13 @@ impl SpriteSystem {
     }
 
     /// The publishing core. With `batch: None`, every record is its own
-    /// message (plus its payload bytes). With a batch, routing, index
-    /// writes, and payload bytes are identical, but the message and byte
-    /// charges are deferred into the accumulator for a per-destination
-    /// flush — the index contents cannot differ because
-    /// [`IndexingState::publish`] is an order-independent sorted insert.
+    /// message (plus its payload bytes), sent through the delivery layer
+    /// immediately. With a batch, routing and payload bytes are identical,
+    /// but message charges *and index installation* are deferred into the
+    /// accumulator for a per-destination flush through the event scheduler
+    /// — at zero loss the index contents cannot differ because
+    /// [`IndexingState::publish`] is an order-independent sorted insert,
+    /// while under loss a drowned message leaves its records unindexed.
     fn publish_term_impl<T: TraceSink>(
         &mut self,
         doc: DocId,
@@ -486,20 +511,24 @@ impl SpriteSystem {
             distinct: d.distinct_terms() as u32,
         };
         let record = term_record_wire_size(term, &entry) as u64;
-        let cap = self.cfg.query_cache_capacity;
         match batch.as_deref_mut() {
-            Some(b) => b.add(owner_peer, lookup.owner, BATCH_PUBLISH, record),
+            Some(b) => b.add(owner_peer, lookup.owner, BATCH_PUBLISH, term, entry, record),
             None => {
-                self.net
-                    .charge_traced(MsgKind::IndexPublish, phase, tick, lookup.owner, sink);
-                self.net
-                    .charge_bytes_traced(MsgKind::IndexPublish, record, sink);
+                let salt = sim::message_salt(tick, key.0 as u64, u64::from(doc.0));
+                if self.send_record(
+                    owner_peer,
+                    lookup.owner,
+                    MsgKind::IndexPublish,
+                    record,
+                    salt,
+                    phase,
+                    tick,
+                    sink,
+                ) {
+                    self.install_entry(lookup.owner, term, entry);
+                }
             }
         }
-        self.indexing
-            .entry(lookup.owner.0)
-            .or_insert_with(|| IndexingState::new(cap))
-            .publish(term, entry);
         if self.cfg.replication > 1 {
             for peer in self
                 .replicas_of(key, lookup.owner, phase, tick, sink)
@@ -507,25 +536,75 @@ impl SpriteSystem {
                 .skip(1)
             {
                 match batch.as_deref_mut() {
-                    Some(b) => b.add(owner_peer, peer, BATCH_REPLICATION, record),
+                    Some(b) => b.add(owner_peer, peer, BATCH_REPLICATION, term, entry, record),
                     None => {
-                        self.net
-                            .charge_traced(MsgKind::Replication, phase, tick, peer, sink);
-                        self.net
-                            .charge_bytes_traced(MsgKind::Replication, record, sink);
+                        let salt = sim::message_salt(tick, peer.0 as u64, u64::from(doc.0));
+                        if self.send_record(
+                            owner_peer,
+                            peer,
+                            MsgKind::Replication,
+                            record,
+                            salt,
+                            phase,
+                            tick,
+                            sink,
+                        ) {
+                            self.install_entry(peer, term, entry);
+                        }
                     }
                 }
-                self.indexing
-                    .entry(peer.0)
-                    .or_insert_with(|| IndexingState::new(cap))
-                    .publish(term, entry);
             }
         }
     }
 
-    /// Flush a [`PublishBatch`]: one message per `(origin, destination,
-    /// kind)` slot carrying the summed payload bytes of its records, in
-    /// deterministic key order.
+    /// Store one index record at `peer` (order-independent sorted insert).
+    fn install_entry(&mut self, peer: RingId, term: TermId, entry: IndexEntry) {
+        let cap = self.cfg.query_cache_capacity;
+        self.indexing
+            .entry(peer.0)
+            .or_insert_with(|| IndexingState::new(cap))
+            .publish(term, entry);
+    }
+
+    /// Send one data-bearing record `origin → dest` through the delivery
+    /// layer: dropped transmissions bill real [`MsgKind::Timeout`]s, a
+    /// delivered message bills its kind plus payload bytes. Returns whether
+    /// the record arrived (the perfect default always delivers, with
+    /// charges identical to the pre-scheduler pipeline).
+    #[allow(clippy::too_many_arguments)]
+    fn send_record<T: TraceSink>(
+        &mut self,
+        origin: RingId,
+        dest: RingId,
+        kind: MsgKind,
+        bytes: u64,
+        salt: u64,
+        phase: Phase,
+        tick: u64,
+        sink: &mut T,
+    ) -> bool {
+        let (drops, delivered) = match self.net.plan_delivery(origin, dest, salt) {
+            Ok((_arrival, drops)) => (drops, true),
+            Err(drops) => (drops, false),
+        };
+        if drops > 0 {
+            self.net
+                .charge_n_traced(MsgKind::Timeout, phase, tick, dest, drops, sink);
+        }
+        if delivered {
+            self.net.charge_traced(kind, phase, tick, dest, sink);
+            self.net.charge_bytes_traced(kind, bytes, sink);
+        }
+        delivered
+    }
+
+    /// Flush a [`PublishBatch`] through the event scheduler: each
+    /// `(origin, destination, kind)` slot becomes one in-flight message
+    /// scheduled at its modeled arrival time and processed in `(time, seq)`
+    /// order. At zero latency every arrival is `t = 0` and pop order is
+    /// push (slot-key) order — exactly the lockstep flush this replaced.
+    /// A drowned slot bills only its retransmission timeouts: its records
+    /// are never installed, so the index genuinely loses them.
     fn flush_publish_batch<T: TraceSink>(
         &mut self,
         batch: PublishBatch,
@@ -533,15 +612,35 @@ impl SpriteSystem {
         tick: u64,
         sink: &mut T,
     ) {
-        for ((_origin, dest, code), (_records, bytes)) in batch.slots {
+        let mut queue = EventQueue::new();
+        for ((origin, dest, code), (records, bytes)) in batch.slots {
+            let salt = sim::message_salt(tick, dest as u64 ^ (dest >> 64) as u64, u64::from(code));
+            let (arrival, drops, delivered) =
+                match self.net.plan_delivery(RingId(origin), RingId(dest), salt) {
+                    Ok((arrival, drops)) => (arrival, drops, true),
+                    Err(drops) => (0, drops, false),
+                };
+            queue.push(arrival, (dest, code, records, bytes, drops, delivered));
+        }
+        while let Some((_, (dest, code, records, bytes, drops, delivered))) = queue.pop() {
             let kind = if code == BATCH_PUBLISH {
                 MsgKind::IndexPublish
             } else {
                 MsgKind::Replication
             };
+            if drops > 0 {
+                self.net
+                    .charge_n_traced(MsgKind::Timeout, phase, tick, RingId(dest), drops, sink);
+            }
+            if !delivered {
+                continue; // the batch drowned; its records never arrive
+            }
             self.net
                 .charge_traced(kind, phase, tick, RingId(dest), sink);
             self.net.charge_bytes_traced(kind, bytes, sink);
+            for (term, entry) in records {
+                self.install_entry(RingId(dest), term, entry);
+            }
         }
     }
 

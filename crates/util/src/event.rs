@@ -1,0 +1,147 @@
+//! Deterministic discrete-event queue.
+//!
+//! The event-driven delivery layer (DESIGN.md §13) schedules every in-flight
+//! message at its modeled arrival time and processes arrivals in time order.
+//! Determinism demands a total order even among simultaneous events, so the
+//! queue is keyed `(time, seq)` where `seq` is a monotonically increasing
+//! push counter: ties in `time` always pop in push order. In the degenerate
+//! zero-latency configuration every event arrives at `time == 0` and the
+//! queue collapses to FIFO — exactly the lockstep execution it replaces,
+//! which is what makes the bit-identity audit of the perfect-network default
+//! possible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One scheduled event: ordering ignores the payload entirely.
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    time: u64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Binary-heap event queue with deterministic `(time, seq)` ordering.
+///
+/// `pop` yields events in nondecreasing `time`; events pushed with equal
+/// times come out in push order. The sequence counter is internal, so two
+/// queues fed the same `(time, payload)` stream always drain identically.
+#[derive(Clone, Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Fresh, empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at `time`.
+    pub fn push(&mut self, time: u64, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, payload }));
+    }
+
+    /// Remove and return the earliest event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.payload))
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_pop_in_push_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(7, i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn zero_latency_collapses_to_fifo() {
+        // The bit-identity contract: all-zero times reproduce push order.
+        let mut q = EventQueue::new();
+        let items = ["pub", "rep", "pub", "fetch", "rep"];
+        for &it in &items {
+            q.push(0, it);
+        }
+        let drained: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(drained, items);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_total_order() {
+        let mut q = EventQueue::new();
+        q.push(5, 'x');
+        q.push(1, 'y');
+        assert_eq!(q.pop(), Some((1, 'y')));
+        q.push(1, 'z'); // earlier than the pending (5, 'x')
+        assert_eq!(q.pop(), Some((1, 'z')));
+        assert_eq!(q.pop(), Some((5, 'x')));
+    }
+}

@@ -20,7 +20,9 @@
 //!   aggregation primitive of the observability layer;
 //! * [`codec`] — the dependency-free wire codec (LEB128 varints, zig-zag,
 //!   delta-encoded gap lists) and the [`WireSize`] trait behind the
-//!   byte-accurate network accounting.
+//!   byte-accurate network accounting;
+//! * [`event`] — the `(time, seq)`-keyed discrete-event queue behind the
+//!   event-driven message delivery layer.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -28,6 +30,7 @@
 #![warn(clippy::all)]
 
 pub mod codec;
+pub mod event;
 pub mod hist;
 pub mod id;
 pub mod md5;
@@ -41,6 +44,7 @@ pub use codec::{
     decode_gap_list, decode_varint, encode_gap_list, encode_varint, gap_list_len, unzigzag,
     varint_len, zigzag, CodecError, WireSize, MAX_VARINT_LEN,
 };
+pub use event::EventQueue;
 pub use hist::Histogram;
 pub use id::{RingId, ID_BITS};
 pub use md5::{md5, md5_u128, Digest, Md5};

@@ -130,7 +130,7 @@ pub fn percentile(sample: &[f64], p: f64) -> f64 {
         return f64::NAN;
     }
     let mut v = sample.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v.sort_by(f64::total_cmp);
     let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
     v[rank.clamp(1, v.len()) - 1]
 }
@@ -193,5 +193,17 @@ mod tests {
         assert_eq!(percentile(&v, 100.0), 100.0);
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn percentile_is_nan_robust() {
+        // `total_cmp` sends NaN samples to the top of the sort instead of
+        // leaving them scattered wherever `partial_cmp(..).unwrap_or(Equal)`
+        // happened to strand them, so finite percentiles stay meaningful.
+        let v = [f64::NAN, 3.0, 1.0, f64::NAN, 2.0];
+        assert_eq!(percentile(&v, 20.0), 1.0);
+        assert_eq!(percentile(&v, 40.0), 2.0);
+        assert_eq!(percentile(&v, 60.0), 3.0);
+        assert!(percentile(&v, 100.0).is_nan());
     }
 }

@@ -55,10 +55,14 @@ impl Zipf {
         self.cdf.len()
     }
 
-    /// True if the domain is the single rank 0.
+    /// True if the domain holds no ranks.
+    ///
+    /// [`Zipf::new`] rejects `n == 0`, so this is `false` for every sampler
+    /// it returns — but the answer is derived from the stored CDF rather
+    /// than hardcoded, so `len()` and `is_empty()` can never disagree.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        false // domain is never empty by construction
+        self.cdf.is_empty()
     }
 
     /// Draw a 0-based rank (0 is the most popular).
@@ -121,6 +125,16 @@ mod tests {
                 z.pmf(k)
             );
         }
+    }
+
+    #[test]
+    fn len_and_is_empty_agree() {
+        let z = Zipf::new(3, 0.5);
+        assert_eq!(z.len(), 3);
+        assert!(!z.is_empty());
+        let single = Zipf::new(1, 0.0);
+        assert_eq!(single.len(), 1);
+        assert!(!single.is_empty());
     }
 
     #[test]
