@@ -11,7 +11,8 @@
 //! nondeterminism to the subsystem that stage exercised.
 
 use sprite_chord::{
-    ChordNet, ChurnConfig, ChurnEngine, MsgKind, NetStats, Phase, SimConfig, TraceRecorder,
+    ChordConfig, ChordNet, ChurnConfig, ChurnEngine, MsgKind, NetStats, Phase, SimConfig,
+    StorageBackend, TraceRecorder,
 };
 use sprite_core::{RankScratch, SpriteConfig, SpriteSystem};
 use sprite_corpus::{CorpusConfig, SyntheticCorpus};
@@ -84,7 +85,7 @@ pub fn fingerprint_index(sys: &SpriteSystem) -> u128 {
         terms.sort_unstable();
         for t in terms {
             feed_u64(&mut h, u64::from(t.0));
-            for e in st.list(t) {
+            for e in st.postings(t).into_iter().flatten() {
                 feed_u64(&mut h, u64::from(e.doc.0));
                 feed_u128(&mut h, e.owner.0);
                 feed_u64(&mut h, u64::from(e.tf));
@@ -484,6 +485,120 @@ pub fn audit_sim(seed: u64) -> SimAudit {
     }
 }
 
+/// Outcome of the storage-representation audit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageAudit {
+    /// The map and arena node stores produced bit-identical rings through
+    /// an identical build + churn + repair schedule.
+    pub ring_backends_match: bool,
+    /// Packed (delta-gap-compressed) and plain posting lists produced
+    /// bit-identical index fingerprints through publish, replication,
+    /// learning, and hand-over.
+    pub index_packing_match: bool,
+    /// Ranked lists and billed stats are bit-identical across the two
+    /// posting representations.
+    pub results_match: bool,
+    /// Two scale-tier runs (arena + packed, the defaults) from the same
+    /// seed replayed bit for bit.
+    pub replay_match: bool,
+    /// Replay fingerprint over the scale-tier run.
+    pub fingerprint: u128,
+}
+
+impl StorageAudit {
+    /// True when every clause of the representation contract holds.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.ring_backends_match
+            && self.index_packing_match
+            && self.results_match
+            && self.replay_match
+    }
+}
+
+/// Audit the scale-tier storage representations: the arena node store
+/// against the historical map, and delta-gap-compressed posting lists
+/// against the plain layout. Both swaps must be *invisible* — same ring
+/// fingerprints through an identical churn schedule, same index and
+/// ranked-list fingerprints through publish/replicate/learn/hand-over —
+/// and the scale-tier defaults must replay bit for bit from the same
+/// seed. The ≥100k-peer tier itself is exercised by the `scale` smoke
+/// runner; this audit proves the representations it relies on are exact
+/// at a speed a unit test can afford.
+#[must_use]
+pub fn audit_storage(seed: u64) -> StorageAudit {
+    // Ring side: identical build + churn + repair schedule on both
+    // backends, fingerprinted after every mutation batch.
+    let ring_fp = |backend: StorageBackend| {
+        let cfg = ChordConfig {
+            backend,
+            ..ChordConfig::default()
+        };
+        let mut net = ChordNet::with_random_nodes(cfg, 96, seed);
+        let ids = net.node_ids();
+        let mut h = Md5::new();
+        feed_u128(&mut h, fingerprint_ring(&net));
+        for id in ids.iter().step_by(11) {
+            net.fail(*id).expect("listed node is alive");
+        }
+        net.converge(64);
+        feed_u128(&mut h, fingerprint_ring(&net));
+        for i in 0..8u64 {
+            let id =
+                sprite_util::RingId::hash_bytes(format!("storage-audit-{seed}-{i}").as_bytes());
+            let bootstrap = net.node_ids()[0];
+            net.join(id, bootstrap).expect("bootstrap is alive");
+        }
+        net.converge(64);
+        feed_u128(&mut h, fingerprint_ring(&net));
+        h.finalize().as_u128()
+    };
+    let ring_map = ring_fp(StorageBackend::Map);
+    let ring_arena = ring_fp(StorageBackend::Arena);
+
+    // Index side: one full deployment per posting representation, through
+    // every path that touches a posting list — publish, replication,
+    // learning, abrupt failure with hand-over/repair — then queries.
+    let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(seed));
+    let queries: Vec<Query> = sc
+        .seed_queries()
+        .iter()
+        .take(8)
+        .map(|s| s.query.clone())
+        .collect();
+    let run = |packed: bool| -> (u128, u128) {
+        let cfg = SpriteConfig {
+            replication: 2,
+            packed_postings: packed,
+            ..SpriteConfig::default()
+        };
+        let mut sys = SpriteSystem::build(sc.corpus().clone(), 24, cfg, seed);
+        sys.publish_all();
+        sys.replicate_indexes();
+        sys.learning_iteration();
+        sys.fail_random_peers(2, seed.wrapping_add(1));
+        (
+            fingerprint_index(&sys),
+            parallel_results_fingerprint(&mut sys, &queries, 4),
+        )
+    };
+    let packed_a = run(true);
+    let plain = run(false);
+    let packed_b = run(true);
+
+    let mut h = Md5::new();
+    for fp in [ring_map, ring_arena, packed_a.0, packed_a.1] {
+        feed_u128(&mut h, fp);
+    }
+    StorageAudit {
+        ring_backends_match: ring_map == ring_arena,
+        index_packing_match: packed_a.0 == plain.0,
+        results_match: packed_a.1 == plain.1,
+        replay_match: packed_a == packed_b,
+        fingerprint: h.finalize().as_u128(),
+    }
+}
+
 /// Run the reference experiment once, fingerprinting after every stage.
 ///
 /// The experiment is deliberately small (a tiny corpus on 24 peers) but
@@ -583,6 +698,12 @@ pub fn run_trace(seed: u64) -> Trace {
     // diverge here.
     stages.push(("sim/loss", audit_sim(seed).fingerprint));
 
+    // Sixteenth stage: the scale-tier storage representations. The arena
+    // node store must mirror the map through churn, compressed postings
+    // must fingerprint identically to plain through every index-mutating
+    // path, and the scale-tier defaults must replay bit for bit.
+    stages.push(("storage/packed", audit_storage(seed).fingerprint));
+
     Trace { stages }
 }
 
@@ -629,11 +750,16 @@ pub fn audit_determinism(seed: u64) -> DeterminismReport {
     // The delivery-layer contract too: perfect ⇒ bit-identical to the
     // default run, lossy ⇒ deterministic drops billed as real timeouts.
     let sim_divergence = (!audit_sim(seed).passed()).then_some("sim/loss");
+    // The storage contract likewise: a backend or posting-representation
+    // swap that is visible anywhere fails the audit even when both
+    // replays agree with each other.
+    let storage_divergence = (!audit_storage(seed).passed()).then_some("storage/packed");
     let first_divergence = replay_divergence
         .or(batched_divergence)
         .or(tracing_divergence)
         .or(batching_divergence)
-        .or(sim_divergence);
+        .or(sim_divergence)
+        .or(storage_divergence);
     DeterminismReport {
         passed: first_divergence.is_none(),
         first_divergence,
@@ -653,7 +779,25 @@ mod tests {
             "first divergent stage: {:?}",
             report.first_divergence
         );
-        assert_eq!(report.stages, 15);
+        assert_eq!(report.stages, 16);
+    }
+
+    #[test]
+    fn storage_audit_upholds_the_representation_contract() {
+        let audit = audit_storage(2026);
+        assert!(
+            audit.ring_backends_match,
+            "the arena node store diverged from the map through churn"
+        );
+        assert!(
+            audit.index_packing_match,
+            "compressed postings fingerprint differently from plain"
+        );
+        assert!(
+            audit.results_match,
+            "the posting representation leaked into ranked lists or stats"
+        );
+        assert!(audit.replay_match, "scale-tier replay diverged");
     }
 
     #[test]

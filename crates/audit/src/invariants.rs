@@ -332,7 +332,7 @@ pub fn check_index(sys: &SpriteSystem) -> Vec<Violation> {
         let mut terms: Vec<TermId> = st.terms().map(|(t, _)| t).collect();
         terms.sort_unstable();
         for term in terms {
-            let list = st.list(term);
+            let list = st.entries(term);
             for pair in list.windows(2) {
                 if pair[1].doc == pair[0].doc {
                     out.push(Violation::DuplicatePosting {
@@ -346,7 +346,7 @@ pub fn check_index(sys: &SpriteSystem) -> Vec<Violation> {
                 }
             }
             let df = list.len();
-            for e in list {
+            for e in &list {
                 let d = sys.corpus().doc(e.doc);
                 if e.tf != d.freq(term)
                     || e.doc_len != d.len()
@@ -408,7 +408,7 @@ pub fn check_index(sys: &SpriteSystem) -> Vec<Violation> {
             };
             let indexed = sys
                 .indexing_state(peer)
-                .is_some_and(|st| st.list(t).iter().any(|e| e.doc == doc));
+                .is_some_and(|st| st.postings(t).into_iter().flatten().any(|e| e.doc == doc));
             if !indexed {
                 out.push(Violation::PublishedButUnindexed { doc, term: t, peer });
             }

@@ -19,6 +19,15 @@
 //!   model's per-link fate) only inside the delivery layer
 //!   (`crates/chord/src/{sim,ring}.rs`); everyone else plans transmissions
 //!   through `ChordNet::plan_delivery` so drops bill real timeouts.
+//! * **postings-codec** — `PostingList::{Plain,Packed}` variants may only
+//!   be constructed inside the codec-backed postings module
+//!   (`crates/core/src/postings.rs`); everyone else builds lists through
+//!   `PostingList::new`/`from_entries`/`publish`, which uphold the
+//!   doc-sorted delta-gap invariants the decode-on-read iterators rely
+//!   on. The companion semantic check bans *storing* an inverted index
+//!   raw: no struct field may pair `TermId` with `IndexEntry` (the
+//!   pre-codec `HashMap<TermId, Vec<IndexEntry>>` layout) — index
+//!   storage goes through `PostingList`.
 //!
 //! Semantic rules (over the workspace call graph; see DESIGN.md §11):
 //!
@@ -125,6 +134,11 @@ const SIM_PREFIXES: &[&str] = &[
 
 /// The one module allowed to touch raw threading primitives.
 const POOL_MODULE: &str = "crates/util/src/pool.rs";
+
+/// The codec-backed postings module: the only place allowed to construct
+/// `PostingList` variants directly (everyone else goes through the
+/// constructors, which uphold the delta-gap encoding invariants).
+const POSTINGS_MODULE: &str = "crates/core/src/postings.rs";
 
 /// The message-accounting layer itself: the files that *implement* billing
 /// and are therefore allowed to touch the raw `NetStats` mutators.
@@ -433,6 +447,20 @@ fn token_rules(f: &FileModel, out: &mut Vec<Diagnostic>) {
                 ),
             ));
         }
+        if t == "PostingList" && next == "::" && i + 2 < n && rel != POSTINGS_MODULE {
+            let variant = text(i + 2);
+            if variant == "Plain" || variant == "Packed" {
+                out.push(diag(
+                    line,
+                    "postings-codec",
+                    format!(
+                        "PostingList::{variant} constructed outside {POSTINGS_MODULE}; build \
+                         posting lists through PostingList::new/from_entries/publish so the \
+                         delta-gap encoding invariants hold"
+                    ),
+                ));
+            }
+        }
         if t == "thread" && next == "::" && i + 2 < n && rel != POOL_MODULE {
             let what = text(i + 2);
             if what == "spawn" || what == "scope" {
@@ -550,6 +578,41 @@ fn semantic_rules(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     variant_coverage(ws, out);
     hashmap_order(ws, out);
     config_drift(ws, out);
+    raw_posting_storage(ws, out);
+}
+
+/// No struct field outside the postings module may store an inverted
+/// index raw: a field whose type pairs `TermId` with `IndexEntry` is the
+/// pre-codec `HashMap<TermId, Vec<IndexEntry>>` layout resurfacing.
+/// Transient snapshots (locals, return values) are fine — only durable
+/// storage must go through `PostingList`.
+fn raw_posting_storage(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for f in &ws.files {
+        if is_exempt_dir(&f.rel) || f.rel == POSTINGS_MODULE {
+            continue;
+        }
+        for s in &f.structs {
+            if s.in_test {
+                continue;
+            }
+            for field in &s.fields {
+                let has = |ident: &str| field.type_idents.iter().any(|t| t == ident);
+                if has("TermId") && has("IndexEntry") {
+                    out.push(Diagnostic {
+                        file: f.rel.clone(),
+                        line: field.line,
+                        rule: "postings-codec",
+                        message: format!(
+                            "field `{}` of `{}` stores postings as raw TermId → IndexEntry \
+                             containers; store a PostingList from {POSTINGS_MODULE} so the \
+                             index stays delta-gap compressed",
+                            field.name, s.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
 }
 
 /// Every `MsgKind` variant needs ≥ 1 billing site workspace-wide.

@@ -39,7 +39,7 @@ fn populated_list(sys: &SpriteSystem, min_len: usize) -> (RingId, TermId, Vec<In
         let st = sys.indexing_state(peer).expect("listed peer indexes");
         for (term, list) in st.terms() {
             if list.len() >= min_len {
-                return (peer, term, list.to_vec());
+                return (peer, term, list.to_entries());
             }
         }
     }

@@ -1,0 +1,145 @@
+//! Dual-backend equivalence: the arena node store and the historical map
+//! must be indistinguishable from above the ring. Every test here runs
+//! the same schedule against both backends and holds them to identical
+//! ring-invariant verdicts and bit-identical fingerprints — the swap is
+//! a memory-layout change, never a behavior change.
+
+use sprite_audit::determinism::{fingerprint_index, fingerprint_ring, fingerprint_stats};
+use sprite_audit::invariants::check_ring;
+use sprite_chord::{ChordConfig, ChordNet, ChurnConfig, ChurnEngine, StorageBackend};
+use sprite_core::{SpriteConfig, SpriteSystem};
+use sprite_corpus::{CorpusConfig, SyntheticCorpus};
+use sprite_util::RingId;
+
+const BACKENDS: [StorageBackend; 2] = [StorageBackend::Map, StorageBackend::Arena];
+
+fn net_with(backend: StorageBackend, n: usize, seed: u64) -> ChordNet {
+    let cfg = ChordConfig {
+        backend,
+        ..ChordConfig::default()
+    };
+    ChordNet::with_random_nodes(cfg, n, seed)
+}
+
+#[test]
+fn ring_invariants_hold_on_both_backends() {
+    for backend in BACKENDS {
+        for n in [1usize, 2, 8, 64] {
+            let net = net_with(backend, n, 9);
+            assert_eq!(
+                check_ring(&net),
+                Vec::new(),
+                "healthy {backend:?} ring of {n} must satisfy every invariant"
+            );
+        }
+    }
+}
+
+#[test]
+fn churn_schedule_is_bit_identical_across_backends() {
+    // The same join/fail/leave/repair schedule on both backends, with the
+    // invariant checker run and the ring fingerprinted after every batch.
+    let run = |backend: StorageBackend| -> Vec<u128> {
+        let mut net = net_with(backend, 48, 17);
+        let mut fps = vec![fingerprint_ring(&net)];
+        let ids = net.node_ids();
+        for id in ids.iter().step_by(7) {
+            net.fail(*id).expect("listed node is alive");
+        }
+        net.converge(64);
+        assert_eq!(check_ring(&net), Vec::new(), "{backend:?} after failures");
+        fps.push(fingerprint_ring(&net));
+        for i in 0..6u64 {
+            let id = RingId::hash_bytes(format!("dual-backend-join-{i}").as_bytes());
+            let bootstrap = net.node_ids()[0];
+            net.join(id, bootstrap).expect("bootstrap is alive");
+        }
+        net.converge(64);
+        assert_eq!(check_ring(&net), Vec::new(), "{backend:?} after joins");
+        fps.push(fingerprint_ring(&net));
+        let victim = net.node_ids()[3];
+        net.leave(victim).expect("listed node is alive");
+        net.converge(64);
+        assert_eq!(check_ring(&net), Vec::new(), "{backend:?} after a leave");
+        fps.push(fingerprint_ring(&net));
+        fps
+    };
+    assert_eq!(
+        run(StorageBackend::Map),
+        run(StorageBackend::Arena),
+        "the storage backend leaked into ring state"
+    );
+}
+
+#[test]
+fn engine_driven_churn_is_bit_identical_across_backends() {
+    // Continuous engine-driven churn (the e2e churn path): same seed, same
+    // tick count, both backends — identical fingerprints after every tick
+    // even while the ring is deliberately unconverged.
+    let run = |backend: StorageBackend| -> Vec<u128> {
+        let mut net = net_with(backend, 32, 23);
+        let mut engine = ChurnEngine::new(ChurnConfig::default(), 24);
+        let mut fps = Vec::new();
+        for _ in 0..4 {
+            engine.tick(&mut net);
+            net.stabilize_round();
+            net.fix_fingers_round();
+            fps.push(fingerprint_ring(&net));
+        }
+        net.converge(64);
+        assert_eq!(
+            check_ring(&net),
+            Vec::new(),
+            "{backend:?} must repair after churn stops"
+        );
+        fps.push(fingerprint_ring(&net));
+        fps
+    };
+    assert_eq!(
+        run(StorageBackend::Map),
+        run(StorageBackend::Arena),
+        "engine-driven churn diverged across backends"
+    );
+}
+
+#[test]
+fn full_deployment_churn_e2e_is_bit_identical_across_backends() {
+    // The whole stack generically over the backend: build, publish,
+    // replicate, learn, fail peers (hand-over + repair), query — index,
+    // ring, and billed stats must fingerprint identically.
+    let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(31));
+    let queries: Vec<sprite_ir::Query> = sc
+        .seed_queries()
+        .iter()
+        .take(6)
+        .map(|s| s.query.clone())
+        .collect();
+    let run = |backend: StorageBackend| -> (u128, u128, u128, Vec<Vec<u32>>) {
+        let cfg = SpriteConfig {
+            replication: 3,
+            ..SpriteConfig::default()
+        };
+        let mut sys = SpriteSystem::build_with_backend(sc.corpus().clone(), 32, cfg, 31, backend);
+        sys.publish_all();
+        sys.replicate_indexes();
+        sys.learning_iteration();
+        sys.fail_random_peers(6, 2);
+        sys.maintenance_round();
+        let answers: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|q| sys.issue_query(q, 20).iter().map(|h| h.doc.0).collect())
+            .collect();
+        (
+            fingerprint_ring(sys.net()),
+            fingerprint_index(&sys),
+            fingerprint_stats(sys.net().stats()),
+            answers,
+        )
+    };
+    let map = run(StorageBackend::Map);
+    let arena = run(StorageBackend::Arena);
+    assert_eq!(map.0, arena.0, "ring fingerprints diverged");
+    assert_eq!(map.1, arena.1, "index fingerprints diverged");
+    assert_eq!(map.2, arena.2, "billed stats diverged");
+    assert_eq!(map.3, arena.3, "ranked answers diverged");
+}

@@ -308,6 +308,75 @@ mod tests {
 }
 
 // ---------------------------------------------------------------------
+// postings-codec
+// ---------------------------------------------------------------------
+
+/// Variant construction is the codec module's privilege: `Plain`/`Packed`
+/// built anywhere else is flagged, while the same spellings inside
+/// `crates/core/src/postings.rs`, in test tails, and in exempt dirs pass —
+/// as do calls to the sanctioned constructors.
+#[test]
+fn postings_codec_confines_variant_construction_to_the_module() {
+    let offender = "\
+pub fn sneak() -> PostingList { PostingList::Plain(Vec::new()) }
+pub fn sneak_packed() -> PostingList {
+    PostingList::Packed { bytes: Vec::new(), count: 0, last_doc: 0 }
+}
+pub fn sanctioned() -> PostingList { PostingList::from_entries(Vec::new(), true) }
+#[cfg(test)]
+mod tests {
+    fn t() -> PostingList { PostingList::Plain(Vec::new()) }
+}
+";
+    let module = "\
+pub fn build() -> PostingList { PostingList::Plain(Vec::new()) }
+";
+    let diags = run(&[
+        ("crates/core/src/elsewhere.rs", offender),
+        ("crates/core/src/postings.rs", module),
+        ("crates/audit/tests/fixture.rs", offender),
+    ]);
+    assert_eq!(
+        lines(&diags),
+        [(1, "postings-codec"), (3, "postings-codec")]
+    );
+    assert!(diags[0].message.contains("from_entries"));
+}
+
+/// Storing an inverted index as raw `TermId → IndexEntry` containers (the
+/// pre-codec layout) is flagged at the field; `PostingList`-typed storage
+/// and transient `Vec<IndexEntry>` snapshots (locals, returns) pass.
+#[test]
+fn postings_codec_bans_raw_index_storage_fields() {
+    let src = "\
+pub struct OldLayout {
+    inverted: HashMap<TermId, Vec<IndexEntry>>,
+}
+pub struct NewLayout {
+    inverted: HashMap<TermId, PostingList>,
+}
+pub fn snapshot(term: TermId) -> Vec<IndexEntry> { Vec::new() }
+";
+    let diags = run(&[("crates/core/src/storage.rs", src)]);
+    assert_eq!(lines(&diags), [(2, "postings-codec")]);
+    assert!(diags[0].message.contains("OldLayout"));
+    // The same field inside the codec module itself is fine.
+    let diags = run(&[("crates/core/src/postings.rs", src)]);
+    assert_eq!(lines(&diags), []);
+}
+
+/// The per-rule allow marker works for postings-codec like any other rule.
+#[test]
+fn postings_codec_respects_allow_markers() {
+    let src = "\
+pub fn a() -> PostingList { PostingList::Plain(Vec::new()) } // sprite-lint: allow(postings-codec): fixture demo
+pub fn b() -> PostingList { PostingList::Plain(Vec::new()) }
+";
+    let diags = run(&[("crates/core/src/fx.rs", src)]);
+    assert_eq!(lines(&diags), [(2, "postings-codec")]);
+}
+
+// ---------------------------------------------------------------------
 // Output shape
 // ---------------------------------------------------------------------
 

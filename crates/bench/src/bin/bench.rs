@@ -193,6 +193,26 @@ fn main() {
     eprintln!("# loss figure: {loss_ms} ms");
 
     // ------------------------------------------------------------------
+    // The memory footprint the scale tier optimizes: logical bytes of
+    // routing state and compressed postings, per peer. Byte counts are
+    // deterministic and gated exactly by `--bin gate`; the build time is
+    // advisory.
+    // ------------------------------------------------------------------
+    let memory = sprite_bench::metrics::collect_memory(&world);
+    eprintln!(
+        "# memory: {} peers ({} backend), {} B/peer — ring {} B, index {} B \
+         (plain {} B, {:.2}x), built in {} ms",
+        memory.peers,
+        memory.backend,
+        memory.bytes_per_peer,
+        memory.ring_bytes,
+        memory.index_bytes,
+        memory.plain_index_bytes,
+        memory.index_compression_ratio,
+        memory.build_ms
+    );
+
+    // ------------------------------------------------------------------
     // Micro timings.
     // ------------------------------------------------------------------
     let payload = vec![0xabu8; 65536];
@@ -326,6 +346,12 @@ fn main() {
         1,
         "loss",
         &sprite_bench::metrics::loss_json(&loss, 1),
+        false,
+    );
+    j.field(
+        1,
+        "memory",
+        &sprite_bench::metrics::memory_json(&memory, 1),
         false,
     );
     j.open(1, "micro_ns");

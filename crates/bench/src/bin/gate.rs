@@ -12,7 +12,9 @@
 //! `THROUGHPUT_TOLERANCE` regression band (improvements always pass).
 //! Finally it replays the `loss` sweep and diffs it point for point —
 //! ratios within `RATIO_TOLERANCE`, timeout counts exact — also checking
-//! that every lossy point billed a nonzero timeout count.
+//! that every lossy point billed a nonzero timeout count, and re-accounts
+//! the `memory` object (logical bytes per peer exact to the byte; the
+//! build time advisory).
 //! Exits 0 when clean, 1 with one readable line per lint violation or
 //! divergence when not, 2 when the baseline is missing, unparseable, or
 //! was generated at a different scale.
@@ -27,8 +29,8 @@ use std::process::ExitCode;
 
 use sprite_bench::json::{self, JsonValue};
 use sprite_bench::metrics::{
-    collect_loss, collect_metrics, compare_against_baseline, compare_loss, compare_throughput,
-    measure_throughput,
+    collect_loss, collect_memory, collect_metrics, compare_against_baseline, compare_loss,
+    compare_memory, compare_throughput, measure_throughput,
 };
 
 fn main() -> ExitCode {
@@ -128,6 +130,14 @@ fn main() -> ExitCode {
         loss.points.len()
     );
     diffs.extend(compare_loss(&loss, &baseline));
+    // Re-account the memory footprint: logical byte counts are exact
+    // (bytes-per-peer to the byte); the build time is advisory.
+    let memory = collect_memory(&world);
+    eprintln!(
+        "# gate: memory {} B/peer over {} peers ({} backend, packed: {})",
+        memory.bytes_per_peer, memory.peers, memory.backend, memory.packed_postings
+    );
+    diffs.extend(compare_memory(&memory, &baseline));
     if diffs.is_empty() {
         println!(
             "gate: metrics and throughput match the committed baseline ({} queries, {} traced \

@@ -7,7 +7,10 @@
 //! * `full` (default) — the DESIGN.md default scale (8,000 documents,
 //!   63 seed queries → 630 generated queries, 64 peers);
 //! * `small` — integration-test scale (runs in seconds);
-//! * `tiny` — smoke-test scale (sub-second).
+//! * `tiny` — smoke-test scale (sub-second);
+//! * `huge` — the 100,000-peer population-scale tier (the `--bin scale`
+//!   smoke runner and the nightly CI job; needs the arena node store
+//!   and compressed postings to fit a runner).
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -23,6 +26,7 @@ pub fn world_config_from_env(seed: u64) -> WorldConfig {
     match std::env::var("SPRITE_SCALE").as_deref() {
         Ok("tiny") => WorldConfig::tiny(seed),
         Ok("small") => WorldConfig::small(seed),
+        Ok("huge") => WorldConfig::huge(seed),
         _ => WorldConfig {
             seed,
             ..WorldConfig::default()

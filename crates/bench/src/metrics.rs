@@ -21,8 +21,8 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use sprite_chord::{MsgKind, Phase, TraceRecorder};
-use sprite_core::{loss_figure, LossFigure, SpriteConfig, World};
+use sprite_chord::{MsgKind, Phase, StorageBackend, TraceRecorder};
+use sprite_core::{loss_figure, LossFigure, SpriteConfig, SpriteSystem, World};
 use sprite_corpus::Schedule;
 use sprite_util::{override_threads, Histogram};
 
@@ -776,6 +776,173 @@ pub fn compare_loss(current: &LossFigure, baseline: &JsonValue) -> Vec<String> {
     diffs
 }
 
+/// The deterministic memory footprint of the standard deployment, plus
+/// an advisory build-time figure. Every byte count is *logical* —
+/// length-based sums over the ring's routing state and the peers' posting
+/// lists, never allocator capacity — so the numbers are pure functions of
+/// the deployment's contents and safe to gate exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Memory {
+    /// Alive peers in the deployment's ring.
+    pub peers: u64,
+    /// Node-state storage backend (`"arena"` or `"map"`).
+    pub backend: &'static str,
+    /// Whether posting lists are stored delta-gap compressed.
+    pub packed_postings: bool,
+    /// Logical bytes of all Chord routing state (ids, successor lists,
+    /// fingers, store index).
+    pub ring_bytes: u64,
+    /// Logical bytes of every peer's inverted index as stored.
+    pub index_bytes: u64,
+    /// What the same indexes would occupy uncompressed (32 bytes per
+    /// entry plus per-term keys).
+    pub plain_index_bytes: u64,
+    /// `ring_bytes + index_bytes`.
+    pub total_bytes: u64,
+    /// `total_bytes / peers`, floored — the headline scale metric.
+    pub bytes_per_peer: u64,
+    /// `plain_index_bytes / index_bytes` — > 1.0 when packing wins.
+    pub index_compression_ratio: f64,
+    /// Wall-clock milliseconds to build and train the deployment.
+    /// Machine-dependent; advisory only, never gated.
+    pub build_ms: f64,
+}
+
+/// Account a deployment's memory footprint. `build_ms` is carried through
+/// as the advisory build-time figure.
+#[must_use]
+pub fn memory_of(sys: &SpriteSystem, build_ms: f64) -> Memory {
+    let peers = sys.net().len() as u64;
+    let ring_bytes = sys.net().logical_state_bytes();
+    let index_bytes = sys.logical_index_bytes();
+    let plain_index_bytes = sys.plain_index_bytes();
+    let total_bytes = ring_bytes + index_bytes;
+    Memory {
+        peers,
+        backend: match sys.net().backend() {
+            StorageBackend::Map => "map",
+            StorageBackend::Arena => "arena",
+        },
+        packed_postings: sys.config().packed_postings,
+        ring_bytes,
+        index_bytes,
+        plain_index_bytes,
+        total_bytes,
+        bytes_per_peer: total_bytes / peers.max(1),
+        index_compression_ratio: plain_index_bytes as f64 / index_bytes.max(1) as f64,
+        build_ms,
+    }
+}
+
+/// Build the §6.2 standard deployment and account its memory footprint.
+/// Both `--bin bench` and `--bin gate` call this, so the committed object
+/// and the gate's fresh run share one code path.
+#[must_use]
+pub fn collect_memory(world: &World) -> Memory {
+    let t0 = Instant::now();
+    let sys = world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+    let build_ms = (t0.elapsed().as_secs_f64() * 10_000.0).round() / 10.0;
+    memory_of(&sys, build_ms)
+}
+
+/// Serialize a [`Memory`] as a JSON object value, same conventions as
+/// [`metrics_json`]: byte counts exact, the compression ratio at 12
+/// decimals, `build_ms` advisory.
+#[must_use]
+pub fn memory_json(m: &Memory, indent: usize) -> String {
+    let pad = "  ".repeat(indent + 1);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "{pad}\"peers\": {},", m.peers);
+    let _ = writeln!(out, "{pad}\"backend\": \"{}\",", m.backend);
+    let _ = writeln!(out, "{pad}\"packed_postings\": {},", m.packed_postings);
+    let _ = writeln!(out, "{pad}\"ring_bytes\": {},", m.ring_bytes);
+    let _ = writeln!(out, "{pad}\"index_bytes\": {},", m.index_bytes);
+    let _ = writeln!(out, "{pad}\"plain_index_bytes\": {},", m.plain_index_bytes);
+    let _ = writeln!(out, "{pad}\"total_bytes\": {},", m.total_bytes);
+    let _ = writeln!(out, "{pad}\"bytes_per_peer\": {},", m.bytes_per_peer);
+    let _ = writeln!(
+        out,
+        "{pad}\"index_compression_ratio\": {:.12},",
+        m.index_compression_ratio
+    );
+    let _ = writeln!(out, "{pad}\"build_ms\": {}", m.build_ms);
+    let _ = write!(out, "{}}}", "  ".repeat(indent));
+    out
+}
+
+/// Diff a freshly accounted [`Memory`] against the committed baseline.
+/// Byte counts, the peer count, the backend, and the packing flag are
+/// exact ([`COUNT_TOLERANCE`] is zero); the compression ratio is within
+/// [`RATIO_TOLERANCE`]; `build_ms` is machine-dependent and advisory —
+/// never compared.
+#[must_use]
+pub fn compare_memory(current: &Memory, baseline: &JsonValue) -> Vec<String> {
+    let mut diffs = Vec::new();
+    let Some(m) = baseline.get("memory") else {
+        diffs.push(
+            "memory: object missing from baseline (regenerate BENCH_experiments.json with \
+             --bin bench)"
+                .to_string(),
+        );
+        return diffs;
+    };
+    let u = |key: &str| m.get(key).and_then(JsonValue::as_u64);
+    diff_u64(&mut diffs, "memory.peers", u("peers"), current.peers);
+    match m.get("backend").and_then(JsonValue::as_str) {
+        None => diffs.push("memory.backend: missing from baseline".to_string()),
+        Some(b) if b != current.backend => diffs.push(format!(
+            "memory.backend: baseline {b}, current {}",
+            current.backend
+        )),
+        Some(_) => {}
+    }
+    match m.get("packed_postings").and_then(JsonValue::as_bool) {
+        None => diffs.push("memory.packed_postings: missing from baseline".to_string()),
+        Some(b) if b != current.packed_postings => diffs.push(format!(
+            "memory.packed_postings: baseline {b}, current {}",
+            current.packed_postings
+        )),
+        Some(_) => {}
+    }
+    diff_u64(
+        &mut diffs,
+        "memory.ring_bytes",
+        u("ring_bytes"),
+        current.ring_bytes,
+    );
+    diff_u64(
+        &mut diffs,
+        "memory.index_bytes",
+        u("index_bytes"),
+        current.index_bytes,
+    );
+    diff_u64(
+        &mut diffs,
+        "memory.plain_index_bytes",
+        u("plain_index_bytes"),
+        current.plain_index_bytes,
+    );
+    diff_u64(
+        &mut diffs,
+        "memory.total_bytes",
+        u("total_bytes"),
+        current.total_bytes,
+    );
+    diff_u64(
+        &mut diffs,
+        "memory.bytes_per_peer",
+        u("bytes_per_peer"),
+        current.bytes_per_peer,
+    );
+    diff_f64(
+        &mut diffs,
+        "memory.index_compression_ratio",
+        m.get("index_compression_ratio").and_then(JsonValue::as_f64),
+        current.index_compression_ratio,
+    );
+    diffs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -997,6 +1164,69 @@ mod tests {
         assert!(
             diffs.iter().any(|d| d.contains("not surfacing")),
             "silent lossy run not caught: {diffs:?}"
+        );
+    }
+
+    #[test]
+    fn memory_round_trips_and_gate_catches_perturbations() {
+        let world = World::build(WorldConfig::tiny(7));
+        let m = collect_memory(&world);
+        assert!(m.peers > 0 && m.ring_bytes > 0 && m.index_bytes > 0);
+        assert_eq!(m.total_bytes, m.ring_bytes + m.index_bytes);
+        assert_eq!(m.bytes_per_peer, m.total_bytes / m.peers);
+        assert_eq!(m.backend, "arena", "the scale-tier layout is the default");
+        assert!(m.packed_postings, "packing is the default");
+        assert!(
+            m.index_bytes < m.plain_index_bytes,
+            "packed postings must undercut the plain layout: {} vs {}",
+            m.index_bytes,
+            m.plain_index_bytes
+        );
+        assert!(m.index_compression_ratio > 1.0);
+        let doc = format!(
+            "{{\n  \"schema\": \"sprite-bench/v1\",\n  \"memory\": {}\n}}\n",
+            memory_json(&m, 1)
+        );
+        let baseline = json::parse(&doc).expect("serializer emits valid JSON");
+        let diffs = compare_memory(&m, &baseline);
+        assert!(diffs.is_empty(), "self-comparison must be clean: {diffs:?}");
+        // One perturbed byte count must fire; a changed build time must not.
+        let perturbed = doc
+            .replacen(
+                &format!("\"ring_bytes\": {}", m.ring_bytes),
+                &format!("\"ring_bytes\": {}", m.ring_bytes + 1),
+                1,
+            )
+            .replacen(
+                &format!("\"build_ms\": {}", m.build_ms),
+                "\"build_ms\": 999999.9",
+                1,
+            );
+        let baseline = json::parse(&perturbed).expect("perturbed document still parses");
+        let diffs = compare_memory(&m, &baseline);
+        assert!(
+            diffs.iter().any(|d| d.contains("ring_bytes")),
+            "perturbed byte count not caught: {diffs:?}"
+        );
+        assert!(
+            !diffs.iter().any(|d| d.contains("build_ms")),
+            "build time is advisory and must never gate: {diffs:?}"
+        );
+        // A missing memory object is one readable diff.
+        let empty = json::parse("{\"schema\": \"sprite-bench/v1\"}").expect("valid");
+        let diffs = compare_memory(&m, &empty);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("regenerate"));
+    }
+
+    #[test]
+    fn memory_is_reproducible_at_equal_seeds() {
+        let w1 = World::build(WorldConfig::tiny(11));
+        let w2 = World::build(WorldConfig::tiny(11));
+        let (a, b) = (collect_memory(&w1), collect_memory(&w2));
+        assert_eq!(
+            (a.ring_bytes, a.index_bytes, a.plain_index_bytes),
+            (b.ring_bytes, b.index_bytes, b.plain_index_bytes)
         );
     }
 

@@ -23,7 +23,7 @@ fn index_snapshot(sys: &SpriteSystem) -> Vec<(u128, u32, Vec<IndexEntry>)> {
         let mut terms: Vec<TermId> = st.terms().map(|(t, _)| t).collect();
         terms.sort_unstable();
         for t in terms {
-            out.push((peer.0, t.0, st.list(t).to_vec()));
+            out.push((peer.0, t.0, st.entries(t)));
         }
     }
     out

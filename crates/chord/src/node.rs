@@ -131,6 +131,18 @@ impl NodeState {
         best
     }
 
+    /// Deterministic *logical* bytes of this node's routing state: 16 per
+    /// stored ring id (the id itself, the predecessor when present, every
+    /// successor-list entry, every finger). Length-based, never capacity,
+    /// so the number depends only on the state's contents — the
+    /// memory-per-peer metric gates on it exactly.
+    #[must_use]
+    pub fn logical_bytes(&self) -> u64 {
+        let ids =
+            1 + u64::from(self.pred.is_some()) + self.succ.len() as u64 + self.fingers.len() as u64;
+        ids * 16
+    }
+
     /// Number of *distinct* peers this node references (ring-degree metric).
     #[must_use]
     pub fn distinct_neighbors(&self) -> usize {

@@ -23,7 +23,10 @@ use sprite_util::{derive_rng, RingId, ID_BITS};
 use crate::node::NodeState;
 use crate::sim::{self, SimConfig};
 use crate::stats::{MsgKind, NetStats};
+use crate::store::NodeStore;
 use crate::trace::{self, Event, Phase, TraceSink};
+
+pub use crate::store::StorageBackend;
 
 /// Simulator configuration.
 #[derive(Clone, Debug)]
@@ -33,6 +36,10 @@ pub struct ChordConfig {
     pub succ_list_len: usize,
     /// Safety bound on routing steps before a lookup aborts. Default 512.
     pub max_lookup_hops: u32,
+    /// Node-state storage layout (default the dense arena). Bit-exact
+    /// either way — the map backend exists so audits and tests can prove
+    /// that equivalence.
+    pub backend: StorageBackend,
 }
 
 impl Default for ChordConfig {
@@ -40,6 +47,7 @@ impl Default for ChordConfig {
         ChordConfig {
             succ_list_len: 8,
             max_lookup_hops: 512,
+            backend: StorageBackend::Arena,
         }
     }
 }
@@ -201,7 +209,7 @@ impl RouteMemo {
 #[derive(Clone, Debug)]
 pub struct ChordNet {
     cfg: ChordConfig,
-    nodes: HashMap<u128, NodeState>,
+    nodes: NodeStore,
     /// Sorted alive identifiers (oracle for ideal construction and tests;
     /// never consulted during routing).
     sorted: BTreeSet<u128>,
@@ -215,9 +223,10 @@ impl ChordNet {
     /// An empty network.
     #[must_use]
     pub fn new(cfg: ChordConfig) -> Self {
+        let nodes = NodeStore::new(cfg.backend);
         ChordNet {
             cfg,
-            nodes: HashMap::new(),
+            nodes,
             sorted: BTreeSet::new(),
             stats: NetStats::new(),
             sim: SimConfig::default(),
@@ -303,13 +312,13 @@ impl ChordNet {
     /// Is `id` an alive node?
     #[must_use]
     pub fn contains(&self, id: RingId) -> bool {
-        self.nodes.contains_key(&id.0)
+        self.nodes.contains(id.0)
     }
 
     /// Routing state of a node, if alive.
     #[must_use]
     pub fn node(&self, id: RingId) -> Option<&NodeState> {
-        self.nodes.get(&id.0)
+        self.nodes.get(id.0)
     }
 
     /// Mutable routing state of a node — **corruption injection** for
@@ -318,13 +327,28 @@ impl ChordNet {
     /// (a wrong finger, a dropped successor) and assert the checkers
     /// detect them.
     pub fn node_mut(&mut self, id: RingId) -> Option<&mut NodeState> {
-        self.nodes.get_mut(&id.0)
+        self.nodes.get_mut(id.0)
     }
 
     /// Alive node identifiers in ring order.
     #[must_use]
     pub fn node_ids(&self) -> Vec<RingId> {
         self.sorted.iter().map(|&v| RingId(v)).collect()
+    }
+
+    /// The active node-state storage backend.
+    #[must_use]
+    pub fn backend(&self) -> StorageBackend {
+        self.nodes.backend()
+    }
+
+    /// Deterministic logical bytes of all stored routing state (see
+    /// `NodeStore::logical_bytes`): length-based accounting of every ring
+    /// id a node keeps, plus per-slot index cost. The memory-per-peer
+    /// bench metric divides this by [`Self::len`] and gates it exactly.
+    #[must_use]
+    pub fn logical_state_bytes(&self) -> u64 {
+        self.nodes.logical_bytes()
     }
 
     /// Message counters.
@@ -429,7 +453,7 @@ impl ChordNet {
             let fingers: Vec<RingId> = (0..ID_BITS)
                 .map(|k| self.oracle_owner(id.finger_start(k)).expect("non-empty"))
                 .collect();
-            let node = self.nodes.get_mut(&idv).expect("id from sorted set");
+            let node = self.nodes.get_mut(idv).expect("id from sorted set");
             node.succ = succ;
             node.pred = Some(pred);
             node.fingers = fingers;
@@ -467,7 +491,7 @@ impl ChordNet {
         // (one notify message).
         self.stats.record_n(MsgKind::Maintenance, 2);
         let (succ_list, succ_pred) = {
-            let s = &self.nodes[&succ.0];
+            let s = self.nodes.alive(succ.0);
             (s.successor_list().to_vec(), s.predecessor())
         };
         let mut node = NodeState::joining(id, succ, self.cfg.succ_list_len);
@@ -486,7 +510,7 @@ impl ChordNet {
         self.nodes.insert(id.0, node);
         self.sorted.insert(id.0);
         // Notify the successor that we now precede it.
-        let s = self.nodes.get_mut(&succ.0).expect("successor is alive");
+        let s = self.nodes.get_mut(succ.0).expect("successor is alive");
         match s.pred {
             Some(p) if p != id && self.sorted.contains(&p.0) && !id.in_open(p, succ) => {}
             _ => s.pred = Some(id),
@@ -499,10 +523,7 @@ impl ChordNet {
     /// before leaving (two messages). Other nodes' fingers remain stale
     /// until maintenance runs.
     pub fn leave(&mut self, id: RingId) -> Result<(), ChordError> {
-        let node = self
-            .nodes
-            .remove(&id.0)
-            .ok_or(ChordError::UnknownNode(id))?;
+        let node = self.nodes.remove(id.0).ok_or(ChordError::UnknownNode(id))?;
         self.sorted.remove(&id.0);
         if self.is_empty() {
             return Ok(());
@@ -516,12 +537,12 @@ impl ChordNet {
             .find(|s| self.contains(*s));
         let pred = node.predecessor().filter(|p| self.contains(*p));
         if let (Some(sv), Some(pv)) = (succ, pred) {
-            if let Some(s) = self.nodes.get_mut(&sv.0) {
+            if let Some(s) = self.nodes.get_mut(sv.0) {
                 if s.pred == Some(id) {
                     s.pred = Some(pv);
                 }
             }
-            if let Some(p) = self.nodes.get_mut(&pv.0) {
+            if let Some(p) = self.nodes.get_mut(pv.0) {
                 if p.succ[0] == id {
                     p.succ[0] = sv;
                 }
@@ -538,9 +559,7 @@ impl ChordNet {
     /// Abrupt failure: the node vanishes without telling anyone. Stale
     /// pointers remain everywhere until maintenance repairs them.
     pub fn fail(&mut self, id: RingId) -> Result<(), ChordError> {
-        self.nodes
-            .remove(&id.0)
-            .ok_or(ChordError::UnknownNode(id))?;
+        self.nodes.remove(id.0).ok_or(ChordError::UnknownNode(id))?;
         self.sorted.remove(&id.0);
         self.debug_validate();
         Ok(())
@@ -645,13 +664,13 @@ impl ChordNet {
         out.push(owner);
         let mut cur = owner;
         while out.len() < n.min(self.nodes.len()) {
-            let node = &self.nodes[&cur.0];
+            let node = self.nodes.alive(cur.0);
             let mut next = None;
             for &s in node.successor_list() {
                 if s == cur {
                     continue; // a lone node (or tiny ring) listing itself
                 }
-                if !self.nodes.contains_key(&s.0) {
+                if !self.nodes.contains(s.0) {
                     stats.record(MsgKind::Timeout);
                     continue;
                 }
@@ -893,12 +912,12 @@ impl ChordNet {
             p.push(from);
         }
         loop {
-            let node = &self.nodes[&cur.0];
+            let node = self.nodes.alive(cur.0);
             // The node's first usable successor (probing a dead entry costs
             // a timeout message).
             let mut succ = None;
             for &s in node.successor_list() {
-                if self.nodes.contains_key(&s.0) {
+                if self.nodes.contains(s.0) {
                     succ = Some(s);
                     break;
                 }
@@ -921,7 +940,7 @@ impl ChordNet {
             let nodes = &self.nodes;
             let next = node
                 .closest_preceding(key, |cand| {
-                    let ok = nodes.contains_key(&cand.0);
+                    let ok = nodes.contains(cand.0);
                     if !ok {
                         failed += 1;
                     }
@@ -990,21 +1009,21 @@ impl ChordNet {
         let ids: Vec<u128> = self.sorted.iter().copied().collect();
         let mut changes = 0;
         for idv in ids {
-            if !self.nodes.contains_key(&idv) {
+            if !self.nodes.contains(idv) {
                 continue; // failed since the snapshot
             }
             let id = RingId(idv);
             // Find the first alive entry of the successor list (or any alive
             // finger as a last resort).
             let (s, failed) = {
-                let node = &self.nodes[&idv];
+                let node = self.nodes.alive(idv);
                 let mut failed = 0u64;
                 let mut found = None;
                 // A node may legitimately find itself in its successor list
                 // (lone node, or a ring smaller than the list); `self` is
                 // always reachable.
                 for &cand in node.successor_list() {
-                    if cand == id || self.nodes.contains_key(&cand.0) {
+                    if cand == id || self.nodes.contains(cand.0) {
                         found = Some(cand);
                         break;
                     }
@@ -1015,7 +1034,7 @@ impl ChordNet {
                         .finger_table()
                         .iter()
                         .copied()
-                        .find(|f| *f != id && self.nodes.contains_key(&f.0));
+                        .find(|f| *f != id && self.nodes.contains(f.0));
                 }
                 (found, failed)
             };
@@ -1027,16 +1046,16 @@ impl ChordNet {
             // With s == id this asks ourselves — how a lone node discovers a
             // newly joined predecessor, since (id, id) is the full circle.
             self.stats.record(MsgKind::Maintenance);
-            if let Some(p) = self.nodes[&s.0].predecessor() {
-                if p != id && self.nodes.contains_key(&p.0) && p.in_open(id, s) {
+            if let Some(p) = self.nodes.alive(s.0).predecessor() {
+                if p != id && self.nodes.contains(p.0) && p.in_open(id, s) {
                     s = p;
                 }
             }
             // Copy s's successor list (one message) and adopt [s] + prefix.
             self.stats.record(MsgKind::Maintenance);
-            let s_list = self.nodes[&s.0].successor_list().to_vec();
+            let s_list = self.nodes.alive(s.0).successor_list().to_vec();
             {
-                let node = self.nodes.get_mut(&idv).expect("alive in this pass");
+                let node = self.nodes.get_mut(idv).expect("alive in this pass");
                 let mut new_list = Vec::with_capacity(self.cfg.succ_list_len);
                 new_list.push(s);
                 for x in s_list {
@@ -1053,7 +1072,7 @@ impl ChordNet {
             // Notify s (one message): "I might be your predecessor."
             self.stats.record(MsgKind::Maintenance);
             if s != id {
-                let s_node = self.nodes.get_mut(&s.0).expect("alive");
+                let s_node = self.nodes.get_mut(s.0).expect("alive");
                 let adopt = match s_node.pred {
                     None => true,
                     Some(p) => p == id || !self.sorted.contains(&p.0) || id.in_open(p, s),
@@ -1076,7 +1095,7 @@ impl ChordNet {
         let ids: Vec<u128> = self.sorted.iter().copied().collect();
         let mut changes = 0;
         for idv in ids {
-            if !self.nodes.contains_key(&idv) {
+            if !self.nodes.contains(idv) {
                 continue;
             }
             let id = RingId(idv);
@@ -1087,7 +1106,7 @@ impl ChordNet {
                 // passed it yet: owner(start) is then the same node.
                 if let Some(pf) = prev {
                     if pf != id && start.in_open_closed(id, pf) {
-                        let node = self.nodes.get_mut(&idv).expect("alive");
+                        let node = self.nodes.get_mut(idv).expect("alive");
                         if node.fingers[k as usize] != pf {
                             node.fingers[k as usize] = pf;
                             changes += 1;
@@ -1097,7 +1116,7 @@ impl ChordNet {
                 }
                 let resolved = self.route(id, start, MsgKind::Maintenance).map(|l| l.owner);
                 if let Ok(owner) = resolved {
-                    let node = self.nodes.get_mut(&idv).expect("alive");
+                    let node = self.nodes.get_mut(idv).expect("alive");
                     if node.fingers[k as usize] != owner {
                         node.fingers[k as usize] = owner;
                         changes += 1;
@@ -1125,7 +1144,7 @@ impl ChordNet {
                 self.sorted.len(),
                 "node map and sorted index out of sync"
             );
-            for (&idv, node) in &self.nodes {
+            for (idv, node) in self.nodes.iter() {
                 debug_assert!(self.sorted.contains(&idv), "node {idv} missing from index");
                 debug_assert_eq!(node.id().0, idv, "node keyed under a foreign id");
                 debug_assert!(

@@ -42,6 +42,12 @@ pub struct SpriteConfig {
     /// independently, so a batch's payload is exactly the sum of its
     /// records' wire sizes).
     pub batched_publish: bool,
+    /// Store inverted lists as delta-gap-compressed blocks (default on).
+    /// Purely an in-memory representation change: readers decode on the
+    /// fly, so ranking, replication, and hand-over are bit-identical to
+    /// plain storage (enforced by the `storage/packed` determinism stage
+    /// in `sprite-audit`). Required headroom for the huge scale tier.
+    pub packed_postings: bool,
 }
 
 /// Which document frequency feeds the IDF during distributed ranking.
@@ -69,6 +75,7 @@ impl Default for SpriteConfig {
             score_mode: crate::learn::ScoreMode::Full,
             idf_mode: IdfMode::Indexed,
             batched_publish: true,
+            packed_postings: true,
         }
     }
 }
@@ -108,6 +115,7 @@ mod tests {
         assert!(!c.is_static());
         assert_eq!(c.similarity, Similarity::LeeSecond);
         assert!(c.batched_publish, "batched publication is the default");
+        assert!(c.packed_postings, "compressed postings are the default");
     }
 
     #[test]

@@ -68,6 +68,21 @@ impl WorldConfig {
         }
     }
 
+    /// DHT-realistic population scale: 100,000 peers over the small
+    /// corpus. The point is the *ring* — per-peer memory, build time,
+    /// and routing at log₂(100k) ≈ 17 hops — so the retrieval workload
+    /// stays at integration size while the peer count does not. Needs
+    /// the arena-backed node store and compressed postings to fit a CI
+    /// runner; the nightly `huge` smoke job runs it under a wall-clock
+    /// budget.
+    #[must_use]
+    pub fn huge(seed: u64) -> Self {
+        WorldConfig {
+            n_peers: 100_000,
+            ..WorldConfig::small(seed)
+        }
+    }
+
     /// Unit-test scale (sub-second).
     #[must_use]
     pub fn tiny(seed: u64) -> Self {

@@ -32,6 +32,7 @@ pub mod experiment;
 pub mod learn;
 pub mod metrics;
 pub mod peer;
+pub mod postings;
 pub mod resilience;
 pub mod system;
 pub mod trace;
@@ -49,6 +50,7 @@ pub use learn::{
 };
 pub use metrics::{gini, LoadReport, PeerLoad};
 pub use peer::{CachedQuery, IndexEntry, IndexingState, OwnerDoc, TermStat};
+pub use postings::{PostingIter, PostingList, PLAIN_ENTRY_BYTES};
 pub use resilience::{AdvisoryReport, ChurnReport, MaintenanceReport};
 pub use system::{LearnReport, SpriteSystem};
 pub use trace::{KeywordTrace, QueryTrace};

@@ -10,6 +10,8 @@ use std::collections::{HashMap, VecDeque};
 use sprite_ir::{DocId, Query, TermId};
 use sprite_util::{varint_len, RingId, WireSize};
 
+use crate::postings::PostingList;
+
 /// One inverted-list entry, carrying exactly the metadata §5.1 lists:
 /// owner address, document id, term frequency, document length — plus the
 /// distinct-term count the §4 similarity normalization needs.
@@ -98,21 +100,40 @@ pub struct CachedQuery {
 #[derive(Clone, Debug, Default)]
 pub struct IndexingState {
     /// Inverted lists for the terms this peer is responsible for.
-    inverted: HashMap<TermId, Vec<IndexEntry>>,
+    inverted: HashMap<TermId, PostingList>,
     /// Recent-query history, oldest first, bounded.
     cache: VecDeque<CachedQuery>,
     capacity: usize,
+    /// Representation for freshly created lists (see
+    /// [`crate::config::SpriteConfig::packed_postings`]).
+    packed: bool,
 }
 
 impl IndexingState {
-    /// Fresh state with the given query-history capacity.
+    /// Fresh state with the given query-history capacity, storing plain
+    /// (uncompressed) posting lists.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        Self::with_packing(capacity, false)
+    }
+
+    /// Fresh state with the given query-history capacity; `packed`
+    /// selects the posting-list representation (plain vectors or
+    /// delta-gap-compressed blocks — behaviorally identical).
+    #[must_use]
+    pub fn with_packing(capacity: usize, packed: bool) -> Self {
         IndexingState {
             inverted: HashMap::new(),
             cache: VecDeque::new(),
             capacity,
+            packed,
         }
+    }
+
+    /// True when fresh lists use the compressed representation.
+    #[must_use]
+    pub fn packed(&self) -> bool {
+        self.packed
     }
 
     /// Insert or update the entry for `(term, doc)`.
@@ -121,20 +142,18 @@ impl IndexingState {
     /// the structural invariant `sprite-audit`'s `check_index` verifies —
     /// so scans and merges are deterministic regardless of publish order.
     pub fn publish(&mut self, term: TermId, entry: IndexEntry) {
-        let list = self.inverted.entry(term).or_default();
-        match list.binary_search_by_key(&entry.doc, |e| e.doc) {
-            Ok(i) => list[i] = entry,
-            Err(i) => list.insert(i, entry),
-        }
+        let packed = self.packed;
+        self.inverted
+            .entry(term)
+            .or_insert_with(|| PostingList::new(packed))
+            .publish(entry);
     }
 
     /// Remove the entry for `(term, doc)`; true if it existed.
     pub fn remove(&mut self, term: TermId, doc: DocId) -> bool {
         match self.inverted.get_mut(&term) {
             Some(list) => {
-                let before = list.len();
-                list.retain(|e| e.doc != doc);
-                let removed = list.len() != before;
+                let removed = list.remove(doc);
                 if list.is_empty() {
                     self.inverted.remove(&term);
                 }
@@ -144,17 +163,28 @@ impl IndexingState {
         }
     }
 
-    /// The inverted list of `term` (empty if nothing indexed).
+    /// The inverted list of `term`, if anything is indexed under it.
+    /// The handle exposes length, exact wire size, and a decode-on-read
+    /// iterator — the query hot path never materializes packed lists.
     #[must_use]
-    pub fn list(&self, term: TermId) -> &[IndexEntry] {
-        self.inverted.get(&term).map_or(&[], Vec::as_slice)
+    pub fn postings(&self, term: TermId) -> Option<&PostingList> {
+        self.inverted.get(&term)
+    }
+
+    /// The inverted list of `term`, decoded into a fresh vector (empty
+    /// if nothing indexed).
+    #[must_use]
+    pub fn entries(&self, term: TermId) -> Vec<IndexEntry> {
+        self.inverted
+            .get(&term)
+            .map_or_else(Vec::new, PostingList::to_entries)
     }
 
     /// Indexed document frequency `n′_k` (§3/§4): how many documents chose
     /// `term` as a global index term.
     #[must_use]
     pub fn indexed_df(&self, term: TermId) -> usize {
-        self.list(term).len()
+        self.inverted.get(&term).map_or(0, PostingList::len)
     }
 
     /// Terms this peer currently indexes, with their indexed df, sorted by
@@ -168,31 +198,47 @@ impl IndexingState {
 
     /// Every inverted list held by this peer, keyed by term, sorted by
     /// term so iteration order never leaks `HashMap` randomness.
-    pub fn terms(&self) -> impl Iterator<Item = (TermId, &[IndexEntry])> {
-        let mut v: Vec<(TermId, &[IndexEntry])> = self
-            .inverted
-            .iter()
-            .map(|(&t, l)| (t, l.as_slice()))
-            .collect();
+    pub fn terms(&self) -> impl Iterator<Item = (TermId, &PostingList)> {
+        let mut v: Vec<(TermId, &PostingList)> =
+            self.inverted.iter().map(|(&t, l)| (t, l)).collect();
         v.sort_unstable_by_key(|&(t, _)| t);
         v.into_iter()
     }
 
     /// Replace the inverted list of `term` verbatim, skipping the
     /// sorted-insert of [`Self::publish`] — **corruption injection** for
-    /// `sprite-audit` tests only.
+    /// `sprite-audit` tests only. Injected lists are always stored plain:
+    /// the packed encoder requires the very invariants these tests break.
     pub fn inject_raw(&mut self, term: TermId, entries: Vec<IndexEntry>) {
         if entries.is_empty() {
             self.inverted.remove(&term);
         } else {
-            self.inverted.insert(term, entries);
+            // Stored unpacked via the codec module's constructor: the
+            // packed encoder requires the invariants these tests break.
+            self.inverted
+                .insert(term, PostingList::from_entries(entries, false));
         }
     }
 
     /// Total inverted-list entries held.
     #[must_use]
     pub fn total_entries(&self) -> usize {
-        self.inverted.values().map(Vec::len).sum()
+        self.inverted.values().map(PostingList::len).sum()
+    }
+
+    /// Number of terms with a non-empty inverted list.
+    #[must_use]
+    pub fn indexed_terms(&self) -> usize {
+        self.inverted.len()
+    }
+
+    /// Deterministic *logical* bytes of the inverted index: each list's
+    /// stored size (encoded length when packed, a fixed per-entry cost
+    /// when plain) plus a 4-byte term key per list. Length-based, never
+    /// capacity, so the memory-per-peer metric gates on it exactly.
+    #[must_use]
+    pub fn logical_index_bytes(&self) -> u64 {
+        self.inverted.values().map(|l| 4 + l.stored_bytes()).sum()
     }
 
     /// Record an issued query in the history (evicting the oldest beyond
@@ -225,7 +271,7 @@ impl IndexingState {
     pub fn absorb_replica(&mut self, other: &IndexingState) -> usize {
         let mut copied = 0;
         for (&t, list) in &other.inverted {
-            for &e in list {
+            for e in list {
                 self.publish(t, e);
                 copied += 1;
             }
@@ -305,7 +351,7 @@ mod tests {
         s.publish(t, entry(0, 3));
         s.publish(t, entry(1, 5));
         assert_eq!(s.indexed_df(t), 2);
-        assert_eq!(s.list(t).len(), 2);
+        assert_eq!(s.entries(t).len(), 2);
         assert_eq!(s.indexed_df(TermId(9)), 0);
         assert_eq!(s.total_entries(), 2);
     }
@@ -317,7 +363,7 @@ mod tests {
         s.publish(t, entry(0, 3));
         s.publish(t, entry(0, 7));
         assert_eq!(s.indexed_df(t), 1);
-        assert_eq!(s.list(t)[0].tf, 7);
+        assert_eq!(s.entries(t)[0].tf, 7);
     }
 
     #[test]

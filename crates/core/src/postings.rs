@@ -1,0 +1,408 @@
+//! Posting-list storage: plain entry vectors or delta-gap-compressed
+//! blocks, behind one [`PostingList`] type.
+//!
+//! The huge scale tier (`SPRITE_SCALE=huge`, 100k+ peers) cannot afford
+//! `Vec<IndexEntry>` per term: each entry burns 32 logical bytes where
+//! the canonical wire encoding of §5.1 needs ~20 — and far less once
+//! document ids are delta-encoded. The packed representation therefore
+//! stores exactly the per-entry wire encoding of
+//! [`crate::peer::posting_list_wire_size`] (gap-varint doc id, raw
+//! 16-byte owner address, varint tf / doc-length / distinct-count),
+//! reusing the canonical LEB128 codec from `sprite-util`. Readers
+//! decode on the fly through [`PostingIter`]; nothing downstream —
+//! ranking, replication, hand-over — can tell the representations
+//! apart, and the `storage/packed` determinism stage in `sprite-audit`
+//! holds both to bit-identical fingerprints.
+//!
+//! **This module is the only place posting lists may be built.** A
+//! `sprite-lint` rule bans `Vec<IndexEntry>` construction elsewhere so
+//! every list flows through the sorted-insert invariant enforced here.
+
+use sprite_util::{decode_varint, encode_varint, varint_len, RingId};
+
+use sprite_ir::DocId;
+
+use crate::peer::IndexEntry;
+
+/// Logical bytes one plain in-memory entry occupies: u32 doc id +
+/// 16-byte owner address + u32 tf + u32 doc-length + u32 distinct-count.
+/// A constant — not `size_of::<IndexEntry>()` — so the memory-per-peer
+/// metric is identical across compilers and never gates on layout.
+pub const PLAIN_ENTRY_BYTES: u64 = 4 + 16 + 4 + 4 + 4;
+
+/// One inverted list, sorted by document id with one entry per document,
+/// stored either as plain entries or as a delta-gap-compressed block.
+#[derive(Clone, Debug)]
+pub enum PostingList {
+    /// Plain decoded entries — the historical layout, and the layout of
+    /// corruption-injected lists (which may violate the encoder's
+    /// strictly-ascending precondition on purpose).
+    Plain(Vec<IndexEntry>),
+    /// The per-entry wire encoding, concatenated. `count` entries;
+    /// `last_doc` is the final (largest) document id, so in-order
+    /// publishes append without touching earlier bytes.
+    Packed {
+        /// Concatenated per-entry encodings (no count prefix).
+        bytes: Vec<u8>,
+        /// Number of encoded entries.
+        count: u32,
+        /// Document id of the last entry (meaningless when `count == 0`).
+        last_doc: u32,
+    },
+}
+
+/// Append the per-entry encoding of `e` to `out`. `prev_doc` is the
+/// preceding entry's document id (`None` for the first entry, which
+/// stores its id absolutely).
+fn encode_entry(e: &IndexEntry, prev_doc: Option<u32>, out: &mut Vec<u8>) {
+    let doc = e.doc.index() as u64;
+    let gap = match prev_doc {
+        Some(p) => doc - u64::from(p),
+        None => doc,
+    };
+    encode_varint(gap, out);
+    out.extend_from_slice(&e.owner.0.to_be_bytes());
+    encode_varint(u64::from(e.tf), out);
+    encode_varint(u64::from(e.doc_len), out);
+    encode_varint(u64::from(e.distinct), out);
+}
+
+/// Decode one entry starting at `at`; returns the entry and the offset
+/// one past it. Packed bytes are self-produced, so failures are bugs.
+fn decode_entry(bytes: &[u8], at: usize, prev_doc: Option<u32>) -> (IndexEntry, usize) {
+    let (gap, at) = decode_varint(bytes, at).expect("packed postings: doc gap");
+    let doc = match prev_doc {
+        Some(p) => u64::from(p) + gap,
+        None => gap,
+    };
+    let owner_end = at + 16;
+    let owner = u128::from_be_bytes(
+        bytes[at..owner_end]
+            .try_into()
+            .expect("packed postings: owner address"),
+    );
+    let (tf, at) = decode_varint(bytes, owner_end).expect("packed postings: tf");
+    let (doc_len, at) = decode_varint(bytes, at).expect("packed postings: doc_len");
+    let (distinct, at) = decode_varint(bytes, at).expect("packed postings: distinct");
+    (
+        IndexEntry {
+            doc: DocId(doc as u32),
+            owner: RingId(owner),
+            tf: tf as u32,
+            doc_len: doc_len as u32,
+            distinct: distinct as u32,
+        },
+        at,
+    )
+}
+
+impl PostingList {
+    /// A fresh empty list in the requested representation.
+    #[must_use]
+    pub fn new(packed: bool) -> Self {
+        if packed {
+            PostingList::Packed {
+                bytes: Vec::new(),
+                count: 0,
+                last_doc: 0,
+            }
+        } else {
+            PostingList::Plain(Vec::new())
+        }
+    }
+
+    /// Build a list from doc-sorted entries in the requested
+    /// representation. Callers guarantee sortedness (decoded lists, or
+    /// the sorted-insert path); corruption injection passes
+    /// `packed = false` so invalid lists are stored verbatim.
+    #[must_use]
+    pub fn from_entries(entries: Vec<IndexEntry>, packed: bool) -> Self {
+        if !packed {
+            return PostingList::Plain(entries);
+        }
+        let mut bytes = Vec::new();
+        let mut prev: Option<u32> = None;
+        for e in &entries {
+            encode_entry(e, prev, &mut bytes);
+            prev = Some(e.doc.index() as u32);
+        }
+        PostingList::Packed {
+            bytes,
+            count: entries.len() as u32,
+            last_doc: prev.unwrap_or(0),
+        }
+    }
+
+    /// True when stored in the compressed representation.
+    #[must_use]
+    pub fn is_packed(&self) -> bool {
+        matches!(self, PostingList::Packed { .. })
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            PostingList::Plain(v) => v.len(),
+            PostingList::Packed { count, .. } => *count as usize,
+        }
+    }
+
+    /// True when no entries are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate entries in document-id order, decoding on the fly.
+    #[must_use]
+    pub fn iter(&self) -> PostingIter<'_> {
+        match self {
+            PostingList::Plain(v) => PostingIter::Plain(v.iter()),
+            PostingList::Packed { bytes, count, .. } => PostingIter::Packed {
+                bytes,
+                at: 0,
+                remaining: *count,
+                prev_doc: None,
+            },
+        }
+    }
+
+    /// All entries, decoded into a fresh vector.
+    #[must_use]
+    pub fn to_entries(&self) -> Vec<IndexEntry> {
+        self.iter().collect()
+    }
+
+    /// Exact wire size of this list as a `QueryFetch` payload: the
+    /// packed block *is* the wire encoding, so only the count prefix is
+    /// added. Agrees byte-for-byte with
+    /// [`crate::peer::posting_list_wire_size`] on the decoded entries.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        match self {
+            PostingList::Plain(v) => crate::peer::posting_list_wire_size(v),
+            PostingList::Packed { bytes, count, .. } => varint_len(u64::from(*count)) + bytes.len(),
+        }
+    }
+
+    /// Deterministic *logical* bytes this list occupies in memory:
+    /// encoded length for packed blocks, [`PLAIN_ENTRY_BYTES`] per entry
+    /// for plain vectors. Length-based, never capacity, so the
+    /// memory-per-peer metric gates on it exactly.
+    #[must_use]
+    pub fn stored_bytes(&self) -> u64 {
+        match self {
+            PostingList::Plain(v) => v.len() as u64 * PLAIN_ENTRY_BYTES,
+            PostingList::Packed { bytes, .. } => bytes.len() as u64,
+        }
+    }
+
+    /// Insert or replace the entry for its document, keeping the list
+    /// sorted by document id with one entry per document. In-order
+    /// publishes (ascending doc ids — the bulk-publish common case)
+    /// append to the packed block without re-encoding; out-of-order
+    /// publishes decode, splice, and re-encode.
+    pub fn publish(&mut self, entry: IndexEntry) {
+        match self {
+            PostingList::Plain(list) => match list.binary_search_by_key(&entry.doc, |e| e.doc) {
+                Ok(i) => list[i] = entry,
+                Err(i) => list.insert(i, entry),
+            },
+            PostingList::Packed {
+                bytes,
+                count,
+                last_doc,
+            } => {
+                let doc = entry.doc.index() as u32;
+                if *count == 0 {
+                    encode_entry(&entry, None, bytes);
+                    *count = 1;
+                    *last_doc = doc;
+                } else if doc > *last_doc {
+                    encode_entry(&entry, Some(*last_doc), bytes);
+                    *count += 1;
+                    *last_doc = doc;
+                } else {
+                    let mut list = self.to_entries();
+                    match list.binary_search_by_key(&entry.doc, |e| e.doc) {
+                        Ok(i) => list[i] = entry,
+                        Err(i) => list.insert(i, entry),
+                    }
+                    *self = PostingList::from_entries(list, true);
+                }
+            }
+        }
+    }
+
+    /// Remove the entry for `doc`; true if it existed.
+    pub fn remove(&mut self, doc: DocId) -> bool {
+        match self {
+            PostingList::Plain(list) => {
+                let before = list.len();
+                list.retain(|e| e.doc != doc);
+                list.len() != before
+            }
+            PostingList::Packed {
+                count, last_doc, ..
+            } => {
+                if *count == 0 || doc.index() as u32 > *last_doc {
+                    return false;
+                }
+                let mut list = self.to_entries();
+                let before = list.len();
+                list.retain(|e| e.doc != doc);
+                if list.len() == before {
+                    return false;
+                }
+                *self = PostingList::from_entries(list, true);
+                true
+            }
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PostingList {
+    type Item = IndexEntry;
+    type IntoIter = PostingIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Decode-on-read iterator over a [`PostingList`], yielding entries by
+/// value in document-id order.
+#[derive(Clone, Debug)]
+pub enum PostingIter<'a> {
+    /// Plain slice walk.
+    Plain(std::slice::Iter<'a, IndexEntry>),
+    /// Sequential decode of a packed block.
+    Packed {
+        /// The packed block.
+        bytes: &'a [u8],
+        /// Current decode offset.
+        at: usize,
+        /// Entries left to decode.
+        remaining: u32,
+        /// Previous entry's document id (gap base).
+        prev_doc: Option<u32>,
+    },
+}
+
+impl Iterator for PostingIter<'_> {
+    type Item = IndexEntry;
+
+    fn next(&mut self) -> Option<IndexEntry> {
+        match self {
+            PostingIter::Plain(it) => it.next().copied(),
+            PostingIter::Packed {
+                bytes,
+                at,
+                remaining,
+                prev_doc,
+            } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                let (entry, next_at) = decode_entry(bytes, *at, *prev_doc);
+                *at = next_at;
+                *remaining -= 1;
+                *prev_doc = Some(entry.doc.index() as u32);
+                Some(entry)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            PostingIter::Plain(it) => it.size_hint(),
+            PostingIter::Packed { remaining, .. } => {
+                (*remaining as usize, Some(*remaining as usize))
+            }
+        }
+    }
+}
+
+impl ExactSizeIterator for PostingIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer::posting_list_wire_size;
+
+    fn entry(doc: u32, tf: u32) -> IndexEntry {
+        IndexEntry {
+            doc: DocId(doc),
+            owner: RingId(0xABCD_EF01_2345 + u128::from(doc)),
+            tf,
+            doc_len: 100 + doc,
+            distinct: 50,
+        }
+    }
+
+    #[test]
+    fn representations_agree_on_everything() {
+        for publish_order in [
+            vec![0u32, 1, 2, 3, 300, 301],
+            vec![300, 0, 301, 2, 1, 3],
+            vec![5],
+            vec![],
+        ] {
+            let mut plain = PostingList::new(false);
+            let mut packed = PostingList::new(true);
+            for &d in &publish_order {
+                plain.publish(entry(d, d + 1));
+                packed.publish(entry(d, d + 1));
+            }
+            assert!(packed.is_packed() && !plain.is_packed());
+            assert_eq!(plain.len(), packed.len());
+            assert_eq!(plain.to_entries(), packed.to_entries());
+            assert_eq!(plain.wire_size(), packed.wire_size());
+            assert_eq!(
+                packed.wire_size(),
+                posting_list_wire_size(&packed.to_entries()),
+                "packed block + count prefix is exactly the wire encoding"
+            );
+        }
+    }
+
+    #[test]
+    fn in_place_replace_and_remove_match() {
+        let mut plain = PostingList::new(false);
+        let mut packed = PostingList::new(true);
+        for list in [&mut plain, &mut packed] {
+            list.publish(entry(1, 1));
+            list.publish(entry(2, 1));
+            list.publish(entry(3, 1));
+            list.publish(entry(2, 9)); // replace mid-list
+            list.publish(entry(3, 7)); // replace last
+            assert!(list.remove(DocId(1)));
+            assert!(!list.remove(DocId(1)));
+            assert!(!list.remove(DocId(99)));
+        }
+        assert_eq!(plain.to_entries(), packed.to_entries());
+        assert_eq!(packed.len(), 2);
+        assert_eq!(packed.to_entries()[0].tf, 9);
+        assert_eq!(packed.to_entries()[1].tf, 7);
+    }
+
+    #[test]
+    fn packed_is_smaller_than_plain() {
+        let entries: Vec<IndexEntry> = (0..64).map(|d| entry(1000 + d, 3)).collect();
+        let plain = PostingList::from_entries(entries.clone(), false);
+        let packed = PostingList::from_entries(entries, true);
+        assert!(packed.stored_bytes() < plain.stored_bytes());
+        assert_eq!(plain.stored_bytes(), 64 * PLAIN_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn iterator_is_exact_size() {
+        let packed = PostingList::from_entries((0..5).map(|d| entry(d, 1)).collect(), true);
+        let mut it = packed.iter();
+        assert_eq!(it.len(), 5);
+        it.next();
+        assert_eq!(it.len(), 4);
+        assert_eq!(it.count(), 4);
+    }
+}

@@ -148,17 +148,18 @@ impl SpriteSystem {
             .term_dfs()
             .map(|(t, _)| {
                 state
-                    .list(t)
+                    .entries(t)
                     .iter()
                     .map(|e| term_record_wire_size(t, e) as u64)
                     .sum::<u64>()
             })
             .sum();
         let cap = self.config().query_cache_capacity;
+        let packed = self.config().packed_postings;
         let copied = self
             .indexing_mut()
             .entry(heir.0)
-            .or_insert_with(|| IndexingState::new(cap))
+            .or_insert_with(|| IndexingState::with_packing(cap, packed))
             .absorb_replica(&state);
         self.net_mut().charge_n(MsgKind::Replication, copied as u64);
         self.net_mut()
@@ -207,7 +208,7 @@ impl SpriteSystem {
                 self.net_mut().charge(MsgKind::Maintenance);
                 let entries: Vec<_> = self
                     .indexing_state(RingId(holder))
-                    .map(|st| st.list(term).to_vec())
+                    .map(|st| st.entries(term))
                     .unwrap_or_default();
                 if entries.is_empty() {
                     continue;
@@ -242,15 +243,16 @@ impl SpriteSystem {
                     }
                 }
                 let cap = self.config().query_cache_capacity;
+                let packed = self.config().packed_postings;
                 let st = self
                     .indexing_mut()
                     .entry(lookup.owner.0)
-                    .or_insert_with(|| IndexingState::new(cap));
-                let before = st.list(term).len();
+                    .or_insert_with(|| IndexingState::with_packing(cap, packed));
+                let before = st.indexed_df(term);
                 for &e in &entries {
                     st.publish(term, e);
                 }
-                moved += st.list(term).len() - before;
+                moved += st.indexed_df(term) - before;
             }
         }
         // Batched: all of one destination's re-homed records travel as a
@@ -269,6 +271,7 @@ impl SpriteSystem {
     /// delivered record (the replication pass bills data moved).
     fn flush_transfer_batch(&mut self, batch: TransferBatch, count_new: bool) -> usize {
         let cap = self.config().query_cache_capacity;
+        let packed = self.config().packed_postings;
         let mut queue = EventQueue::new();
         for (dest, (bytes, records)) in batch {
             // A dest-batched transfer merges many holders into one message,
@@ -295,14 +298,14 @@ impl SpriteSystem {
             let st = self
                 .indexing_mut()
                 .entry(dest)
-                .or_insert_with(|| IndexingState::new(cap));
+                .or_insert_with(|| IndexingState::with_packing(cap, packed));
             for (term, entries) in records {
-                let before = st.list(term).len();
+                let before = st.indexed_df(term);
                 for &e in &entries {
                     st.publish(term, e);
                 }
                 installed += if count_new {
-                    st.list(term).len() - before
+                    st.indexed_df(term) - before
                 } else {
                     entries.len()
                 };
@@ -366,7 +369,7 @@ impl SpriteSystem {
                 }
                 let entries: Vec<_> = self
                     .indexing_state(lookup.owner)
-                    .map(|st| st.list(term).to_vec())
+                    .map(|st| st.entries(term))
                     .unwrap_or_default();
                 if entries.is_empty() {
                     continue;
@@ -376,6 +379,7 @@ impl SpriteSystem {
                     .map(|e| term_record_wire_size(term, e) as u64)
                     .sum();
                 let cap = self.config().query_cache_capacity;
+                let packed = self.config().packed_postings;
                 let mut delta = NetStats::new();
                 let replicas: Vec<RingId> = self
                     .net()
@@ -411,7 +415,7 @@ impl SpriteSystem {
                     let st = self
                         .indexing_mut()
                         .entry(replica.0)
-                        .or_insert_with(|| IndexingState::new(cap));
+                        .or_insert_with(|| IndexingState::with_packing(cap, packed));
                     for &e in &entries {
                         st.publish(term, e);
                         copied += 1;
@@ -444,7 +448,16 @@ impl SpriteSystem {
                 .flat_map(|st| {
                     st.term_dfs()
                         .filter(|&(_, df)| df > df_threshold)
-                        .map(|(t, _)| (t, st.list(t).iter().map(|e| e.doc).collect::<Vec<_>>()))
+                        .map(|(t, _)| {
+                            (
+                                t,
+                                st.postings(t)
+                                    .into_iter()
+                                    .flatten()
+                                    .map(|e| e.doc)
+                                    .collect::<Vec<_>>(),
+                            )
+                        })
                         .collect::<Vec<_>>()
                 })
                 .collect()

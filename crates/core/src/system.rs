@@ -22,7 +22,8 @@
 use std::collections::{BTreeMap, HashMap};
 
 use sprite_chord::{
-    sim, ChordConfig, ChordNet, MsgKind, NetStats, NullTrace, Phase, TraceRecorder, TraceSink,
+    sim, ChordConfig, ChordNet, MsgKind, NetStats, NullTrace, Phase, StorageBackend, TraceRecorder,
+    TraceSink,
 };
 use sprite_ir::{Corpus, DocId, Hit, Query, Similarity, TermId};
 use sprite_util::{derive_rng, EventQueue, Md5, RingId, WireSize};
@@ -160,11 +161,31 @@ macro_rules! traced {
 impl SpriteSystem {
     /// Build a deployment: `n_peers` peers in a converged Chord ring, the
     /// corpus's documents distributed over them as owners. Nothing is
-    /// published yet — call [`Self::publish_all`].
+    /// published yet — call [`Self::publish_all`]. Uses the default
+    /// node-state storage backend (the arena).
     #[must_use]
     pub fn build(corpus: Corpus, n_peers: usize, cfg: SpriteConfig, seed: u64) -> Self {
+        Self::build_with_backend(corpus, n_peers, cfg, seed, StorageBackend::default())
+    }
+
+    /// [`Self::build`] with an explicit node-state storage backend. The
+    /// backend is invisible to everything above the ring — the dual-backend
+    /// tests in `sprite-audit` hold both deployments to bit-identical
+    /// fingerprints — so this exists for those tests, not for tuning.
+    #[must_use]
+    pub fn build_with_backend(
+        corpus: Corpus,
+        n_peers: usize,
+        cfg: SpriteConfig,
+        seed: u64,
+        backend: StorageBackend,
+    ) -> Self {
         assert!(n_peers > 0, "need at least one peer");
-        let net = ChordNet::with_random_nodes(ChordConfig::default(), n_peers, seed);
+        let chord_cfg = ChordConfig {
+            backend,
+            ..ChordConfig::default()
+        };
+        let net = ChordNet::with_random_nodes(chord_cfg, n_peers, seed);
         let peers = net.node_ids();
         let mut rng = derive_rng(seed, "doc-owners");
         let doc_owner: Vec<RingId> = (0..corpus.len())
@@ -295,6 +316,33 @@ impl SpriteSystem {
         self.indexing
             .values()
             .map(IndexingState::total_entries)
+            .sum()
+    }
+
+    /// Deterministic *logical* bytes of every inverted index in the
+    /// deployment, as stored (encoded length for packed lists, the fixed
+    /// per-entry cost for plain ones). Length-based — a pure function of
+    /// the deployment's contents — so the memory-per-peer metric gates
+    /// on it exactly.
+    #[must_use]
+    pub fn logical_index_bytes(&self) -> u64 {
+        self.indexing
+            .values()
+            .map(IndexingState::logical_index_bytes)
+            .sum()
+    }
+
+    /// What [`Self::logical_index_bytes`] would be if every list were
+    /// stored plain — the numerator of the compression ratio, counted
+    /// over the same contents.
+    #[must_use]
+    pub fn plain_index_bytes(&self) -> u64 {
+        self.indexing
+            .values()
+            .map(|st| {
+                4 * st.indexed_terms() as u64
+                    + st.total_entries() as u64 * crate::postings::PLAIN_ENTRY_BYTES
+            })
             .sum()
     }
 
@@ -560,9 +608,10 @@ impl SpriteSystem {
     /// Store one index record at `peer` (order-independent sorted insert).
     fn install_entry(&mut self, peer: RingId, term: TermId, entry: IndexEntry) {
         let cap = self.cfg.query_cache_capacity;
+        let packed = self.cfg.packed_postings;
         self.indexing
             .entry(peer.0)
-            .or_insert_with(|| IndexingState::new(cap))
+            .or_insert_with(|| IndexingState::with_packing(cap, packed))
             .publish(term, entry);
     }
 
@@ -798,12 +847,13 @@ impl SpriteSystem {
             self.net
                 .charge_traced(MsgKind::QueryFetch, Phase::Query, tick, lookup.owner, sink);
             let cap = self.cfg.query_cache_capacity;
+            let packed = self.cfg.packed_postings;
             let st = self
                 .indexing
                 .entry(lookup.owner.0)
-                .or_insert_with(|| IndexingState::new(cap));
+                .or_insert_with(|| IndexingState::with_packing(cap, packed));
             st.cache_query(query.clone(), qhash, seq);
-            let mut entries = st.list(term).to_vec();
+            let mut entries = st.entries(term);
             // Every fetch response bills its exact wire size: the empty
             // list is a single zero-count byte.
             self.net.charge_bytes_traced(
@@ -834,7 +884,7 @@ impl SpriteSystem {
                     let list = self
                         .indexing
                         .get(&peer.0)
-                        .map(|rep| rep.list(term).to_vec())
+                        .map(|rep| rep.entries(term))
                         .unwrap_or_default();
                     self.net.charge_bytes_traced(
                         MsgKind::QueryFetch,

@@ -33,7 +33,8 @@ use sprite_ir::{Corpus, DocId, Hit, Query, Similarity, TermId};
 use sprite_util::RingId;
 
 use crate::config::{IdfMode, SpriteConfig};
-use crate::peer::{posting_list_wire_size, IndexEntry, IndexingState};
+use crate::peer::IndexingState;
+use crate::postings::PostingList;
 use crate::trace::{KeywordTrace, QueryTrace};
 
 /// Reusable per-thread ranking buffers (see module docs), dense over the
@@ -351,22 +352,24 @@ impl<'a> QueryView<'a> {
                 sink.lookup_done(hops);
             }
             trace::charge(stats, sink, tick, owner, MsgKind::QueryFetch, Phase::Query);
-            let mut entries: &[IndexEntry] =
-                self.indexing.get(&owner.0).map_or(&[], |st| st.list(term));
+            let mut postings: Option<&PostingList> =
+                self.indexing.get(&owner.0).and_then(|st| st.postings(term));
+            // An absent list bills as the canonical empty response: one
+            // zero-count byte.
             trace::charge_bytes(
                 stats,
                 sink,
                 MsgKind::QueryFetch,
-                posting_list_wire_size(entries) as u64,
+                postings.map_or(1, PostingList::wire_size) as u64,
             );
-            let owner_hit = !entries.is_empty();
+            let owner_hit = postings.is_some_and(|p| !p.is_empty());
             let mut failover: Vec<RingId> = Vec::new();
             let mut served_by = if owner_hit { Some(owner) } else { None };
             // Failover when the routed peer holds no list (it may have
             // taken over an arc after a failure, §7): same routed
             // successor-chain walk as the sequential path, charged into
             // the caller's delta.
-            if entries.is_empty() && self.cfg.replication > 1 {
+            if !owner_hit && self.cfg.replication > 1 {
                 let replicas = self.net.replicas_from_owner_traced(
                     owner,
                     self.cfg.replication,
@@ -381,21 +384,24 @@ impl<'a> QueryView<'a> {
                     if qt.is_some() {
                         failover.push(peer);
                     }
-                    let list: &[IndexEntry] =
-                        self.indexing.get(&peer.0).map_or(&[], |rep| rep.list(term));
+                    let list: Option<&PostingList> = self
+                        .indexing
+                        .get(&peer.0)
+                        .and_then(|rep| rep.postings(term));
                     trace::charge_bytes(
                         stats,
                         sink,
                         MsgKind::QueryFetch,
-                        posting_list_wire_size(list) as u64,
+                        list.map_or(1, PostingList::wire_size) as u64,
                     );
-                    if !list.is_empty() {
-                        entries = list;
+                    if list.is_some_and(|p| !p.is_empty()) {
+                        postings = list;
                         served_by = Some(peer);
                         break;
                     }
                 }
             }
+            let n_entries = postings.map_or(0, PostingList::len);
             if let Some(q) = qt.as_deref_mut() {
                 let timeouts =
                     stats.count(MsgKind::Failed) + stats.count(MsgKind::Timeout) - dead_before;
@@ -409,17 +415,17 @@ impl<'a> QueryView<'a> {
                     failover,
                     served_by,
                     timeouts,
-                    entries: entries.len(),
+                    entries: n_entries,
                 });
             }
             // Accumulate immediately (§4 ranking). Terms arrive in the same
             // sorted order as the sequential path's fetch list, so the
             // floating-point addition order per document is identical.
             let df = match self.cfg.idf_mode {
-                IdfMode::Indexed => entries.len(),
+                IdfMode::Indexed => n_entries,
                 IdfMode::TrueDf => self.true_dfs.map_or(0, |d| d[term.index()] as usize),
             };
-            if df == 0 || entries.is_empty() {
+            if df == 0 || n_entries == 0 {
                 continue;
             }
             let idf = (n / df as f64).ln();
@@ -427,7 +433,7 @@ impl<'a> QueryView<'a> {
                 continue;
             }
             let w_q = f64::from(qtf) * idf;
-            for e in entries {
+            for e in postings.expect("n_entries > 0").iter() {
                 let w_d = if e.doc_len == 0 {
                     0.0
                 } else {

@@ -221,9 +221,9 @@ fn index_remove_retires_a_document_end_to_end() {
     // retired document.
     for peer in sys.indexing_peers() {
         let st = sys.indexing_state(peer).expect("listed peer is alive");
-        for (t, _) in st.terms() {
+        for (t, list) in st.terms() {
             assert!(
-                st.list(t).iter().all(|e| e.doc != doc),
+                list.iter().all(|e| e.doc != doc),
                 "peer {peer:?} still lists the retired doc under term {t:?}"
             );
         }
