@@ -15,7 +15,7 @@ use sprite_chord::{
     StorageBackend, TraceRecorder,
 };
 use sprite_core::{RankScratch, SpriteConfig, SpriteSystem};
-use sprite_corpus::{CorpusConfig, SyntheticCorpus};
+use sprite_corpus::{CorpusConfig, DocChurnConfig, DocChurnEngine, SyntheticCorpus};
 use sprite_ir::{Hit, Query, TermId};
 use sprite_util::{override_threads, par_map_init, Md5};
 
@@ -599,6 +599,116 @@ pub fn audit_storage(seed: u64) -> StorageAudit {
     }
 }
 
+/// Outcome of the live-corpus lifecycle audit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LifecycleAudit {
+    /// Two full document-churn runs from the same seed replayed bit for
+    /// bit (index, owner state, ranked lists, stats).
+    pub replay_match: bool,
+    /// The post-churn evaluation is bit-identical at 1 vs 4 pool workers.
+    pub parallel_match: bool,
+    /// The map node store reproduced the arena default through the full
+    /// insert/update/delete lifecycle.
+    pub backends_match: bool,
+    /// No query — issued mid-churn with tombstones still pending, or
+    /// after the closing maintenance round — surfaced a deleted document.
+    pub no_resurrection: bool,
+    /// The closing maintenance round reclaimed every pending tombstone.
+    pub tombstones_cleared: bool,
+    /// Replay fingerprint over the default run.
+    pub fingerprint: u128,
+}
+
+impl LifecycleAudit {
+    /// True when every clause of the lifecycle contract holds.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.replay_match
+            && self.parallel_match
+            && self.backends_match
+            && self.no_resurrection
+            && self.tombstones_cleared
+    }
+}
+
+/// Audit the live-corpus lifecycle: a seeded document-churn run
+/// (topic-shaped inserts, incremental updates, lazy deletions) over a
+/// replicated deployment, with maintenance rounds interleaved and queries
+/// issued between mutations. The contract has two halves: the mutation
+/// stream is *deterministic* (same seed ⇒ same mutated index, ranked
+/// lists, and stats, at any worker count and on either node-store
+/// backend), and deletion is *airtight* (no query ever surfaces a deleted
+/// document — not while its tombstones are pending, not after replica
+/// repair — and the closing maintenance round clears every tombstone).
+#[must_use]
+pub fn audit_lifecycle(seed: u64) -> LifecycleAudit {
+    let sc = SyntheticCorpus::generate(&CorpusConfig::tiny(seed));
+    let queries: Vec<Query> = sc
+        .seed_queries()
+        .iter()
+        .take(8)
+        .map(|s| s.query.clone())
+        .collect();
+    let run = |backend: StorageBackend, threads: usize| -> (u128, u64, u64) {
+        let cfg = SpriteConfig {
+            replication: 2,
+            ..SpriteConfig::default()
+        };
+        let mut sys = SpriteSystem::build_with_backend(sc.corpus().clone(), 24, cfg, seed, backend);
+        sys.publish_all();
+        sys.replicate_indexes();
+        let mut engine = DocChurnEngine::new(
+            DocChurnConfig {
+                insert_rate: 1.0,
+                update_rate: 2.0,
+                delete_rate: 1.0,
+                min_docs: 8,
+            },
+            seed.wrapping_add(3),
+            &sc,
+        );
+        let mut deleted_hits = 0u64;
+        for tick in 0..4 {
+            let live = sys.live_docs();
+            let events = engine.plan(&live, sys.corpus().len());
+            sys.apply_doc_events(&events);
+            if tick % 2 == 1 {
+                sys.maintenance_round();
+            }
+            // Query between mutations: even with tombstones still
+            // pending, no deleted document may surface.
+            for q in &queries {
+                for hit in sys.issue_query(q, 10) {
+                    deleted_hits += u64::from(sys.is_deleted(hit.doc));
+                }
+            }
+        }
+        sys.maintenance_round();
+        let pending = sys.pending_tombstones() as u64;
+        let mut h = Md5::new();
+        feed_u128(&mut h, fingerprint_index(&sys));
+        feed_u128(&mut h, fingerprint_owners(&sys));
+        feed_u128(
+            &mut h,
+            parallel_results_fingerprint(&mut sys, &queries, threads),
+        );
+        feed_u128(&mut h, fingerprint_stats(sys.net().stats()));
+        (h.finalize().as_u128(), deleted_hits, pending)
+    };
+    let default_a = run(StorageBackend::default(), 4);
+    let default_b = run(StorageBackend::default(), 4);
+    let sequential = run(StorageBackend::default(), 1);
+    let map = run(StorageBackend::Map, 4);
+    LifecycleAudit {
+        replay_match: default_a == default_b,
+        parallel_match: sequential.0 == default_a.0,
+        backends_match: map.0 == default_a.0,
+        no_resurrection: default_a.1 == 0 && map.1 == 0,
+        tombstones_cleared: default_a.2 == 0 && map.2 == 0,
+        fingerprint: default_a.0,
+    }
+}
+
 /// Run the reference experiment once, fingerprinting after every stage.
 ///
 /// The experiment is deliberately small (a tiny corpus on 24 peers) but
@@ -704,6 +814,14 @@ pub fn run_trace(seed: u64) -> Trace {
     // path, and the scale-tier defaults must replay bit for bit.
     stages.push(("storage/packed", audit_storage(seed).fingerprint));
 
+    // Seventeenth stage: live corpus dynamics. A seeded document-churn
+    // run — topic-shaped inserts, incremental updates, lazy deletions
+    // with interleaved maintenance — whose fingerprint covers the mutated
+    // index, owner state, ranked lists, and stats. A victim pool drawn in
+    // hash order, a tombstone that survives reclamation, or an update
+    // diff that publishes differently across runs all diverge here.
+    stages.push(("corpus/lifecycle", audit_lifecycle(seed).fingerprint));
+
     Trace { stages }
 }
 
@@ -754,12 +872,17 @@ pub fn audit_determinism(seed: u64) -> DeterminismReport {
     // swap that is visible anywhere fails the audit even when both
     // replays agree with each other.
     let storage_divergence = (!audit_storage(seed).passed()).then_some("storage/packed");
+    // And the lifecycle contract: a document-churn run whose replays
+    // agree but that resurrects a deleted document, strands a tombstone,
+    // or drifts across worker counts or backends fails the audit.
+    let lifecycle_divergence = (!audit_lifecycle(seed).passed()).then_some("corpus/lifecycle");
     let first_divergence = replay_divergence
         .or(batched_divergence)
         .or(tracing_divergence)
         .or(batching_divergence)
         .or(sim_divergence)
-        .or(storage_divergence);
+        .or(storage_divergence)
+        .or(lifecycle_divergence);
     DeterminismReport {
         passed: first_divergence.is_none(),
         first_divergence,
@@ -779,7 +902,26 @@ mod tests {
             "first divergent stage: {:?}",
             report.first_divergence
         );
-        assert_eq!(report.stages, 16);
+        assert_eq!(report.stages, 17);
+    }
+
+    #[test]
+    fn lifecycle_audit_upholds_the_lifecycle_contract() {
+        let audit = audit_lifecycle(2026);
+        assert!(audit.replay_match, "document-churn replay diverged");
+        assert!(
+            audit.parallel_match,
+            "the post-churn evaluation depends on the worker count"
+        );
+        assert!(
+            audit.backends_match,
+            "the node-store backend leaked into the lifecycle run"
+        );
+        assert!(audit.no_resurrection, "a query surfaced a deleted document");
+        assert!(
+            audit.tombstones_cleared,
+            "tombstones survived the closing maintenance round"
+        );
     }
 
     #[test]

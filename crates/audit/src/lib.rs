@@ -37,7 +37,8 @@ pub mod syntax;
 pub use rules::{analyze, analyze_sources, Diagnostic};
 
 pub use determinism::{
-    audit_determinism, audit_sim, fingerprint_recorder, parallel_results_fingerprint, run_trace,
-    traced_parallel_fingerprints, DeterminismReport, SimAudit, Trace,
+    audit_determinism, audit_lifecycle, audit_sim, fingerprint_recorder,
+    parallel_results_fingerprint, run_trace, traced_parallel_fingerprints, DeterminismReport,
+    LifecycleAudit, SimAudit, Trace,
 };
 pub use invariants::{check_index, check_kv, check_ring, check_system, Violation};

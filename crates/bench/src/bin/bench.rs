@@ -193,6 +193,39 @@ fn main() {
     eprintln!("# loss figure: {loss_ms} ms");
 
     // ------------------------------------------------------------------
+    // The freshness study: seeded document churn (inserts, incremental
+    // updates, lazy deletions) against a centralized reference rebuilt
+    // over the mutated corpus, plus the incremental-vs-full update cost
+    // comparison. Gated exactly by `--bin gate`, which also enforces the
+    // lifecycle invariants within the run.
+    // ------------------------------------------------------------------
+    let (freshness, freshness_ms) = time_ms(|| sprite_bench::metrics::collect_freshness(&world));
+    for p in &freshness.points {
+        eprintln!(
+            "# freshness r{} @ rate {:.2}: precision {:.3}, recall {:.3}, +{} ~{} -{} docs, \
+             {} reclaimed, {} stale of {} live entries",
+            p.replication,
+            p.doc_churn,
+            p.precision,
+            p.recall,
+            p.inserted,
+            p.updated,
+            p.deleted,
+            p.tombstones_reclaimed,
+            p.stale_entries,
+            p.live_entries
+        );
+    }
+    eprintln!(
+        "# freshness cost: {} updates, incremental {} B vs republish {} B — {:.1}% saved \
+         ({freshness_ms} ms)",
+        freshness.cost.updates,
+        freshness.cost.incremental_bytes,
+        freshness.cost.republish_bytes,
+        freshness.cost.savings_ratio * 100.0
+    );
+
+    // ------------------------------------------------------------------
     // The memory footprint the scale tier optimizes: logical bytes of
     // routing state and compressed postings, per peer. Byte counts are
     // deterministic and gated exactly by `--bin gate`; the build time is
@@ -350,6 +383,12 @@ fn main() {
     );
     j.field(
         1,
+        "freshness",
+        &sprite_bench::metrics::freshness_json(&freshness, 1),
+        false,
+    );
+    j.field(
+        1,
         "memory",
         &sprite_bench::metrics::memory_json(&memory, 1),
         false,
@@ -377,5 +416,17 @@ fn main() {
     assert!(
         loss.points.iter().any(|p| p.loss > 0.0 && p.timeouts > 0),
         "the lossy sweep points billed no timeouts — drops are not surfacing"
+    );
+    assert!(
+        freshness
+            .points
+            .iter()
+            .all(|p| p.deleted_doc_hits == 0 && p.pending_tombstones == 0),
+        "the freshness sweep violated a lifecycle invariant"
+    );
+    assert!(
+        freshness.cost.savings_ratio >= sprite_bench::metrics::UPDATE_SAVINGS_FLOOR,
+        "incremental updates did not beat delete+republish: {:.3}",
+        freshness.cost.savings_ratio
     );
 }

@@ -12,9 +12,11 @@
 //! `THROUGHPUT_TOLERANCE` regression band (improvements always pass).
 //! Finally it replays the `loss` sweep and diffs it point for point —
 //! ratios within `RATIO_TOLERANCE`, timeout counts exact — also checking
-//! that every lossy point billed a nonzero timeout count, and re-accounts
-//! the `memory` object (logical bytes per peer exact to the byte; the
-//! build time advisory).
+//! that every lossy point billed a nonzero timeout count, replays the
+//! `freshness` document-churn study (event and entry counts exact, the
+//! lifecycle invariants and the incremental-update savings floor enforced
+//! within the run), and re-accounts the `memory` object (logical bytes
+//! per peer exact to the byte; the build time advisory).
 //! Exits 0 when clean, 1 with one readable line per lint violation or
 //! divergence when not, 2 when the baseline is missing, unparseable, or
 //! was generated at a different scale.
@@ -29,8 +31,8 @@ use std::process::ExitCode;
 
 use sprite_bench::json::{self, JsonValue};
 use sprite_bench::metrics::{
-    collect_loss, collect_memory, collect_metrics, compare_against_baseline, compare_loss,
-    compare_memory, compare_throughput, measure_throughput,
+    collect_freshness, collect_loss, collect_memory, collect_metrics, compare_against_baseline,
+    compare_freshness, compare_loss, compare_memory, compare_throughput, measure_throughput,
 };
 
 fn main() -> ExitCode {
@@ -130,6 +132,19 @@ fn main() -> ExitCode {
         loss.points.len()
     );
     diffs.extend(compare_loss(&loss, &baseline));
+    // Replay the freshness study: the seeded document-churn lifecycle is
+    // exactly reproducible, so every event and entry count is diffed to
+    // the document, ratios within tolerance. The comparison also enforces
+    // the lifecycle invariants (no deleted-document hit, no surviving
+    // tombstone, the incremental-update savings floor) within this run.
+    let freshness = collect_freshness(&world);
+    eprintln!(
+        "# gate: freshness {} points, {:.1}% incremental-update savings over {} edits",
+        freshness.points.len(),
+        freshness.cost.savings_ratio * 100.0,
+        freshness.cost.updates
+    );
+    diffs.extend(compare_freshness(&freshness, &baseline));
     // Re-account the memory footprint: logical byte counts are exact
     // (bytes-per-peer to the byte); the build time is advisory.
     let memory = collect_memory(&world);

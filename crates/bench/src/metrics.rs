@@ -22,7 +22,9 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use sprite_chord::{MsgKind, Phase, StorageBackend, TraceRecorder};
-use sprite_core::{loss_figure, LossFigure, SpriteConfig, SpriteSystem, World};
+use sprite_core::{
+    freshness_figure, loss_figure, FreshnessFigure, LossFigure, SpriteConfig, SpriteSystem, World,
+};
 use sprite_corpus::Schedule;
 use sprite_util::{override_threads, Histogram};
 
@@ -54,6 +56,26 @@ pub const LOSS_RATES: [f64; 3] = [0.0, 0.02, 0.05];
 /// Replication degrees swept by the committed loss study: unreplicated
 /// versus the §7 default of 3, to show replication absorbing loss.
 pub const LOSS_REPLS: [usize; 2] = [1, 3];
+
+/// Document-churn rates swept by the committed freshness study. 0.0
+/// anchors the frozen-corpus baseline (zero events, zero staleness); the
+/// churned point exercises the full insert/update/delete lifecycle.
+pub const FRESHNESS_RATES: [f64; 2] = [0.0, 0.5];
+
+/// Replication degrees swept by the committed freshness study:
+/// unreplicated versus the §7 default of 3, to show deletions clearing
+/// from replicas too.
+pub const FRESHNESS_REPLS: [usize; 2] = [1, 3];
+
+/// Document-churn ticks per freshness point. A maintenance round runs
+/// every second tick plus a closing round, so every tombstone raised by
+/// the stream is reclaimed before evaluation.
+pub const FRESHNESS_TICKS: usize = 6;
+
+/// Acceptance floor for the incremental-update savings ratio: the
+/// diff-only publication path must bill at least this fraction fewer
+/// bytes than delete+republish of the same edits.
+pub const UPDATE_SAVINGS_FLOOR: f64 = 0.30;
 
 /// A histogram flattened for serialization.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -776,6 +798,224 @@ pub fn compare_loss(current: &LossFigure, baseline: &JsonValue) -> Vec<String> {
     diffs
 }
 
+/// Run the committed freshness study: [`FRESHNESS_RATES`] ×
+/// [`FRESHNESS_REPLS`] through [`freshness_figure`] at
+/// [`FRESHNESS_TICKS`] ticks of seeded document churn, plus the
+/// incremental-vs-full update cost comparison. Both `--bin bench` and
+/// `--bin gate` call this, so the committed object and the gate's fresh
+/// run share one code path.
+#[must_use]
+pub fn collect_freshness(world: &World) -> FreshnessFigure {
+    freshness_figure(world, &FRESHNESS_RATES, &FRESHNESS_REPLS, FRESHNESS_TICKS)
+}
+
+/// The stable JSON key of one freshness point: replication degree and the
+/// churn rate as an integer percentage, e.g. `r3_rate50` for 0.5 expected
+/// events per tick at replication 3.
+fn freshness_point_key(replication: usize, rate: f64) -> String {
+    format!("r{replication}_rate{}", (rate * 100.0).round() as u64)
+}
+
+/// Serialize a [`FreshnessFigure`] as a JSON object value, same
+/// conventions as [`metrics_json`]: ratios at 12 decimals (within
+/// [`RATIO_TOLERANCE`] of a round-trip), every event and entry count
+/// exact.
+#[must_use]
+pub fn freshness_json(f: &FreshnessFigure, indent: usize) -> String {
+    let pad = "  ".repeat(indent + 1);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "{pad}\"k\": {METRICS_K},");
+    let _ = writeln!(out, "{pad}\"points\": {{");
+    for (i, p) in f.points.iter().enumerate() {
+        let comma = if i + 1 == f.points.len() { "" } else { "," };
+        let key = freshness_point_key(p.replication, p.doc_churn);
+        let _ = writeln!(out, "{pad}  \"{key}\": {{");
+        let _ = writeln!(out, "{pad}    \"doc_churn\": {:.12},", p.doc_churn);
+        let _ = writeln!(out, "{pad}    \"replication\": {},", p.replication);
+        let _ = writeln!(out, "{pad}    \"precision\": {:.12},", p.precision);
+        let _ = writeln!(out, "{pad}    \"recall\": {:.12},", p.recall);
+        let _ = writeln!(out, "{pad}    \"inserted\": {},", p.inserted);
+        let _ = writeln!(out, "{pad}    \"updated\": {},", p.updated);
+        let _ = writeln!(out, "{pad}    \"deleted\": {},", p.deleted);
+        let _ = writeln!(
+            out,
+            "{pad}    \"tombstones_reclaimed\": {},",
+            p.tombstones_reclaimed
+        );
+        let _ = writeln!(
+            out,
+            "{pad}    \"pending_tombstones\": {},",
+            p.pending_tombstones
+        );
+        let _ = writeln!(
+            out,
+            "{pad}    \"deleted_doc_hits\": {},",
+            p.deleted_doc_hits
+        );
+        let _ = writeln!(out, "{pad}    \"stale_entries\": {},", p.stale_entries);
+        let _ = writeln!(out, "{pad}    \"live_entries\": {},", p.live_entries);
+        let _ = writeln!(out, "{pad}    \"live_docs\": {},", p.live_docs);
+        let _ = writeln!(
+            out,
+            "{pad}    \"messages_per_query\": {:.12}",
+            p.messages_per_query
+        );
+        let _ = writeln!(out, "{pad}  }}{comma}");
+    }
+    let _ = writeln!(out, "{pad}}},");
+    let _ = writeln!(out, "{pad}\"cost\": {{");
+    let _ = writeln!(out, "{pad}  \"updates\": {},", f.cost.updates);
+    let _ = writeln!(
+        out,
+        "{pad}  \"incremental_bytes\": {},",
+        f.cost.incremental_bytes
+    );
+    let _ = writeln!(
+        out,
+        "{pad}  \"republish_bytes\": {},",
+        f.cost.republish_bytes
+    );
+    let _ = writeln!(
+        out,
+        "{pad}  \"savings_ratio\": {:.12}",
+        f.cost.savings_ratio
+    );
+    let _ = writeln!(out, "{pad}}}");
+    let _ = write!(out, "{}}}", "  ".repeat(indent));
+    out
+}
+
+/// Diff a freshly computed [`FreshnessFigure`] against the committed
+/// baseline: ratios within [`RATIO_TOLERANCE`], every event, entry, and
+/// byte count exact (the churn stream is seeded, so the lifecycle is
+/// exactly reproducible). Also enforces the lifecycle invariants within
+/// the current run itself, baseline or no baseline: no live query may
+/// surface a deleted document, no tombstone may survive the closing
+/// maintenance round, and the incremental update path must clear
+/// [`UPDATE_SAVINGS_FLOOR`].
+#[must_use]
+pub fn compare_freshness(current: &FreshnessFigure, baseline: &JsonValue) -> Vec<String> {
+    let mut diffs = Vec::new();
+    for p in &current.points {
+        let key = freshness_point_key(p.replication, p.doc_churn);
+        if p.deleted_doc_hits != 0 {
+            diffs.push(format!(
+                "freshness.points.{key}: {} hit(s) on deleted documents — a live query surfaced \
+                 retired content",
+                p.deleted_doc_hits
+            ));
+        }
+        if p.pending_tombstones != 0 {
+            diffs.push(format!(
+                "freshness.points.{key}: {} tombstone(s) survived the closing maintenance round",
+                p.pending_tombstones
+            ));
+        }
+    }
+    if current.cost.savings_ratio < UPDATE_SAVINGS_FLOOR {
+        diffs.push(format!(
+            "freshness.cost.savings_ratio: {:.3} is below the {UPDATE_SAVINGS_FLOOR:.2} floor — \
+             incremental updates are not beating delete+republish",
+            current.cost.savings_ratio
+        ));
+    }
+    let Some(fr) = baseline.get("freshness") else {
+        diffs.push(
+            "freshness: object missing from baseline (regenerate BENCH_experiments.json with \
+             --bin bench)"
+                .to_string(),
+        );
+        return diffs;
+    };
+    diff_u64(
+        &mut diffs,
+        "freshness.k",
+        fr.get("k").and_then(JsonValue::as_u64),
+        METRICS_K as u64,
+    );
+    for p in &current.points {
+        let key = freshness_point_key(p.replication, p.doc_churn);
+        let path = |field: &str| format!("freshness.points.{key}.{field}");
+        let f = |field: &str| {
+            fr.path(&["points", &key, field])
+                .and_then(JsonValue::as_f64)
+        };
+        let u = |field: &str| {
+            fr.path(&["points", &key, field])
+                .and_then(JsonValue::as_u64)
+        };
+        diff_f64(&mut diffs, &path("precision"), f("precision"), p.precision);
+        diff_f64(&mut diffs, &path("recall"), f("recall"), p.recall);
+        diff_u64(&mut diffs, &path("inserted"), u("inserted"), p.inserted);
+        diff_u64(&mut diffs, &path("updated"), u("updated"), p.updated);
+        diff_u64(&mut diffs, &path("deleted"), u("deleted"), p.deleted);
+        diff_u64(
+            &mut diffs,
+            &path("tombstones_reclaimed"),
+            u("tombstones_reclaimed"),
+            p.tombstones_reclaimed,
+        );
+        diff_u64(
+            &mut diffs,
+            &path("pending_tombstones"),
+            u("pending_tombstones"),
+            p.pending_tombstones,
+        );
+        diff_u64(
+            &mut diffs,
+            &path("deleted_doc_hits"),
+            u("deleted_doc_hits"),
+            p.deleted_doc_hits,
+        );
+        diff_u64(
+            &mut diffs,
+            &path("stale_entries"),
+            u("stale_entries"),
+            p.stale_entries,
+        );
+        diff_u64(
+            &mut diffs,
+            &path("live_entries"),
+            u("live_entries"),
+            p.live_entries,
+        );
+        diff_u64(&mut diffs, &path("live_docs"), u("live_docs"), p.live_docs);
+        diff_f64(
+            &mut diffs,
+            &path("messages_per_query"),
+            f("messages_per_query"),
+            p.messages_per_query,
+        );
+    }
+    let cu = |field: &str| fr.path(&["cost", field]).and_then(JsonValue::as_u64);
+    diff_u64(
+        &mut diffs,
+        "freshness.cost.updates",
+        cu("updates"),
+        current.cost.updates,
+    );
+    diff_u64(
+        &mut diffs,
+        "freshness.cost.incremental_bytes",
+        cu("incremental_bytes"),
+        current.cost.incremental_bytes,
+    );
+    diff_u64(
+        &mut diffs,
+        "freshness.cost.republish_bytes",
+        cu("republish_bytes"),
+        current.cost.republish_bytes,
+    );
+    diff_f64(
+        &mut diffs,
+        "freshness.cost.savings_ratio",
+        fr.path(&["cost", "savings_ratio"])
+            .and_then(JsonValue::as_f64),
+        current.cost.savings_ratio,
+    );
+    diffs
+}
+
 /// The deterministic memory footprint of the standard deployment, plus
 /// an advisory build-time figure. Every byte count is *logical* —
 /// length-based sums over the ring's routing state and the peers' posting
@@ -1164,6 +1404,126 @@ mod tests {
         assert!(
             diffs.iter().any(|d| d.contains("not surfacing")),
             "silent lossy run not caught: {diffs:?}"
+        );
+    }
+
+    fn freshness_doc(f: &FreshnessFigure) -> String {
+        format!(
+            "{{\n  \"schema\": \"sprite-bench/v1\",\n  \"freshness\": {}\n}}\n",
+            freshness_json(f, 1)
+        )
+    }
+
+    #[test]
+    fn freshness_round_trips_and_holds_the_lifecycle_invariants() {
+        let world = World::build(WorldConfig::tiny(7));
+        let f = collect_freshness(&world);
+        assert_eq!(
+            f.points.len(),
+            FRESHNESS_RATES.len() * FRESHNESS_REPLS.len()
+        );
+        for p in &f.points {
+            assert_eq!(
+                p.deleted_doc_hits, 0,
+                "a live query surfaced a deleted document at r{} rate {}",
+                p.replication, p.doc_churn
+            );
+            assert_eq!(
+                p.pending_tombstones, 0,
+                "tombstones survived the closing maintenance round"
+            );
+            if p.doc_churn == 0.0 {
+                assert_eq!((p.inserted, p.updated, p.deleted), (0, 0, 0));
+                assert_eq!(p.stale_entries, 0, "a frozen corpus cannot go stale");
+            }
+        }
+        assert!(
+            f.points
+                .iter()
+                .any(|p| p.deleted > 0 && p.tombstones_reclaimed > 0),
+            "the churned points must exercise deletion and reclamation"
+        );
+        assert!(
+            f.cost.savings_ratio >= UPDATE_SAVINGS_FLOOR,
+            "incremental updates must beat delete+republish by 30%: {:.3}",
+            f.cost.savings_ratio
+        );
+        let baseline = json::parse(&freshness_doc(&f)).expect("serializer emits valid JSON");
+        let diffs = compare_freshness(&f, &baseline);
+        assert!(diffs.is_empty(), "self-comparison must be clean: {diffs:?}");
+        // A missing freshness object is one readable diff.
+        let empty = json::parse("{\"schema\": \"sprite-bench/v1\"}").expect("valid");
+        let diffs = compare_freshness(&f, &empty);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("regenerate"));
+    }
+
+    #[test]
+    fn freshness_gate_catches_perturbations_and_broken_invariants() {
+        let world = World::build(WorldConfig::tiny(7));
+        let f = collect_freshness(&world);
+        let churned = f
+            .points
+            .iter()
+            .find(|p| p.doc_churn > 0.0 && p.deleted > 0)
+            .expect("a churned point with deletions");
+        let key = format!(
+            "r{}_rate{}",
+            churned.replication,
+            (churned.doc_churn * 100.0).round() as u64
+        );
+        let doc = freshness_doc(&f)
+            .replacen(
+                &format!("\"deleted\": {}", churned.deleted),
+                &format!("\"deleted\": {}", churned.deleted + 1),
+                1,
+            )
+            .replacen(
+                &format!("\"precision\": {:.12}", churned.precision),
+                &format!("\"precision\": {:.12}", churned.precision + 1e-6),
+                1,
+            );
+        let baseline = json::parse(&doc).expect("perturbed document still parses");
+        let diffs = compare_freshness(&f, &baseline);
+        assert!(
+            diffs
+                .iter()
+                .any(|d| d.contains(&key) && d.contains("deleted")),
+            "perturbed event count not caught: {diffs:?}"
+        );
+        assert!(
+            diffs.iter().any(|d| d.contains("precision")),
+            "perturbed ratio not caught: {diffs:?}"
+        );
+        // Within-run enforcement: broken invariants fail even against a
+        // matching baseline.
+        let mut broken = f.clone();
+        broken.points[0].deleted_doc_hits = 1;
+        broken.points[0].pending_tombstones = 2;
+        broken.cost.savings_ratio = UPDATE_SAVINGS_FLOOR / 2.0;
+        let own = json::parse(&freshness_doc(&broken)).expect("valid");
+        let diffs = compare_freshness(&broken, &own);
+        assert!(
+            diffs.iter().any(|d| d.contains("retired content")),
+            "deleted-doc hit not caught: {diffs:?}"
+        );
+        assert!(
+            diffs.iter().any(|d| d.contains("survived the closing")),
+            "surviving tombstones not caught: {diffs:?}"
+        );
+        assert!(
+            diffs.iter().any(|d| d.contains("savings_ratio")),
+            "savings floor not enforced: {diffs:?}"
+        );
+    }
+
+    #[test]
+    fn freshness_is_reproducible_at_equal_seeds() {
+        let w1 = World::build(WorldConfig::tiny(11));
+        let w2 = World::build(WorldConfig::tiny(11));
+        assert_eq!(
+            freshness_json(&collect_freshness(&w1), 1),
+            freshness_json(&collect_freshness(&w2), 1)
         );
     }
 

@@ -48,6 +48,14 @@ pub struct SpriteConfig {
     /// plain storage (enforced by the `storage/packed` determinism stage
     /// in `sprite-audit`). Required headroom for the huge scale tier.
     pub packed_postings: bool,
+    /// Defer document deletion at indexing peers (default on): removal
+    /// records mark entries dead instead of rewriting the stored list,
+    /// and the next `maintenance_round` reclaims them lazily. Off, the
+    /// delete path rewrites lists eagerly — same removal messages
+    /// billed at delete time, no cleanup work later. Either way a
+    /// deleted document is invisible to queries the moment the removal
+    /// record lands.
+    pub lazy_tombstones: bool,
 }
 
 /// Which document frequency feeds the IDF during distributed ranking.
@@ -76,6 +84,7 @@ impl Default for SpriteConfig {
             idf_mode: IdfMode::Indexed,
             batched_publish: true,
             packed_postings: true,
+            lazy_tombstones: true,
         }
     }
 }
@@ -116,6 +125,7 @@ mod tests {
         assert_eq!(c.similarity, Similarity::LeeSecond);
         assert!(c.batched_publish, "batched publication is the default");
         assert!(c.packed_postings, "compressed postings are the default");
+        assert!(c.lazy_tombstones, "lazy deletion is the default");
     }
 
     #[test]

@@ -7,11 +7,12 @@
 
 use sprite_chord::{MsgKind, NetStats, SimConfig, TraceRecorder};
 use sprite_corpus::{
-    generate_workload, issue_order, split_train_test, CorpusConfig, GenConfig, GeneratedQuery,
-    Schedule, SyntheticCorpus,
+    generate_workload, issue_order, split_train_test, CorpusConfig, DocChurnConfig, DocChurnEngine,
+    DocEvent, GenConfig, GeneratedQuery, Schedule, SyntheticCorpus,
 };
 use sprite_ir::{
-    evaluate_hits_at_k, CentralizedEngine, PrEval, RatioAccumulator, RatioEval, SearchScratch,
+    evaluate_hits_at_k, CentralizedEngine, DocId, PrEval, RatioAccumulator, RatioEval,
+    SearchScratch,
 };
 use sprite_util::{par_map, par_map_init};
 
@@ -627,6 +628,258 @@ pub fn loss_figure(world: &World, losses: &[f64], replications: &[usize]) -> Los
     LossFigure { points }
 }
 
+/// One point of the freshness study: a deployment evaluated after a run
+/// of continuous *document* churn (inserts, incremental updates, lazy
+/// deletions) at a given event rate and replication degree.
+#[derive(Clone, Copy, Debug)]
+pub struct FreshnessPoint {
+    /// Expected document events per tick (inserts = deletes = this rate,
+    /// updates = twice it, so the live set stays roughly stable).
+    pub doc_churn: f64,
+    /// Replication degree of the deployment.
+    pub replication: usize,
+    /// Precision ratio over a centralized reference **rebuilt over the
+    /// mutated corpus** — the reference always sees fresh content, so the
+    /// ratio prices exactly the staleness the distributed index carries.
+    pub precision: f64,
+    /// Recall ratio over the rebuilt centralized reference.
+    pub recall: f64,
+    /// Documents inserted over the run.
+    pub inserted: u64,
+    /// Documents updated over the run.
+    pub updated: u64,
+    /// Documents deleted over the run.
+    pub deleted: u64,
+    /// Tombstoned entries reclaimed by the maintenance rounds.
+    pub tombstones_reclaimed: u64,
+    /// Tombstones still pending after the closing maintenance round —
+    /// the lifecycle invariant requires **zero**.
+    pub pending_tombstones: u64,
+    /// Evaluation hits pointing at deleted documents — the lifecycle
+    /// invariant requires **zero** (a live query must never surface a
+    /// deleted document, tombstoned or reclaimed).
+    pub deleted_doc_hits: u64,
+    /// Live index entries whose stored metadata no longer matches the
+    /// document's current content (the staleness window, §
+    /// [`crate::system::UpdateReport::terms_kept`]).
+    pub stale_entries: u64,
+    /// Total live index entries at evaluation time.
+    pub live_entries: u64,
+    /// Live documents at evaluation time.
+    pub live_docs: u64,
+    /// Mean messages per evaluation query.
+    pub messages_per_query: f64,
+}
+
+/// The incremental-vs-full update cost comparison: the same planned edit
+/// stream applied to two identical deployments, one through
+/// [`crate::system::SpriteSystem::update_document`] (diff-only
+/// publication) and one through
+/// [`crate::system::SpriteSystem::republish_document`] (retract
+/// everything, publish everything).
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateCost {
+    /// Edits applied to each deployment.
+    pub updates: u64,
+    /// Publication bytes ([`MsgKind::IndexPublish`] +
+    /// [`MsgKind::IndexRemove`]) billed by the incremental path.
+    pub incremental_bytes: u64,
+    /// The same bill for the delete+republish path.
+    pub republish_bytes: u64,
+    /// `1 − incremental/republish`: the fraction of publication bytes the
+    /// diff saves. The acceptance bar is ≥ 0.30.
+    pub savings_ratio: f64,
+}
+
+/// The freshness figure: one [`FreshnessPoint`] per (replication, rate)
+/// pair, replication-major in input order, plus the update-cost
+/// comparison.
+#[derive(Clone, Debug)]
+pub struct FreshnessFigure {
+    /// All sweep points.
+    pub points: Vec<FreshnessPoint>,
+    /// The incremental-vs-full publication cost comparison.
+    pub cost: UpdateCost,
+}
+
+/// Run the freshness study: for every replication degree × document-churn
+/// rate, build a standard deployment, subject it to `ticks` ticks of
+/// seeded document churn (topic-shaped inserts, incremental updates, lazy
+/// deletions) with a maintenance round every second tick plus a closing
+/// round, then evaluate the test split at K = 20 against a centralized
+/// reference **rebuilt over the mutated corpus** (deleted slots emptied,
+/// relevance judgments filtered to live documents). Include 0.0 to anchor
+/// the frozen-corpus baseline.
+#[must_use]
+pub fn freshness_figure(
+    world: &World,
+    rates: &[f64],
+    replications: &[usize],
+    ticks: usize,
+) -> FreshnessFigure {
+    let jobs: Vec<(usize, f64)> = replications
+        .iter()
+        .flat_map(|&r| rates.iter().map(move |&c| (r, c)))
+        .collect();
+    let points = par_map(&jobs, |j, &(replication, rate)| {
+        let cfg = SpriteConfig {
+            replication,
+            ..SpriteConfig::default()
+        };
+        let mut sys = world.standard_system(cfg, Schedule::WithoutRepeats);
+        if replication > 1 {
+            sys.replicate_indexes();
+        }
+        let mut engine = DocChurnEngine::new(
+            DocChurnConfig {
+                insert_rate: rate,
+                update_rate: 2.0 * rate,
+                delete_rate: rate,
+                min_docs: 8,
+            },
+            world.config.seed.wrapping_add(j as u64 + 1),
+            &world.synthetic,
+        );
+        let (mut inserted, mut updated, mut deleted) = (0u64, 0u64, 0u64);
+        let mut reclaimed = 0u64;
+        for tick in 0..ticks {
+            let live = sys.live_docs();
+            let events = engine.plan(&live, sys.corpus().len());
+            let r = sys.apply_doc_events(&events);
+            inserted += r.inserted as u64;
+            updated += r.updated as u64;
+            deleted += r.deleted as u64;
+            if tick % 2 == 1 {
+                reclaimed += sys.maintenance_round().tombstones_reclaimed as u64;
+            }
+        }
+        // Close the run: the invariant is zero pending debt afterwards.
+        reclaimed += sys.maintenance_round().tombstones_reclaimed as u64;
+        let pending = sys.pending_tombstones() as u64;
+        let (stale_entries, live_entries) = sys.stale_index_entries();
+        let live_docs = sys.live_docs().len() as u64;
+
+        // The fresh centralized reference: the mutated corpus with deleted
+        // slots emptied (ids must stay aligned; an empty document can
+        // never be retrieved), searched per query at evaluation time.
+        let dead: Vec<bool> = (0..sys.corpus().len())
+            .map(|i| sys.is_deleted(DocId(i as u32)))
+            .collect();
+        let mut ref_corpus = sys.corpus().clone();
+        for (i, &gone) in dead.iter().enumerate() {
+            if gone {
+                ref_corpus.replace_document(DocId(i as u32), Vec::new());
+            }
+        }
+        let reference = CentralizedEngine::build(&ref_corpus);
+
+        sys.net_mut().reset_stats();
+        sys.warm_query_terms(world.test.iter().map(|&qi| &world.workload[qi].query));
+        let mut acc = RatioAccumulator::new();
+        let mut total = NetStats::new();
+        let mut deleted_doc_hits = 0u64;
+        {
+            let view = sys.query_view();
+            let peers = view.peers();
+            let mut rank = RankScratch::new();
+            let mut scratch = SearchScratch::new();
+            for (i, &qi) in world.test.iter().enumerate() {
+                let gq = &world.workload[qi];
+                let from = peers[i % peers.len()];
+                let mut delta = NetStats::new();
+                let sys_hits = view.query(from, &gq.query, 20, &mut delta, &mut rank);
+                deleted_doc_hits += sys_hits.iter().filter(|h| dead[h.doc.index()]).count() as u64;
+                let relevant: std::collections::HashSet<DocId> = gq
+                    .relevant
+                    .iter()
+                    .copied()
+                    .filter(|d| !dead[d.index()])
+                    .collect();
+                let cen_hits = reference.search_with(&gq.query, 20, &mut scratch);
+                acc.add(
+                    evaluate_hits_at_k(&sys_hits, &relevant, 20),
+                    evaluate_hits_at_k(&cen_hits, &relevant, 20),
+                );
+                total.merge(&delta);
+            }
+        }
+        sys.net_mut().absorb_stats(&total);
+        let r = acc.finish();
+        let msgs = sys.net().stats().total_messages() as f64 / world.test.len().max(1) as f64;
+        FreshnessPoint {
+            doc_churn: rate,
+            replication,
+            precision: r.precision_ratio,
+            recall: r.recall_ratio,
+            inserted,
+            updated,
+            deleted,
+            tombstones_reclaimed: reclaimed,
+            pending_tombstones: pending,
+            deleted_doc_hits,
+            stale_entries,
+            live_entries,
+            live_docs,
+            messages_per_query: msgs,
+        }
+    });
+    FreshnessFigure {
+        points,
+        cost: update_cost(world, 6),
+    }
+}
+
+/// Run the incremental-vs-full update cost comparison: plan `ticks` ticks
+/// of an update-only churn stream and apply every edit to two identical
+/// standard deployments — one incrementally, one by full republish —
+/// billing both through the normal wire-accounting paths.
+#[must_use]
+pub fn update_cost(world: &World, ticks: usize) -> UpdateCost {
+    let cfg = DocChurnConfig {
+        insert_rate: 0.0,
+        update_rate: 4.0,
+        delete_rate: 0.0,
+        min_docs: 0,
+    };
+    let mut incremental = world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+    let mut full = world.standard_system(SpriteConfig::default(), Schedule::WithoutRepeats);
+    let mut engine = DocChurnEngine::new(
+        cfg,
+        world.config.seed.wrapping_add(0x5eed),
+        &world.synthetic,
+    );
+    incremental.net_mut().reset_stats();
+    full.net_mut().reset_stats();
+    let mut updates = 0u64;
+    for _ in 0..ticks {
+        let live = incremental.live_docs();
+        let events = engine.plan(&live, incremental.corpus().len());
+        for ev in &events {
+            let DocEvent::Update { doc, terms } = ev else {
+                continue;
+            };
+            incremental.update_document(*doc, terms.clone());
+            full.republish_document(*doc, terms.clone());
+            updates += 1;
+        }
+    }
+    let bill = |sys: &SpriteSystem| {
+        let st = sys.net().stats();
+        st.bytes(MsgKind::IndexPublish) + st.bytes(MsgKind::IndexRemove)
+    };
+    let (incremental_bytes, republish_bytes) = (bill(&incremental), bill(&full));
+    UpdateCost {
+        updates,
+        incremental_bytes,
+        republish_bytes,
+        savings_ratio: if republish_bytes > 0 {
+            1.0 - incremental_bytes as f64 / republish_bytes as f64
+        } else {
+            0.0
+        },
+    }
+}
+
 /// Figure 4(b): precision ratio vs number of indexed terms, for the
 /// `w/o-r` and `w-zipf` schedules.
 #[derive(Clone, Debug)]
@@ -1081,6 +1334,48 @@ mod tests {
             assert_eq!(a.recall.to_bits(), b.recall.to_bits());
             assert_eq!(a.timeouts, b.timeouts, "same seed, same event order");
         }
+    }
+
+    #[test]
+    fn freshness_figure_shapes_invariants_and_replay() {
+        let w = tiny_world();
+        let run = || freshness_figure(&w, &[0.0, 0.5], &[1, 3], 4);
+        let f = run();
+        assert_eq!(f.points.len(), 4);
+        for p in &f.points {
+            assert!(p.precision.is_finite() && p.precision >= 0.0);
+            assert!(p.recall.is_finite() && p.recall >= 0.0);
+            assert_eq!(p.deleted_doc_hits, 0, "a deleted doc surfaced in a query");
+            assert_eq!(p.pending_tombstones, 0, "maintenance left tombstone debt");
+            assert!(p.live_docs >= 8);
+            if p.doc_churn == 0.0 {
+                assert_eq!(p.inserted + p.updated + p.deleted, 0);
+                assert_eq!(p.stale_entries, 0, "a frozen corpus has no staleness");
+            } else {
+                assert!(p.updated > 0, "rate 0.5 over 4 ticks should update docs");
+            }
+        }
+        // The update stream must actually exercise the tombstone path at
+        // some point of the sweep.
+        assert!(f.points.iter().any(|p| p.tombstones_reclaimed > 0));
+        assert!(f.cost.updates > 0);
+        assert!(
+            f.cost.savings_ratio >= 0.30,
+            "incremental updates saved only {:.0}% of publication bytes",
+            f.cost.savings_ratio * 100.0
+        );
+        // Bit-identical replay: same seeds, same schedule, same ratios.
+        let g = run();
+        for (a, b) in f.points.iter().zip(&g.points) {
+            assert_eq!(a.precision.to_bits(), b.precision.to_bits());
+            assert_eq!(a.recall.to_bits(), b.recall.to_bits());
+            assert_eq!(
+                (a.inserted, a.updated, a.deleted, a.tombstones_reclaimed),
+                (b.inserted, b.updated, b.deleted, b.tombstones_reclaimed)
+            );
+        }
+        assert_eq!(f.cost.incremental_bytes, g.cost.incremental_bytes);
+        assert_eq!(f.cost.republish_bytes, g.cost.republish_bytes);
     }
 
     #[test]

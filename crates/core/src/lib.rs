@@ -41,8 +41,9 @@ pub mod view;
 pub use config::{IdfMode, SpriteConfig};
 pub use expansion::ExpansionConfig;
 pub use experiment::{
-    churn_figure, fig4a, fig4b, fig4c, loss_figure, ChurnFigure, ChurnPoint, Fig4a, Fig4b, Fig4c,
-    LossFigure, LossPoint, SeriesPoint, World, WorldConfig,
+    churn_figure, fig4a, fig4b, fig4c, freshness_figure, loss_figure, update_cost, ChurnFigure,
+    ChurnPoint, Fig4a, Fig4b, Fig4c, FreshnessFigure, FreshnessPoint, LossFigure, LossPoint,
+    SeriesPoint, UpdateCost, World, WorldConfig,
 };
 pub use learn::{
     algorithm1, naive_select, q_score, select_terms, select_terms_excluding, select_terms_mode,
@@ -52,6 +53,6 @@ pub use metrics::{gini, LoadReport, PeerLoad};
 pub use peer::{CachedQuery, IndexEntry, IndexingState, OwnerDoc, TermStat};
 pub use postings::{PostingIter, PostingList, PLAIN_ENTRY_BYTES};
 pub use resilience::{AdvisoryReport, ChurnReport, MaintenanceReport};
-pub use system::{LearnReport, SpriteSystem};
+pub use system::{DocTickReport, LearnReport, SpriteSystem, UpdateReport};
 pub use trace::{KeywordTrace, QueryTrace};
 pub use view::{QueryView, RankScratch};

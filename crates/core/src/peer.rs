@@ -149,18 +149,62 @@ impl IndexingState {
             .publish(entry);
     }
 
-    /// Remove the entry for `(term, doc)`; true if it existed.
+    /// Remove the entry for `(term, doc)` eagerly; true if it existed.
+    /// A list is dropped only when nothing — live or tombstoned — is
+    /// left in it, so pending tombstones always survive to be billed by
+    /// the cleanup pass.
     pub fn remove(&mut self, term: TermId, doc: DocId) -> bool {
         match self.inverted.get_mut(&term) {
             Some(list) => {
                 let removed = list.remove(doc);
-                if list.is_empty() {
+                if list.is_empty() && list.dead_count() == 0 {
                     self.inverted.remove(&term);
                 }
                 removed
             }
             None => false,
         }
+    }
+
+    /// Mark the entry for `(term, doc)` dead without rewriting the
+    /// stored list; true if a live entry existed. The entry vanishes
+    /// from queries, replication, and document frequencies immediately;
+    /// the physical reclaim waits for [`Self::cleanup_tombstones`].
+    pub fn tombstone(&mut self, term: TermId, doc: DocId) -> bool {
+        self.inverted
+            .get_mut(&term)
+            .is_some_and(|list| list.tombstone(doc))
+    }
+
+    /// Tombstoned entries awaiting the lazy cleanup pass, across all
+    /// lists.
+    #[must_use]
+    pub fn pending_tombstones(&self) -> usize {
+        self.inverted.values().map(PostingList::dead_count).sum()
+    }
+
+    /// Physically reclaim every pending tombstone, dropping lists that
+    /// end up empty. Returns the reclaimed `(term, entry)` records
+    /// sorted by term then document so callers bill them in a
+    /// deterministic order.
+    pub fn cleanup_tombstones(&mut self) -> Vec<(TermId, IndexEntry)> {
+        let mut dirty: Vec<TermId> = self
+            .inverted
+            .iter()
+            .filter(|(_, l)| l.dead_count() > 0)
+            .map(|(&t, _)| t)
+            .collect();
+        dirty.sort_unstable();
+        let mut reclaimed = Vec::new();
+        for t in dirty {
+            if let Some(list) = self.inverted.get_mut(&t) {
+                reclaimed.extend(list.cleanup().into_iter().map(|e| (t, e)));
+                if list.is_empty() && list.dead_count() == 0 {
+                    self.inverted.remove(&t);
+                }
+            }
+        }
+        reclaimed
     }
 
     /// The inverted list of `term`, if anything is indexed under it.
@@ -434,6 +478,48 @@ mod tests {
         assert_eq!(sized, 1 + 2 + 3 + 4 * 19);
         let naive: usize = 1 + list.iter().map(WireSize::wire_size).sum::<usize>();
         assert!(sized < naive, "gap encoding beats absolute ids");
+    }
+
+    #[test]
+    fn tombstones_hide_entries_and_cleanup_reclaims_them() {
+        let mut s = IndexingState::new(8);
+        s.publish(TermId(1), entry(0, 3));
+        s.publish(TermId(1), entry(1, 5));
+        s.publish(TermId(2), entry(0, 2));
+        assert!(s.tombstone(TermId(1), DocId(0)));
+        assert!(!s.tombstone(TermId(1), DocId(0)), "already dead");
+        assert!(!s.tombstone(TermId(9), DocId(0)), "unknown term");
+        assert_eq!(s.indexed_df(TermId(1)), 1, "dead entries leave the df");
+        assert_eq!(s.pending_tombstones(), 1);
+        // A fully-tombstoned list survives until cleanup so its
+        // reclaim can be billed.
+        assert!(s.tombstone(TermId(2), DocId(0)));
+        assert_eq!(s.indexed_df(TermId(2)), 0);
+        assert_eq!(s.indexed_terms(), 2);
+        let reclaimed = s.cleanup_tombstones();
+        assert_eq!(
+            reclaimed
+                .iter()
+                .map(|&(t, e)| (t, e.doc))
+                .collect::<Vec<_>>(),
+            vec![(TermId(1), DocId(0)), (TermId(2), DocId(0))]
+        );
+        assert_eq!(s.pending_tombstones(), 0);
+        assert_eq!(s.indexed_terms(), 1, "the emptied list is dropped");
+        assert!(s.cleanup_tombstones().is_empty());
+    }
+
+    #[test]
+    fn replication_never_copies_tombstoned_entries() {
+        let mut src = IndexingState::new(4);
+        src.publish(TermId(1), entry(0, 2));
+        src.publish(TermId(1), entry(1, 3));
+        assert!(src.tombstone(TermId(1), DocId(0)));
+        let mut dst = IndexingState::new(4);
+        let copied = dst.absorb_replica(&src);
+        assert_eq!(copied, 1, "only the live entry replicates");
+        assert_eq!(dst.indexed_df(TermId(1)), 1);
+        assert_eq!(dst.entries(TermId(1))[0].doc, DocId(1));
     }
 
     #[test]

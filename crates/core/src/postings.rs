@@ -14,6 +14,19 @@
 //! apart, and the `storage/packed` determinism stage in `sprite-audit`
 //! holds both to bit-identical fingerprints.
 //!
+//! **Tombstones.** Document deletion marks entries dead instead of
+//! re-encoding the list on the spot: each list carries a sorted side
+//! vector of tombstoned document ids, [`PostingIter`] skips them, and
+//! every live-facing accessor (`len`, `iter`, `to_entries`,
+//! `wire_size`) sees only live entries. The physical reclaim happens in
+//! [`PostingList::cleanup`], called by the lazy pass in
+//! `maintenance_round`, which returns the reclaimed entries so the
+//! caller can bill each one. The side-vector design is deliberately
+//! identical across representations so message accounting is
+//! bit-identical between plain and packed storage; for packed blocks it
+//! additionally guarantees that a tombstone never rewrites encoded
+//! bytes before the next cleanup watermark.
+//!
 //! **This module is the only place posting lists may be built.** A
 //! `sprite-lint` rule bans `Vec<IndexEntry>` construction elsewhere so
 //! every list flows through the sorted-insert invariant enforced here.
@@ -32,22 +45,31 @@ pub const PLAIN_ENTRY_BYTES: u64 = 4 + 16 + 4 + 4 + 4;
 
 /// One inverted list, sorted by document id with one entry per document,
 /// stored either as plain entries or as a delta-gap-compressed block.
+/// Either way a sorted tombstone vector marks dead documents awaiting
+/// the lazy cleanup pass.
 #[derive(Clone, Debug)]
 pub enum PostingList {
     /// Plain decoded entries — the historical layout, and the layout of
     /// corruption-injected lists (which may violate the encoder's
     /// strictly-ascending precondition on purpose).
-    Plain(Vec<IndexEntry>),
+    Plain {
+        /// Doc-sorted entries, live and tombstoned alike.
+        entries: Vec<IndexEntry>,
+        /// Sorted document ids of tombstoned entries.
+        dead: Vec<u32>,
+    },
     /// The per-entry wire encoding, concatenated. `count` entries;
     /// `last_doc` is the final (largest) document id, so in-order
     /// publishes append without touching earlier bytes.
     Packed {
         /// Concatenated per-entry encodings (no count prefix).
         bytes: Vec<u8>,
-        /// Number of encoded entries.
+        /// Number of encoded entries, tombstoned ones included.
         count: u32,
         /// Document id of the last entry (meaningless when `count == 0`).
         last_doc: u32,
+        /// Sorted document ids of tombstoned entries.
+        dead: Vec<u32>,
     },
 }
 
@@ -105,9 +127,13 @@ impl PostingList {
                 bytes: Vec::new(),
                 count: 0,
                 last_doc: 0,
+                dead: Vec::new(),
             }
         } else {
-            PostingList::Plain(Vec::new())
+            PostingList::Plain {
+                entries: Vec::new(),
+                dead: Vec::new(),
+            }
         }
     }
 
@@ -118,7 +144,10 @@ impl PostingList {
     #[must_use]
     pub fn from_entries(entries: Vec<IndexEntry>, packed: bool) -> Self {
         if !packed {
-            return PostingList::Plain(entries);
+            return PostingList::Plain {
+                entries,
+                dead: Vec::new(),
+            };
         }
         let mut bytes = Vec::new();
         let mut prev: Option<u32> = None;
@@ -130,6 +159,7 @@ impl PostingList {
             bytes,
             count: entries.len() as u32,
             last_doc: prev.unwrap_or(0),
+            dead: Vec::new(),
         }
     }
 
@@ -139,82 +169,157 @@ impl PostingList {
         matches!(self, PostingList::Packed { .. })
     }
 
-    /// Number of entries.
+    /// Number of *live* entries — tombstoned documents are already
+    /// invisible here, so indexed document frequencies never count the
+    /// dead.
     #[must_use]
     pub fn len(&self) -> usize {
         match self {
-            PostingList::Plain(v) => v.len(),
-            PostingList::Packed { count, .. } => *count as usize,
+            PostingList::Plain { entries, dead } => entries.len() - dead.len(),
+            PostingList::Packed { count, dead, .. } => *count as usize - dead.len(),
         }
     }
 
-    /// True when no entries are stored.
+    /// True when no live entries are stored (tombstoned entries may
+    /// still be awaiting cleanup — see [`Self::dead_count`]).
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Iterate entries in document-id order, decoding on the fly.
+    /// Number of tombstoned entries awaiting the lazy cleanup pass.
+    #[must_use]
+    pub fn dead_count(&self) -> usize {
+        match self {
+            PostingList::Plain { dead, .. } | PostingList::Packed { dead, .. } => dead.len(),
+        }
+    }
+
+    /// The packed block's raw encoded bytes, when packed. Exposed so
+    /// tests can assert the append-only contract: between cleanups,
+    /// in-order publishes and tombstones never rewrite existing bytes.
+    #[must_use]
+    pub fn packed_bytes(&self) -> Option<&[u8]> {
+        match self {
+            PostingList::Plain { .. } => None,
+            PostingList::Packed { bytes, .. } => Some(bytes),
+        }
+    }
+
+    /// Iterate *live* entries in document-id order, decoding on the fly
+    /// and skipping tombstoned documents.
     #[must_use]
     pub fn iter(&self) -> PostingIter<'_> {
+        let live = self.len();
         match self {
-            PostingList::Plain(v) => PostingIter::Plain(v.iter()),
-            PostingList::Packed { bytes, count, .. } => PostingIter::Packed {
+            PostingList::Plain { entries, dead } => PostingIter::Plain {
+                entries: entries.iter(),
+                dead,
+                dead_at: 0,
+                live,
+            },
+            PostingList::Packed {
+                bytes, count, dead, ..
+            } => PostingIter::Packed {
                 bytes,
                 at: 0,
                 remaining: *count,
                 prev_doc: None,
+                dead,
+                dead_at: 0,
+                live,
             },
         }
     }
 
-    /// All entries, decoded into a fresh vector.
+    /// All *live* entries, decoded into a fresh vector.
     #[must_use]
     pub fn to_entries(&self) -> Vec<IndexEntry> {
         self.iter().collect()
     }
 
-    /// Exact wire size of this list as a `QueryFetch` payload: the
-    /// packed block *is* the wire encoding, so only the count prefix is
-    /// added. Agrees byte-for-byte with
-    /// [`crate::peer::posting_list_wire_size`] on the decoded entries.
+    /// Every stored entry, tombstoned ones included — the physical
+    /// contents, used only by the re-encode paths below so a splice
+    /// never silently reclaims dead entries the cleanup pass must bill.
+    fn all_entries(&self) -> Vec<IndexEntry> {
+        match self {
+            PostingList::Plain { entries, .. } => entries.clone(),
+            PostingList::Packed { bytes, count, .. } => {
+                let mut out = Vec::with_capacity(*count as usize);
+                let mut at = 0;
+                let mut prev = None;
+                for _ in 0..*count {
+                    let (e, next_at) = decode_entry(bytes, at, prev);
+                    at = next_at;
+                    prev = Some(e.doc.index() as u32);
+                    out.push(e);
+                }
+                out
+            }
+        }
+    }
+
+    /// Exact wire size of this list as a `QueryFetch` payload: count
+    /// prefix plus the per-entry encodings of the *live* entries.
+    /// Agrees byte-for-byte with
+    /// [`crate::peer::posting_list_wire_size`] on the decoded entries;
+    /// with no tombstones pending, the packed block *is* the payload.
     #[must_use]
     pub fn wire_size(&self) -> usize {
         match self {
-            PostingList::Plain(v) => crate::peer::posting_list_wire_size(v),
-            PostingList::Packed { bytes, count, .. } => varint_len(u64::from(*count)) + bytes.len(),
+            PostingList::Plain { entries, dead } if dead.is_empty() => {
+                crate::peer::posting_list_wire_size(entries)
+            }
+            PostingList::Packed {
+                bytes, count, dead, ..
+            } if dead.is_empty() => varint_len(u64::from(*count)) + bytes.len(),
+            _ => crate::peer::posting_list_wire_size(&self.to_entries()),
         }
     }
 
     /// Deterministic *logical* bytes this list occupies in memory:
     /// encoded length for packed blocks, [`PLAIN_ENTRY_BYTES`] per entry
-    /// for plain vectors. Length-based, never capacity, so the
-    /// memory-per-peer metric gates on it exactly.
+    /// for plain vectors, plus 4 bytes per pending tombstone — dead
+    /// entries still occupy storage until the cleanup pass reclaims
+    /// them. Length-based, never capacity, so the memory-per-peer
+    /// metric gates on it exactly.
     #[must_use]
     pub fn stored_bytes(&self) -> u64 {
         match self {
-            PostingList::Plain(v) => v.len() as u64 * PLAIN_ENTRY_BYTES,
-            PostingList::Packed { bytes, .. } => bytes.len() as u64,
+            PostingList::Plain { entries, dead } => {
+                entries.len() as u64 * PLAIN_ENTRY_BYTES + dead.len() as u64 * 4
+            }
+            PostingList::Packed { bytes, dead, .. } => bytes.len() as u64 + dead.len() as u64 * 4,
         }
     }
 
     /// Insert or replace the entry for its document, keeping the list
-    /// sorted by document id with one entry per document. In-order
-    /// publishes (ascending doc ids — the bulk-publish common case)
-    /// append to the packed block without re-encoding; out-of-order
-    /// publishes decode, splice, and re-encode.
+    /// sorted by document id with one entry per document. A republished
+    /// document sheds any pending tombstone. In-order publishes
+    /// (ascending doc ids — the bulk-publish common case) append to the
+    /// packed block without re-encoding; out-of-order publishes decode,
+    /// splice, and re-encode.
     pub fn publish(&mut self, entry: IndexEntry) {
+        let doc = entry.doc.index() as u32;
         match self {
-            PostingList::Plain(list) => match list.binary_search_by_key(&entry.doc, |e| e.doc) {
-                Ok(i) => list[i] = entry,
-                Err(i) => list.insert(i, entry),
-            },
+            PostingList::Plain { entries, dead } => {
+                if let Ok(i) = dead.binary_search(&doc) {
+                    dead.remove(i);
+                }
+                match entries.binary_search_by_key(&entry.doc, |e| e.doc) {
+                    Ok(i) => entries[i] = entry,
+                    Err(i) => entries.insert(i, entry),
+                }
+            }
             PostingList::Packed {
                 bytes,
                 count,
                 last_doc,
+                ..
             } => {
-                let doc = entry.doc.index() as u32;
+                // Tombstoned docs were published before, so they sit at
+                // or below `last_doc`: the in-order append path can
+                // never hit one.
                 if *count == 0 {
                     encode_entry(&entry, None, bytes);
                     *count = 1;
@@ -224,24 +329,39 @@ impl PostingList {
                     *count += 1;
                     *last_doc = doc;
                 } else {
-                    let mut list = self.to_entries();
+                    let mut list = self.all_entries();
                     match list.binary_search_by_key(&entry.doc, |e| e.doc) {
                         Ok(i) => list[i] = entry,
                         Err(i) => list.insert(i, entry),
                     }
+                    let mut dead = match self {
+                        PostingList::Packed { dead, .. } => std::mem::take(dead),
+                        PostingList::Plain { .. } => unreachable!(),
+                    };
+                    if let Ok(i) = dead.binary_search(&doc) {
+                        dead.remove(i);
+                    }
                     *self = PostingList::from_entries(list, true);
+                    if let PostingList::Packed { dead: d, .. } = self {
+                        *d = dead;
+                    }
                 }
             }
         }
     }
 
-    /// Remove the entry for `doc`; true if it existed.
+    /// Eagerly remove the entry for `doc` — physical removal, pending
+    /// tombstone included; true if the entry existed. The lazy
+    /// alternative is [`Self::tombstone`].
     pub fn remove(&mut self, doc: DocId) -> bool {
         match self {
-            PostingList::Plain(list) => {
-                let before = list.len();
-                list.retain(|e| e.doc != doc);
-                list.len() != before
+            PostingList::Plain { entries, dead } => {
+                if let Ok(i) = dead.binary_search(&(doc.index() as u32)) {
+                    dead.remove(i);
+                }
+                let before = entries.len();
+                entries.retain(|e| e.doc != doc);
+                entries.len() != before
             }
             PostingList::Packed {
                 count, last_doc, ..
@@ -249,14 +369,81 @@ impl PostingList {
                 if *count == 0 || doc.index() as u32 > *last_doc {
                     return false;
                 }
-                let mut list = self.to_entries();
+                let mut list = self.all_entries();
                 let before = list.len();
                 list.retain(|e| e.doc != doc);
                 if list.len() == before {
                     return false;
                 }
+                let mut dead = match self {
+                    PostingList::Packed { dead, .. } => std::mem::take(dead),
+                    PostingList::Plain { .. } => unreachable!(),
+                };
+                if let Ok(i) = dead.binary_search(&(doc.index() as u32)) {
+                    dead.remove(i);
+                }
                 *self = PostingList::from_entries(list, true);
+                if let PostingList::Packed { dead: d, .. } = self {
+                    *d = dead;
+                }
                 true
+            }
+        }
+    }
+
+    /// Mark the entry for `doc` dead without touching the stored bytes;
+    /// true if a live entry existed. The entry disappears from every
+    /// live-facing accessor immediately; the physical reclaim — and its
+    /// billing — waits for [`Self::cleanup`].
+    pub fn tombstone(&mut self, doc: DocId) -> bool {
+        let id = doc.index() as u32;
+        let present = match self {
+            PostingList::Plain { entries, .. } => {
+                entries.binary_search_by_key(&doc, |e| e.doc).is_ok()
+            }
+            PostingList::Packed { .. } => self.all_entries().iter().any(|e| e.doc == doc),
+        };
+        if !present {
+            return false;
+        }
+        let dead = match self {
+            PostingList::Plain { dead, .. } | PostingList::Packed { dead, .. } => dead,
+        };
+        match dead.binary_search(&id) {
+            Ok(_) => false,
+            Err(i) => {
+                dead.insert(i, id);
+                true
+            }
+        }
+    }
+
+    /// Physically reclaim every tombstoned entry, returning the
+    /// reclaimed entries in document order so the caller can bill each
+    /// one. A no-op (empty vector) when no tombstones are pending; for
+    /// packed blocks this is the only operation allowed to rewrite
+    /// bytes behind the append watermark.
+    pub fn cleanup(&mut self) -> Vec<IndexEntry> {
+        if self.dead_count() == 0 {
+            return Vec::new();
+        }
+        let all = self.all_entries();
+        match self {
+            PostingList::Plain { entries, dead } => {
+                let (live, reclaimed): (Vec<_>, Vec<_>) = all
+                    .into_iter()
+                    .partition(|e| dead.binary_search(&(e.doc.index() as u32)).is_err());
+                *entries = live;
+                dead.clear();
+                reclaimed
+            }
+            PostingList::Packed { dead, .. } => {
+                let dead_docs = std::mem::take(dead);
+                let (live, reclaimed): (Vec<_>, Vec<_>) = all
+                    .into_iter()
+                    .partition(|e| dead_docs.binary_search(&(e.doc.index() as u32)).is_err());
+                *self = PostingList::from_entries(live, true);
+                reclaimed
             }
         }
     }
@@ -271,22 +458,39 @@ impl<'a> IntoIterator for &'a PostingList {
     }
 }
 
-/// Decode-on-read iterator over a [`PostingList`], yielding entries by
-/// value in document-id order.
+/// Decode-on-read iterator over a [`PostingList`], yielding *live*
+/// entries by value in document-id order. Tombstoned documents are
+/// skipped by a merge walk against the sorted dead vector, so the
+/// iterator stays exact-size.
 #[derive(Clone, Debug)]
 pub enum PostingIter<'a> {
     /// Plain slice walk.
-    Plain(std::slice::Iter<'a, IndexEntry>),
+    Plain {
+        /// Underlying entries, dead ones included.
+        entries: std::slice::Iter<'a, IndexEntry>,
+        /// Sorted tombstoned document ids.
+        dead: &'a [u32],
+        /// Next tombstone to skip.
+        dead_at: usize,
+        /// Live entries not yet yielded.
+        live: usize,
+    },
     /// Sequential decode of a packed block.
     Packed {
         /// The packed block.
         bytes: &'a [u8],
         /// Current decode offset.
         at: usize,
-        /// Entries left to decode.
+        /// Encoded entries left to decode (dead ones included).
         remaining: u32,
         /// Previous entry's document id (gap base).
         prev_doc: Option<u32>,
+        /// Sorted tombstoned document ids.
+        dead: &'a [u32],
+        /// Next tombstone to skip.
+        dead_at: usize,
+        /// Live entries not yet yielded.
+        live: usize,
     },
 }
 
@@ -294,31 +498,49 @@ impl Iterator for PostingIter<'_> {
     type Item = IndexEntry;
 
     fn next(&mut self) -> Option<IndexEntry> {
-        match self {
-            PostingIter::Plain(it) => it.next().copied(),
-            PostingIter::Packed {
-                bytes,
-                at,
-                remaining,
-                prev_doc,
-            } => {
-                if *remaining == 0 {
-                    return None;
+        loop {
+            let (entry, dead, dead_at, live) = match self {
+                PostingIter::Plain {
+                    entries,
+                    dead,
+                    dead_at,
+                    live,
+                } => (entries.next().copied()?, dead, dead_at, live),
+                PostingIter::Packed {
+                    bytes,
+                    at,
+                    remaining,
+                    prev_doc,
+                    dead,
+                    dead_at,
+                    live,
+                } => {
+                    if *remaining == 0 {
+                        return None;
+                    }
+                    let (entry, next_at) = decode_entry(bytes, *at, *prev_doc);
+                    *at = next_at;
+                    *remaining -= 1;
+                    *prev_doc = Some(entry.doc.index() as u32);
+                    (entry, dead, dead_at, live)
                 }
-                let (entry, next_at) = decode_entry(bytes, *at, *prev_doc);
-                *at = next_at;
-                *remaining -= 1;
-                *prev_doc = Some(entry.doc.index() as u32);
-                Some(entry)
+            };
+            if dead
+                .get(*dead_at)
+                .is_some_and(|&d| d == entry.doc.index() as u32)
+            {
+                *dead_at += 1;
+                continue;
             }
+            *live -= 1;
+            return Some(entry);
         }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         match self {
-            PostingIter::Plain(it) => it.size_hint(),
-            PostingIter::Packed { remaining, .. } => {
-                (*remaining as usize, Some(*remaining as usize))
+            PostingIter::Plain { live, .. } | PostingIter::Packed { live, .. } => {
+                (*live, Some(*live))
             }
         }
     }
@@ -404,5 +626,83 @@ mod tests {
         it.next();
         assert_eq!(it.len(), 4);
         assert_eq!(it.count(), 4);
+    }
+
+    #[test]
+    fn tombstones_hide_entries_until_cleanup_reclaims_them() {
+        for packed in [false, true] {
+            let mut list = PostingList::from_entries((0..6).map(|d| entry(d, 1)).collect(), packed);
+            assert!(list.tombstone(DocId(2)));
+            assert!(!list.tombstone(DocId(2)), "double tombstone is a no-op");
+            assert!(!list.tombstone(DocId(99)), "absent doc cannot be marked");
+            assert!(list.tombstone(DocId(5)));
+            assert_eq!(list.len(), 4);
+            assert_eq!(list.dead_count(), 2);
+            let docs: Vec<u32> = list.iter().map(|e| e.doc.index() as u32).collect();
+            assert_eq!(docs, vec![0, 1, 3, 4]);
+            assert_eq!(list.iter().len(), 4, "exact size excludes the dead");
+            assert_eq!(
+                list.wire_size(),
+                posting_list_wire_size(&list.to_entries()),
+                "wire size is live-only"
+            );
+            let reclaimed = list.cleanup();
+            assert_eq!(
+                reclaimed.iter().map(|e| e.doc.index()).collect::<Vec<_>>(),
+                vec![2, 5]
+            );
+            assert_eq!(list.dead_count(), 0);
+            assert_eq!(list.len(), 4);
+            assert!(list.cleanup().is_empty(), "second cleanup finds nothing");
+        }
+    }
+
+    #[test]
+    fn republish_sheds_a_pending_tombstone() {
+        for packed in [false, true] {
+            let mut list = PostingList::from_entries((0..4).map(|d| entry(d, 1)).collect(), packed);
+            assert!(list.tombstone(DocId(1)));
+            assert_eq!(list.len(), 3);
+            list.publish(entry(1, 42)); // out-of-order republish
+            assert_eq!(list.len(), 4);
+            assert_eq!(list.dead_count(), 0);
+            assert_eq!(list.to_entries()[1].tf, 42);
+        }
+    }
+
+    #[test]
+    fn packed_tombstone_never_rewrites_bytes() {
+        let mut list = PostingList::from_entries((0..8).map(|d| entry(d, 1)).collect(), true);
+        let before = list.packed_bytes().expect("packed").to_vec();
+        assert!(list.tombstone(DocId(3)));
+        assert!(list.tombstone(DocId(0)));
+        assert_eq!(
+            list.packed_bytes().expect("packed"),
+            &before[..],
+            "tombstones only touch the side vector"
+        );
+        list.publish(entry(100, 1)); // in-order append extends, never rewrites
+        assert_eq!(
+            &list.packed_bytes().expect("packed")[..before.len()],
+            &before[..]
+        );
+        list.cleanup();
+        assert_ne!(
+            list.packed_bytes().expect("packed"),
+            &before[..],
+            "cleanup is the watermark that re-encodes"
+        );
+    }
+
+    #[test]
+    fn eager_remove_drops_a_tombstoned_entry_exactly_once() {
+        for packed in [false, true] {
+            let mut list = PostingList::from_entries((0..3).map(|d| entry(d, 1)).collect(), packed);
+            assert!(list.tombstone(DocId(1)));
+            assert!(list.remove(DocId(1)), "physical entry still existed");
+            assert_eq!(list.dead_count(), 0, "its tombstone went with it");
+            assert!(list.cleanup().is_empty());
+            assert_eq!(list.len(), 2);
+        }
     }
 }

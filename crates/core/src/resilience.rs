@@ -46,6 +46,8 @@ pub struct ChurnReport {
 /// Report of one [`SpriteSystem::maintenance_round`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MaintenanceReport {
+    /// Tombstoned entries physically reclaimed by the cleanup pass.
+    pub tombstones_reclaimed: usize,
     /// Entries re-homed from peers that are no longer responsible.
     pub orphans_moved: usize,
     /// Entries copied by the replication pass.
@@ -167,17 +169,53 @@ impl SpriteSystem {
         copied
     }
 
-    /// The periodic maintenance hook run between churn ticks: re-home
-    /// entries orphaned by ownership transfer, then refresh successor
-    /// replicas. Intended cadence: every few [`Self::churn_tick`]s.
+    /// The periodic maintenance hook run between churn ticks: reclaim
+    /// tombstoned entries, re-home entries orphaned by ownership
+    /// transfer, then refresh successor replicas. Intended cadence:
+    /// every few [`Self::churn_tick`]s.
     pub fn maintenance_round(&mut self) -> MaintenanceReport {
         let span = self.trace_span_start();
         let report = MaintenanceReport {
+            tombstones_reclaimed: self.reclaim_tombstones(),
             orphans_moved: self.republish_orphans(),
             replicated: self.replicate_indexes(),
         };
         self.trace_span_end(Phase::Maintenance, span);
         report
+    }
+
+    /// Lazy tombstone reclamation: every indexing peer compacts its
+    /// inverted lists, physically dropping entries that earlier removal
+    /// records marked dead (see `lazy_tombstones` in
+    /// [`crate::SpriteConfig`]). The per-entry wire accounting — one
+    /// [`MsgKind::IndexRemove`] plus the removal record's exact bytes at
+    /// the owner and every replica — happened when the record landed;
+    /// reclamation itself is local compaction and charges nothing. The
+    /// compacted live lists then flow to successor replicas through this
+    /// same round's replication pass (per-entry
+    /// [`MsgKind::Replication`], delivery-gated through
+    /// [`Self::flush_transfer_batch`]), so a reclaimed entry can never
+    /// resurrect via replica repair. Runs first in the round, so no
+    /// tombstone survives a single `maintenance_round` at a live peer.
+    /// Returns entries reclaimed across all peers.
+    fn reclaim_tombstones(&mut self) -> usize {
+        // Peers are visited in sorted order: cleanup may drop emptied
+        // lists, so iteration order would otherwise leak HashMap
+        // randomness into subsequent maintenance passes.
+        let mut dirty: Vec<u128> = self
+            .indexing_mut()
+            .iter()
+            .filter(|(_, st)| st.pending_tombstones() > 0)
+            .map(|(&p, _)| p)
+            .collect();
+        dirty.sort_unstable();
+        let mut reclaimed = 0;
+        for p in dirty {
+            if let Some(st) = self.indexing_mut().get_mut(&p) {
+                reclaimed += st.cleanup_tombstones().len();
+            }
+        }
+        reclaimed
     }
 
     /// Re-home entries orphaned by ownership transfer: after joins, a peer
@@ -693,6 +731,33 @@ mod tests {
             assert_eq!(a.doc, b.doc);
             assert_eq!(a.score.to_bits(), b.score.to_bits());
         }
+    }
+
+    #[test]
+    fn maintenance_reclaims_tombstones_at_owner_and_replicas() {
+        let mut sys = system(3);
+        sys.replicate_indexes();
+        let doc = DocId(0);
+        let term = sys.published_terms(doc)[0];
+        let retracted = sys.delete_document(doc);
+        assert!(retracted > 0);
+        // Lazy tombstones landed at the responsible peer and every replica.
+        assert!(sys.pending_tombstones() >= retracted);
+        let report = sys.maintenance_round();
+        assert!(report.tombstones_reclaimed >= retracted);
+        assert_eq!(sys.pending_tombstones(), 0, "one round clears all debt");
+        // Replica repair after the reclaim must not resurrect the doc: kill
+        // the responsible peer so queries fail over to replicas.
+        sys.maintenance_round();
+        let key = sys.term_ring(term);
+        let victim = sys.net().oracle_owner(key).unwrap();
+        assert!(sys.fail_peer(victim));
+        sys.maintenance_round();
+        let hits = sys.issue_query(&Query::new(vec![term]), sys.corpus().len());
+        assert!(
+            hits.iter().all(|h| h.doc != doc),
+            "deleted doc resurrected through replica repair"
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ use sprite_chord::{
     sim, ChordConfig, ChordNet, MsgKind, NetStats, NullTrace, Phase, StorageBackend, TraceRecorder,
     TraceSink,
 };
+use sprite_corpus::DocEvent;
 use sprite_ir::{Corpus, DocId, Hit, Query, Similarity, TermId};
 use sprite_util::{derive_rng, EventQueue, Md5, RingId, WireSize};
 
@@ -51,6 +52,36 @@ pub struct LearnReport {
     pub polls: usize,
 }
 
+/// Outcome counters of one document update ([`SpriteSystem::update_document`]
+/// or [`SpriteSystem::republish_document`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Terms newly published for the updated document.
+    pub terms_added: usize,
+    /// Terms retracted from the distributed index.
+    pub terms_removed: usize,
+    /// Terms kept as-is (their index entries retain the previous
+    /// version's metadata until the next republish — the staleness
+    /// window the freshness study measures).
+    pub terms_kept: usize,
+}
+
+/// Outcome counters of one applied document-churn tick
+/// ([`SpriteSystem::apply_doc_events`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DocTickReport {
+    /// Fresh documents shared.
+    pub inserted: usize,
+    /// Documents whose content was replaced incrementally.
+    pub updated: usize,
+    /// Documents retired.
+    pub deleted: usize,
+    /// Terms published across all events (insert seeds + update adds).
+    pub terms_published: usize,
+    /// Terms retracted across all events (update drops + delete sweeps).
+    pub terms_retracted: usize,
+}
+
 /// A running SPRITE deployment over a simulated Chord network.
 #[derive(Clone, Debug)]
 pub struct SpriteSystem {
@@ -64,6 +95,9 @@ pub struct SpriteSystem {
     owners: Vec<OwnerDoc>,
     /// Which peer owns (shares) each document.
     doc_owner: Vec<RingId>,
+    /// Deleted-document flags, parallel to `owners`. Document ids are
+    /// never reused; a deleted slot stays dead forever.
+    deleted: Vec<bool>,
     /// Ring position of each term (lazily hashed).
     term_pos: Vec<Option<RingId>>,
     /// Global query sequence for incremental learning.
@@ -195,6 +229,7 @@ impl SpriteSystem {
             .map(|i| OwnerDoc::new(DocId(i as u32)))
             .collect();
         let term_pos = vec![None; corpus.vocab().len()];
+        let deleted = vec![false; corpus.len()];
         SpriteSystem {
             cfg,
             corpus,
@@ -203,6 +238,7 @@ impl SpriteSystem {
             indexing: HashMap::new(),
             owners,
             doc_owner,
+            deleted,
             term_pos,
             query_seq: 0,
             issue_cursor: 0,
@@ -319,6 +355,49 @@ impl SpriteSystem {
             .sum()
     }
 
+    /// Tombstoned entries awaiting the lazy cleanup pass, across every
+    /// indexing peer. The audit invariant: after one `maintenance_round`
+    /// this is zero again.
+    #[must_use]
+    pub fn pending_tombstones(&self) -> usize {
+        self.indexing
+            .values()
+            .map(IndexingState::pending_tombstones)
+            .sum()
+    }
+
+    /// The staleness window of the incremental update path, measured:
+    /// `(stale, total)` live index entries, where an entry is *stale*
+    /// when its stored metadata (term frequency, document length) no
+    /// longer matches the document's current content. Kept terms are not
+    /// republished on update — their entries age until the next learning
+    /// pass or full republish — so this counts exactly the entries
+    /// serving outdated ranking metadata. Tombstoned entries are
+    /// invisible and excluded; replicas count per copy.
+    #[must_use]
+    pub fn stale_index_entries(&self) -> (u64, u64) {
+        let (mut stale, mut total) = (0u64, 0u64);
+        // Sorted peer walk: counting is commutative, but every index scan
+        // in this crate runs in a reproducible order by convention.
+        let mut peers: Vec<&u128> = self.indexing.keys().collect();
+        peers.sort_unstable();
+        for p in peers {
+            let st = &self.indexing[p];
+            let mut terms: Vec<TermId> = st.term_dfs().map(|(t, _)| t).collect();
+            terms.sort_unstable();
+            for term in terms {
+                for e in st.entries(term) {
+                    total += 1;
+                    let d = self.corpus.doc(e.doc);
+                    if e.tf != d.freq(term) || e.doc_len != d.len() {
+                        stale += 1;
+                    }
+                }
+            }
+        }
+        (stale, total)
+    }
+
     /// Deterministic *logical* bytes of every inverted index in the
     /// deployment, as stored (encoded length for packed lists, the fixed
     /// per-entry cost for plain ones). Length-based — a pure function of
@@ -353,6 +432,9 @@ impl SpriteSystem {
         if self.true_dfs.is_none() {
             let mut dfs = vec![0u32; self.corpus.vocab().len()];
             for d in self.corpus.docs() {
+                if self.deleted[d.id.index()] {
+                    continue; // deleted documents leave the oracle too
+                }
                 for &(t, _) in d.terms() {
                     dfs[t.index()] += 1;
                 }
@@ -472,7 +554,7 @@ impl SpriteSystem {
             let mut batch = PublishBatch::default();
             for i in 0..self.corpus.len() {
                 let doc = DocId(i as u32);
-                if !self.owners[i].published.is_empty() {
+                if self.deleted[i] || !self.owners[i].published.is_empty() {
                     continue;
                 }
                 let initial = self
@@ -722,6 +804,226 @@ impl SpriteSystem {
         terms.len()
     }
 
+    // ------------------------------------------------------------------
+    // Document lifecycle (live corpus dynamics)
+    // ------------------------------------------------------------------
+
+    /// True when `doc` has been deleted from the deployment. Document
+    /// ids are never reused, so a deleted slot stays dead forever.
+    #[must_use]
+    pub fn is_deleted(&self, doc: DocId) -> bool {
+        self.deleted[doc.index()]
+    }
+
+    /// Documents currently shared (never-deleted ids, ascending).
+    #[must_use]
+    pub fn live_docs(&self) -> Vec<DocId> {
+        (0..self.corpus.len())
+            .map(|i| DocId(i as u32))
+            .filter(|d| !self.deleted[d.index()])
+            .collect()
+    }
+
+    /// Share a brand-new document: append it to the corpus, assign an
+    /// owner peer deterministically (hash of the document id — late
+    /// arrivals must not consume the build-time RNG stream), and publish
+    /// its initial top-F frequent terms through the billed publish path.
+    /// Returns the new id.
+    pub fn insert_document(&mut self, terms: Vec<(TermId, u32)>) -> DocId {
+        let doc = self.corpus.add_document(terms);
+        let key = RingId::hash_bytes(format!("doc-owner-{}", doc.index()).as_bytes());
+        let owner_peer = self.peers[(key.0 % self.peers.len() as u128) as usize];
+        self.doc_owner.push(owner_peer);
+        self.owners.push(OwnerDoc::new(doc));
+        self.deleted.push(false);
+        if self.term_pos.len() < self.corpus.vocab().len() {
+            self.term_pos.resize(self.corpus.vocab().len(), None);
+        }
+        self.true_dfs = None;
+        let tick = self.next_tick();
+        let initial = self
+            .corpus
+            .doc(doc)
+            .top_frequent_terms(self.cfg.initial_terms);
+        traced!(self, sink, {
+            for &t in &initial {
+                self.publish_term_with(doc, t, Phase::Publish, tick, sink);
+            }
+        });
+        self.owners[doc.index()].published = initial;
+        self.debug_validate_owner(doc);
+        doc
+    }
+
+    /// Modify a shared document **incrementally**: replace its corpus
+    /// contents, re-select its global index terms against the new
+    /// version (learned statistics for vanished terms are dropped —
+    /// `qScore` measures fit to content that no longer exists), then
+    /// publish only the added terms and retract only the removed ones,
+    /// billing exact wire bytes for both directions. Kept terms are
+    /// *not* republished: their index entries retain the previous
+    /// version's metadata until the next learning pass or republish —
+    /// the staleness window the freshness study measures.
+    ///
+    /// # Panics
+    /// Panics if `doc` was deleted.
+    pub fn update_document(&mut self, doc: DocId, terms: Vec<(TermId, u32)>) -> UpdateReport {
+        assert!(!self.deleted[doc.index()], "cannot update deleted {doc:?}");
+        self.corpus.replace_document(doc, terms);
+        self.true_dfs = None;
+        let old = self.owners[doc.index()].published.clone();
+        {
+            let d = self.corpus.doc(doc);
+            let owner = &mut self.owners[doc.index()];
+            owner.stats.retain(|t, _| d.contains(*t));
+        }
+        let new_terms = self.reselect_terms(doc, old.len());
+        let lazy = self.cfg.lazy_tombstones;
+        let tick = self.next_tick();
+        let mut report = UpdateReport::default();
+        traced!(self, sink, {
+            for &t in &new_terms {
+                if !old.contains(&t) {
+                    self.publish_term_with(doc, t, Phase::Publish, tick, sink);
+                    report.terms_added += 1;
+                }
+            }
+            for &t in &old {
+                if !new_terms.contains(&t) {
+                    self.retract_term_with(doc, t, lazy, Phase::Publish, tick, sink);
+                    report.terms_removed += 1;
+                }
+            }
+        });
+        report.terms_kept = new_terms.len() - report.terms_added;
+        self.owners[doc.index()].published = new_terms;
+        self.debug_validate_owner(doc);
+        report
+    }
+
+    /// Modify a shared document the **expensive** way: retract every
+    /// published term, replace the contents, and publish the new
+    /// selection from scratch — the delete+republish baseline the
+    /// incremental [`Self::update_document`] is measured against.
+    ///
+    /// # Panics
+    /// Panics if `doc` was deleted.
+    pub fn republish_document(&mut self, doc: DocId, terms: Vec<(TermId, u32)>) -> UpdateReport {
+        assert!(
+            !self.deleted[doc.index()],
+            "cannot republish deleted {doc:?}"
+        );
+        let old = self.owners[doc.index()].published.clone();
+        let lazy = self.cfg.lazy_tombstones;
+        let tick = self.next_tick();
+        traced!(self, sink, {
+            for &t in &old {
+                self.retract_term_with(doc, t, lazy, Phase::Publish, tick, sink);
+            }
+        });
+        self.corpus.replace_document(doc, terms);
+        self.true_dfs = None;
+        {
+            let d = self.corpus.doc(doc);
+            let owner = &mut self.owners[doc.index()];
+            owner.stats.retain(|t, _| d.contains(*t));
+        }
+        let new_terms = self.reselect_terms(doc, old.len());
+        traced!(self, sink, {
+            for &t in &new_terms {
+                self.publish_term_with(doc, t, Phase::Publish, tick, sink);
+            }
+        });
+        let report = UpdateReport {
+            terms_added: new_terms.len(),
+            terms_removed: old.len(),
+            terms_kept: 0,
+        };
+        self.owners[doc.index()].published = new_terms;
+        self.debug_validate_owner(doc);
+        report
+    }
+
+    /// Retire `doc` permanently: retract every published term —
+    /// tombstoning the index entries when
+    /// [`crate::SpriteConfig::lazy_tombstones`] is on, rewriting the
+    /// lists eagerly otherwise — clear the owner state, and mark the id
+    /// dead so no later pass (publish, learning, orphan repair) can
+    /// resurrect it. Returns the number of terms retracted.
+    pub fn delete_document(&mut self, doc: DocId) -> usize {
+        if self.deleted[doc.index()] {
+            return 0;
+        }
+        let terms = self.owners[doc.index()].published.clone();
+        let lazy = self.cfg.lazy_tombstones;
+        let tick = self.next_tick();
+        traced!(self, sink, {
+            for &t in &terms {
+                self.retract_term_with(doc, t, lazy, Phase::Publish, tick, sink);
+            }
+        });
+        let owner = &mut self.owners[doc.index()];
+        owner.published.clear();
+        owner.stats.clear();
+        owner.term_watermarks.clear();
+        self.deleted[doc.index()] = true;
+        self.true_dfs = None;
+        terms.len()
+    }
+
+    /// Apply one planned document-churn tick (a
+    /// `sprite_corpus::DocChurnEngine` plan) through the billed lifecycle
+    /// paths: inserts share fresh documents, updates re-publish
+    /// incrementally, deletes retract and tombstone. Events apply in plan
+    /// order; an update whose victim was deleted by an earlier tick is
+    /// skipped (the engine never plans both in *one* tick, but callers
+    /// may interleave plans with other deletion sources).
+    pub fn apply_doc_events(&mut self, events: &[DocEvent]) -> DocTickReport {
+        let mut report = DocTickReport::default();
+        for ev in events {
+            match ev {
+                DocEvent::Insert { terms } => {
+                    let doc = self.insert_document(terms.clone());
+                    report.inserted += 1;
+                    report.terms_published += self.owners[doc.index()].published.len();
+                }
+                DocEvent::Update { doc, terms } => {
+                    if self.deleted[doc.index()] {
+                        continue;
+                    }
+                    let r = self.update_document(*doc, terms.clone());
+                    report.updated += 1;
+                    report.terms_published += r.terms_added;
+                    report.terms_retracted += r.terms_removed;
+                }
+                DocEvent::Delete { doc } => {
+                    report.terms_retracted += self.delete_document(*doc);
+                    report.deleted += 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Re-select the global index terms of `doc` after a content change:
+    /// the same [`learn::select_terms_mode`] the learning pass uses, at a
+    /// budget that preserves the document's earned term count (never
+    /// below the initial allocation, never above the cap). With no
+    /// learned statistics this degrades to pure top-frequent selection —
+    /// exactly the §5.2 seeding of a fresh document.
+    fn reselect_terms(&mut self, doc: DocId, earned: usize) -> Vec<TermId> {
+        let budget = earned.max(self.cfg.initial_terms).min(self.cfg.max_terms);
+        let d = self.corpus.doc(doc);
+        let owner = &self.owners[doc.index()];
+        learn::select_terms_mode(
+            d,
+            &owner.stats,
+            budget,
+            &owner.excluded,
+            self.cfg.score_mode,
+        )
+    }
+
     /// Bill one query-expansion document fetch from `peer` through the
     /// traced charge path, so the observability layer sees exactly what
     /// the accounting sees (§7 local context analysis downloads the term
@@ -736,11 +1038,31 @@ impl SpriteSystem {
         );
     }
 
-    /// [`Self::remove_term`] under an explicit phase/sink.
+    /// [`Self::remove_term`] under an explicit phase/sink (always eager).
     fn remove_term_with<T: TraceSink>(
         &mut self,
         doc: DocId,
         term: TermId,
+        phase: Phase,
+        tick: u64,
+        sink: &mut T,
+    ) {
+        self.retract_term_with(doc, term, false, phase, tick, sink);
+    }
+
+    /// The retraction core: route to the responsible peer, bill one
+    /// [`MsgKind::IndexRemove`] plus the record's exact wire bytes there
+    /// and at every replica, and take the entry out of each index —
+    /// eagerly (`lazy = false`: the stored list is rewritten on the
+    /// spot) or lazily (`lazy = true`: the entry is tombstoned and the
+    /// next `maintenance_round` reclaims it). The removal record on the
+    /// wire is identical either way; only the indexing peer's local
+    /// write strategy differs.
+    fn retract_term_with<T: TraceSink>(
+        &mut self,
+        doc: DocId,
+        term: TermId,
+        lazy: bool,
         phase: Phase,
         tick: u64,
         sink: &mut T,
@@ -759,7 +1081,11 @@ impl SpriteSystem {
         self.net
             .charge_bytes_traced(MsgKind::IndexRemove, record, sink);
         if let Some(st) = self.indexing.get_mut(&lookup.owner.0) {
-            st.remove(term, doc);
+            if lazy {
+                st.tombstone(term, doc);
+            } else {
+                st.remove(term, doc);
+            }
         }
         if self.cfg.replication > 1 {
             for peer in self
@@ -772,7 +1098,11 @@ impl SpriteSystem {
                 self.net
                     .charge_bytes_traced(MsgKind::IndexRemove, record, sink);
                 if let Some(st) = self.indexing.get_mut(&peer.0) {
-                    st.remove(term, doc);
+                    if lazy {
+                        st.tombstone(term, doc);
+                    } else {
+                        st.remove(term, doc);
+                    }
                 }
             }
         }
@@ -1569,5 +1899,171 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn insert_document_publishes_and_retrieves_the_newcomer() {
+        let (_sc, mut sys) = tiny_system(SpriteConfig::default());
+        sys.publish_all();
+        // A fresh document reusing rare terms of the existing vocabulary.
+        let rare = TermId((sys.corpus().vocab().len() - 1) as u32);
+        let doc = sys.insert_document(vec![(rare, 9), (TermId(0), 1)]);
+        assert_eq!(doc.index(), sys.corpus().len() - 1);
+        assert!(!sys.is_deleted(doc));
+        assert!(sys.live_docs().contains(&doc));
+        let published = sys.published_terms(doc).to_vec();
+        assert!(published.contains(&rare), "top-frequent term is published");
+        let hits = sys.issue_query(&Query::new(vec![rare]), sys.corpus().len());
+        assert!(
+            hits.iter().any(|h| h.doc == doc),
+            "inserted document must be retrievable by its published term"
+        );
+    }
+
+    #[test]
+    fn update_document_publishes_added_and_retracts_removed_terms_only() {
+        let (_sc, mut sys) = tiny_system(SpriteConfig::default());
+        sys.publish_all();
+        let doc = DocId(0);
+        let old = sys.published_terms(doc).to_vec();
+        // New version: keep the two most frequent old terms, swap the rest
+        // of the content for a rare fresh term.
+        let keep: Vec<(TermId, u32)> = sys
+            .corpus()
+            .doc(doc)
+            .top_frequent_terms(2)
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (t, 10 - i as u32))
+            .collect();
+        let fresh = TermId((sys.corpus().vocab().len() - 1) as u32);
+        let mut terms = keep.clone();
+        terms.push((fresh, 7));
+        sys.net_mut().reset_stats();
+        let report = sys.update_document(doc, terms);
+        assert!(report.terms_kept >= 2, "shared top terms must be kept");
+        assert!(report.terms_added >= 1, "the fresh term must be published");
+        assert!(report.terms_removed >= 1, "vanished terms must go");
+        // The diff is billed in both directions, not republished wholesale.
+        let stats = sys.net().stats().clone();
+        assert_eq!(
+            stats.count(MsgKind::IndexPublish),
+            report.terms_added as u64
+        );
+        assert_eq!(
+            stats.count(MsgKind::IndexRemove),
+            report.terms_removed as u64
+        );
+        // New terms retrieve the doc; removed ones no longer do.
+        let hits = sys.issue_query(&Query::new(vec![fresh]), sys.corpus().len());
+        assert!(hits.iter().any(|h| h.doc == doc));
+        let gone = old
+            .iter()
+            .copied()
+            .find(|t| !sys.published_terms(doc).contains(t))
+            .expect("some old term was removed");
+        let hits = sys.issue_query(&Query::new(vec![gone]), sys.corpus().len());
+        assert!(
+            hits.iter().all(|h| h.doc != doc),
+            "a retracted term must not retrieve the old version"
+        );
+    }
+
+    #[test]
+    fn incremental_update_is_cheaper_than_full_republish() {
+        let run = |incremental: bool| {
+            let (_sc, mut sys) = tiny_system(SpriteConfig::default());
+            sys.publish_all();
+            let doc = DocId(0);
+            // Small edit: original content plus one extra occurrence of a
+            // rare term — most published terms survive the diff.
+            let mut terms: Vec<(TermId, u32)> = sys.corpus().doc(doc).terms().to_vec();
+            terms.push((TermId((sys.corpus().vocab().len() - 1) as u32), 6));
+            sys.net_mut().reset_stats();
+            if incremental {
+                sys.update_document(doc, terms);
+            } else {
+                sys.republish_document(doc, terms);
+            }
+            let stats = sys.net().stats();
+            stats.bytes(MsgKind::IndexPublish) + stats.bytes(MsgKind::IndexRemove)
+        };
+        let (incr, full) = (run(true), run(false));
+        assert!(
+            incr * 10 <= full * 7,
+            "incremental update ({incr} B) must be ≥30% cheaper than \
+             delete+republish ({full} B)"
+        );
+    }
+
+    #[test]
+    fn delete_document_hides_it_immediately_and_maintenance_reclaims() {
+        let (_sc, mut sys) = tiny_system(SpriteConfig::default());
+        sys.publish_all();
+        let doc = DocId(0);
+        let term = sys.published_terms(doc)[0];
+        let retracted = sys.delete_document(doc);
+        assert_eq!(retracted, 5);
+        assert!(sys.is_deleted(doc));
+        assert!(!sys.live_docs().contains(&doc));
+        // Lazy mode: the entries are tombstoned, not yet rewritten …
+        assert_eq!(sys.pending_tombstones(), 5);
+        // … but the document is invisible to queries right now.
+        let hits = sys.issue_query(&Query::new(vec![term]), sys.corpus().len());
+        assert!(
+            hits.iter().all(|h| h.doc != doc),
+            "deleted document leaked into a live query result"
+        );
+        // One maintenance round reclaims every tombstone.
+        let report = sys.maintenance_round();
+        assert_eq!(report.tombstones_reclaimed, 5);
+        assert_eq!(sys.pending_tombstones(), 0);
+        // Deleting again is a no-op.
+        assert_eq!(sys.delete_document(doc), 0);
+        // Learning and republishing never resurrect the dead id.
+        sys.publish_all();
+        sys.learn(1);
+        assert!(sys.published_terms(doc).is_empty());
+        let hits = sys.issue_query(&Query::new(vec![term]), sys.corpus().len());
+        assert!(hits.iter().all(|h| h.doc != doc));
+    }
+
+    #[test]
+    fn eager_deletion_rewrites_lists_on_the_spot() {
+        let cfg = SpriteConfig {
+            lazy_tombstones: false,
+            ..SpriteConfig::default()
+        };
+        let (_sc, mut sys) = tiny_system(cfg);
+        sys.publish_all();
+        let entries = sys.total_index_entries();
+        sys.net_mut().reset_stats();
+        let retracted = sys.delete_document(DocId(0));
+        assert_eq!(retracted, 5);
+        assert_eq!(sys.pending_tombstones(), 0, "eager mode leaves no debt");
+        assert_eq!(sys.total_index_entries(), entries - 5);
+        // The wire bill is identical to the lazy path: same removal
+        // records, different local write strategy.
+        assert_eq!(sys.net().stats().count(MsgKind::IndexRemove), 5);
+    }
+
+    #[test]
+    fn lazy_and_eager_deletion_bill_identical_wire_traffic() {
+        let run = |lazy: bool| {
+            let cfg = SpriteConfig {
+                lazy_tombstones: lazy,
+                ..SpriteConfig::default()
+            };
+            let (_sc, mut sys) = tiny_system(cfg);
+            sys.publish_all();
+            sys.net_mut().reset_stats();
+            sys.delete_document(DocId(3));
+            let stats = sys.net().stats();
+            (
+                stats.count(MsgKind::IndexRemove),
+                stats.bytes(MsgKind::IndexRemove),
+            )
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -10,16 +10,22 @@
 //! * [`querygen`] — the paper's two-phase query generator re-implemented
 //!   verbatim: overlap-ratio term selection with `Distribution(t)`
 //!   nearest-neighbor replacement, and rank-aligned relevance transfer.
+//!
+//! Beyond the paper's frozen-corpus setup, [`lifecycle`] adds a seeded
+//! document-churn engine (insert/update/delete streams) for the live
+//! corpus dynamics study.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod lifecycle;
 pub mod querygen;
 pub mod synthetic;
 pub mod trec;
 
+pub use lifecycle::{DocChurnConfig, DocChurnEngine, DocEvent};
 pub use querygen::{
     generate_workload, issue_order, split_train_test, GenConfig, GeneratedQuery, Schedule,
     TermDistribution,

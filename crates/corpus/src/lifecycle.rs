@@ -1,0 +1,399 @@
+//! The document-churn engine (live corpus dynamics).
+//!
+//! The paper evaluates on a frozen corpus; a production deployment serves
+//! a *stream* of document inserts, content updates, and deletions while
+//! peers churn underneath. [`DocChurnEngine`] produces that stream,
+//! deterministically: a seeded schedule of [`DocEvent`]s per tick, planned
+//! against the current live-document set exactly like
+//! `ChurnEngine::plan` plans membership events against the current ring —
+//! the same `(config, seed, history)` replays the same events
+//! bit-identically.
+//!
+//! Generated content is **topic-shaped**: inserts mix latent topics the
+//! same way [`crate::SyntheticCorpus`] does, and an update regenerates a
+//! document from its *own* topic mixture — so most of its high-frequency
+//! (indexed) terms survive the edit. That overlap is what the freshness
+//! study measures: incremental re-publication should be much cheaper than
+//! delete+republish precisely because real edits preserve most of a
+//! document's vocabulary.
+
+use std::collections::BTreeMap;
+
+use sprite_ir::{DocId, TermId};
+use sprite_util::{derive_rng, DetRng, SliceRng, Zipf};
+
+use crate::synthetic::{CorpusConfig, SyntheticCorpus};
+
+/// Expected document events per tick.
+#[derive(Clone, Debug)]
+pub struct DocChurnConfig {
+    /// Expected fresh documents per tick (fractional rates are sampled).
+    pub insert_rate: f64,
+    /// Expected content updates per tick.
+    pub update_rate: f64,
+    /// Expected deletions per tick.
+    pub delete_rate: f64,
+    /// Deletions are suppressed once the live set would shrink below this.
+    pub min_docs: usize,
+}
+
+impl Default for DocChurnConfig {
+    fn default() -> Self {
+        DocChurnConfig {
+            insert_rate: 1.0,
+            update_rate: 2.0,
+            delete_rate: 0.5,
+            min_docs: 8,
+        }
+    }
+}
+
+/// One planned document event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DocEvent {
+    /// Share a brand-new document with the given analyzed content.
+    Insert {
+        /// Term counts of the fresh document.
+        terms: Vec<(TermId, u32)>,
+    },
+    /// Replace the content of a live document.
+    Update {
+        /// The document being edited.
+        doc: DocId,
+        /// Its new term counts.
+        terms: Vec<(TermId, u32)>,
+    },
+    /// Retire a live document permanently.
+    Delete {
+        /// The document being deleted.
+        doc: DocId,
+    },
+}
+
+/// Deterministic document-churn driver.
+///
+/// The engine snapshots the corpus generator's latent topics at
+/// construction and tracks each document's topic mixture itself (extended
+/// as it plans inserts), so planned content stays topic-shaped without
+/// ever borrowing the evolving corpus.
+#[derive(Clone, Debug)]
+pub struct DocChurnEngine {
+    cfg: DocChurnConfig,
+    rng: DetRng,
+    gen: CorpusConfig,
+    /// Latent topic cores, snapshotted from the generator.
+    topics: Vec<Vec<TermId>>,
+    /// Topic mixture per document index (sorted map: planning walks it
+    /// deterministically), extended as inserts are planned.
+    doc_topics: BTreeMap<u32, Vec<u16>>,
+    background: Zipf,
+    within_topic: Zipf,
+    topic_pop: Zipf,
+}
+
+impl DocChurnEngine {
+    /// An engine with its own derived RNG stream, seeded with the topic
+    /// model of `source`. The same `(cfg, seed, source, history)` replays
+    /// the same event schedule.
+    #[must_use]
+    pub fn new(cfg: DocChurnConfig, seed: u64, source: &SyntheticCorpus) -> Self {
+        let gen = source.config().clone();
+        let topics: Vec<Vec<TermId>> = (0..gen.n_topics)
+            .map(|t| source.topic_core(t).to_vec())
+            .collect();
+        let doc_topics: BTreeMap<u32, Vec<u16>> = (0..source.corpus().len())
+            .map(|i| (i as u32, source.doc_topics(DocId(i as u32)).to_vec()))
+            .collect();
+        let background = Zipf::new(gen.vocab_size, gen.zipf_exponent);
+        let within_topic = Zipf::new(gen.terms_per_topic, gen.topic_zipf_exponent);
+        let topic_pop = Zipf::new(gen.n_topics, 0.5);
+        DocChurnEngine {
+            cfg,
+            rng: derive_rng(seed, "doc-churn"),
+            gen,
+            topics,
+            doc_topics,
+            background,
+            within_topic,
+            topic_pop,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &DocChurnConfig {
+        &self.cfg
+    }
+
+    /// Sample an event count with expectation `rate` (integer part plus a
+    /// Bernoulli trial on the fraction).
+    fn sample_count(&mut self, rate: f64) -> usize {
+        if rate <= 0.0 {
+            return 0;
+        }
+        let whole = rate.floor();
+        let mut n = whole as usize;
+        if self.rng.gen_bool(rate - whole) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Sample a fresh topic mixture (the generator's per-document draw).
+    fn sample_topics(&mut self) -> Vec<u16> {
+        let n = self
+            .rng
+            .gen_range(self.gen.topics_per_doc.0..=self.gen.topics_per_doc.1);
+        let mut mine: Vec<u16> = Vec::with_capacity(n);
+        while mine.len() < n {
+            let t = self.topic_pop.sample(&mut self.rng) as u16;
+            if !mine.contains(&t) {
+                mine.push(t);
+            }
+        }
+        mine
+    }
+
+    /// Generate analyzed content from a topic mixture, exactly like the
+    /// corpus generator: per-document permuted cores, `topic_fraction` of
+    /// tokens from the cores (Zipf-skewed within), the rest background.
+    fn gen_terms(&mut self, mixture: &[u16]) -> Vec<(TermId, u32)> {
+        let len = self.rng.gen_range(self.gen.doc_len.0..=self.gen.doc_len.1);
+        let mut cores: Vec<Vec<TermId>> = mixture
+            .iter()
+            .map(|&t| self.topics[t as usize].clone())
+            .collect();
+        for core in &mut cores {
+            core.shuffle(&mut self.rng);
+        }
+        let mut tokens: Vec<(TermId, u32)> = Vec::with_capacity(len);
+        for _ in 0..len {
+            let term = if self.rng.gen_bool(self.gen.topic_fraction) {
+                let core = cores.choose(&mut self.rng).expect("mixture is non-empty");
+                core[self.within_topic.sample(&mut self.rng)]
+            } else {
+                TermId(self.background.sample(&mut self.rng) as u32)
+            };
+            tokens.push((term, 1));
+        }
+        tokens
+    }
+
+    /// Plan one tick's events against the current live set: deletions
+    /// first, then updates, then inserts (mirroring `ChurnEngine::plan`'s
+    /// fail/leave/join order). Victims are distinct and drawn without
+    /// replacement — a document is never updated and deleted in the same
+    /// tick — and deletions are capped so the live set never shrinks below
+    /// `min_docs`. `total_docs` is the corpus size (live + dead): since
+    /// document ids are assigned sequentially and never reused, the engine
+    /// uses it to pre-assign topic mixtures to the ids its planned inserts
+    /// will receive. The plan does not mutate any corpus — apply it with
+    /// `SpriteSystem::apply_doc_events`.
+    pub fn plan(&mut self, live: &[DocId], total_docs: usize) -> Vec<DocEvent> {
+        let n_deletes = self.sample_count(self.cfg.delete_rate);
+        let n_updates = self.sample_count(self.cfg.update_rate);
+        let n_inserts = self.sample_count(self.cfg.insert_rate);
+
+        let mut events = Vec::new();
+        let deletes_allowed = live.len().saturating_sub(self.cfg.min_docs);
+        // Draw victims without replacement by swap-removing picks from a
+        // shared pool: deletions and updates never collide.
+        let mut pool: Vec<DocId> = live.to_vec();
+        for _ in 0..n_deletes.min(deletes_allowed) {
+            if pool.is_empty() {
+                break;
+            }
+            let doc = pool.swap_remove(self.rng.gen_range(0..pool.len()));
+            self.doc_topics.remove(&doc.0);
+            events.push(DocEvent::Delete { doc });
+        }
+        for _ in 0..n_updates {
+            if pool.is_empty() {
+                break;
+            }
+            let doc = pool.swap_remove(self.rng.gen_range(0..pool.len()));
+            // An edit keeps the document's own topic mixture — that is why
+            // most of its indexed vocabulary survives. A document the
+            // engine never saw (shared out-of-band) gets a fresh mixture.
+            let mixture = match self.doc_topics.get(&doc.0) {
+                Some(m) => m.clone(),
+                None => {
+                    let m = self.sample_topics();
+                    self.doc_topics.insert(doc.0, m.clone());
+                    m
+                }
+            };
+            let terms = self.gen_terms(&mixture);
+            events.push(DocEvent::Update { doc, terms });
+        }
+        for i in 0..n_inserts {
+            let mixture = self.sample_topics();
+            let terms = self.gen_terms(&mixture);
+            self.doc_topics.insert((total_docs + i) as u32, mixture);
+            events.push(DocEvent::Insert { terms });
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SyntheticCorpus {
+        SyntheticCorpus::generate(&CorpusConfig::tiny(7))
+    }
+
+    fn all_docs(sc: &SyntheticCorpus) -> Vec<DocId> {
+        (0..sc.corpus().len()).map(|i| DocId(i as u32)).collect()
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_schedule() {
+        let sc = tiny();
+        let run = || {
+            let mut eng = DocChurnEngine::new(DocChurnConfig::default(), 5, &sc);
+            let mut live = all_docs(&sc);
+            let mut total = live.len();
+            let mut history = Vec::new();
+            for _ in 0..6 {
+                let events = eng.plan(&live, total);
+                for ev in &events {
+                    match ev {
+                        DocEvent::Delete { doc } => live.retain(|d| d != doc),
+                        DocEvent::Insert { .. } => {
+                            live.push(DocId(total as u32));
+                            total += 1;
+                        }
+                        DocEvent::Update { .. } => {}
+                    }
+                }
+                history.push(events);
+            }
+            history
+        };
+        assert_eq!(run(), run());
+        let mut other = DocChurnEngine::new(DocChurnConfig::default(), 6, &sc);
+        let first = other.plan(&all_docs(&sc), sc.corpus().len());
+        assert_ne!(run()[0], first, "a different seed plans differently");
+    }
+
+    #[test]
+    fn victims_are_distinct_within_a_tick() {
+        let sc = tiny();
+        let cfg = DocChurnConfig {
+            insert_rate: 0.0,
+            update_rate: 40.0,
+            delete_rate: 40.0,
+            min_docs: 100,
+        };
+        let mut eng = DocChurnEngine::new(cfg, 3, &sc);
+        let events = eng.plan(&all_docs(&sc), sc.corpus().len());
+        let mut touched: Vec<u32> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                DocEvent::Update { doc, .. } | DocEvent::Delete { doc } => Some(doc.0),
+                DocEvent::Insert { .. } => None,
+            })
+            .collect();
+        let n = touched.len();
+        touched.sort_unstable();
+        touched.dedup();
+        assert_eq!(touched.len(), n, "a doc was updated and deleted together");
+    }
+
+    #[test]
+    fn deletions_respect_the_floor() {
+        let sc = tiny();
+        let cfg = DocChurnConfig {
+            insert_rate: 0.0,
+            update_rate: 0.0,
+            delete_rate: 1e6,
+            min_docs: 12,
+        };
+        let mut eng = DocChurnEngine::new(cfg, 9, &sc);
+        let mut live = all_docs(&sc);
+        for _ in 0..4 {
+            let events = eng.plan(&live, sc.corpus().len());
+            for ev in &events {
+                if let DocEvent::Delete { doc } = ev {
+                    live.retain(|d| d != doc);
+                }
+            }
+        }
+        assert_eq!(live.len(), 12, "delete-everything stops at min_docs");
+    }
+
+    #[test]
+    fn empty_live_set_still_plans_inserts() {
+        let sc = tiny();
+        let cfg = DocChurnConfig {
+            insert_rate: 3.0,
+            update_rate: 5.0,
+            delete_rate: 5.0,
+            min_docs: 0,
+        };
+        let mut eng = DocChurnEngine::new(cfg, 1, &sc);
+        let events = eng.plan(&[], 0);
+        assert!(!events.is_empty());
+        assert!(events
+            .iter()
+            .all(|ev| matches!(ev, DocEvent::Insert { .. })));
+    }
+
+    #[test]
+    fn updates_keep_the_victims_topical_shape() {
+        let sc = tiny();
+        let cfg = DocChurnConfig {
+            insert_rate: 0.0,
+            update_rate: 10.0,
+            delete_rate: 0.0,
+            min_docs: 0,
+        };
+        let mut eng = DocChurnEngine::new(cfg, 4, &sc);
+        let events = eng.plan(&all_docs(&sc), sc.corpus().len());
+        assert!(!events.is_empty());
+        for ev in &events {
+            let DocEvent::Update { doc, terms } = ev else {
+                continue;
+            };
+            // A sizable share of the new tokens come from the victim's own
+            // topic cores (topic_fraction is 0.5 in the tiny config).
+            let cores: Vec<TermId> = sc
+                .doc_topics(*doc)
+                .iter()
+                .flat_map(|&t| sc.topic_core(t as usize).iter().copied())
+                .collect();
+            let total: u32 = terms.iter().map(|&(_, c)| c).sum();
+            let topical: u32 = terms
+                .iter()
+                .filter(|(t, _)| cores.contains(t))
+                .map(|&(_, c)| c)
+                .sum();
+            assert!(
+                f64::from(topical) / f64::from(total) > 0.3,
+                "update lost the victim's topical shape"
+            );
+        }
+    }
+
+    #[test]
+    fn fractional_rates_average_out() {
+        let sc = tiny();
+        let cfg = DocChurnConfig {
+            insert_rate: 0.5,
+            update_rate: 0.0,
+            delete_rate: 0.0,
+            min_docs: 0,
+        };
+        let mut eng = DocChurnEngine::new(cfg, 2, &sc);
+        let mut inserts = 0;
+        for _ in 0..200 {
+            inserts += eng.plan(&[], 0).len();
+        }
+        assert!(
+            (60..=140).contains(&inserts),
+            "expected ≈100 inserts over 200 ticks at rate 0.5, got {inserts}"
+        );
+    }
+}

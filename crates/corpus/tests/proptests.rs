@@ -1,0 +1,229 @@
+//! Property-style tests for the document-churn engine and the workload
+//! generators.
+//!
+//! Deterministic seeded loops over `DetRng`-generated configurations (the
+//! workspace builds with an empty registry, so no `proptest` crate): the
+//! engine must replay bit-identically, honor its rates without drawing a
+//! victim twice, and degrade gracefully at the empty-corpus and
+//! delete-everything edges.
+
+use std::collections::BTreeSet;
+
+use sprite_corpus::{CorpusConfig, DocChurnConfig, DocChurnEngine, DocEvent, SyntheticCorpus};
+use sprite_ir::DocId;
+use sprite_util::{derive_rng, DetRng};
+
+fn rng(label: &str) -> DetRng {
+    derive_rng(0xC0DE, label)
+}
+
+fn source(seed: u64) -> SyntheticCorpus {
+    SyntheticCorpus::generate(&CorpusConfig::tiny(seed))
+}
+
+fn gen_cfg(r: &mut DetRng) -> DocChurnConfig {
+    DocChurnConfig {
+        insert_rate: r.gen_range(0..5) as f64 / 2.0,
+        update_rate: r.gen_range(0..7) as f64 / 2.0,
+        delete_rate: r.gen_range(0..5) as f64 / 2.0,
+        min_docs: r.gen_range(0..12),
+    }
+}
+
+/// Apply one plan to a model of the live set, mirroring what
+/// `SpriteSystem::apply_doc_events` does to the real deployment: deletes
+/// drop ids, inserts append sequential ids, updates touch in place.
+fn apply_model(live: &mut Vec<DocId>, total_docs: &mut usize, events: &[DocEvent]) {
+    for ev in events {
+        match ev {
+            DocEvent::Insert { .. } => {
+                live.push(DocId(*total_docs as u32));
+                *total_docs += 1;
+            }
+            DocEvent::Update { .. } => {}
+            DocEvent::Delete { doc } => live.retain(|d| d != doc),
+        }
+    }
+}
+
+/// Same seed, same source, same live-set trajectory: the planned event
+/// stream replays bit for bit, tick after tick.
+#[test]
+fn same_seed_replays_bit_identically() {
+    let mut r = rng("replay");
+    for round in 0..64 {
+        let cfg = gen_cfg(&mut r);
+        let seed = r.gen_u64();
+        let sc = source(7 + round % 3);
+        let mut a = DocChurnEngine::new(cfg.clone(), seed, &sc);
+        let mut b = DocChurnEngine::new(cfg, seed, &sc);
+        let mut live: Vec<DocId> = (0..sc.corpus().len()).map(|i| DocId(i as u32)).collect();
+        let mut total = sc.corpus().len();
+        for _ in 0..4 {
+            let ea = a.plan(&live, total);
+            let eb = b.plan(&live, total);
+            assert_eq!(ea, eb, "replay diverged");
+            apply_model(&mut live, &mut total, &ea);
+        }
+    }
+}
+
+/// Within one tick, no document is drawn twice: every update and delete
+/// victim is distinct and comes from the live set (rates are honored
+/// without replacement).
+#[test]
+fn victims_are_distinct_and_live_within_a_tick() {
+    let mut r = rng("victims");
+    let sc = source(9);
+    for _ in 0..64 {
+        let cfg = gen_cfg(&mut r);
+        let mut engine = DocChurnEngine::new(cfg, r.gen_u64(), &sc);
+        let mut live: Vec<DocId> = (0..sc.corpus().len()).map(|i| DocId(i as u32)).collect();
+        let mut total = sc.corpus().len();
+        for _ in 0..4 {
+            let events = engine.plan(&live, total);
+            let alive: BTreeSet<DocId> = live.iter().copied().collect();
+            let mut victims = BTreeSet::new();
+            for ev in &events {
+                let doc = match ev {
+                    DocEvent::Update { doc, .. } | DocEvent::Delete { doc } => *doc,
+                    DocEvent::Insert { .. } => continue,
+                };
+                assert!(alive.contains(&doc), "{doc:?} is not live");
+                assert!(victims.insert(doc), "{doc:?} drawn twice in one tick");
+            }
+            apply_model(&mut live, &mut total, &events);
+        }
+    }
+}
+
+/// Deletions never cross the configured floor, no matter how aggressive
+/// the delete rate.
+#[test]
+fn deletions_respect_the_min_docs_floor() {
+    let mut r = rng("floor");
+    let sc = source(11);
+    for _ in 0..32 {
+        let floor = r.gen_range(0..20);
+        let cfg = DocChurnConfig {
+            insert_rate: 0.0,
+            update_rate: 0.0,
+            delete_rate: 50.0,
+            min_docs: floor,
+        };
+        let mut engine = DocChurnEngine::new(cfg, r.gen_u64(), &sc);
+        let mut live: Vec<DocId> = (0..sc.corpus().len()).map(|i| DocId(i as u32)).collect();
+        let mut total = sc.corpus().len();
+        for _ in 0..8 {
+            let events = engine.plan(&live, total);
+            apply_model(&mut live, &mut total, &events);
+            assert!(
+                live.len() >= floor.min(sc.corpus().len()),
+                "live set {} fell below the floor {floor}",
+                live.len()
+            );
+        }
+        // The delete-everything edge: with the floor at the bottom, the
+        // stream drains the corpus exactly to it and then plans nothing
+        // but (zero-rate) silence.
+        assert_eq!(live.len(), floor.min(sc.corpus().len()));
+        assert!(engine.plan(&live, total).is_empty());
+    }
+}
+
+/// An empty live set still plans inserts — a deployment drained to
+/// nothing can repopulate — but never an update or a delete.
+#[test]
+fn empty_live_set_plans_inserts_only() {
+    let mut r = rng("empty");
+    let sc = source(13);
+    for _ in 0..32 {
+        let cfg = DocChurnConfig {
+            insert_rate: 1.0 + r.gen_range(0..4) as f64,
+            update_rate: 3.0,
+            delete_rate: 3.0,
+            min_docs: 0,
+        };
+        let mut engine = DocChurnEngine::new(cfg, r.gen_u64(), &sc);
+        let events = engine.plan(&[], sc.corpus().len());
+        assert!(!events.is_empty(), "inserts must still flow");
+        for ev in &events {
+            assert!(
+                matches!(ev, DocEvent::Insert { .. }),
+                "planned {ev:?} against an empty live set"
+            );
+        }
+    }
+}
+
+/// Planned content is well-formed: non-empty, in-vocabulary terms with
+/// positive counts — whatever the rates, whatever the tick.
+#[test]
+fn planned_content_is_well_formed() {
+    let mut r = rng("content");
+    let sc = source(17);
+    let vocab = sc.corpus().vocab().len();
+    for _ in 0..32 {
+        let cfg = gen_cfg(&mut r);
+        let mut engine = DocChurnEngine::new(cfg, r.gen_u64(), &sc);
+        let mut live: Vec<DocId> = (0..sc.corpus().len()).map(|i| DocId(i as u32)).collect();
+        let mut total = sc.corpus().len();
+        for _ in 0..3 {
+            let events = engine.plan(&live, total);
+            for ev in &events {
+                let terms = match ev {
+                    DocEvent::Insert { terms } | DocEvent::Update { terms, .. } => terms,
+                    DocEvent::Delete { .. } => continue,
+                };
+                assert!(!terms.is_empty(), "planned an empty document");
+                for &(t, n) in terms {
+                    assert!((t.0 as usize) < vocab, "out-of-vocabulary term {t:?}");
+                    assert!(n > 0, "zero-count term {t:?}");
+                }
+            }
+            apply_model(&mut live, &mut total, &events);
+        }
+    }
+}
+
+/// Fractional rates average out across ticks: the realized event count
+/// over many ticks lands near `rate × ticks` for every stream.
+#[test]
+fn rates_are_honored_in_expectation() {
+    let mut r = rng("rates");
+    let sc = source(19);
+    for _ in 0..8 {
+        let cfg = DocChurnConfig {
+            insert_rate: 1.5,
+            update_rate: 0.5,
+            delete_rate: 0.0,
+            min_docs: 0,
+        };
+        let mut engine = DocChurnEngine::new(cfg, r.gen_u64(), &sc);
+        let mut live: Vec<DocId> = (0..sc.corpus().len()).map(|i| DocId(i as u32)).collect();
+        let mut total = sc.corpus().len();
+        let (mut inserts, mut updates) = (0usize, 0usize);
+        let ticks = 120;
+        for _ in 0..ticks {
+            let events = engine.plan(&live, total);
+            for ev in &events {
+                match ev {
+                    DocEvent::Insert { .. } => inserts += 1,
+                    DocEvent::Update { .. } => updates += 1,
+                    DocEvent::Delete { .. } => {}
+                }
+            }
+            apply_model(&mut live, &mut total, &events);
+        }
+        let expect_i = (1.5 * ticks as f64) as usize;
+        let expect_u = (0.5 * ticks as f64) as usize;
+        assert!(
+            inserts >= expect_i * 7 / 10 && inserts <= expect_i * 13 / 10,
+            "{inserts} inserts over {ticks} ticks at rate 1.5"
+        );
+        assert!(
+            updates >= expect_u * 6 / 10 && updates <= expect_u * 14 / 10,
+            "{updates} updates over {ticks} ticks at rate 0.5"
+        );
+    }
+}

@@ -233,6 +233,15 @@ impl Corpus {
         id
     }
 
+    /// Replace the contents of an existing document in place (the live
+    /// update path): the id is stable, only the term vector changes.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn replace_document(&mut self, id: DocId, terms: Vec<(TermId, u32)>) {
+        self.docs[id.index()] = Document::new(id, terms);
+    }
+
     /// The shared vocabulary.
     #[must_use]
     pub fn vocab(&self) -> &Vocab {
